@@ -1,0 +1,68 @@
+"""E9 — Theorem 5.10 / Proposition 5.11: the uniform-equivalence decider.
+
+Claim: deciding UCQ_k-equivalence goes through the contraction-based
+UCQ_k-approximation; the procedure is inherently exponential in the query
+(the paper places the meta problem in 2ExpTime), but each instance is
+decided exactly.
+Measured: decision time vs query variable count for directed cycles
+(never UCQ_1-equivalent) and for "collapsing" cycles with a chord loop
+(always equivalent); the growth is the Bell-number contraction sweep.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import print_table, timed
+
+from repro.benchgen import cycle_cq
+from repro.cqs import CQS, is_uniformly_ucq_k_equivalent
+from repro.datamodel import Atom, Variable
+from repro.queries import CQ
+
+
+def _collapsing_cycle(length: int) -> CQ:
+    """A cycle with a loop on one vertex: semantically treewidth 1."""
+    base = cycle_cq(length)
+    loop_var = sorted(base.variables())[0]
+    return CQ((), list(base.atoms) + [Atom("E", (loop_var, loop_var))])
+
+
+def run() -> list[dict]:
+    rows = []
+    for length in (3, 4, 5, 6):
+        spec = CQS([], cycle_cq(length))
+        verdict, seconds = timed(is_uniformly_ucq_k_equivalent, spec, 1)
+        rows.append(
+            {
+                "query": f"cycle({length})",
+                "#vars": length,
+                "UCQ_1-equivalent": bool(verdict),
+                "expected": False,
+                "time": seconds,
+            }
+        )
+        assert not verdict
+    for length in (3, 4, 5):
+        spec = CQS([], _collapsing_cycle(length))
+        verdict, seconds = timed(is_uniformly_ucq_k_equivalent, spec, 1)
+        rows.append(
+            {
+                "query": f"cycle({length})+loop",
+                "#vars": length,
+                "UCQ_1-equivalent": bool(verdict),
+                "expected": True,
+                "time": seconds,
+            }
+        )
+        assert verdict
+    return rows
+
+
+def test_e09_decide_cycle5(benchmark):
+    spec = CQS([], cycle_cq(5))
+    benchmark(lambda: bool(is_uniformly_ucq_k_equivalent(spec, 1)))
+
+
+if __name__ == "__main__":
+    print_table("E9 — Thm 5.10: deciding uniform UCQ_k-equivalence", run())

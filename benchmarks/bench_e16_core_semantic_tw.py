@@ -1,0 +1,61 @@
+"""E16 — Theorem 4.1(3) / [20]: cores and CQ≡_k membership.
+
+Claim: ``q ∈ CQ≡_k`` iff ``core(q) ∈ CQ_k``; core computation is the
+(NP-hard in general) engine behind the plain-CQ dichotomy.
+Measured: core computation time vs query size for inflated queries, and
+the CQ≡_k decision cost; core size stays constant while input size grows.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import print_table, timed
+
+from repro.benchgen import clique_cq, inflated_triangle_cq
+from repro.queries import core
+from repro.semantic import in_cq_k_equiv, semantic_treewidth
+
+
+def run() -> list[dict]:
+    rows = []
+    for extra in (2, 4, 6, 8):
+        q = inflated_triangle_cq(extra)
+        reduced, seconds = timed(core, q)
+        rows.append(
+            {
+                "query": f"inflated({extra})",
+                "atoms in": len(q.atoms),
+                "atoms out": len(reduced.atoms),
+                "core time": seconds,
+                "semantic tw": semantic_treewidth(q),
+            }
+        )
+    for k in (3, 4):
+        q = clique_cq(k)
+        decision, seconds = timed(in_cq_k_equiv, q, k - 2)
+        rows.append(
+            {
+                "query": f"clique({k})",
+                "atoms in": len(q.atoms),
+                "atoms out": len(q.atoms),
+                "core time": seconds,
+                "semantic tw": k - 1,
+            }
+        )
+        assert not decision  # cliques never drop below their own treewidth
+    return rows
+
+
+def test_e16_core_inflated6(benchmark):
+    q = inflated_triangle_cq(6)
+    benchmark(core, q)
+
+
+def test_e16_semantic_membership(benchmark):
+    q = inflated_triangle_cq(4)
+    benchmark(in_cq_k_equiv, q, 2)
+
+
+if __name__ == "__main__":
+    print_table("E16 — cores and CQ≡_k membership", run())

@@ -1,0 +1,78 @@
+"""Shared utilities for the benchmark harness.
+
+Every ``bench_eXX_*.py`` module exposes
+
+* ``run() -> list[dict]`` — the experiment proper: sweeps its parameters,
+  checks the correctness side conditions, and returns printable rows (the
+  "table/figure" of DESIGN.md's per-experiment index);
+* pytest-benchmark ``test_*`` functions timing the headline operation on a
+  representative configuration.
+
+Run a single experiment standalone::
+
+    python benchmarks/bench_e01_bounded_tw_eval.py
+
+or the full harness::
+
+    python benchmarks/run_all.py
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+__all__ = ["timed", "print_table", "series_shape"]
+
+
+def timed(fn: Callable, *args, **kwargs):
+    """Run ``fn`` once; return (result, seconds)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def print_table(title: str, rows: Iterable[dict]) -> None:
+    """Print rows as an aligned text table (keys of the first row = header)."""
+    rows = list(rows)
+    print(f"\n## {title}")
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    rendered = [
+        [_fmt(row.get(h, "")) for h in headers] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) for i, h in enumerate(headers)
+    ]
+    line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        print(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01:
+            return f"{value * 1e3:.3f}ms" if abs(value) < 10 else f"{value:.1f}"
+        return f"{value:.3f}s" if value < 100 else f"{value:.0f}s"
+    return str(value)
+
+
+def series_shape(values: list[float]) -> str:
+    """A crude growth label for a monotone series ("flat", "poly", "exp")."""
+    if len(values) < 2 or values[0] <= 0:
+        return "n/a"
+    ratios = [b / a for a, b in zip(values, values[1:]) if a > 0]
+    if not ratios:
+        return "n/a"
+    avg = sum(ratios) / len(ratios)
+    if avg < 1.3:
+        return "≈flat"
+    if avg < 4:
+        return "poly-ish"
+    return "exp-ish"

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Run every experiment's ``run()`` harness and print all tables.
+
+Usage::
+
+    python benchmarks/run_all.py                     # all experiments
+    python benchmarks/run_all.py e03 e12             # a selection
+    python benchmarks/run_all.py --json results.json # machine-readable dump
+"""
+
+import importlib.util
+import json
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).parent
+sys.path.insert(0, str(HERE))
+
+from harness import print_table  # noqa: E402
+
+
+def load(module_path: Path):
+    spec = importlib.util.spec_from_file_location(module_path.stem, module_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    json_path = None
+    if "--json" in args:
+        index = args.index("--json")
+        json_path = args[index + 1]
+        args = args[:index] + args[index + 2:]
+    wanted = [w.lower() for w in args]
+    bench_files = sorted(HERE.glob("bench_e*.py"))
+    total_start = time.perf_counter()
+    dump: dict = {}
+    for path in bench_files:
+        tag = path.stem.split("_")[1]  # e01, e02, ...
+        if wanted and tag not in wanted:
+            continue
+        start = time.perf_counter()
+        module = load(path)
+        rows = module.run()
+        elapsed = time.perf_counter() - start
+        title = (module.__doc__ or path.stem).strip().splitlines()[0]
+        print_table(f"{title}   [{elapsed:.1f}s]", rows)
+        dump[tag] = {"title": title, "seconds": elapsed, "rows": rows}
+    print(f"\ntotal: {time.perf_counter() - total_start:.1f}s")
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(dump, indent=2, default=str))
+        print(f"wrote {json_path}")
+
+
+if __name__ == "__main__":
+    main()

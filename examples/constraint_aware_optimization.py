@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Constraint-aware query optimisation (Sections 3.2, 4.2, 5.2).
+
+The closed-world story of the paper: integrity constraints can make a
+structurally hard query *semantically* easy.  An inventory database is
+promised to keep its ``Linked`` relation symmetric; a query whose
+existential part is a directed 4-cycle (treewidth 2, a core — no
+treewidth-1 rewriting exists classically) then *is* uniformly
+UCQ_1-equivalent, and the rewriting found by the approximation machinery
+(Prop 5.11) evaluates measurably faster under the Prop 2.1 engine.
+
+Run:  python examples/constraint_aware_optimization.py
+"""
+
+import time
+
+from repro.benchgen import random_binary_database
+from repro.chase import terminating_chase
+from repro.cqs import CQS, is_uniformly_ucq_k_equivalent
+from repro.datamodel import Atom
+from repro.queries import evaluate_td, evaluate_td_ucq, parse_cq
+from repro.tgds import parse_tgds
+from repro.treewidth import cq_treewidth, ucq_treewidth
+
+
+def main() -> None:
+    # "Linked(u, v)" is maintained symmetrically by the application — a
+    # promise we encode as an integrity constraint.
+    constraints = parse_tgds(["Linked(x, y) -> Linked(y, x)"])
+
+    # The analyst's query: hubs sitting on a 4-cycle of links.  The cycle
+    # runs through *existential* variables, so the paper's (liberal)
+    # treewidth is 2 — NP-hard territory in general.
+    query = parse_cq(
+        "q(x) :- Hub(x, y), Linked(y, z), Linked(z, w), "
+        "Linked(w, v), Linked(v, y)"
+    )
+    print("query treewidth:", cq_treewidth(query))
+
+    spec = CQS(constraints, query, name="links")
+
+    # ------------------------------------------------------------------
+    # The meta-problem (Theorem 5.10): is the CQS uniformly
+    # UCQ_1-equivalent?  Under symmetry the 4-cycle folds (v = z gives
+    # y—z—w walked back and forth), so a treewidth-1 contraction is
+    # Σ-equivalent to the query.
+    # ------------------------------------------------------------------
+    verdict = is_uniformly_ucq_k_equivalent(spec, 1)
+    print("uniformly UCQ_1-equivalent under Σ:", bool(verdict))
+    assert verdict.witness is not None
+    print(
+        f"rewriting: {len(verdict.witness)} disjunct(s), "
+        f"treewidth {ucq_treewidth(verdict.witness)}"
+    )
+
+    # Without the constraint the same query is NOT semantically tree-like:
+    # the directed 4-cycle is a core of treewidth 2.
+    bare = is_uniformly_ucq_k_equivalent(CQS([], query), 1)
+    print("without constraints:", bool(bare))
+
+    # ------------------------------------------------------------------
+    # Measure the optimisation on Σ-satisfying data (closed world), with
+    # the tree-decomposition engine of Prop 2.1 on both sides.
+    # ------------------------------------------------------------------
+    raw = random_binary_database(120, 600, preds=("Linked",), seed=7)
+    database = terminating_chase(raw, constraints).instance  # symmetrise
+    for node in list(database.dom())[:40]:
+        database.add(Atom("Hub", (f"hub_{node}", node)))
+    assert spec.promise_holds(database)
+
+    start = time.perf_counter()
+    original_answers = evaluate_td(query, database)
+    original_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rewritten_answers = evaluate_td_ucq(verdict.witness, database)
+    rewritten_time = time.perf_counter() - start
+
+    assert original_answers == rewritten_answers
+    print(
+        f"\n|D| = {len(database)} facts; answers: {len(original_answers)}"
+        f"\noriginal  (tw 2): {original_time * 1e3:8.1f} ms"
+        f"\nrewritten (tw 1): {rewritten_time * 1e3:8.1f} ms"
+        f"\nspeedup: {original_time / max(rewritten_time, 1e-9):.1f}×"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Ontology-mediated querying over a hospital domain (Section 3.1).
+
+Demonstrates:
+
+* how a guarded ontology makes query answers more complete (the paper's
+  first facet of TGDs);
+* the chase as the evaluation engine (Prop 3.1);
+* evaluation strategies, including the type-blocked guarded chase on an
+  ontology whose chase is *infinite*;
+* the FPT pipeline of Prop 3.3(3) for treewidth-1 queries, with its cost
+  split into chase materialisation and Prop 2.1 evaluation.
+
+Run:  python examples/ontology_mediated_querying.py
+"""
+
+import time
+
+from repro import OMQ, certain_answers, evaluate, evaluate_fpt
+from repro.queries import parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgds
+
+HOSPITAL_ONTOLOGY = parse_tgds(
+    [
+        # Taxonomy.
+        "Surgeon(x) -> Doctor(x)",
+        "Cardiologist(x) -> Doctor(x)",
+        "Doctor(x) -> Staff(x)",
+        "Nurse(x) -> Staff(x)",
+        # Existential knowledge: every doctor is affiliated with some
+        # department, every treatment has a responsible doctor.
+        "Doctor(x) -> AffiliatedWith(x, d)",
+        "AffiliatedWith(x, d) -> Dept(d)",
+        "Treats(x, p) -> Doctor(x)",
+        "Treats(x, p) -> Patient(p)",
+        # Infinite-chase part: every patient has an attending staff member,
+        # who is themselves supervised by a staff member, and so on.
+        "Patient(p) -> AttendedBy(p, s)",
+        "AttendedBy(p, s) -> Staff(s)",
+        "Staff(s) -> SupervisedBy(s, t)",
+        "SupervisedBy(s, t) -> Staff(t)",
+    ]
+)
+
+DATA = parse_database(
+    """
+    Surgeon(kildare)
+    Cardiologist(ross)
+    Nurse(joy)
+    Treats(kildare, amber)
+    Treats(ross, amber)
+    AffiliatedWith(ross, cardiology)
+    """
+)
+
+
+def main() -> None:
+    print(f"data: {len(DATA)} facts; ontology: {len(HOSPITAL_ONTOLOGY)} guarded TGDs")
+
+    # ------------------------------------------------------------------
+    # 1. The ontology adds answers.
+    # ------------------------------------------------------------------
+    staff_q = parse_cq("q(x) :- Staff(x)")
+    print("\nclosed-world Staff(x):", sorted(evaluate(staff_q, DATA)))
+
+    Q = OMQ.with_full_data_schema(HOSPITAL_ONTOLOGY, parse_ucq("q(x) :- Staff(x)"))
+    answer = certain_answers(Q, DATA)
+    print("open-world   Staff(x):", sorted(t[0] for t in answer.answers))
+    print(f"  (strategy {answer.strategy}; complete={answer.complete}; {answer.detail})")
+
+    # ------------------------------------------------------------------
+    # 2. Querying invented values: departments exist but are anonymous.
+    # ------------------------------------------------------------------
+    dept_q = OMQ.with_full_data_schema(
+        HOSPITAL_ONTOLOGY, parse_ucq("q(x) :- AffiliatedWith(x, d), Dept(d)")
+    )
+    print(
+        "\nwho is affiliated with *some* department:",
+        sorted(t[0] for t in certain_answers(dept_q, DATA).answers),
+    )
+
+    # ------------------------------------------------------------------
+    # 3. The chase here is infinite (supervision regress) — the guarded
+    #    strategy still answers exactly, via type-blocked expansion.
+    # ------------------------------------------------------------------
+    supervised = OMQ.with_full_data_schema(
+        HOSPITAL_ONTOLOGY,
+        parse_ucq("q(p) :- AttendedBy(p, s), SupervisedBy(s, t)"),
+    )
+    answer = certain_answers(supervised, DATA, strategy="guarded")
+    print("\npatients attended by supervised staff:", sorted(answer.answers))
+    print(f"  ({answer.detail})")
+
+    # ------------------------------------------------------------------
+    # 4. The FPT pipeline (Prop 3.3(3)): treewidth-1 UCQ, cost split.
+    # ------------------------------------------------------------------
+    result = evaluate_fpt(dept_q, DATA, k=1)
+    print(
+        f"\nFPT pipeline: {len(result.answers)} answers over "
+        f"{result.chase_atoms} chase atoms — materialise "
+        f"{result.materialise_seconds * 1e3:.1f} ms, evaluate "
+        f"{result.evaluate_seconds * 1e3:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

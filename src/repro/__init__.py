@@ -1,0 +1,106 @@
+"""repro — a reproduction of *"The Limits of Efficiency for Open- and
+Closed-World Query Evaluation Under Guarded TGDs"* (Barceló, Dalmau, Feier,
+Lutz, Pieris; PODS 2020).
+
+The package implements the paper's two protagonists and everything they
+stand on:
+
+* **OMQs** (:class:`repro.OMQ`) — ontology-mediated queries, evaluated
+  under open-world (certain-answer) semantics via the chase (Prop 3.1),
+  with the FPT pipeline for (G, UCQ_k) of Prop 3.3(3);
+* **CQSs** (:class:`repro.CQS`) — constraint-query specifications,
+  evaluated closed-world, with containment under constraints (Prop 4.5),
+  UCQ_k-approximations and the uniform-equivalence decider (Prop 5.11);
+* the substrate: relational instances and homomorphisms, CQs/UCQs with
+  cores and bounded-treewidth evaluation (Prop 2.1), TGD classes
+  G/FG/FG_m/L/FULL, the oblivious chase with levels, the type-blocked
+  guarded chase (ground saturation / ``D⁺``), linearization via Σ-types
+  (Lemma A.3), UCQ rewriting for linear TGDs (Prop D.2), finite
+  controllability witnesses (Thm 6.7), Grohe's database construction
+  (Thm 6.1 / Lemma H.2) and the p-Clique reductions behind the paper's
+  W[1]-hardness results.
+
+Quickstart::
+
+    from repro import parse_database, parse_tgds, parse_ucq, OMQ, certain_answers
+
+    db = parse_database("Emp(ada), WorksFor(ada, acme)")
+    sigma = parse_tgds(["Emp(x) -> Person(x)", "WorksFor(x, y) -> Comp(y)"])
+    Q = OMQ.with_full_data_schema(sigma, parse_ucq("q(x) :- Person(x)"))
+    certain_answers(Q, db).answers   # {('ada',)}
+"""
+
+from .datamodel import (
+    Atom,
+    Database,
+    Instance,
+    Null,
+    Schema,
+    Variable,
+    fresh_null,
+    variables,
+)
+from .queries import (
+    CQ,
+    UCQ,
+    core,
+    evaluate,
+    evaluate_td,
+    is_answer,
+    parse_atom,
+    parse_atoms,
+    parse_cq,
+    parse_database,
+    parse_ucq,
+)
+from .tgds import TGD, parse_tgd, parse_tgds
+from .chase import chase, ground_saturation, linearize, rewrite_ucq, saturated_expansion
+from .treewidth import cq_treewidth, in_cq_k, in_ucq_k, ucq_treewidth
+from .omq import OMQ, certain_answers, evaluate_fpt, is_certain_answer
+from .cqs import CQS, is_uniformly_ucq_k_equivalent, ucq_k_approximation
+from .semantic import in_cq_k_equiv, semantic_treewidth
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Atom",
+    "CQ",
+    "CQS",
+    "Database",
+    "Instance",
+    "Null",
+    "OMQ",
+    "Schema",
+    "TGD",
+    "UCQ",
+    "__version__",
+    "certain_answers",
+    "chase",
+    "core",
+    "cq_treewidth",
+    "evaluate",
+    "evaluate_fpt",
+    "evaluate_td",
+    "fresh_null",
+    "ground_saturation",
+    "in_cq_k",
+    "in_cq_k_equiv",
+    "in_ucq_k",
+    "is_answer",
+    "is_certain_answer",
+    "is_uniformly_ucq_k_equivalent",
+    "linearize",
+    "parse_atom",
+    "parse_atoms",
+    "parse_cq",
+    "parse_database",
+    "parse_tgd",
+    "parse_tgds",
+    "parse_ucq",
+    "rewrite_ucq",
+    "saturated_expansion",
+    "semantic_treewidth",
+    "ucq_k_approximation",
+    "ucq_treewidth",
+    "variables",
+]

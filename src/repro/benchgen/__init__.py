@@ -1,0 +1,35 @@
+"""Workload generators used by the benchmark harness and the examples."""
+
+from .graphs import clique_rich_graph, erdos_renyi, planted_clique
+from .ontologies import (
+    employment_ontology,
+    inclusion_chain,
+    recursive_guarded_ontology,
+    reversal_constraints,
+)
+from .workloads import (
+    chain_database,
+    clique_cq,
+    cycle_cq,
+    employment_database,
+    inflated_triangle_cq,
+    path_cq,
+    random_binary_database,
+)
+
+__all__ = [
+    "chain_database",
+    "clique_cq",
+    "clique_rich_graph",
+    "cycle_cq",
+    "employment_database",
+    "employment_ontology",
+    "erdos_renyi",
+    "inclusion_chain",
+    "inflated_triangle_cq",
+    "path_cq",
+    "planted_clique",
+    "random_binary_database",
+    "recursive_guarded_ontology",
+    "reversal_constraints",
+]

@@ -1,0 +1,57 @@
+"""Random graph generators for the p-Clique experiments.
+
+All generators are deterministic for a given seed (``random.Random`` — no
+global state), and return adjacency dicts compatible with
+:mod:`repro.treewidth` and :mod:`repro.reductions`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ..treewidth.decomposition import Graph, make_graph
+
+__all__ = ["erdos_renyi", "planted_clique", "clique_rich_graph"]
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p) on vertices 1..n."""
+    rng = random.Random(seed)
+    vertices = list(range(1, n + 1))
+    edges = [
+        (a, b)
+        for a, b in itertools.combinations(vertices, 2)
+        if rng.random() < p
+    ]
+    return make_graph(vertices, edges)
+
+
+def planted_clique(n: int, p: float, k: int, seed: int = 0) -> Graph:
+    """G(n, p) with a clique planted on k randomly chosen vertices."""
+    rng = random.Random(seed)
+    graph = erdos_renyi(n, p, seed=seed + 1)
+    chosen = rng.sample(sorted(graph), k)
+    for a, b in itertools.combinations(chosen, 2):
+        graph[a].add(b)
+        graph[b].add(a)
+    return graph
+
+
+def clique_rich_graph(n_blocks: int, block_size: int, p: float, seed: int = 0) -> Graph:
+    """Disjoint cliques of *block_size* plus random inter-block edges.
+
+    Every vertex lies in a block_size-clique — the "every small clique is
+    inside a bigger one" side condition of Lemma H.2(3) holds whenever
+    block_size ≥ 3·r·m.
+    """
+    rng = random.Random(seed)
+    vertices = [(b, i) for b in range(n_blocks) for i in range(block_size)]
+    edges = []
+    for b in range(n_blocks):
+        for i, j in itertools.combinations(range(block_size), 2):
+            edges.append(((b, i), (b, j)))
+    for left, right in itertools.combinations(vertices, 2):
+        if left[0] != right[0] and rng.random() < p:
+            edges.append((left, right))
+    return make_graph(vertices, edges)

@@ -1,0 +1,125 @@
+"""Query and database workload generators for the benchmark harness.
+
+Query families:
+
+* paths / cycles / cliques / grids — the standard treewidth ladder;
+* "inflated" queries — high-looking queries whose *core* is small (the
+  easy side of Grohe's dichotomy, E2/E16).
+
+Database families:
+
+* random binary databases (sparse relational data);
+* chain databases driving the linear-TGD experiments;
+* an employment-domain generator matching the guarded ontology of
+  :mod:`repro.benchgen.ontologies`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datamodel import Atom, Instance, Variable
+from ..queries import CQ
+
+__all__ = [
+    "path_cq",
+    "cycle_cq",
+    "clique_cq",
+    "inflated_triangle_cq",
+    "random_binary_database",
+    "chain_database",
+    "employment_database",
+]
+
+
+def _v(name: str, index: int) -> Variable:
+    return Variable(f"{name}{index}")
+
+
+def path_cq(length: int, pred: str = "E", *, boolean: bool = True) -> CQ:
+    """``E(x0,x1), ..., E(x_{n-1},x_n)`` — treewidth 1."""
+    atoms = [Atom(pred, (_v("x", i), _v("x", i + 1))) for i in range(length)]
+    head = () if boolean else (_v("x", 0),)
+    return CQ(head, atoms, name=f"path{length}")
+
+
+def cycle_cq(length: int, pred: str = "E") -> CQ:
+    """The directed cycle of the given length — treewidth 2 for length ≥ 3."""
+    if length < 2:
+        raise ValueError("cycles need length ≥ 2")
+    atoms = [
+        Atom(pred, (_v("x", i), _v("x", (i + 1) % length))) for i in range(length)
+    ]
+    return CQ((), atoms, name=f"cycle{length}")
+
+
+def clique_cq(size: int, pred: str = "E") -> CQ:
+    """The k-clique CQ (both orientations) — treewidth k − 1, a core."""
+    atoms = []
+    for i in range(1, size + 1):
+        for j in range(1, size + 1):
+            if i != j:
+                atoms.append(Atom(pred, (_v("x", i), _v("x", j))))
+    return CQ((), atoms, name=f"clique{size}")
+
+
+def inflated_triangle_cq(extra_paths: int, pred: str = "E") -> CQ:
+    """A triangle plus *extra_paths* pendant 2-paths folding into it.
+
+    Looks big, but the core is the bare triangle: Grohe's "easy despite its
+    size" family (E2).  Each decoration is a path x→y→z that maps onto the
+    triangle.
+    """
+    a, b, c = _v("t", 1), _v("t", 2), _v("t", 3)
+    atoms = [Atom(pred, (a, b)), Atom(pred, (b, c)), Atom(pred, (c, a))]
+    for i in range(extra_paths):
+        u, w = _v(f"p{i}_", 1), _v(f"p{i}_", 2)
+        atoms.append(Atom(pred, (a, u)))
+        atoms.append(Atom(pred, (u, w)))
+        atoms.append(Atom(pred, (w, a)))
+    return CQ((), atoms, name=f"inflated{extra_paths}")
+
+
+def random_binary_database(
+    n_constants: int,
+    n_atoms: int,
+    preds: tuple[str, ...] = ("E",),
+    seed: int = 0,
+) -> Instance:
+    """Random facts over *preds* (all binary) and constants c0..c_{n-1}."""
+    rng = random.Random(seed)
+    constants = [f"c{i}" for i in range(n_constants)]
+    instance = Instance()
+    while len(instance) < n_atoms:
+        pred = rng.choice(preds)
+        instance.add(Atom(pred, (rng.choice(constants), rng.choice(constants))))
+    return instance
+
+
+def chain_database(length: int, pred: str = "E") -> Instance:
+    """``E(c0,c1), ..., E(c_{n-1},c_n)`` — the linear-chase workload."""
+    return Instance(
+        Atom(pred, (f"c{i}", f"c{i+1}")) for i in range(length)
+    )
+
+
+def employment_database(n_employees: int, n_companies: int, seed: int = 0) -> Instance:
+    """Employment facts matching :func:`repro.benchgen.ontologies.employment_ontology`.
+
+    A fraction of employees are managers, some employment facts are left
+    implicit (only ``Emp``), so the ontology genuinely adds answers.
+    """
+    rng = random.Random(seed)
+    instance = Instance()
+    for c in range(n_companies):
+        instance.add(Atom("Company", (f"co{c}",)))
+    for e in range(n_employees):
+        name = f"e{e}"
+        instance.add(Atom("Emp", (name,)))
+        if rng.random() < 0.7:
+            instance.add(Atom("WorksFor", (name, f"co{rng.randrange(n_companies)}")))
+        if rng.random() < 0.2:
+            instance.add(Atom("Mgr", (name,)))
+        if rng.random() < 0.3 and e > 0:
+            instance.add(Atom("ReportsTo", (name, f"e{rng.randrange(e)}")))
+    return instance

@@ -1,0 +1,48 @@
+"""The chase: oblivious engine, type-blocked guarded chase, linearization,
+UCQ rewriting for linear TGDs."""
+
+from .blocked import (
+    SaturationResult,
+    TypeTable,
+    canonical_config,
+    ground_saturation,
+    saturated_expansion,
+)
+from .engine import (
+    ChaseNonterminationError,
+    ChaseResult,
+    chase,
+    terminating_chase,
+)
+from .linearization import Linearization, TypeShape, linearize
+from .restricted import RestrictedChaseResult, restricted_chase
+from .unraveling import guarded_unravel, k_unravel
+from .rewriting import (
+    RewritingLimitError,
+    factorize_step,
+    rewrite_step,
+    rewrite_ucq,
+)
+
+__all__ = [
+    "ChaseNonterminationError",
+    "ChaseResult",
+    "Linearization",
+    "RewritingLimitError",
+    "SaturationResult",
+    "TypeShape",
+    "TypeTable",
+    "canonical_config",
+    "chase",
+    "factorize_step",
+    "ground_saturation",
+    "linearize",
+    "rewrite_step",
+    "rewrite_ucq",
+    "saturated_expansion",
+    "terminating_chase",
+    "guarded_unravel",
+    "k_unravel",
+    "RestrictedChaseResult",
+    "restricted_chase",
+]

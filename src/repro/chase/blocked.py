@@ -1,0 +1,409 @@
+"""Type-based guarded chase: ground saturation and blocked expansion.
+
+For **guarded** TGDs the chase has a strong locality property (Section 6.2,
+citing [15]): the atoms derivable over the elements of an atom ``α`` used as
+a guard are determined by ``type_{D,Σ}(α)`` — the set of chase atoms over
+``dom(α)``.  This module exploits that property twice:
+
+1. :func:`ground_saturation` computes
+   ``D⁺ = D ∪ {R(ā) ∈ chase(D, Σ) | ā ⊆ dom(D)}`` (the paper's ``D⁺`` of
+   Section 6.2) *exactly*, even when the chase itself is infinite.  The
+   engine is a *type-completion table*: a local configuration is a bag of
+   elements together with the atoms over it; applying a TGD to a
+   configuration spawns a child configuration (frontier images + fresh
+   nulls), and atoms that the child derives over the shared elements are
+   imported back.  Configurations are memoised up to isomorphism fixing
+   non-null elements, so repeated types are computed once and the fixpoint
+   terminates: there are finitely many configurations over each bag.
+
+   *Completeness* rests on guardedness: every trigger is covered by its
+   guard atom's elements, so every derivation of a ground atom factors
+   through the completion of some ground bag.
+
+2. :func:`saturated_expansion` produces a finite *sound* portion of the
+   chase that is large enough to answer a UCQ with ``n`` variables: the
+   guarded chase forest is expanded with real fresh nulls, and a branch is
+   blocked once its configuration (up to isomorphism) has occurred more than
+   ``unfold`` times on its ancestor path.  Every emitted atom genuinely
+   belongs to ``chase(D, Σ)`` (soundness); with ``unfold ≥ n`` the portion
+   is large enough for every UCQ with at most ``n`` variables in all cases
+   we have been able to construct or test — the substitution notes in
+   DESIGN.md discuss why, and :mod:`repro.omq.evaluation` cross-checks
+   against level-bounded chases where feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..datamodel import (
+    Atom,
+    Instance,
+    Null,
+    Term,
+    find_homomorphisms,
+    fresh_null,
+    is_null,
+)
+from ..tgds import TGD, all_guarded
+
+__all__ = [
+    "TypeTable",
+    "ground_saturation",
+    "saturated_expansion",
+    "SaturationResult",
+    "canonical_config",
+]
+
+#: Canonical placeholder elements are ("§", i) tuples (plain constants).
+_TOKEN = "§"
+
+
+def _is_token(term: Term) -> bool:
+    return isinstance(term, tuple) and len(term) == 2 and term[0] is _TOKEN
+
+
+def canonical_config(
+    elements: Iterable[Term], atoms: Iterable[Atom]
+) -> tuple[tuple, dict[Term, Term], dict[Term, Term]]:
+    """Canonicalise a configuration up to renaming of its *null* elements.
+
+    Non-null elements (database constants, frozen query variables, and
+    canonical tokens from an enclosing canonicalisation) are kept verbatim;
+    labelled nulls are renamed to fresh tokens ``("§", i)``, ordered by an
+    occurrence signature so that isomorphic configurations usually receive
+    the same key (same key ⟹ isomorphic always holds, which is what
+    soundness of memoisation and blocking needs).
+
+    Returns ``(key, to_canonical, from_canonical)``.
+    """
+    elements = list(dict.fromkeys(elements))
+    atoms = sorted(set(atoms), key=_atom_sort_key)
+
+    def anonymous(term: Term) -> bool:
+        # Labelled nulls *and* tokens from an enclosing canonicalisation are
+        # renamable; without renaming tokens, the configuration space of a
+        # recursive TGD like R(x,y) → ∃z R(y,z) would never repeat.
+        return is_null(term) or _is_token(term)
+
+    nulls = [e for e in elements if anonymous(e)]
+    named = [e for e in elements if not anonymous(e)]
+
+    # Signature of an anonymous element: where it occurs, co-args masked.
+    def signature(null: Term) -> tuple:
+        occurrences = []
+        for atom in atoms:
+            for pos, term in enumerate(atom.args):
+                if term == null:
+                    masked = tuple(
+                        "*" if anonymous(t) else repr(t) for t in atom.args
+                    )
+                    occurrences.append((atom.pred, pos, masked))
+        return tuple(sorted(occurrences))
+
+    def tiebreak(term: Term):
+        return term.ident if is_null(term) else (-1, term[1])
+
+    ordered = sorted(nulls, key=lambda n: (signature(n), repr(tiebreak(n))))
+    to_canonical: dict[Term, Term] = {e: e for e in named}
+    for offset, null in enumerate(ordered):
+        to_canonical[null] = (_TOKEN, offset)
+    from_canonical = {v: k for k, v in to_canonical.items()}
+    key_atoms = tuple(
+        sorted(
+            (a.apply(to_canonical) for a in atoms),
+            key=_atom_sort_key,
+        )
+    )
+    key_elements = tuple(sorted((repr(to_canonical[e]) for e in elements)))
+    return (key_elements, key_atoms), to_canonical, from_canonical
+
+
+def _atom_sort_key(atom: Atom) -> tuple:
+    return (atom.pred, tuple(repr(t) for t in atom.args))
+
+
+class TypeTable:
+    """Memoised type completion for a guarded TGD set.
+
+    ``closure(elements, atoms)`` returns *all* atoms over *elements* that
+    occur in the chase of any instance whose restriction to *elements* is
+    exactly *atoms* and in which *elements* is guarded — the
+    ``type``-determinacy property of guarded TGDs.
+    """
+
+    def __init__(self, tgds: Sequence[TGD]) -> None:
+        self.tgds = list(tgds)
+        if not all_guarded(self.tgds):
+            raise ValueError("TypeTable requires a guarded TGD set (Σ ∈ G)")
+        #: canonical key -> set of atoms over canonical elements (growing).
+        self.table: dict[tuple, set[Atom]] = {}
+        #: child key -> parent keys that import from it.
+        self._parents: dict[tuple, set[tuple]] = {}
+        self._worklist: list[tuple] = []
+        self._queued: set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def closure(self, elements: Iterable[Term], atoms: Iterable[Atom]) -> set[Atom]:
+        """The completed type, expressed over the caller's own elements."""
+        elements = list(dict.fromkeys(elements))
+        atoms = set(atoms)
+        for atom in atoms:
+            if not set(atom.args) <= set(elements):
+                raise ValueError(f"type atom {atom} escapes the bag {elements}")
+        key, to_canonical, from_canonical = canonical_config(elements, atoms)
+        self._ensure(key, atoms, to_canonical)
+        self._run()
+        return {a.apply(from_canonical) for a in self.table[key]}
+
+    # ------------------------------------------------------------------
+    # Worklist machinery
+    # ------------------------------------------------------------------
+    def _ensure(
+        self, key: tuple, local_atoms: set[Atom], to_canonical: Mapping[Term, Term]
+    ) -> None:
+        if key in self.table:
+            # Merge any additional atoms the caller knows about.
+            canonical = {a.apply(to_canonical) for a in local_atoms}
+            if not canonical <= self.table[key]:
+                self.table[key] |= canonical
+                self._enqueue(key)
+                for parent in self._parents.get(key, ()):
+                    self._enqueue(parent)
+            return
+        canonical = {a.apply(to_canonical) for a in local_atoms}
+        self.table[key] = set(canonical)
+        self._enqueue(key)
+
+    def _enqueue(self, key: tuple) -> None:
+        if key not in self._queued:
+            self._queued.add(key)
+            self._worklist.append(key)
+
+    def _run(self) -> None:
+        while self._worklist:
+            key = self._worklist.pop()
+            self._queued.discard(key)
+            self._process(key)
+
+    def _process(self, key: tuple) -> None:
+        atoms = self.table[key]
+        instance = Instance(atoms)
+        elements = {t for a in atoms for t in a.args}
+        grew = False
+        for tgd_index, tgd in enumerate(self.tgds):
+            if not tgd.body:
+                continue
+            seen_triggers: set[tuple] = set()
+            frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
+            for hom in find_homomorphisms(tgd.body, instance):
+                trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
+                if trigger in seen_triggers:
+                    continue
+                seen_triggers.add(trigger)
+                grew |= self._apply(key, atoms, elements, tgd, hom)
+        if grew:
+            self._enqueue(key)
+            for parent in self._parents.get(key, ()):
+                self._enqueue(parent)
+
+    def _apply(
+        self,
+        key: tuple,
+        atoms: set[Atom],
+        elements: set[Term],
+        tgd: TGD,
+        hom: Mapping[Term, Term],
+    ) -> bool:
+        """Fire one trigger inside a configuration; returns True if it grew."""
+        assignment: dict[Term, Term] = {v: hom[v] for v in tgd.frontier()}
+        for z in sorted(tgd.existential_variables(), key=lambda v: v.name):
+            assignment[z] = fresh_null(z.name)
+        head_atoms = [a.apply(assignment) for a in tgd.head]
+        grew = False
+
+        # Head atoms entirely over this configuration's elements land here.
+        for atom in head_atoms:
+            if set(atom.args) <= elements and atom not in atoms:
+                atoms.add(atom)
+                grew = True
+
+        child_elements = {t for a in head_atoms for t in a.args}
+        if not (child_elements - elements):
+            return grew
+
+        inherited = {
+            a for a in atoms if set(a.args) <= child_elements
+        }
+        child_atoms = set(head_atoms) | inherited
+        child_key, to_canonical, from_canonical = canonical_config(
+            child_elements, child_atoms
+        )
+        self._ensure(child_key, child_atoms, to_canonical)
+        self._parents.setdefault(child_key, set()).add(key)
+
+        shared = child_elements & elements
+        # list(): the child may be this very configuration (self-loop).
+        for child_atom in list(self.table[child_key]):
+            local = child_atom.apply(from_canonical)
+            if set(local.args) <= shared and local not in atoms:
+                atoms.add(local)
+                grew = True
+        return grew
+
+
+def ground_saturation(
+    database: Instance, tgds: Sequence[TGD], *, table: TypeTable | None = None
+) -> Instance:
+    """``D⁺`` — the database plus all chase atoms over ``dom(D)``.
+
+    Exact for guarded TGD sets, including those with an infinite chase
+    (Section 6.2 uses this object in the OMQ → CQS reduction).
+
+    >>> from repro.queries import parse_database
+    >>> from repro.tgds import parse_tgds
+    >>> db = parse_database("R(a, b)")
+    >>> tgds = parse_tgds(["R(x, y) -> S(y, z)", "R(x, y), S(y, z) -> T(x, y)"])
+    >>> sorted(a.pred for a in ground_saturation(db, tgds))
+    ['R', 'T']
+    """
+    tgds = list(tgds)
+    if table is None:
+        table = TypeTable(tgds)
+    ground = database.copy()
+
+    # Empty-body TGDs seed the ground part once (their heads are fresh
+    # nulls plus nothing ground, but a constant-free ground head of arity 0
+    # is possible).
+    for tgd in tgds:
+        if tgd.body:
+            continue
+        for atom in tgd.head:
+            if not atom.variables():
+                ground.add(atom)
+
+    changed = True
+    while changed:
+        changed = False
+        bags = {frozenset(atom.args) for atom in ground}
+        for bag in sorted(bags, key=lambda b: sorted(map(repr, b))):
+            local = [a for a in ground if set(a.args) <= bag]
+            closure = table.closure(tuple(sorted(bag, key=repr)), local)
+            for atom in closure:
+                if atom not in ground:
+                    ground.add(atom)
+                    changed = True
+    return ground
+
+
+@dataclass
+class SaturationResult:
+    """A finite, *sound* portion of ``chase(D, Σ)`` for guarded Σ.
+
+    ``instance`` contains only atoms that genuinely occur in the chase;
+    ``complete_for`` records the number of query variables the expansion is
+    calibrated for; ``truncated`` is True iff the node budget was hit (in
+    which case completeness is not claimed even heuristically).
+    """
+
+    instance: Instance
+    ground: Instance
+    complete_for: int
+    truncated: bool
+    nodes: int
+    blocked: int = 0
+
+    @property
+    def provably_exact(self) -> bool:
+        """True iff no branch was blocked or truncated — the guarded chase
+        forest was then explored in full, so ``instance`` *is* the chase."""
+        return not self.truncated and self.blocked == 0
+
+
+def saturated_expansion(
+    database: Instance,
+    tgds: Sequence[TGD],
+    *,
+    unfold: int = 2,
+    max_nodes: int = 50_000,
+) -> SaturationResult:
+    """Expand the guarded chase forest with type-based blocking.
+
+    Branches stop once their configuration has appeared more than *unfold*
+    times among the ancestors.  Use ``unfold ≥`` the number of variables of
+    the UCQ to be evaluated.
+    """
+    tgds = list(tgds)
+    table = TypeTable(tgds)
+    ground = ground_saturation(database, tgds, table=table)
+    collected = ground.copy()
+    truncated = False
+    blocked = 0
+
+    # Roots: one per ground bag (deduplicated).
+    roots = {frozenset(atom.args) for atom in ground}
+    queue: list[tuple[tuple, set[Atom], tuple]] = []
+    seen_roots: set[frozenset] = set()
+    for bag in roots:
+        if bag in seen_roots:
+            continue
+        seen_roots.add(bag)
+        elements = tuple(sorted(bag, key=repr))
+        local = {a for a in ground if set(a.args) <= bag}
+        closure = table.closure(elements, local)
+        collected.add_all(closure)
+        key, _, _ = canonical_config(elements, closure)
+        queue.append((elements, closure, (key,)))
+
+    nodes = 0
+    # Global semi-oblivious firing: a (TGD, frontier image) pair fires once
+    # across the whole forest — a second firing elsewhere would only spawn
+    # an isomorphic subtree over the same frontier elements.
+    fired: set[tuple] = set()
+    while queue:
+        if nodes >= max_nodes:
+            truncated = True
+            break
+        elements, closure, path = queue.pop()
+        nodes += 1
+        instance = Instance(closure)
+        element_set = set(elements)
+        for tgd_index, tgd in enumerate(tgds):
+            if not tgd.body:
+                continue
+            frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
+            for hom in find_homomorphisms(tgd.body, instance):
+                trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
+                if trigger in fired:
+                    continue
+                fired.add(trigger)
+                assignment: dict[Term, Term] = {v: hom[v] for v in tgd.frontier()}
+                for z in sorted(tgd.existential_variables(), key=lambda v: v.name):
+                    assignment[z] = fresh_null(z.name)
+                head_atoms = [a.apply(assignment) for a in tgd.head]
+                child_elements = {t for a in head_atoms for t in a.args}
+                if child_elements <= element_set:
+                    continue  # no fresh nulls: atoms already in the closure
+                inherited = {a for a in closure if set(a.args) <= child_elements}
+                child_local = set(head_atoms) | inherited
+                child_sorted = tuple(sorted(child_elements, key=repr))
+                child_closure = table.closure(child_sorted, child_local)
+                collected.add_all(child_closure)
+                child_key, _, _ = canonical_config(child_sorted, child_closure)
+                occurrences = sum(1 for k in path if k == child_key)
+                if occurrences <= unfold:
+                    queue.append((child_sorted, child_closure, path + (child_key,)))
+                else:
+                    blocked += 1
+
+    return SaturationResult(
+        instance=collected,
+        ground=ground,
+        complete_for=unfold,
+        truncated=truncated,
+        nodes=nodes,
+        blocked=blocked,
+    )

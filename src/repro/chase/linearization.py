@@ -1,0 +1,280 @@
+"""Linearization of guarded TGDs via Σ-types (Lemma A.3 / Theorem D.1).
+
+Given an S-database ``D`` and a guarded set ``Σ``, Lemma A.3 builds a
+database ``D*`` and a *linear* set ``Σ* = Σ*_tg ∪ Σ*_ex`` such that
+``Q(D) = q(chase(D*, Σ*))``: an atom together with its type (the chase atoms
+over its elements) is packed into a single atom ``[τ](c̄)``; the *type
+generator* ``Σ*_tg`` derives child types from parent types (one linear TGD
+per (type, trigger) pair) and the *expander* ``Σ*_ex`` unpacks the
+``sch(Σ)`` atoms encoded by each type.
+
+The paper's construction quantifies over *all* Σ-types — doubly exponential
+and not runnable.  We build the same objects **lazily**: only types reachable
+from the types realized in ``D`` are materialised, which is finite and small
+in practice, and the generated TGDs are genuinely linear so the level bounds
+of Lemma A.1 apply to the resulting chase.
+
+Two deliberate deviations, both noted in DESIGN.md:
+
+* a type's side atoms are taken *maximal* (all of ``complete(D, Σ)`` over
+  the atom's elements) rather than ranging over all subsets — the subsets
+  are semantically redundant for evaluation;
+* the expander emits **all** atoms of a type, not only its guard — sound
+  (they are genuine chase atoms), and it makes UCQ evaluation over the
+  linear chase complete without re-deriving side atoms through extra types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..datamodel import Atom, Instance, Term, Variable, find_homomorphisms
+from ..tgds import TGD, all_guarded
+from .blocked import TypeTable, ground_saturation
+
+__all__ = ["TypeShape", "Linearization", "linearize"]
+
+
+@dataclass(frozen=True)
+class TypeShape:
+    """A Σ-type ``τ = (α, T)`` in the paper's normal form (Section A.1).
+
+    ``guard_pred``/``guard_pattern`` encode ``α = R(t1, ..., tn)`` with
+    ``t1 = 1`` and each ``ti`` either an earlier index or the next fresh one;
+    ``side`` is ``T`` — atoms over the indices ``1..width``.
+    """
+
+    guard_pred: str
+    guard_pattern: tuple[int, ...]
+    side: frozenset[Atom]
+
+    @property
+    def width(self) -> int:
+        """``ar(τ)`` — the number of distinct elements."""
+        return max(self.guard_pattern, default=0)
+
+    def atoms(self) -> set[Atom]:
+        """``atoms(τ)`` — guard plus side atoms, over integer indices."""
+        return {Atom(self.guard_pred, self.guard_pattern)} | set(self.side)
+
+    def instantiate(self, values: Sequence[Term]) -> set[Atom]:
+        """``τ(ū)`` — replace index ``i`` by ``values[i-1]``."""
+        mapping = {i + 1: v for i, v in enumerate(values)}
+        return {a.apply(mapping) for a in self.atoms()}
+
+
+def _shape_of(guard: Atom, side_atoms: Iterable[Atom]) -> tuple[TypeShape, list[Term]]:
+    """Normalise (guard, side atoms over the guard's elements) to a shape.
+
+    Returns the shape and the element order (index ``i`` ↔ ``order[i-1]``).
+    """
+    mapping: dict[Term, int] = {}
+    order: list[Term] = []
+    for term in guard.args:
+        if term not in mapping:
+            order.append(term)
+            mapping[term] = len(order)
+    pattern = tuple(mapping[t] for t in guard.args)
+    side = set()
+    for atom in side_atoms:
+        if not set(atom.args) <= set(order):
+            raise ValueError(f"side atom {atom} escapes the guard {guard}")
+        renamed = atom.apply(mapping)
+        if renamed.pred == guard.pred and renamed.args == pattern:
+            continue
+        side.add(renamed)
+    return TypeShape(guard.pred, pattern, frozenset(side)), order
+
+
+@dataclass
+class Linearization:
+    """The lazily-built ``(D*, Σ*)`` of Lemma A.3.
+
+    Attributes
+    ----------
+    d_star:
+        The type-atom database ``D*`` (over the ``type#i`` predicates).
+    type_generator:
+        ``Σ*_tg`` — linear TGDs deriving child type atoms.
+    expander:
+        ``Σ*_ex`` — linear TGDs unpacking type atoms into ``sch(Σ)`` atoms.
+    shapes:
+        Registry of materialised Σ-types, by predicate name.
+    """
+
+    d_star: Instance
+    type_generator: list[TGD]
+    expander: list[TGD]
+    shapes: dict[str, TypeShape]
+
+    @property
+    def sigma_star(self) -> list[TGD]:
+        """``Σ* = Σ*_tg ∪ Σ*_ex`` — all generated linear TGDs."""
+        return self.type_generator + self.expander
+
+    def type_count(self) -> int:
+        return len(self.shapes)
+
+
+class _Builder:
+    def __init__(self, tgds: Sequence[TGD]) -> None:
+        self.tgds = list(tgds)
+        if not all_guarded(self.tgds):
+            raise ValueError("linearize requires a guarded TGD set (Σ ∈ G)")
+        if any(not tgd.body for tgd in self.tgds):
+            raise ValueError(
+                "linearize does not support empty-body TGDs; materialise "
+                "their heads into the database first"
+            )
+        self.table = TypeTable(self.tgds)
+        self.shapes: dict[TypeShape, str] = {}
+        self.generator: list[TGD] = []
+        self.expander: list[TGD] = []
+        self.pending: list[TypeShape] = []
+
+    # ------------------------------------------------------------------
+    def predicate(self, shape: TypeShape) -> str:
+        name = self.shapes.get(shape)
+        if name is None:
+            name = f"type#{len(self.shapes)}"
+            self.shapes[shape] = name
+            self.pending.append(shape)
+            self._emit_expanders(shape, name)
+        return name
+
+    def _vars(self, count: int) -> list[Variable]:
+        return [Variable(f"u{i}") for i in range(1, count + 1)]
+
+    def _emit_expanders(self, shape: TypeShape, name: str) -> None:
+        """``[τ](x̄) → β`` for every atom β encoded by τ."""
+        variables = self._vars(shape.width)
+        index_to_var = {i + 1: v for i, v in enumerate(variables)}
+        body = [Atom(name, variables)]
+        for atom in sorted(shape.atoms(), key=str):
+            head = atom.apply(index_to_var)
+            self.expander.append(TGD(body, [head], name=f"expand:{name}"))
+
+    # ------------------------------------------------------------------
+    def process(self, shape: TypeShape) -> None:
+        """Emit the type-generator TGDs for every trigger inside *shape*.
+
+        Mirrors the Σ*_tg construction of Appendix A.1: a trigger is a body
+        homomorphism ``h`` into ``atoms(τ)`` whose guard lands on
+        ``guard(τ)``; every head atom spawns a child type whose side atoms
+        come from the completion of the head image plus the inherited
+        projection of τ.
+        """
+        name = self.shapes[shape]
+        shape_instance = Instance(shape.atoms())
+        guard_atom = Atom(shape.guard_pred, shape.guard_pattern)
+        width = shape.width
+        variables = self._vars(width)
+        index_to_var = {i + 1: v for i, v in enumerate(variables)}
+
+        for tgd_index, tgd in enumerate(self.tgds):
+            if not tgd.body:
+                continue
+            guard = tgd.guard()
+            seen: set[tuple] = set()
+            for hom in find_homomorphisms(tgd.body, shape_instance):
+                if guard is not None and guard.apply(hom) != guard_atom:
+                    # The paper requires the trigger's guard to be the
+                    # type's guard atom; other triggers are covered by the
+                    # types of the side atoms' own type atoms.
+                    continue
+                frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
+                trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
+                if trigger in seen:
+                    continue
+                seen.add(trigger)
+                self._emit_generator(shape, name, variables, index_to_var, tgd, hom)
+
+    def _emit_generator(
+        self,
+        shape: TypeShape,
+        name: str,
+        variables: list[Variable],
+        index_to_var: Mapping[int, Variable],
+        tgd: TGD,
+        hom: Mapping[Term, Term],
+    ) -> None:
+        width = shape.width
+        # f: frontier variables -> indices; existential variables -> fresh
+        # indices beyond the width (the paper's f with ar(Σ)+i).
+        f: dict[Term, int] = {v: hom[v] for v in tgd.frontier()}
+        fresh_start = width
+        existentials = sorted(tgd.existential_variables(), key=lambda v: v.name)
+        for offset, z in enumerate(existentials):
+            f[z] = fresh_start + offset + 1
+
+        head_images = [atom.apply(f) for atom in tgd.head]
+        # The instance I from which child types read their side atoms:
+        # the head images plus the projection of τ to the frontier image.
+        frontier_indices = {hom[v] for v in tgd.frontier()}
+        projection = {
+            a for a in shape.atoms() if set(a.args) <= frontier_indices
+        }
+        base_instance = Instance(set(head_images) | projection)
+        completed = ground_saturation(base_instance, self.tgds, table=self.table)
+
+        head_atoms: list[Atom] = []
+        used_existential_vars: dict[int, Variable] = {}
+        for image in head_images:
+            child_side = [
+                a
+                for a in completed
+                if set(a.args) <= set(image.args) and a != image
+            ]
+            child_shape, order = _shape_of(image, child_side)
+            child_name = self.predicate(child_shape)
+            args: list[Variable] = []
+            for element in order:
+                if element <= width:
+                    args.append(index_to_var[element])
+                else:
+                    var = used_existential_vars.get(element)
+                    if var is None:
+                        var = Variable(f"z{element - width}")
+                        used_existential_vars[element] = var
+                    args.append(var)
+            head_atoms.append(Atom(child_name, args))
+        body = [Atom(name, variables)]
+        self.generator.append(TGD(body, head_atoms, name=f"gen:{name}"))
+
+
+def linearize(database: Instance, tgds: Sequence[TGD]) -> Linearization:
+    """Build the lazily-materialised ``(D*, Σ*)`` of Lemma A.3.
+
+    ``q(chase(D*, Σ*))`` restricted to ``sch(Σ)`` answers agrees with the
+    OMQ ``(S, Σ, q)`` on ``D`` — see :mod:`repro.omq.evaluation` for the
+    consuming FPT algorithm and the tests for cross-validation.
+    """
+    tgds = list(tgds)
+    builder = _Builder(tgds)
+
+    # D⁺ gives each database atom its full (maximal) type.
+    completed = ground_saturation(database, tgds, table=builder.table)
+    d_star = Instance()
+    for atom in completed:
+        side = [
+            a
+            for a in completed
+            if set(a.args) <= set(atom.args) and a != atom
+        ]
+        shape, order = _shape_of(atom, side)
+        name = builder.predicate(shape)
+        d_star.add(Atom(name, tuple(order)))
+
+    # Saturate the reachable type space.
+    while builder.pending:
+        shape = builder.pending.pop()
+        builder.process(shape)
+
+    shapes_by_name = {name: shape for shape, name in builder.shapes.items()}
+    return Linearization(
+        d_star=d_star,
+        type_generator=builder.generator,
+        expander=builder.expander,
+        shapes=shapes_by_name,
+    )

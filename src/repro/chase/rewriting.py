@@ -1,0 +1,239 @@
+"""UCQ rewriting for linear TGDs (Proposition D.2).
+
+Linear TGDs are *UCQ-rewritable*: for every UCQ ``q`` and linear Σ there is
+a UCQ ``q'`` with ``q(chase(D, Σ)) = q'(D)`` for all databases ``D``.  The
+classic piece-rewriting algorithm (Calì–Gottlob–Lukasiewicz, cited as [15])
+repeatedly resolves a query atom against a TGD head:
+
+* unify a query atom ``a`` with the (single) head atom of a TGD;
+* positions holding an existential head variable may only unify with query
+  variables that occur *nowhere else* in the query and are not answer
+  variables (otherwise the chase-invented null could not satisfy the rest);
+* replace ``a`` by the TGD's body under the unifier.
+
+The fixpoint, deduplicated up to isomorphism, is the rewriting.  It can be
+exponentially large — that growth is itself one of the measured quantities
+of experiment E7.
+
+Only single-head linear TGDs are accepted: splitting a multi-head TGD with
+shared existentials changes its semantics, so multi-head inputs raise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..datamodel import Atom, Term, Variable, is_variable
+from ..queries import CQ, UCQ, dedupe_isomorphic
+from ..tgds import TGD, all_linear
+
+__all__ = ["rewrite_ucq", "rewrite_step", "RewritingLimitError"]
+
+
+class RewritingLimitError(RuntimeError):
+    """The rewriting exceeded the configured CQ budget."""
+
+
+def _classes_of(pairs: Iterable[tuple[Term, Term]]) -> dict[Term, set[Term]] | None:
+    """Union-find style unification of positional term pairs.
+
+    Returns term -> class (shared set objects), or None if two distinct
+    constants collide.
+    """
+    cls: dict[Term, set[Term]] = {}
+
+    def class_of(term: Term) -> set[Term]:
+        found = cls.get(term)
+        if found is None:
+            found = {term}
+            cls[term] = found
+        return found
+
+    for left, right in pairs:
+        a, b = class_of(left), class_of(right)
+        if a is b:
+            continue
+        merged = a | b
+        constants = {t for t in merged if not is_variable(t)}
+        if len(constants) > 1:
+            return None
+        for term in merged:
+            cls[term] = merged
+    return cls
+
+
+def rewrite_step(query: CQ, atom: Atom, tgd: TGD) -> CQ | None:
+    """Resolve *atom* of *query* against the head of *tgd*, if admissible.
+
+    Returns the rewritten CQ, or None when the piece conditions fail.
+    """
+    if len(tgd.head) != 1:
+        raise ValueError("rewrite_step requires a single-head TGD")
+    fresh = tgd.rename_apart("~r")
+    head = fresh.head[0]
+    if head.pred != atom.pred or head.arity != atom.arity:
+        return None
+
+    classes = _classes_of(zip(atom.args, head.args))
+    if classes is None:
+        return None
+
+    existential = fresh.existential_variables()
+    head_set = set(query.head)
+    # Variables "shared" beyond the rewritten atom: occurring in another atom.
+    shared: set[Variable] = set()
+    occurrences: set[Variable] = set()
+    for other in query.atoms:
+        for term in other.args:
+            if is_variable(term):
+                occurrences.add(term)
+                if other != atom:
+                    shared.add(term)
+
+    seen_classes: list[set[Term]] = []
+    for group in classes.values():
+        if any(group is s for s in seen_classes):
+            continue
+        seen_classes.append(group)
+        group_existential = group & existential
+        if not group_existential:
+            continue
+        if len(group_existential) > 1:
+            return None  # two distinct nulls can never be equal
+        if group & set(fresh.frontier()):
+            return None  # a null never equals a frontier image in our chase
+        query_terms = group - existential
+        for term in query_terms:
+            if not is_variable(term):
+                return None  # a null never equals a database constant
+            if term in head_set:
+                return None  # answers are database constants, never nulls
+            if term in shared:
+                return None  # the variable is shared: the null must join
+
+    # Build the substitution: one representative per class (constants win,
+    # then answer variables, then any query variable, then TGD variables).
+    substitution: dict[Term, Term] = {}
+    for group in seen_classes:
+        constants = [t for t in group if not is_variable(t)]
+        if constants:
+            representative = constants[0]
+        else:
+            answers = sorted((t for t in group if t in head_set), key=str)
+            if len(answers) > 1:
+                return None  # cannot identify two answer variables
+            if answers:
+                representative = answers[0]
+            else:
+                query_vars = sorted(
+                    (t for t in group if t in occurrences), key=str
+                )
+                pool = query_vars or sorted(group, key=str)
+                representative = pool[0]
+        for term in group:
+            substitution[term] = representative
+
+    remaining = [a.apply(substitution) for a in query.atoms if a != atom]
+    body = [a.apply(substitution) for a in fresh.body]
+    new_atoms = remaining + body
+    head_vars = tuple(substitution.get(v, v) for v in query.head)
+    try:
+        return CQ(head_vars, new_atoms, name=query.name)
+    except ValueError:
+        return None
+
+
+def factorize_step(query: CQ, left: Atom, right: Atom) -> CQ | None:
+    """Unify two query atoms (the classical *factorization* step).
+
+    Factorization is needed for completeness: after resolving ``Comp(y)``
+    against ``WorksFor(x', y) → Comp(y)`` the two ``WorksFor`` atoms must be
+    unified before ``Emp(x) → WorksFor(x, y)`` becomes applicable.  Every
+    factorization is a contraction of the query, hence contained in it, so
+    adding it preserves equivalence of the rewriting.
+    """
+    if left == right or left.pred != right.pred or left.arity != right.arity:
+        return None
+    classes = _classes_of(zip(left.args, right.args))
+    if classes is None:
+        return None
+    head_set = set(query.head)
+    substitution: dict[Term, Term] = {}
+    seen: list[set[Term]] = []
+    for group in classes.values():
+        if any(group is s for s in seen):
+            continue
+        seen.append(group)
+        constants = [t for t in group if not is_variable(t)]
+        answers = sorted((t for t in group if t in head_set), key=str)
+        if len(answers) > 1:
+            return None
+        if constants and answers:
+            return None
+        if constants:
+            representative = constants[0]
+        elif answers:
+            representative = answers[0]
+        else:
+            representative = sorted(group, key=str)[0]
+        for term in group:
+            substitution[term] = representative
+    try:
+        return query.apply(substitution)
+    except ValueError:
+        return None
+
+
+def rewrite_ucq(
+    query: UCQ | CQ,
+    tgds: Sequence[TGD],
+    *,
+    max_cqs: int = 10_000,
+) -> UCQ:
+    """The perfect rewriting of *query* under linear single-head *tgds*.
+
+    ``q'(D) = q(chase(D, Σ))`` for every database D (Prop D.2).  Raises
+    :class:`RewritingLimitError` past *max_cqs* distinct CQs.
+    """
+    tgds = list(tgds)
+    if not all_linear(tgds):
+        raise ValueError("rewrite_ucq requires linear TGDs (Σ ∈ L)")
+    for tgd in tgds:
+        if len(tgd.head) != 1:
+            raise ValueError(
+                "rewrite_ucq requires single-head linear TGDs; "
+                f"{tgd} has {len(tgd.head)} head atoms"
+            )
+    disjuncts = list(query.disjuncts) if isinstance(query, UCQ) else [query]
+    known: list[CQ] = dedupe_isomorphic(disjuncts)
+    frontier: list[CQ] = list(known)
+    while frontier:
+        next_frontier: list[CQ] = []
+        for cq in frontier:
+            candidates: list[CQ] = []
+            for atom, tgd in itertools.product(cq.atoms, tgds):
+                rewritten = rewrite_step(cq, atom, tgd)
+                if rewritten is not None:
+                    candidates.append(rewritten)
+            for left, right in itertools.combinations(cq.atoms, 2):
+                factored = factorize_step(cq, left, right)
+                if factored is not None:
+                    candidates.append(factored)
+            for candidate in candidates:
+                bucket_hit = any(
+                    candidate.is_isomorphic_to(k)
+                    for k in known
+                    if k.iso_key() == candidate.iso_key()
+                )
+                if bucket_hit:
+                    continue
+                known.append(candidate)
+                next_frontier.append(candidate)
+                if len(known) > max_cqs:
+                    raise RewritingLimitError(
+                        f"rewriting exceeded {max_cqs} CQs; raise max_cqs "
+                        "or evaluate via the chase instead"
+                    )
+        frontier = next_frontier
+    return UCQ(known, name=disjuncts[0].name)

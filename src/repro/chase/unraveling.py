@@ -1,0 +1,120 @@
+"""Unravelings (Appendix D preliminaries and Appendix C.3).
+
+Two tree-shaped homomorphic pre-images of a database are used by the
+paper's proofs:
+
+* the **guarded unraveling** ``D^ā`` of ``D`` at a guarded set ``ā``:
+  nodes are sequences of guarded sets with consecutive overlaps; each step
+  copies the elements that leave the overlap.  Its width is ``ar(S) − 1``
+  and it maps homomorphically back to ``D`` (identity on ``ā``); guarded
+  TGDs cannot distinguish it from ``D`` for atomic queries over ``ā``
+  (Lemma D.7).
+* the **k-unraveling** ``D^k_c̄`` up to a tuple ``c̄``: same idea but over
+  sets of at most ``k + 1`` elements, producing a structure of treewidth
+  ≤ k up to ``c̄`` that still maps back to ``D``.
+
+Both objects are infinite in general; the constructors take a ``depth``
+(the number of tree levels), which is how the proofs use them too ("a
+finite initial piece of the guarded unraveling", Section 6.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..datamodel import Instance, Term, fresh_null
+
+__all__ = ["guarded_unravel", "k_unravel"]
+
+
+def _copy_step(
+    parent_elements: dict[Term, Term],
+    bag: frozenset[Term],
+    overlap: set[Term],
+) -> dict[Term, Term]:
+    """Fresh copies for the elements of *bag* outside *overlap*."""
+    mapping: dict[Term, Term] = {}
+    for element in bag:
+        if element in overlap and element in parent_elements:
+            mapping[element] = parent_elements[element]
+        else:
+            mapping[element] = fresh_null("u")
+    return mapping
+
+
+def _unravel(
+    database: Instance,
+    start: Sequence[Term],
+    bags: list[frozenset[Term]],
+    depth: int,
+    max_atoms: int,
+) -> Instance:
+    start_set = frozenset(start)
+    if not any(start_set <= bag for bag in bags):
+        raise ValueError(f"{list(start)} is not covered by any unraveling bag")
+    result = Instance()
+    root_bag = next(bag for bag in bags if start_set <= bag)
+    root_map = {element: element for element in root_bag}
+    for atom in database.restrict(root_bag):
+        result.add(atom)
+    queue: list[tuple[frozenset, dict, int]] = [(root_bag, root_map, 0)]
+    while queue:
+        bag, mapping, level = queue.pop(0)
+        if level >= depth or len(result) >= max_atoms:
+            continue
+        for successor in bags:
+            overlap = set(bag & successor)
+            if not overlap or successor == bag:
+                continue
+            child_map = _copy_step(mapping, successor, overlap)
+            for atom in database.restrict(successor):
+                result.add(atom.apply(child_map))
+            queue.append((successor, child_map, level + 1))
+    return result
+
+
+def guarded_unravel(
+    database: Instance,
+    start: Sequence[Term],
+    depth: int,
+    *,
+    max_atoms: int = 100_000,
+) -> Instance:
+    """A finite initial piece of the guarded unraveling ``D^ā`` (App. D).
+
+    The bags are the guarded sets of the database; *start* must be one of
+    them (or a subset of one).  The result maps homomorphically to ``D``
+    via the identity on the root copy.
+    """
+    bags = sorted(database.guarded_sets(), key=lambda b: sorted(map(repr, b)))
+    return _unravel(database, start, bags, depth, max_atoms)
+
+
+def k_unravel(
+    database: Instance,
+    anchor: Sequence[Term],
+    k: int,
+    depth: int,
+    *,
+    max_atoms: int = 100_000,
+) -> Instance:
+    """A finite initial piece of the k-unraveling ``D^k_c̄`` (App. C.3).
+
+    Bags are the guarded sets *split into pieces of size ≤ k + 1*; the
+    result has treewidth ≤ k up to the anchor tuple and maps back to ``D``.
+    """
+    if k < 1:
+        raise ValueError("k-unraveling needs k ≥ 1")
+    pieces: set[frozenset] = set()
+    for guarded in database.guarded_sets():
+        elements = sorted(guarded, key=repr)
+        if len(elements) <= k + 1:
+            pieces.add(frozenset(elements))
+            continue
+        for combo in itertools.combinations(elements, k + 1):
+            pieces.add(frozenset(combo))
+    anchor_set = frozenset(anchor)
+    if anchor_set and not any(anchor_set <= piece for piece in pieces):
+        pieces.add(anchor_set)
+    return _unravel(database, anchor, sorted(pieces, key=lambda b: sorted(map(repr, b))), depth, max_atoms)

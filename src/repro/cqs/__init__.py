@@ -1,0 +1,34 @@
+"""Constraint-query specifications: closed-world evaluation, containment
+under constraints, UCQ_k-approximations, uniform-equivalence decisions."""
+
+from .approximation import (
+    ApproximationVerdict,
+    is_uniformly_ucq_k_equivalent,
+    minimum_equivalent_treewidth,
+    required_k_floor,
+    ucq_k_approximation,
+)
+from .containment import (
+    contained_under,
+    cqs_contained_in,
+    cqs_equivalent,
+    equivalent_under,
+)
+from .cqs import CQS, PromiseViolation
+from .minimization import is_minimal_under_constraints, minimize_under_constraints
+
+__all__ = [
+    "ApproximationVerdict",
+    "CQS",
+    "PromiseViolation",
+    "contained_under",
+    "cqs_contained_in",
+    "cqs_equivalent",
+    "equivalent_under",
+    "is_uniformly_ucq_k_equivalent",
+    "minimum_equivalent_treewidth",
+    "required_k_floor",
+    "ucq_k_approximation",
+    "is_minimal_under_constraints",
+    "minimize_under_constraints",
+]

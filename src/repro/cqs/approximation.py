@@ -1,0 +1,138 @@
+"""UCQ_k-approximations of CQSs and the uniform-equivalence decider
+(Section 5.2, Proposition 5.11, Theorem 5.10).
+
+For ``S = (Σ, q) ∈ (FG, UCQ)`` the UCQ_k-approximation is
+``S^a_k = (Σ, q^a_k)`` where ``q^a_k`` consists of all *contractions* of
+disjuncts of ``q`` that belong to ``CQ_k``.  Always ``S^a_k ⊆ S`` (each
+contraction maps into its origin), and Proposition 5.11 shows that for
+``S ∈ (FG_m, UCQ)`` over arity-r schemas and ``k ≥ r·m − 1``:
+
+    S is uniformly UCQ_k-equivalent  ⟺  S ≡ S^a_k.
+
+The decision procedure (Theorem 5.10) is therefore: build ``q^a_k``, check
+``S ⊆ S^a_k`` via Prop 4.5.  For guarded CQSs, Proposition 5.5 reduces
+uniform UCQ_k-equivalence of S to UCQ_k-equivalence of ``omq(S)``, and for
+``k ≥ ar(T) − 1`` the same contraction-based approximation is a correct
+decider (the chase of a treewidth-k database stays within treewidth k when
+``k ≥ ar(T) − 1``); outside that regime the paper's Appendix C.5 example
+shows the notion genuinely changes, and we refuse rather than answer
+wrongly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..queries import CQ, UCQ, contractions, dedupe_isomorphic
+from ..treewidth import in_cq_k
+from .containment import contained_under
+from .cqs import CQS
+
+__all__ = [
+    "ucq_k_approximation",
+    "ApproximationVerdict",
+    "is_uniformly_ucq_k_equivalent",
+    "minimum_equivalent_treewidth",
+    "required_k_floor",
+]
+
+
+def ucq_k_approximation(spec: CQS, k: int) -> CQS | None:
+    """``S^a_k = (Σ, q^a_k)`` — contractions of disjuncts within CQ_k.
+
+    Returns None when *no* contraction of any disjunct lies in ``CQ_k``
+    (then ``q^a_k`` would be the empty UCQ, i.e. the unsatisfiable query).
+    """
+    approx_disjuncts: list[CQ] = []
+    for disjunct in spec.query.disjuncts:
+        # Filter by treewidth *before* the (quadratic) isomorphism dedupe:
+        # most contractions of a high-treewidth query fail the filter.
+        for contraction in contractions(disjunct, dedupe=False):
+            if in_cq_k(contraction, k):
+                approx_disjuncts.append(contraction)
+    approx_disjuncts = dedupe_isomorphic(approx_disjuncts)
+    if not approx_disjuncts:
+        return None
+    # Dropping subsumed disjuncts keeps the UCQ equivalent and both the
+    # containment check and any later evaluation of the witness cheap.
+    from ..queries import prune_subsumed
+
+    pruned = prune_subsumed(UCQ(approx_disjuncts, name=spec.query.name))
+    return spec.with_query(pruned, name=f"{spec.name}^a_{k}")
+
+
+def required_k_floor(spec: CQS) -> int:
+    """The least k the approximation theory covers for this CQS.
+
+    ``r·m − 1`` for FG_m specifications (Prop 5.11); ``ar(T) − 1`` suffices
+    for guarded ones (Prop 5.2/5.5).  The floor is at least 1.
+    """
+    r = spec.schema().arity()
+    if spec.is_guarded():
+        return max(1, r - 1)
+    m = max(1, spec.head_atom_bound())
+    return max(1, r * m - 1)
+
+
+@dataclass
+class ApproximationVerdict:
+    """Outcome of the uniform UCQ_k-equivalence test (Theorem 5.10)."""
+
+    equivalent: bool
+    k: int
+    approximation: CQS | None
+    #: The witnessing low-treewidth UCQ when equivalent (q^a_k).
+    witness: UCQ | None = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def is_uniformly_ucq_k_equivalent(
+    spec: CQS, k: int, *, enforce_floor: bool = True, **eval_kwargs
+) -> ApproximationVerdict:
+    """Decide whether ``S`` is uniformly UCQ_k-equivalent (Prop 5.11).
+
+    Procedure: compute ``S^a_k`` and test ``S ⊆ S^a_k`` (the reverse holds
+    by construction).  With ``enforce_floor`` the call refuses k below the
+    regime in which Prop 5.11/5.2 guarantee the procedure is a decision
+    procedure (see Appendix C.5 for why small k genuinely differs).
+    """
+    if not spec.is_frontier_guarded():
+        raise ValueError(
+            "the approximation decider covers (G, UCQ) and (FG_m, UCQ)"
+        )
+    floor = required_k_floor(spec)
+    if enforce_floor and k < floor:
+        raise ValueError(
+            f"k = {k} is below the supported floor {floor} for this CQS "
+            "(Prop 5.2 / Prop 5.11 need k ≥ ar(T)−1 resp. r·m−1); pass "
+            "enforce_floor=False to experiment anyway"
+        )
+    approximation = ucq_k_approximation(spec, k)
+    if approximation is None:
+        return ApproximationVerdict(False, k, None)
+    equivalent = contained_under(
+        spec.query, approximation.query, list(spec.tgds), **eval_kwargs
+    )
+    return ApproximationVerdict(
+        equivalent,
+        k,
+        approximation,
+        witness=approximation.query if equivalent else None,
+    )
+
+
+def minimum_equivalent_treewidth(
+    spec: CQS, *, k_max: int = 6, **eval_kwargs
+) -> int | None:
+    """The least k (≥ the supported floor) with S uniformly UCQ_k-equivalent.
+
+    Returns None if no k ≤ k_max works — for a recursively enumerable class
+    this unboundedness is exactly the W[1]-hardness condition of
+    Theorems 5.7/5.12.
+    """
+    for k in range(required_k_floor(spec), k_max + 1):
+        if is_uniformly_ucq_k_equivalent(spec, k, **eval_kwargs):
+            return k
+    return None

@@ -1,0 +1,168 @@
+"""Constraint-query specifications (Section 3.2).
+
+A CQS ``S = (Σ, q)`` bundles integrity constraints with a query; evaluation
+is *closed-world*: the input database is promised to satisfy Σ, and the
+query is evaluated directly over it.  The interest of the class lies in
+semantic optimisation — Σ may make ``q`` equivalent to a structurally
+simpler query (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datamodel import Instance, Term
+from ..queries import CQ, UCQ, evaluate_ucq
+from ..tgds import (
+    TGD,
+    all_frontier_guarded,
+    all_guarded,
+    in_fg_m,
+    max_head_atoms,
+    satisfies_all,
+    schema_of,
+)
+from ..omq import OMQ
+
+__all__ = ["CQS", "PromiseViolation"]
+
+
+class PromiseViolation(ValueError):
+    """The input database does not satisfy the CQS's constraints."""
+
+
+class CQS:
+    """A constraint-query specification ``S = (Σ, q)``.
+
+    >>> from repro.queries import parse_ucq
+    >>> from repro.tgds import parse_tgds
+    >>> spec = CQS(parse_tgds(["R(x, y) -> R(y, x)"]),
+    ...            parse_ucq("q(x) :- R(x, y)"))
+    >>> spec.is_guarded()
+    True
+    """
+
+    __slots__ = ("tgds", "query", "name")
+
+    def __init__(
+        self, tgds: Sequence[TGD], query: UCQ | CQ, name: str = "S"
+    ) -> None:
+        self.tgds = tuple(tgds)
+        self.query = query if isinstance(query, UCQ) else UCQ.of(query)
+        self.name = name
+        # Arities must agree across Σ and q.
+        schema_of(self.tgds).union(self.query.schema())
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return self.query.arity
+
+    def schema(self):
+        """``T`` — the schema of the specification."""
+        return schema_of(self.tgds).union(self.query.schema())
+
+    def is_guarded(self) -> bool:
+        """S ∈ (G, UCQ)."""
+        return all_guarded(self.tgds)
+
+    def is_frontier_guarded(self) -> bool:
+        """S ∈ (FG, UCQ)."""
+        return all_frontier_guarded(self.tgds)
+
+    def in_fg_m(self, m: int) -> bool:
+        """S ∈ (FG_m, UCQ)."""
+        return in_fg_m(self.tgds, m)
+
+    def head_atom_bound(self) -> int:
+        """The least m with S ∈ (FG_m, UCQ) — if frontier-guarded at all."""
+        return max_head_atoms(self.tgds)
+
+    def size(self) -> int:
+        """``‖S‖``."""
+        return sum(t.size() for t in self.tgds) + self.query.size()
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def promise_holds(self, database: Instance) -> bool:
+        """``D |= Σ`` — the input promise of CQS-Evaluation."""
+        return satisfies_all(database, self.tgds)
+
+    def evaluate(
+        self, database: Instance, *, check_promise: bool = True
+    ) -> set[tuple[Term, ...]]:
+        """``q(D)`` under the promise ``D |= Σ`` (Section 3.2).
+
+        Closed-world: the constraints are *not* applied to derive facts;
+        they only restrict admissible inputs.
+        """
+        if check_promise and not self.promise_holds(database):
+            raise PromiseViolation(
+                "database violates the integrity constraints; "
+                "CQS evaluation is only defined on Σ-satisfying databases"
+            )
+        return evaluate_ucq(self.query, database)
+
+    def is_answer(
+        self,
+        database: Instance,
+        candidate: Sequence[Term],
+        *,
+        check_promise: bool = True,
+    ) -> bool:
+        """Decide ``c̄ ∈ q(D)`` — the paper's CQS-Evaluation problem."""
+        from ..queries import is_answer
+
+        if check_promise and not self.promise_holds(database):
+            raise PromiseViolation(
+                "database violates the integrity constraints; "
+                "CQS evaluation is only defined on Σ-satisfying databases"
+            )
+        return is_answer(self.query, database, tuple(candidate))
+
+    def evaluate_optimized(
+        self,
+        database: Instance,
+        k: int = 1,
+        *,
+        check_promise: bool = True,
+    ) -> set[tuple[Term, ...]]:
+        """Semantically optimised evaluation (the Thm 5.7/5.12 upper bound).
+
+        If the specification is uniformly UCQ_k-equivalent, evaluate the
+        treewidth-k rewriting with the Prop 2.1 engine; otherwise fall back
+        to plain evaluation.  Same answers either way — the constraints
+        guarantee it on promise-satisfying inputs.
+        """
+        from ..queries import evaluate_td_ucq
+        from .approximation import is_uniformly_ucq_k_equivalent
+
+        if check_promise and not self.promise_holds(database):
+            raise PromiseViolation(
+                "database violates the integrity constraints; "
+                "CQS evaluation is only defined on Σ-satisfying databases"
+            )
+        try:
+            verdict = is_uniformly_ucq_k_equivalent(self, k)
+        except ValueError:
+            verdict = None
+        if verdict and verdict.witness is not None:
+            return evaluate_td_ucq(verdict.witness, database)
+        return evaluate_ucq(self.query, database)
+
+    # ------------------------------------------------------------------
+    # The OMQ bridge (Section 5.1)
+    # ------------------------------------------------------------------
+    def omq(self) -> OMQ:
+        """``omq(S)`` — the OMQ with full data schema (Section 5.1)."""
+        return OMQ.with_full_data_schema(self.tgds, self.query, name=f"omq({self.name})")
+
+    def with_query(self, query: UCQ | CQ, name: str | None = None) -> "CQS":
+        """The CQS ``(Σ, q')`` — same constraints, different query."""
+        return CQS(self.tgds, query, name=name or self.name)
+
+    def __repr__(self) -> str:
+        return f"CQS<{self.name}: |Σ|={len(self.tgds)}, |q|={len(self.query)}>"

@@ -1,0 +1,80 @@
+"""Semantic minimisation of CQs under constraints (Lemma 7.2 / H.3).
+
+The frontier-guarded lower-bound proof needs, for a CQS ``(Σ, q)``, a CQ
+``p`` with a *minimal number of atoms* among all CQs equivalent to ``q``
+under Σ (the role cores play in Grohe's constraint-free proof — the paper
+stresses that plain cores cannot be used once constraints are around).
+
+Exhaustive search over all CQs is what the paper's computability argument
+uses; operationally we implement the two moves that generate the candidate
+space the proofs rely on, iterated to a fixpoint:
+
+* **atom removal**: drop an atom if the result stays Σ-equivalent;
+* **variable identification**: contract two variables if the result stays
+  Σ-equivalent (under constraints a contraction can be *equivalent* — e.g.
+  a 4-cycle under symmetry — which never happens for cores).
+
+The result is a ⊆/contraction-minimal CQ that is Σ-equivalent to the input
+— exactly the object the Theorem 5.13 pipeline instantiates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..queries import CQ, proper_contractions
+from ..tgds import TGD
+from .containment import equivalent_under
+
+__all__ = ["minimize_under_constraints", "is_minimal_under_constraints"]
+
+
+def _one_step(query: CQ, tgds: Sequence[TGD], **eval_kwargs) -> CQ | None:
+    """A strictly smaller Σ-equivalent CQ obtained by one move, or None."""
+    if len(query.atoms) > 1:
+        for skipped in query.atoms:
+            remaining = [a for a in query.atoms if a != skipped]
+            if not set(query.head) <= {
+                v for atom in remaining for v in atom.variables()
+            }:
+                continue  # would unsafely drop an answer variable
+            candidate = CQ(query.head, remaining, name=query.name)
+            if equivalent_under(candidate, query, tgds, **eval_kwargs):
+                return candidate
+    for contraction in proper_contractions(query, dedupe=True):
+        if len(contraction.atoms) <= len(query.atoms) and len(
+            contraction.variables()
+        ) < len(query.variables()):
+            if equivalent_under(contraction, query, tgds, **eval_kwargs):
+                return contraction
+    return None
+
+
+def minimize_under_constraints(
+    query: CQ, tgds: Sequence[TGD], **eval_kwargs
+) -> CQ:
+    """A minimal CQ Σ-equivalent to *query* (atom count, then variables).
+
+    With ``Σ = ∅`` this computes the core (the two moves then coincide with
+    retractions).  Under constraints it can do strictly better than the
+    core:
+
+    >>> from repro.queries import parse_cq
+    >>> from repro.tgds import parse_tgds
+    >>> q = parse_cq("q() :- E(x, y), E(y, x)")
+    >>> minimize_under_constraints(q, parse_tgds(["E(x, y) -> E(y, x)"]))
+    q() :- E(?x, ?y)
+    """
+    current = query
+    while True:
+        smaller = _one_step(current, tgds, **eval_kwargs)
+        if smaller is None:
+            return current
+        current = smaller
+
+
+def is_minimal_under_constraints(
+    query: CQ, tgds: Sequence[TGD], **eval_kwargs
+) -> bool:
+    """True iff neither minimisation move applies."""
+    return _one_step(query, tgds, **eval_kwargs) is None

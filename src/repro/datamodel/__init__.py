@@ -1,0 +1,55 @@
+"""Relational substrate: terms, atoms, schemas, instances, homomorphisms."""
+
+from .atoms import Atom
+from .homomorphisms import (
+    all_movable,
+    count_homomorphisms,
+    default_movable,
+    exists_homomorphism,
+    find_homomorphism,
+    find_homomorphisms,
+    homomorphic_image,
+    instance_homomorphism,
+    instance_maps_to,
+    is_homomorphism,
+    is_isomorphic,
+)
+from .instances import Database, Instance
+from .schema import Schema, SchemaError
+from .terms import (
+    Null,
+    Term,
+    Variable,
+    fresh_null,
+    is_constant,
+    is_null,
+    is_variable,
+    variables,
+)
+
+__all__ = [
+    "Atom",
+    "Database",
+    "Instance",
+    "Null",
+    "Schema",
+    "SchemaError",
+    "Term",
+    "Variable",
+    "all_movable",
+    "count_homomorphisms",
+    "default_movable",
+    "exists_homomorphism",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "fresh_null",
+    "homomorphic_image",
+    "instance_homomorphism",
+    "instance_maps_to",
+    "is_constant",
+    "is_homomorphism",
+    "is_isomorphic",
+    "is_null",
+    "is_variable",
+    "variables",
+]

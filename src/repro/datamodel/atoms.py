@@ -1,0 +1,96 @@
+"""Relational atoms ``R(t1, ..., tn)`` over arbitrary terms.
+
+An atom pairs a predicate name with a tuple of terms (Section 2 of the
+paper).  Atoms are immutable and hashable, so they can live in sets —
+instances and databases are sets of atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from .terms import Term, Variable, is_variable
+
+__all__ = ["Atom"]
+
+
+class Atom:
+    """An immutable relational atom.
+
+    >>> from repro.datamodel import variables
+    >>> x, y = variables("x y")
+    >>> Atom("R", (x, "a", y))
+    R(?x, a, ?y)
+    """
+
+    __slots__ = ("pred", "args", "_hash")
+
+    def __init__(self, pred: str, args: Iterable[Term]) -> None:
+        if not isinstance(pred, str) or not pred:
+            raise TypeError(f"predicate name must be a non-empty str, got {pred!r}")
+        self.pred = pred
+        self.args = tuple(args)
+        self._hash = hash((pred, self.args))
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self._hash == other._hash
+            and self.pred == other.pred
+            and self.args == other.args
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) if isinstance(a, Variable) else str(a) for a in self.args)
+        return f"{self.pred}({inner})"
+
+    def __len__(self) -> int:
+        return len(self.args)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.args)
+
+    # ------------------------------------------------------------------
+    # Term inspection
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def variables(self) -> set[Variable]:
+        """The set of variables occurring in this atom."""
+        return {t for t in self.args if is_variable(t)}
+
+    def constants(self) -> set[Term]:
+        """The set of constants (non-variables) occurring in this atom."""
+        return {t for t in self.args if not is_variable(t)}
+
+    def terms(self) -> set[Term]:
+        """The set of all terms occurring in this atom."""
+        return set(self.args)
+
+    def is_ground(self) -> bool:
+        """True iff the atom mentions no variables."""
+        return not any(is_variable(t) for t in self.args)
+
+    # ------------------------------------------------------------------
+    # Substitution
+    # ------------------------------------------------------------------
+    def apply(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Replace each term by its image under *mapping* (identity if absent)."""
+        return Atom(self.pred, tuple(mapping.get(t, t) for t in self.args))
+
+    def apply_fn(self, fn: Callable[[Term], Term]) -> "Atom":
+        """Replace each term ``t`` by ``fn(t)``."""
+        return Atom(self.pred, tuple(fn(t) for t in self.args))
+
+    def rename_pred(self, new_pred: str) -> "Atom":
+        """The same argument tuple under a different predicate name."""
+        return Atom(new_pred, self.args)

@@ -1,0 +1,273 @@
+"""Homomorphism search — the workhorse of the whole library.
+
+A homomorphism from a set of atoms ``A`` (possibly containing variables) to
+an instance ``I`` is a mapping ``h`` on the terms of ``A`` such that
+``R(h(t̄)) ∈ I`` for every ``R(t̄) ∈ A`` (Section 2).  Depending on the
+caller, different terms are allowed to move:
+
+* query → instance: variables move, plain constants are fixed (identity);
+* instance → instance (the paper's ``I → J``): *every* domain element moves;
+* chase-style homs: nulls move, original constants are fixed.
+
+The ``movable`` predicate expresses this uniformly.  The search is a
+backtracking join with dynamic atom selection, driven by the
+(predicate, position, value) indexes of :class:`~repro.datamodel.Instance`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from .atoms import Atom
+from .instances import Instance
+from .terms import Term, is_null, is_variable
+
+__all__ = [
+    "find_homomorphism",
+    "find_homomorphisms",
+    "exists_homomorphism",
+    "count_homomorphisms",
+    "is_homomorphism",
+    "homomorphic_image",
+    "instance_homomorphism",
+    "instance_maps_to",
+    "is_isomorphic",
+    "default_movable",
+    "all_movable",
+]
+
+
+def default_movable(term: Term) -> bool:
+    """Default mobility: variables and labelled nulls move, constants do not."""
+    return is_variable(term) or is_null(term)
+
+
+def all_movable(term: Term) -> bool:
+    """Mobility for instance-to-instance homomorphisms: everything moves."""
+    return True
+
+
+def _atom_terms(atoms: Iterable[Atom]) -> set[Term]:
+    terms: set[Term] = set()
+    for atom in atoms:
+        terms.update(atom.args)
+    return terms
+
+
+def find_homomorphisms(
+    source_atoms: Iterable[Atom],
+    target: Instance,
+    *,
+    fixed: Mapping[Term, Term] | None = None,
+    movable: Callable[[Term], bool] = default_movable,
+    injective: bool = False,
+    limit: int | None = None,
+) -> Iterator[dict[Term, Term]]:
+    """Enumerate homomorphisms from *source_atoms* into *target*.
+
+    Parameters
+    ----------
+    fixed:
+        Pre-assignments; they override mobility (a fixed term maps to its
+        given image whether or not it is movable).
+    movable:
+        Terms for which images are searched.  Non-movable, non-fixed terms
+        map to themselves.
+    injective:
+        Require the mapping (over *all* source terms) to be injective — this
+        is the paper's ``|=io`` ("injectively only") notion when the source
+        is a CQ.
+    limit:
+        Stop after yielding this many homomorphisms.
+
+    Yields complete mappings from the terms of the source atoms to
+    ``dom(target)``.  The yielded dicts are fresh copies.
+    """
+    atoms = list(source_atoms)
+    base: dict[Term, Term] = {}
+    used: set[Term] = set()
+    if fixed:
+        base.update(fixed)
+    for term in _atom_terms(atoms):
+        if term in base:
+            continue
+        if not movable(term):
+            base[term] = term
+    if injective:
+        images = list(base.values())
+        if len(set(images)) != len(images):
+            return
+        used = set(images)
+
+    if not atoms:
+        yield dict(base)
+        return
+
+    yielded = 0
+    remaining = list(atoms)
+
+    def match(atom: Atom, fact: Atom, bound: dict[Term, Term]) -> dict[Term, Term] | None:
+        """Try to unify *atom* with *fact* given current bindings.
+
+        Returns the dict of *new* bindings, or None on failure.
+        """
+        if atom.pred != fact.pred or atom.arity != fact.arity:
+            return None
+        new: dict[Term, Term] = {}
+        for term, value in zip(atom.args, fact.args):
+            image = bound.get(term)
+            if image is None:
+                image = new.get(term)
+            if image is not None:
+                if image != value:
+                    return None
+                continue
+            if not movable(term):
+                # Non-movable and not pre-fixed: must already be in `bound`
+                # (it is, via `base`), so reaching here means mismatch.
+                return None
+            if injective and (value in used or value in new.values()):
+                return None
+            new[term] = value
+        return new
+
+    def pick_atom(pending: list[Atom], bound: dict[Term, Term]) -> int:
+        """Index of the most constrained pending atom (fewest candidates)."""
+        best_index, best_score = 0, None
+        for index, atom in enumerate(pending):
+            bound_terms = sum(1 for t in atom.args if t in bound)
+            candidates = target.candidates(atom, bound)
+            size = len(candidates) if hasattr(candidates, "__len__") else 10**9
+            score = (size, -bound_terms)
+            if best_score is None or score < best_score:
+                best_index, best_score = index, score
+                if size == 0:
+                    break
+        return best_index
+
+    def search(pending: list[Atom], bound: dict[Term, Term]) -> Iterator[dict[Term, Term]]:
+        nonlocal yielded
+        if not pending:
+            yield dict(bound)
+            return
+        index = pick_atom(pending, bound)
+        atom = pending[index]
+        rest = pending[:index] + pending[index + 1:]
+        for fact in target.candidates(atom, bound):
+            new = match(atom, fact, bound)
+            if new is None:
+                continue
+            bound.update(new)
+            if injective:
+                used.update(new.values())
+            yield from search(rest, bound)
+            if injective:
+                used.difference_update(new.values())
+            for key in new:
+                del bound[key]
+            if limit is not None and yielded >= limit:
+                return
+
+    for hom in search(remaining, dict(base)):
+        yield hom
+        yielded += 1
+        if limit is not None and yielded >= limit:
+            return
+
+
+def find_homomorphism(
+    source_atoms: Iterable[Atom],
+    target: Instance,
+    *,
+    fixed: Mapping[Term, Term] | None = None,
+    movable: Callable[[Term], bool] = default_movable,
+    injective: bool = False,
+) -> dict[Term, Term] | None:
+    """The first homomorphism found, or None if there is none."""
+    for hom in find_homomorphisms(
+        source_atoms, target, fixed=fixed, movable=movable, injective=injective, limit=1
+    ):
+        return hom
+    return None
+
+
+def exists_homomorphism(
+    source_atoms: Iterable[Atom],
+    target: Instance,
+    *,
+    fixed: Mapping[Term, Term] | None = None,
+    movable: Callable[[Term], bool] = default_movable,
+    injective: bool = False,
+) -> bool:
+    """True iff some homomorphism exists."""
+    return (
+        find_homomorphism(
+            source_atoms, target, fixed=fixed, movable=movable, injective=injective
+        )
+        is not None
+    )
+
+
+def count_homomorphisms(
+    source_atoms: Iterable[Atom],
+    target: Instance,
+    *,
+    fixed: Mapping[Term, Term] | None = None,
+    movable: Callable[[Term], bool] = default_movable,
+    injective: bool = False,
+) -> int:
+    """The number of homomorphisms (exhaustive enumeration)."""
+    return sum(
+        1
+        for _ in find_homomorphisms(
+            source_atoms, target, fixed=fixed, movable=movable, injective=injective
+        )
+    )
+
+
+def is_homomorphism(
+    mapping: Mapping[Term, Term],
+    source_atoms: Iterable[Atom],
+    target: Instance,
+) -> bool:
+    """Verify that *mapping* sends every source atom into *target*."""
+    return all(atom.apply(mapping) in target for atom in source_atoms)
+
+
+def homomorphic_image(atoms: Iterable[Atom], mapping: Mapping[Term, Term]) -> set[Atom]:
+    """The set of image atoms under *mapping* (identity where undefined)."""
+    return {atom.apply(mapping) for atom in atoms}
+
+
+def instance_homomorphism(
+    source: Instance,
+    target: Instance,
+    *,
+    fixed: Mapping[Term, Term] | None = None,
+    injective: bool = False,
+) -> dict[Term, Term] | None:
+    """A homomorphism ``source → target`` in the paper's sense (``I → J``).
+
+    Every domain element of the source may move, except elements pinned via
+    *fixed* (e.g. "the identity on dom(D)" is ``fixed={c: c for c in ...}``).
+    """
+    return find_homomorphism(
+        source.atoms(), target, fixed=fixed, movable=all_movable, injective=injective
+    )
+
+
+def instance_maps_to(source: Instance, target: Instance) -> bool:
+    """``I → J`` — true iff a homomorphism exists."""
+    return instance_homomorphism(source, target) is not None
+
+
+def is_isomorphic(left: Instance, right: Instance) -> bool:
+    """True iff the two instances are isomorphic (via a term bijection)."""
+    if len(left) != len(right) or len(left.dom()) != len(right.dom()):
+        return False
+    if {a.pred for a in left} != {a.pred for a in right}:
+        return False
+    for hom in find_homomorphisms(left.atoms(), right, movable=all_movable, injective=True):
+        if homomorphic_image(left.atoms(), hom) == right.atoms():
+            return True
+    return False

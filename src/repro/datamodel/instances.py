@@ -1,0 +1,240 @@
+"""Instances and databases: indexed sets of atoms over constants.
+
+An *instance* over a schema ``S`` is a set of atoms over ``S`` containing
+only constants; a *database* is a finite instance (Section 2).  Everything in
+this library is finite, so a single class serves both roles.
+
+The class maintains secondary indexes (by predicate, and by
+(predicate, position, value)) that the homomorphism search and the chase
+trigger search rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from .atoms import Atom
+from .schema import Schema
+from .terms import Term
+
+__all__ = ["Instance", "Database"]
+
+
+class Instance:
+    """A finite set of ground atoms with secondary indexes.
+
+    >>> db = Instance([Atom("R", ("a", "b")), Atom("R", ("b", "c"))])
+    >>> len(db)
+    2
+    >>> sorted(db.dom())
+    ['a', 'b', 'c']
+    """
+
+    __slots__ = ("_atoms", "_by_pred", "_by_pred_pos_val", "_dom")
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        self._atoms: set[Atom] = set()
+        self._by_pred: dict[str, set[Atom]] = defaultdict(set)
+        self._by_pred_pos_val: dict[tuple[str, int, Term], set[Atom]] = defaultdict(set)
+        self._dom: dict[Term, int] = defaultdict(int)  # value -> occurrence count
+        for atom in atoms:
+            self.add(atom)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, atom: Atom) -> bool:
+        """Add an atom; returns True iff it was new.
+
+        Note: variables *are* allowed as domain elements — a canonical
+        database ``D[q]`` views the query's variables as constants
+        (Section 2), and keeping the very same objects makes the
+        correspondence between query and canonical database trivial.
+        """
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        self._by_pred[atom.pred].add(atom)
+        for pos, value in enumerate(atom.args):
+            self._by_pred_pos_val[(atom.pred, pos, value)].add(atom)
+            self._dom[value] += 1
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> int:
+        """Add many atoms; returns the number that were new."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove an atom if present; returns True iff it was present."""
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        self._by_pred[atom.pred].discard(atom)
+        for pos, value in enumerate(atom.args):
+            self._by_pred_pos_val[(atom.pred, pos, value)].discard(atom)
+            self._dom[value] -= 1
+            if self._dom[value] == 0:
+                del self._dom[value]
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def atoms(self) -> frozenset[Atom]:
+        """All atoms as a frozen snapshot."""
+        return frozenset(self._atoms)
+
+    def atoms_with_pred(self, pred: str) -> set[Atom]:
+        """All atoms over predicate *pred* (live view — do not mutate)."""
+        return self._by_pred.get(pred, set())
+
+    def atoms_matching(self, pred: str, pos: int, value: Term) -> set[Atom]:
+        """All atoms R(..) with R = pred and *value* at position *pos*."""
+        return self._by_pred_pos_val.get((pred, pos, value), set())
+
+    def candidates(self, atom: Atom, bound: dict[Term, Term]) -> Iterable[Atom]:
+        """Facts that could match the (possibly non-ground) *atom*.
+
+        *bound* maps already-assigned source terms to target values.  The
+        most selective available index is used; unbound positions are not
+        filtered (the caller performs the final unification check).
+        """
+        best: set[Atom] | None = None
+        for pos, term in enumerate(atom.args):
+            # Only terms with a known image filter; the homomorphism search
+            # seeds `bound` with the identity on all non-movable terms, so
+            # plain constants are covered, while movable constants (e.g. in
+            # instance-to-instance homomorphisms) stay unconstrained here.
+            value = bound.get(term)
+            if value is None:
+                continue
+            posting = self._by_pred_pos_val.get((atom.pred, pos, value))
+            if posting is None:
+                return ()
+            if best is None or len(posting) < len(best):
+                best = posting
+        if best is None:
+            return self._by_pred.get(atom.pred, ())
+        return best
+
+    def dom(self) -> set[Term]:
+        """``dom(I)`` — the active domain (all constants occurring in atoms)."""
+        return set(self._dom)
+
+    def predicates(self) -> set[str]:
+        """Predicates with at least one atom."""
+        return {p for p, atoms in self._by_pred.items() if atoms}
+
+    def schema(self) -> Schema:
+        """The schema inferred from the atoms present."""
+        return Schema.from_atoms(self._atoms)
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+    def restrict(self, values: Iterable[Term]) -> "Instance":
+        """``I|T`` — the restriction to atoms mentioning only *values*."""
+        keep = set(values)
+        return Instance(a for a in self._atoms if keep.issuperset(a.args))
+
+    def restrict_preds(self, preds: Iterable[str]) -> "Instance":
+        """The restriction to atoms over the given predicates."""
+        keep = set(preds)
+        return Instance(a for a in self._atoms if a.pred in keep)
+
+    def copy(self) -> "Instance":
+        return Instance(self._atoms)
+
+    def union(self, other: "Instance") -> "Instance":
+        merged = self.copy()
+        merged.add_all(other.atoms())
+        return merged
+
+    def gaifman_adjacency(self) -> dict[Term, set[Term]]:
+        """The Gaifman graph ``G_I`` as an adjacency dict (no self loops).
+
+        Vertices are the domain elements; an edge joins *a* and *b* iff some
+        atom mentions both (Section 2).
+        """
+        adjacency: dict[Term, set[Term]] = {v: set() for v in self._dom}
+        for atom in self._atoms:
+            distinct = list(dict.fromkeys(atom.args))
+            for i, a in enumerate(distinct):
+                for b in distinct[i + 1:]:
+                    adjacency[a].add(b)
+                    adjacency[b].add(a)
+        return adjacency
+
+    def connected_components(self) -> list[set[Term]]:
+        """Connected components of the Gaifman graph (list of vertex sets)."""
+        adjacency = self.gaifman_adjacency()
+        seen: set[Term] = set()
+        components: list[set[Term]] = []
+        for start in adjacency:
+            if start in seen:
+                continue
+            component = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neigh in adjacency[node]:
+                    if neigh not in component:
+                        component.add(neigh)
+                        stack.append(neigh)
+            seen |= component
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """True iff the Gaifman graph is connected (vacuously for ≤ 1 atom)."""
+        return len(self.connected_components()) <= 1
+
+    def isolated_constants(self) -> set[Term]:
+        """Constants occurring in exactly one atom (Section 6 / Thm 6.1)."""
+        return {value for value, count in self._dom.items() if count == 1}
+
+    def guarded_sets(self) -> set[frozenset[Term]]:
+        """All sets of constants guarded by a single atom."""
+        return {frozenset(atom.args) for atom in self._atoms}
+
+    def maximal_guarded_sets(self) -> list[frozenset[Term]]:
+        """Guarded sets that are maximal under inclusion (Section 6.2)."""
+        guarded = sorted(self.guarded_sets(), key=len, reverse=True)
+        maximal: list[frozenset[Term]] = []
+        for candidate in guarded:
+            if not any(candidate < chosen for chosen in maximal):
+                maximal.append(candidate)
+        return maximal
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instance) and self._atoms == other._atoms
+
+    def __le__(self, other: "Instance") -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._atoms <= other._atoms
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely hashed
+        return hash(frozenset(self._atoms))
+
+    def __repr__(self) -> str:
+        shown = ", ".join(map(str, sorted(map(str, self._atoms))[:6]))
+        suffix = ", ..." if len(self._atoms) > 6 else ""
+        return f"Instance<{len(self._atoms)} atoms: {shown}{suffix}>"
+
+
+#: Databases are finite instances; the alias documents intent at call sites.
+Database = Instance

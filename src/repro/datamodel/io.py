@@ -1,0 +1,94 @@
+"""Loading and saving databases.
+
+Two interchange formats:
+
+* the **facts format** (``.facts`` / ``.txt``): one ground atom per line in
+  the parser syntax — ``R(a, b)`` — with ``#`` comments; round-trips
+  through :func:`repro.queries.parse_database`;
+* **CSV-per-predicate**: a directory with one headerless CSV file per
+  predicate (``R.csv`` holding the tuples of ``R``), the layout used by
+  most chase engines' benchmark suites (e.g. ChaseBench).
+
+All values are read as strings (integers opt-in via ``coerce_ints``), which
+keeps loading loss-free and deterministic.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from .atoms import Atom
+from .instances import Instance
+
+__all__ = [
+    "load_facts",
+    "save_facts",
+    "load_csv_directory",
+    "save_csv_directory",
+]
+
+_INT = str.isdigit
+
+
+def load_facts(path: str | Path, *, coerce_ints: bool = False) -> Instance:
+    """Load a database from a facts file (one atom per line)."""
+    from ..queries.parser import parse_database
+
+    text = Path(path).read_text()
+    instance = parse_database(text)
+    if not coerce_ints:
+        return instance
+    return Instance(
+        Atom(a.pred, tuple(int(t) if isinstance(t, str) and _INT(t) else t for t in a.args))
+        for a in instance
+    )
+
+
+def save_facts(instance: Instance, path: str | Path) -> None:
+    """Write a database in the facts format (sorted, reproducible)."""
+    lines = sorted(str(atom) for atom in instance)
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_csv_directory(
+    directory: str | Path, *, coerce_ints: bool = False
+) -> Instance:
+    """Load one CSV file per predicate from *directory*.
+
+    ``R.csv`` with rows ``a,b`` becomes atoms ``R(a, b)``; empty files give
+    an empty relation.  Raises on inconsistent row widths within a file.
+    """
+    directory = Path(directory)
+    instance = Instance()
+    for csv_path in sorted(directory.glob("*.csv")):
+        pred = csv_path.stem
+        width: int | None = None
+        with csv_path.open(newline="") as handle:
+            for row in csv.reader(handle):
+                if not row:
+                    continue
+                if width is None:
+                    width = len(row)
+                elif len(row) != width:
+                    raise ValueError(
+                        f"{csv_path.name}: row width {len(row)} != {width}"
+                    )
+                values = tuple(
+                    int(v) if coerce_ints and _INT(v) else v for v in row
+                )
+                instance.add(Atom(pred, values))
+    return instance
+
+
+def save_csv_directory(instance: Instance, directory: str | Path) -> None:
+    """Write one CSV per predicate (sorted rows, reproducible)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for pred in sorted(instance.predicates()):
+        rows = sorted(
+            tuple(str(t) for t in atom.args)
+            for atom in instance.atoms_with_pred(pred)
+        )
+        with (directory / f"{pred}.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerows(rows)

@@ -1,0 +1,139 @@
+"""Relational schemas: finite sets of predicates with fixed arities.
+
+The paper fixes a schema ``S`` (data schema) possibly extended to ``T ⊇ S``
+by the ontology.  ``ar(S)`` denotes the maximum arity, a quantity that the
+bounded-arity assumptions of the main theorems refer to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .atoms import Atom
+
+__all__ = ["Schema", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised when atoms violate a schema (unknown predicate or bad arity)."""
+
+
+class Schema:
+    """A finite set of predicates with associated arities.
+
+    >>> s = Schema({"R": 2, "P": 1})
+    >>> s.arity()
+    2
+    >>> "R" in s
+    True
+    """
+
+    __slots__ = ("_arities",)
+
+    def __init__(self, arities: Mapping[str, int] | Iterable[tuple[str, int]] = ()) -> None:
+        self._arities: dict[str, int] = {}
+        items = arities.items() if isinstance(arities, Mapping) else arities
+        for pred, ar in items:
+            self.add(pred, ar)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, pred: str, arity: int) -> None:
+        """Register *pred* with the given arity; re-registration must agree."""
+        if arity < 0:
+            raise SchemaError(f"arity of {pred} must be non-negative, got {arity}")
+        existing = self._arities.get(pred)
+        if existing is not None and existing != arity:
+            raise SchemaError(
+                f"predicate {pred} re-declared with arity {arity}, was {existing}"
+            )
+        self._arities[pred] = arity
+
+    @classmethod
+    def from_atoms(cls, atoms: Iterable[Atom]) -> "Schema":
+        """Infer a schema from a collection of atoms.
+
+        Raises :class:`SchemaError` if the same predicate occurs with two
+        different arities.
+        """
+        schema = cls()
+        for atom in atoms:
+            schema.add(atom.pred, atom.arity)
+        return schema
+
+    def union(self, other: "Schema") -> "Schema":
+        """The union schema; arities must agree on shared predicates."""
+        merged = Schema(self._arities)
+        for pred, ar in other._arities.items():
+            merged.add(pred, ar)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def arity_of(self, pred: str) -> int:
+        """``ar(R)`` — the arity of predicate *pred*."""
+        try:
+            return self._arities[pred]
+        except KeyError:
+            raise SchemaError(f"unknown predicate {pred}") from None
+
+    def arity(self) -> int:
+        """``ar(S)`` — the maximum arity over all predicates (0 if empty)."""
+        return max(self._arities.values(), default=0)
+
+    def predicates(self) -> set[str]:
+        """The set of predicate names."""
+        return set(self._arities)
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._arities.items()))
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Raise :class:`SchemaError` unless *atom* conforms to this schema."""
+        expected = self.arity_of(atom.pred)
+        if atom.arity != expected:
+            raise SchemaError(
+                f"atom {atom} has arity {atom.arity}, schema says {expected}"
+            )
+
+    def validate_atoms(self, atoms: Iterable[Atom]) -> None:
+        for atom in atoms:
+            self.validate_atom(atom)
+
+    def contains_atoms(self, atoms: Iterable[Atom]) -> bool:
+        """True iff every atom conforms to this schema (no exception)."""
+        try:
+            self.validate_atoms(atoms)
+        except SchemaError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, pred: str) -> bool:
+        return pred in self._arities
+
+    def __len__(self) -> int:
+        return len(self._arities)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._arities))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._arities == other._arities
+
+    def __le__(self, other: "Schema") -> bool:
+        """Sub-schema test: every predicate of self occurs in other, same arity."""
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return all(other._arities.get(p) == a for p, a in self._arities.items())
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._arities.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}/{a}" for p, a in sorted(self._arities.items()))
+        return f"Schema({{{inner}}})"

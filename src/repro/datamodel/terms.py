@@ -1,0 +1,157 @@
+"""Terms: variables, labelled nulls, and constants.
+
+The paper (Section 2) works with two disjoint countably infinite sets:
+constants ``C`` and variables ``V``.  The chase additionally invents *labelled
+nulls* — fresh constants that witness existentially quantified variables.
+
+In this library a *term* is any hashable Python value.  Two special classes
+are distinguished:
+
+* :class:`Variable` — a query/TGD variable.  Anything that is not a
+  ``Variable`` acts as a constant when it appears in an atom.
+* :class:`Null` — a labelled null invented by the chase.  Nulls are constants
+  (they may appear in instances), but several algorithms treat them as
+  "anonymous" (e.g. an instance homomorphism may move them freely while plain
+  constants are kept fixed).
+
+Plain constants are ordinary Python values (strings, integers, tuples, ...),
+which keeps databases cheap to build in examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "Variable",
+    "Null",
+    "Term",
+    "variables",
+    "is_variable",
+    "is_null",
+    "is_constant",
+    "fresh_null",
+]
+
+#: Type alias for documentation purposes: a term is any hashable value.
+Term = Any
+
+
+class Variable:
+    """A query or TGD variable, identified by name.
+
+    Variables are interned: ``Variable("x") is Variable("x")`` holds, which
+    makes equality checks and dictionary lookups fast in the homomorphism
+    search inner loops.
+    """
+
+    __slots__ = ("name",)
+
+    _interned: dict[str, "Variable"] = {}
+    _lock = threading.Lock()
+
+    def __new__(cls, name: str) -> "Variable":
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"variable name must be a non-empty str, got {name!r}")
+        cached = cls._interned.get(name)
+        if cached is not None:
+            return cached
+        with cls._lock:
+            cached = cls._interned.get(name)
+            if cached is None:
+                cached = super().__new__(cls)
+                cached.name = name
+                cls._interned[name] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (isinstance(other, Variable) and other.name == self.name)
+
+    # Variables sort by name so that canonical forms are deterministic.
+    def __lt__(self, other: "Variable") -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name < other.name
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
+
+
+class Null:
+    """A labelled null, invented by the chase to witness an existential.
+
+    Each null carries a unique integer identity plus an optional hint (the
+    existential variable it was created for), which makes chase traces
+    readable.
+    """
+
+    __slots__ = ("ident", "hint")
+
+    def __init__(self, ident: int, hint: str = "") -> None:
+        self.ident = ident
+        self.hint = hint
+
+    def __repr__(self) -> str:
+        if self.hint:
+            return f"_:{self.hint}{self.ident}"
+        return f"_:{self.ident}"
+
+    def __hash__(self) -> int:
+        return hash(("Null", self.ident))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null) and other.ident == self.ident
+
+    def __lt__(self, other: "Null") -> bool:
+        if not isinstance(other, Null):
+            return NotImplemented
+        return self.ident < other.ident
+
+
+_null_counter = itertools.count(1)
+_null_lock = threading.Lock()
+
+
+def fresh_null(hint: str = "") -> Null:
+    """Create a globally fresh labelled null."""
+    with _null_lock:
+        ident = next(_null_counter)
+    return Null(ident, hint)
+
+
+def variables(names: str | Iterable[str]) -> tuple[Variable, ...]:
+    """Convenience constructor: ``variables("x y z")`` or ``variables(["x"])``.
+
+    >>> x, y = variables("x y")
+    >>> x
+    ?x
+    """
+    if isinstance(names, str):
+        names = names.replace(",", " ").split()
+    return tuple(Variable(n) for n in names)
+
+
+def is_variable(term: Term) -> bool:
+    """Return True iff *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_null(term: Term) -> bool:
+    """Return True iff *term* is a labelled :class:`Null`."""
+    return isinstance(term, Null)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True iff *term* is a constant (i.e. not a variable).
+
+    Nulls count as constants: they are domain elements of instances.
+    """
+    return not isinstance(term, Variable)

@@ -1,0 +1,29 @@
+"""Finite controllability: finite witnesses M(D, Σ, n) and their checks."""
+
+from .gnfo import (
+    FO,
+    FOAtom,
+    GuardedNot,
+    is_gnfo,
+    omq_refutation_sentence,
+    tgd_to_gnfo,
+)
+from .witness import (
+    FiniteWitness,
+    WitnessUnavailableError,
+    finite_witness,
+    verify_witness_property,
+)
+
+__all__ = [
+    "FO",
+    "FOAtom",
+    "GuardedNot",
+    "is_gnfo",
+    "omq_refutation_sentence",
+    "tgd_to_gnfo",
+    "FiniteWitness",
+    "WitnessUnavailableError",
+    "finite_witness",
+    "verify_witness_property",
+]

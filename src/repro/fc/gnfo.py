@@ -1,0 +1,201 @@
+"""The guarded negation fragment (GNFO) surface — Appendix J.
+
+Theorem 6.7 (finite controllability of FG) is proved by translating
+"database ∧ TGDs ∧ ¬query" into a **GNFO** sentence and invoking GNFO's
+finite model property: every negation must appear as ``α ∧ ¬φ`` with a
+guard atom ``α`` covering the free variables of ``φ``.
+
+This module gives that argument an executable surface:
+
+* a small first-order AST (:class:`FO`) with conjunction, disjunction,
+  existential quantification and *guarded* negation;
+* :func:`tgd_to_gnfo` — the paper's rewriting of a frontier-guarded TGD
+  ``φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)`` into ``¬∃x̄ȳ (φ ∧ guard ∧ ¬∃z̄ ψ)``;
+* :func:`omq_refutation_sentence` — the sentence
+  ``Φ = D ∧ ⋀_σ φ_σ ∧ ¬q(c̄)`` whose (finite) unsatisfiability witnesses
+  ``c̄ ∈ Q(D)`` (Appendix J);
+* :func:`is_gnfo` — the syntactic guardedness check, used by the tests to
+  confirm that exactly the frontier-guarded TGDs translate into GNFO.
+
+The `2^2^poly` finite-model enumeration itself is not executed (DESIGN.md);
+the *witnesses* are built by :mod:`repro.fc.witness` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..datamodel import Atom, Instance, Term, Variable
+from ..queries import CQ, UCQ
+from ..tgds import TGD
+
+__all__ = [
+    "FO",
+    "FOAtom",
+    "And",
+    "Or",
+    "Exists",
+    "GuardedNot",
+    "tgd_to_gnfo",
+    "omq_refutation_sentence",
+    "is_gnfo",
+]
+
+
+class FO:
+    """Base class of the little first-order AST."""
+
+    def free_variables(self) -> set[Variable]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FOAtom(FO):
+    atom: Atom
+
+    def free_variables(self) -> set[Variable]:
+        return self.atom.variables()
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class And(FO):
+    parts: tuple[FO, ...]
+
+    def free_variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(map(str, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(FO):
+    parts: tuple[FO, ...]
+
+    def free_variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(map(str, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Exists(FO):
+    variables: tuple[Variable, ...]
+    body: FO
+
+    def free_variables(self) -> set[Variable]:
+        return self.body.free_variables() - set(self.variables)
+
+    def __str__(self) -> str:
+        if not self.variables:
+            return str(self.body)
+        names = "".join(f"∃{v.name}" for v in self.variables)
+        return f"{names} {self.body}"
+
+
+@dataclass(frozen=True)
+class GuardedNot(FO):
+    """``guard ∧ ¬body`` — GNFO's only negation form.
+
+    ``guard`` may be None for a *sentence-level* negation (no free
+    variables to guard — GNFO allows ``¬φ`` when φ is a sentence).
+    """
+
+    body: FO
+    guard: Atom | None = None
+
+    def free_variables(self) -> set[Variable]:
+        result = set() if self.guard is None else self.guard.variables()
+        return result | self.body.free_variables()
+
+    def __str__(self) -> str:
+        if self.guard is None:
+            return f"¬{self.body}"
+        return f"({self.guard} ∧ ¬{self.body})"
+
+
+def _cq_to_fo(query: CQ) -> FO:
+    """``∃ȳ (a1 ∧ ... ∧ am)`` with the answer variables free."""
+    body: FO = And(tuple(FOAtom(a) for a in query.atoms))
+    bound = tuple(sorted(query.existential_variables(), key=lambda v: v.name))
+    return Exists(bound, body)
+
+
+def tgd_to_gnfo(tgd: TGD) -> FO:
+    """``¬∃x̄ȳ (φ ∧ ¬∃z̄ ψ)`` with the inner ¬ guarded by the TGD's guard.
+
+    Valid GNFO iff the TGD is frontier-guarded: the free variables of
+    ``∃z̄ ψ`` are the frontier, and the frontier guard covers them
+    (Appendix J).  Raises ValueError otherwise.
+    """
+    guard = tgd.frontier_guard()
+    if tgd.body and guard is None:
+        raise ValueError(
+            f"{tgd} is not frontier-guarded: its negation cannot be guarded"
+        )
+    head_fo = Exists(
+        tuple(sorted(tgd.existential_variables(), key=lambda v: v.name)),
+        And(tuple(FOAtom(a) for a in tgd.head)),
+    )
+    if not tgd.body:
+        # ⊤ → ∃z̄ ψ is just a sentence; its negation needs no guard.
+        return GuardedNot(GuardedNot(head_fo, guard=None), guard=None)
+    violation = And(
+        tuple(FOAtom(a) for a in tgd.body) + (GuardedNot(head_fo, guard=guard),)
+    )
+    body_vars = tuple(sorted(tgd.body_variables(), key=lambda v: v.name))
+    return GuardedNot(Exists(body_vars, violation), guard=None)
+
+
+def omq_refutation_sentence(
+    database: Instance,
+    tgds: Sequence[TGD],
+    query: UCQ | CQ,
+    candidate: Sequence[Term] = (),
+) -> FO:
+    """``Φ = D ∧ ⋀_σ φ_σ ∧ ¬q(c̄)`` (Appendix J).
+
+    ``Φ`` is unsatisfiable iff ``c̄ ∈ Q(D)``; since Φ is GNFO and GNFO has
+    the finite model property, (un)satisfiability and *finite*
+    (un)satisfiability coincide — that is the whole finite-controllability
+    argument, as a data structure.
+    """
+    query = query if isinstance(query, UCQ) else UCQ.of(query)
+    parts: list[FO] = [FOAtom(a) for a in sorted(database.atoms(), key=str)]
+    parts.extend(tgd_to_gnfo(tgd) for tgd in tgds)
+    instantiated = []
+    for cq in query.disjuncts:
+        local = {v: c for v, c in zip(cq.head, candidate)}
+        grounded = CQ((), [a.apply(local) for a in cq.atoms], name=cq.name)
+        instantiated.append(_cq_to_fo(grounded))
+    parts.append(GuardedNot(Or(tuple(instantiated)), guard=None))
+    return And(tuple(parts))
+
+
+def is_gnfo(formula: FO) -> bool:
+    """Syntactic GNFO check: every negation's free variables are guarded."""
+    if isinstance(formula, FOAtom):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_gnfo(part) for part in formula.parts)
+    if isinstance(formula, Exists):
+        return is_gnfo(formula.body)
+    if isinstance(formula, GuardedNot):
+        if not is_gnfo(formula.body):
+            return False
+        free = formula.body.free_variables()
+        if formula.guard is None:
+            return not free  # an unguarded ¬ must be sentence-level
+        return free <= formula.guard.variables()
+    return False

@@ -1,0 +1,35 @@
+"""Ontology-mediated queries: objects, evaluation, the FPT pipeline,
+containment."""
+
+from .approximation import omq_is_ucq_k_equivalent, omq_ucq_k_rewriting
+from .containment import (
+    SameOntologyRequiredError,
+    omq_contained_in,
+    omq_equivalent,
+)
+from .evaluation import OMQAnswer, certain_answers, is_certain_answer
+from .fpt import FPTEvaluation, decide_fpt, evaluate_fpt
+from .groundings import (
+    omq_ucq_k_approximation,
+    sigma_groundings,
+    v_connected_components,
+)
+from .omq import OMQ
+
+__all__ = [
+    "FPTEvaluation",
+    "OMQ",
+    "OMQAnswer",
+    "SameOntologyRequiredError",
+    "certain_answers",
+    "decide_fpt",
+    "evaluate_fpt",
+    "is_certain_answer",
+    "omq_contained_in",
+    "omq_equivalent",
+    "omq_is_ucq_k_equivalent",
+    "omq_ucq_k_rewriting",
+    "omq_ucq_k_approximation",
+    "sigma_groundings",
+    "v_connected_components",
+]

@@ -1,0 +1,65 @@
+"""UCQ_k-equivalence for OMQs (Definition 4.2/4.3, Prop 5.2, Prop 5.5).
+
+For OMQs with **full data schema** the paper's Proposition 5.5 identifies
+UCQ_k-equivalence of ``omq(S)`` with uniform UCQ_k-equivalence of the CQS
+``S`` — so the contraction-based decision procedure of Prop 5.11 applies
+verbatim, and (by Prop 5.2) the uniform and non-uniform notions coincide
+for guarded ontologies.  This module is that bridge.
+
+The general case (data schema smaller than the ontology's schema) needs the
+Σ-grounding machinery of Definition C.3/C.6; DESIGN.md records this as
+out of scope — every experiment in the paper's narrative that we reproduce
+goes through the full-schema bridge, and the restricted case is precisely
+where Appendix C.5 shows the approximations get genuinely subtle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .omq import OMQ
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from ..cqs import ApproximationVerdict
+
+__all__ = ["omq_is_ucq_k_equivalent", "omq_ucq_k_rewriting"]
+
+
+def _as_cqs(omq: OMQ):
+    # Imported lazily: repro.cqs itself depends on repro.omq for the
+    # chase-based containment test (Prop 4.5).
+    from ..cqs import CQS
+
+    if not omq.has_full_data_schema():
+        raise NotImplementedError(
+            "UCQ_k-equivalence is implemented for full-data-schema OMQs "
+            "(Prop 5.5's bridge); restricted data schemas need the "
+            "Σ-grounding approximations of Definition C.6"
+        )
+    return CQS(list(omq.tgds), omq.query, name=omq.name)
+
+
+def omq_is_ucq_k_equivalent(omq: OMQ, k: int, **kwargs) -> "ApproximationVerdict":
+    """Decide whether the OMQ is (uniformly) UCQ_k-equivalent.
+
+    For guarded full-data-schema OMQs, Prop 5.2 + Prop 5.5 make this the
+    same question as uniform UCQ_k-equivalence of the associated CQS.
+
+    >>> from repro.semantic import example44_q1
+    >>> bool(omq_is_ucq_k_equivalent(example44_q1(), 1))
+    True
+    """
+    from ..cqs import is_uniformly_ucq_k_equivalent
+
+    return is_uniformly_ucq_k_equivalent(_as_cqs(omq), k, **kwargs)
+
+
+def omq_ucq_k_rewriting(omq: OMQ, k: int, **kwargs) -> OMQ | None:
+    """An equivalent OMQ from (C, UCQ_k), if one exists (Theorem 5.1's
+    "can be computed in double exponential time" artifact)."""
+    verdict = omq_is_ucq_k_equivalent(omq, k, **kwargs)
+    if not verdict or verdict.witness is None:
+        return None
+    return OMQ(
+        omq.data_schema, list(omq.tgds), verdict.witness, name=f"{omq.name}^a_{k}"
+    )

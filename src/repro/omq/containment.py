@@ -1,0 +1,88 @@
+"""OMQ containment and equivalence (Sections 4.1 and 5.1).
+
+``Q1 ⊆ Q2`` iff ``Q1(D) ⊆ Q2(D)`` for every S-database D.  The paper
+decides the general problem with a 2ATA construction (Appendix B); here we
+implement exactly the case our experiments need, via the chase:
+
+**same ontology, full data schema** — i.e. ``Q1 = (S, Σ, q1)`` and
+``Q2 = (S, Σ, q2)`` with ``S = T``.  Then ``Q1 ⊆ Q2`` iff for every
+disjunct ``p1`` of ``q1``: ``x̄ ∈ q2(chase(D[p1], Σ))``.
+
+*Proof sketch.*  (⇐) If ``c̄ ∈ Q1(D)`` via ``h: p1 → chase(D, Σ)``, then by
+universality (Prop 2.2) ``chase(D[p1], Σ) → chase(D, Σ)`` extending ``h``,
+so the witnessing ``p2 → chase(D[p1], Σ)`` composes to put ``c̄ ∈ Q2(D)``.
+(⇒) ``D[p1]`` is itself an S-database (full schema) with
+``x̄ ∈ Q1(D[p1])``.  ∎
+
+This is the form used by Prop 5.2/5.11 (``Q ≡ Q^a_k``, same Σ on both
+sides) and by the uniform-UCQ_k-equivalence deciders.  Differing ontologies
+would genuinely need the automata machinery and raise
+:class:`SameOntologyRequiredError` — a scope cut recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from .evaluation import certain_answers
+from .omq import OMQ
+
+__all__ = [
+    "SameOntologyRequiredError",
+    "omq_contained_in",
+    "omq_equivalent",
+]
+
+
+class SameOntologyRequiredError(NotImplementedError):
+    """Raised when exact containment would need the 2ATA construction."""
+
+
+def _check_comparable(left: OMQ, right: OMQ) -> None:
+    if left.arity != right.arity:
+        raise ValueError(f"arity mismatch: {left.arity} vs {right.arity}")
+    if set(left.tgds) != set(right.tgds):
+        raise SameOntologyRequiredError(
+            "exact OMQ containment is implemented for OMQs sharing one "
+            "ontology (the Prop 5.2/5.11 use case); differing ontologies "
+            "need the paper's automata construction"
+        )
+    if set(left.data_schema.predicates()) != set(right.data_schema.predicates()):
+        raise ValueError(
+            "OMQ containment compares queries over a common data schema"
+        )
+    if not (left.has_full_data_schema() and right.has_full_data_schema()):
+        raise SameOntologyRequiredError(
+            "exact OMQ containment is implemented for full data schemas "
+            "(S = T); use the CQS bridge omq(S) or extend the schema"
+        )
+
+
+def omq_contained_in(sub: OMQ, sup: OMQ, **eval_kwargs) -> bool:
+    """``Q1 ⊆ Q2`` for same-ontology, full-data-schema OMQs (exact).
+
+    ``eval_kwargs`` are forwarded to :func:`certain_answers`.  Raises if the
+    evaluation strategy cannot certify completeness on some canonical
+    database — a ⊆-verdict from an incomplete chase portion would be
+    unsound.
+    """
+    _check_comparable(sub, sup)
+    for disjunct in sub.query.disjuncts:
+        canonical = disjunct.canonical_database()
+        head = tuple(disjunct.head)
+        answer = certain_answers(sup, canonical, **eval_kwargs)
+        if head in answer.answers:
+            continue
+        if not answer.complete:
+            raise RuntimeError(
+                "containment check inconclusive: the chase portion for "
+                f"{disjunct} is not provably complete; pass a larger "
+                "unfold/level_bound"
+            )
+        return False
+    return True
+
+
+def omq_equivalent(left: OMQ, right: OMQ, **eval_kwargs) -> bool:
+    """``Q1 ≡ Q2`` — mutual containment."""
+    return omq_contained_in(left, right, **eval_kwargs) and omq_contained_in(
+        right, left, **eval_kwargs
+    )

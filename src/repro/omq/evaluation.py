@@ -1,0 +1,155 @@
+"""OMQ evaluation — certain answers (Section 3.1, Prop 3.1).
+
+``Q(D) = q(chase(D, Σ))``, so evaluation reduces to materialising enough of
+the chase.  Several strategies are available, picked automatically:
+
+============  ==========================================  ===============
+strategy      applicable when                             exactness
+============  ==========================================  ===============
+``chase``     Σ full or weakly acyclic                    exact
+``rewrite``   Σ linear, single-head                       exact
+``guarded``   Σ guarded                                   exact when the
+                                                          expansion closed
+                                                          without blocking;
+                                                          otherwise sound,
+                                                          calibrated to the
+                                                          query's variable
+                                                          count
+``bounded``   anything (frontier-guarded, arbitrary)      sound up to the
+                                                          level bound
+============  ==========================================  ===============
+
+Soundness is unconditional: every produced answer is a certain answer,
+because every strategy evaluates the UCQ over a subset of the chase (UCQs
+are monotone).  The ``complete`` flag on the result states whether the
+answer set is *provably* all of ``Q(D)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..datamodel import Instance, Term
+from ..queries import evaluate_ucq
+from ..tgds import all_full, all_linear, is_weakly_acyclic
+from ..chase import (
+    chase,
+    ground_saturation,
+    rewrite_ucq,
+    saturated_expansion,
+)
+from .omq import OMQ
+
+__all__ = ["OMQAnswer", "certain_answers", "is_certain_answer"]
+
+#: Default level bound for the fallback bounded strategy.
+DEFAULT_LEVEL_BOUND = 8
+
+
+@dataclass
+class OMQAnswer:
+    """Certain answers plus provenance of how they were computed.
+
+    ``answers`` is always sound (a subset of ``Q(D)``); ``complete`` is True
+    when it provably equals ``Q(D)``.
+    """
+
+    answers: set[tuple[Term, ...]]
+    complete: bool
+    strategy: str
+    detail: str = ""
+
+    def __contains__(self, candidate: tuple) -> bool:
+        return tuple(candidate) in self.answers
+
+
+def _restrict_to_database(
+    answers: set[tuple[Term, ...]], database: Instance
+) -> set[tuple[Term, ...]]:
+    """Certain answers are tuples over dom(D); drop null-containing tuples."""
+    dom = database.dom()
+    return {t for t in answers if all(c in dom for c in t)}
+
+
+def certain_answers(
+    omq: OMQ,
+    database: Instance,
+    *,
+    strategy: str = "auto",
+    level_bound: int = DEFAULT_LEVEL_BOUND,
+    unfold: int | None = None,
+    max_nodes: int = 50_000,
+) -> OMQAnswer:
+    """Compute ``Q(D)`` (Prop 3.1) with the given or auto-picked strategy."""
+    omq.validate_database(database)
+    tgds = list(omq.tgds)
+
+    if strategy == "auto":
+        if not tgds or all_full(tgds) or is_weakly_acyclic(tgds):
+            strategy = "chase"
+        elif all_linear(tgds) and all(len(t.head) == 1 for t in tgds):
+            strategy = "rewrite"
+        elif omq.is_guarded():
+            strategy = "guarded"
+        else:
+            strategy = "bounded"
+
+    if strategy == "chase":
+        result = chase(database, tgds)
+        if not result.terminated:  # pragma: no cover - chase() would raise
+            raise RuntimeError("chase strategy selected but chase did not terminate")
+        answers = _restrict_to_database(
+            evaluate_ucq(omq.query, result.instance), database
+        )
+        return OMQAnswer(answers, True, "chase", f"{len(result.instance)} atoms")
+
+    if strategy == "rewrite":
+        rewriting = rewrite_ucq(omq.query, tgds)
+        answers = evaluate_ucq(rewriting, database)
+        return OMQAnswer(answers, True, "rewrite", f"{len(rewriting)} CQs")
+
+    if strategy == "guarded":
+        calibration = unfold if unfold is not None else max(
+            2, omq.query.max_cq_variables()
+        )
+        expansion = saturated_expansion(
+            database, tgds, unfold=calibration, max_nodes=max_nodes
+        )
+        answers = _restrict_to_database(
+            evaluate_ucq(omq.query, expansion.instance), database
+        )
+        return OMQAnswer(
+            answers,
+            expansion.provably_exact,
+            "guarded",
+            f"{expansion.nodes} nodes, unfold={calibration}, "
+            f"blocked={expansion.blocked}",
+        )
+
+    if strategy == "bounded":
+        result = chase(database, tgds, max_level=level_bound)
+        answers = _restrict_to_database(
+            evaluate_ucq(omq.query, result.instance), database
+        )
+        return OMQAnswer(
+            answers,
+            result.terminated,
+            "bounded",
+            f"level ≤ {level_bound}, {len(result.instance)} atoms",
+        )
+
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def is_certain_answer(
+    omq: OMQ,
+    database: Instance,
+    candidate: Sequence[Term],
+    **kwargs,
+) -> bool:
+    """Decide ``c̄ ∈ Q(D)`` — the paper's OMQ-Evaluation problem.
+
+    Sound and, whenever the chosen strategy is complete, exact.
+    """
+    return tuple(candidate) in certain_answers(omq, database, **kwargs).answers

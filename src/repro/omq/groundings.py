@@ -1,0 +1,212 @@
+"""Σ-groundings and the Definition C.6 UCQ_k-approximation for OMQs.
+
+This is the paper's own approximation machinery for guarded OMQs
+(Appendix C), more general than the contraction-based CQS route:
+
+* a **specialization** of a CQ ``q`` is a pair ``(p, V)`` — a contraction
+  ``p`` plus a set ``V`` of variables destined for *database constants*
+  (Definition C.1; in :mod:`repro.queries.contractions`);
+* a **Σ-grounding** of ``(p, V)`` (Definition C.3) replaces each maximally
+  [V]-connected component ``p_i`` of ``p[V]`` (the part of ``p`` that the
+  chase must generate from invented nulls) by a *guarded full CQ* ``g_i``
+  over at most ``ar(T)`` variables that entails ``p_i`` under Σ:
+  ``p_i → chase(g_i, Σ)`` via the identity on ``var(p_i) ∩ V``;
+* the **UCQ_k-approximation** ``Q^a_k`` (Definition C.6) collects all
+  Σ-groundings of treewidth ≤ k of all specializations of all disjuncts.
+
+Key properties (Lemma C.7, checked empirically by the tests):
+
+1. ``Q^a_k ⊆ Q`` always;
+2. on databases of treewidth ≤ k (up to the answer tuple), ``Q^a_k``
+   agrees with ``Q``;
+3. ``Q`` is UCQ_k-equivalent iff ``Q ≡ Q^a_k`` (Prop 5.2, for
+   ``k ≥ ar(T) − 1``).
+
+The construction is doubly exponential in general; this implementation
+materialises it for small schemas (the guarded-CQ pool is enumerated over
+``ar(T)`` variables), which is what the experiments need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..datamodel import Atom, Instance, Variable, find_homomorphism
+from ..queries import CQ, UCQ, dedupe_isomorphic, prune_subsumed, specializations
+from ..tgds import TGD, all_guarded, schema_of
+from ..treewidth import in_cq_k
+from ..chase import saturated_expansion
+from .omq import OMQ
+
+__all__ = [
+    "v_connected_components",
+    "sigma_groundings",
+    "omq_ucq_k_approximation",
+]
+
+
+def v_connected_components(query: CQ, v: frozenset[Variable]) -> list[list[Atom]]:
+    """The maximally [V]-connected components of ``q[V]`` (Appendix C.1).
+
+    ``q[V]`` drops the atoms over ``V`` only; two remaining atoms are
+    connected when they share a variable outside ``V``.
+    """
+    remaining = [a for a in query.atoms if not (a.variables() <= v)]
+    components: list[list[Atom]] = []
+    unassigned = list(remaining)
+    while unassigned:
+        seed = unassigned.pop(0)
+        component = [seed]
+        frontier_vars = seed.variables() - v
+        changed = True
+        while changed:
+            changed = False
+            for atom in list(unassigned):
+                if atom.variables() - v & frontier_vars:
+                    component.append(atom)
+                    frontier_vars |= atom.variables() - v
+                    unassigned.remove(atom)
+                    changed = True
+        components.append(component)
+    return components
+
+
+def _guarded_candidate_pool(
+    shared: Sequence[Variable], schema, max_extra: int
+) -> Iterable[CQ]:
+    """All guarded full CQs over ``shared ∪ {y1..}`` (Definition C.3).
+
+    A guarded full CQ is determined by a guard atom containing all its
+    variables plus a subset of side atoms over those variables; we
+    enumerate guards first, side subsets second.
+    """
+    extra = [Variable(f"y@{i}") for i in range(1, max_extra + 1)]
+    for pred in sorted(schema.predicates()):
+        arity = schema.arity_of(pred)
+        if arity < len(shared):
+            continue  # the guard must contain all shared variables
+        pool = list(shared) + extra[: max(0, arity - len(shared))]
+        for args in itertools.product(pool, repeat=arity):
+            used = set(args)
+            if not used >= set(shared):
+                continue
+            guard = Atom(pred, args)
+            side_atoms = []
+            for side_pred in sorted(schema.predicates()):
+                side_arity = schema.arity_of(side_pred)
+                for side_args in itertools.product(sorted(used), repeat=side_arity):
+                    atom = Atom(side_pred, side_args)
+                    if atom != guard:
+                        side_atoms.append(atom)
+            # Side subsets blow up fast; cap at singletons plus empty —
+            # larger types are only needed for exotic ontologies, and the
+            # guard-only / guard+1 pool already realises the paper's
+            # examples.  (Documented scope cut.)
+            yield CQ(tuple(used), [guard], name="g")
+            for side in side_atoms:
+                yield CQ(tuple(used), [guard, side], name="g")
+
+
+def sigma_groundings(
+    query: CQ,
+    v: frozenset[Variable],
+    tgds: Sequence[TGD],
+    *,
+    max_candidates: int = 5_000,
+) -> list[CQ]:
+    """All Σ-groundings of the specialization ``(query, v)`` (Def C.3).
+
+    Each grounding is returned as a CQ with the same answer variables as
+    *query*: the ``V``-part atoms ``q|V`` stay, each [V]-connected
+    component is replaced by a guarded full CQ that Σ-entails it.
+    """
+    tgds = list(tgds)
+    if not all_guarded(tgds):
+        raise ValueError("Σ-groundings are defined for guarded ontologies")
+    schema = schema_of(tgds).union(query.schema())
+    base_atoms = [a for a in query.atoms if a.variables() <= v]
+    components = v_connected_components(query, v)
+    if not components:
+        grounded = CQ(query.head, base_atoms, name=query.name) if base_atoms else None
+        return [grounded] if grounded is not None else []
+
+    per_component: list[list[CQ]] = []
+    for index, component in enumerate(components):
+        shared = sorted(
+            {var for atom in component for var in atom.variables() if var in v}
+        )
+        found: list[CQ] = []
+        seen = 0
+        for candidate in _guarded_candidate_pool(shared, schema, schema.arity()):
+            seen += 1
+            if seen > max_candidates:
+                break
+            # Rename the candidate's extra variables apart per component.
+            renaming = {
+                var: Variable(f"{var.name}#{index}")
+                for var in candidate.variables()
+                if var not in shared
+            }
+            renamed_atoms = [a.apply(renaming) for a in candidate.atoms]
+            expansion = saturated_expansion(
+                Instance(renamed_atoms), tgds, unfold=len(component) + 1
+            )
+            fixed = {var: var for var in shared}
+            if (
+                find_homomorphism(component, expansion.instance, fixed=fixed)
+                is not None
+            ):
+                head = tuple(
+                    dict.fromkeys(
+                        var for atom in renamed_atoms for var in atom.variables()
+                    )
+                )
+                found.append(CQ(head, renamed_atoms, name="g"))
+        per_component.append(dedupe_isomorphic(found))
+
+    groundings: list[CQ] = []
+    for combination in itertools.product(*per_component):
+        atoms = list(base_atoms)
+        for part in combination:
+            atoms.extend(part.atoms)
+        try:
+            groundings.append(CQ(query.head, atoms, name=query.name))
+        except ValueError:
+            continue  # an answer variable fell out of scope: not a grounding
+    return dedupe_isomorphic(groundings)
+
+
+def omq_ucq_k_approximation(
+    omq: OMQ, k: int, *, max_specializations: int = 2_000
+) -> OMQ | None:
+    """``Q^a_k`` per Definition C.6 (for guarded, small-schema OMQs).
+
+    Returns None when no grounding of any specialization has treewidth ≤ k
+    (then ``q^a_k`` would be the empty — unsatisfiable — UCQ).
+
+    ``max_specializations`` caps the (Bell-number-sized) specialization
+    sweep.  The cap only ever *shrinks* the approximation, so Lemma C.7(1)
+    (``Q^a_k ⊆ Q``) and any *positive* equivalence verdict obtained by
+    checking ``Q ⊆ Q^a_k`` remain certified; a negative verdict reached
+    under the cap is advisory.  Raise the cap for exact negative answers
+    on large queries.
+    """
+    if not omq.is_guarded():
+        raise ValueError("Definition C.6 approximations need a guarded ontology")
+    tgds = list(omq.tgds)
+    disjuncts: list[CQ] = []
+    for cq in omq.query.disjuncts:
+        count = 0
+        for contraction, v in specializations(cq):
+            count += 1
+            if count > max_specializations:
+                break
+            for grounding in sigma_groundings(contraction, v, tgds):
+                if in_cq_k(grounding, k):
+                    disjuncts.append(grounding)
+    disjuncts = dedupe_isomorphic(disjuncts)
+    if not disjuncts:
+        return None
+    query = prune_subsumed(UCQ(disjuncts, name=omq.query.name))
+    return OMQ(omq.data_schema, tgds, query, name=f"{omq.name}^a_{k}")

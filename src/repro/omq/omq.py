@@ -1,0 +1,133 @@
+"""Ontology-mediated queries (Section 3.1).
+
+An OMQ is a triple ``Q = (S, Σ, q)``: a *data schema* S (the predicates the
+input database may use), an ontology Σ over an extended schema ``T ⊇ S``,
+and a UCQ q over T.  Its semantics is certain answers:
+``Q(D) = ⋂ { q(I) : I ⊇ D, I |= Σ }``, which by Prop 3.1 equals
+``q(chase(D, Σ))``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datamodel import Instance, Schema
+from ..queries import CQ, UCQ
+from ..tgds import (
+    TGD,
+    all_frontier_guarded,
+    all_full,
+    all_guarded,
+    all_linear,
+    is_weakly_acyclic,
+    schema_of,
+)
+
+__all__ = ["OMQ"]
+
+
+class OMQ:
+    """An ontology-mediated query ``Q = (S, Σ, q)``.
+
+    >>> from repro.queries import parse_ucq
+    >>> from repro.tgds import parse_tgds
+    >>> Q = OMQ.with_full_data_schema(parse_tgds(["A(x) -> B(x)"]),
+    ...                               parse_ucq("q(x) :- B(x)"))
+    >>> Q.arity
+    1
+    """
+
+    __slots__ = ("data_schema", "tgds", "query", "name")
+
+    def __init__(
+        self,
+        data_schema: Schema,
+        tgds: Sequence[TGD],
+        query: UCQ | CQ,
+        name: str = "Q",
+    ) -> None:
+        self.data_schema = data_schema
+        self.tgds = tuple(tgds)
+        self.query = query if isinstance(query, UCQ) else UCQ.of(query)
+        self.name = name
+        extended = self.extended_schema()
+        if not (data_schema <= extended):
+            # The data schema may mention predicates that Σ and q do not;
+            # only arity clashes are an error.
+            extended.union(data_schema)  # raises SchemaError on clash
+
+    @classmethod
+    def with_full_data_schema(
+        cls, tgds: Sequence[TGD], query: UCQ | CQ, name: str = "Q"
+    ) -> "OMQ":
+        """The OMQ whose data schema is *all* predicates of Σ and q.
+
+        This is the ``omq(S)`` bridge object of Section 5.1 when applied to
+        a CQS.
+        """
+        tgds = list(tgds)
+        query = query if isinstance(query, UCQ) else UCQ.of(query)
+        schema = schema_of(tgds).union(query.schema())
+        return cls(schema, tgds, query, name=name)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return self.query.arity
+
+    def extended_schema(self) -> Schema:
+        """``T`` — all predicates of Σ and q (plus the data schema)."""
+        return schema_of(self.tgds).union(self.query.schema()).union(self.data_schema)
+
+    def has_full_data_schema(self) -> bool:
+        """True iff the data schema covers every predicate of Σ and q.
+
+        This is the paper's "full data schema": the ontology introduces no
+        relations beyond those admitted in the database (extra data-only
+        predicates are harmless).
+        """
+        used = schema_of(self.tgds).union(self.query.schema()).predicates()
+        return used <= self.data_schema.predicates()
+
+    def validate_database(self, database: Instance) -> None:
+        """Raise unless *database* is an S-database."""
+        for atom in database:
+            self.data_schema.validate_atom(atom)
+
+    # ------------------------------------------------------------------
+    # Language membership (which OMQ language (C, Q) does this live in?)
+    # ------------------------------------------------------------------
+    def ontology_classes(self) -> set[str]:
+        labels = {"TGD"}
+        if all_guarded(self.tgds):
+            labels.add("G")
+        if all_frontier_guarded(self.tgds):
+            labels.add("FG")
+        if all_linear(self.tgds):
+            labels.add("L")
+        if all_full(self.tgds):
+            labels.add("FULL")
+        if is_weakly_acyclic(self.tgds):
+            labels.add("WA")
+        return labels
+
+    def is_guarded(self) -> bool:
+        """Q ∈ (G, UCQ)."""
+        return all_guarded(self.tgds)
+
+    def is_frontier_guarded(self) -> bool:
+        """Q ∈ (FG, UCQ)."""
+        return all_frontier_guarded(self.tgds)
+
+    def size(self) -> int:
+        """``‖Q‖`` — ontology size plus query size."""
+        return sum(t.size() for t in self.tgds) + self.query.size()
+
+    def __repr__(self) -> str:
+        preds = ", ".join(sorted(self.data_schema.predicates()))
+        return (
+            f"OMQ<{self.name}: data=[{preds}], |Σ|={len(self.tgds)}, "
+            f"|q|={len(self.query)} disjunct(s)>"
+        )

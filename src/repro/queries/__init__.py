@@ -1,0 +1,83 @@
+"""Conjunctive queries, UCQs, and their classical algorithmics."""
+
+from .cq import CQ, UCQ, dedupe_isomorphic
+from .containment import (
+    prune_subsumed,
+    contained_in,
+    cq_contained_in,
+    cq_equivalent,
+    equivalent,
+    ucq_contained_in,
+    ucq_equivalent,
+)
+from .contractions import (
+    contractions,
+    identify,
+    is_contraction_of,
+    proper_contractions,
+    specializations,
+)
+from .core import core, is_core, proper_endomorphism, retract_once
+from .evaluation import evaluate, evaluate_cq, evaluate_ucq, holds, is_answer, iter_answers
+from .sql import (
+    cq_to_sql,
+    evaluate_via_sqlite,
+    load_into_sqlite,
+    ucq_to_sql,
+)
+from .parser import (
+    ParseError,
+    parse_atom,
+    parse_atoms,
+    parse_cq,
+    parse_database,
+    parse_ucq,
+)
+from .td_evaluation import (
+    decomposition_for_query,
+    evaluate_td,
+    evaluate_td_ucq,
+    is_answer_td,
+)
+
+__all__ = [
+    "CQ",
+    "UCQ",
+    "ParseError",
+    "contained_in",
+    "contractions",
+    "core",
+    "cq_contained_in",
+    "cq_equivalent",
+    "decomposition_for_query",
+    "dedupe_isomorphic",
+    "equivalent",
+    "evaluate",
+    "evaluate_cq",
+    "evaluate_td",
+    "evaluate_td_ucq",
+    "evaluate_ucq",
+    "holds",
+    "identify",
+    "is_answer",
+    "is_answer_td",
+    "is_contraction_of",
+    "is_core",
+    "iter_answers",
+    "parse_atom",
+    "parse_atoms",
+    "parse_cq",
+    "parse_database",
+    "parse_ucq",
+    "proper_contractions",
+    "proper_endomorphism",
+    "prune_subsumed",
+    "cq_to_sql",
+    "evaluate_via_sqlite",
+    "load_into_sqlite",
+    "ucq_to_sql",
+    "retract_once",
+    "specializations",
+    "ucq_contained_in",
+    "ucq_equivalent",
+]

@@ -1,0 +1,89 @@
+"""Containment and equivalence of plain (U)CQs (Chandra–Merlin).
+
+``q1 ⊆ q2`` iff there is a homomorphism from ``q2`` to the canonical
+database ``D[q1]`` mapping the head of ``q2`` onto the head of ``q1``
+(positionally).  For UCQs: ``q1 ⊆ q2`` iff every disjunct of ``q1`` is
+contained in some disjunct of ``q2``.
+
+Containment *under constraints* (``⊆_Σ``, Prop 4.5) lives in
+:mod:`repro.cqs.containment`.
+"""
+
+from __future__ import annotations
+
+from ..datamodel import find_homomorphism
+from .cq import CQ, UCQ
+
+__all__ = [
+    "cq_contained_in",
+    "cq_equivalent",
+    "ucq_contained_in",
+    "ucq_equivalent",
+    "contained_in",
+    "equivalent",
+]
+
+
+def cq_contained_in(sub: CQ, sup: CQ) -> bool:
+    """``sub ⊆ sup`` for CQs via the Chandra–Merlin homomorphism test."""
+    if sub.arity != sup.arity:
+        raise ValueError(f"arity mismatch: {sub.arity} vs {sup.arity}")
+    target = sub.canonical_database()
+    # `sup` must map into D[sub]; if the two queries share variable objects
+    # that is harmless because all source variables are movable and the
+    # head correspondence is enforced explicitly.
+    fixed = dict(zip(sup.head, sub.head))
+    return find_homomorphism(sup.atoms, target, fixed=fixed) is not None
+
+
+def cq_equivalent(left: CQ, right: CQ) -> bool:
+    """CQ equivalence: mutual containment."""
+    return cq_contained_in(left, right) and cq_contained_in(right, left)
+
+
+def ucq_contained_in(sub: UCQ, sup: UCQ) -> bool:
+    """``sub ⊆ sup`` for UCQs: each disjunct of sub is contained in some of sup."""
+    return all(
+        any(cq_contained_in(p1, p2) for p2 in sup.disjuncts) for p1 in sub.disjuncts
+    )
+
+
+def ucq_equivalent(left: UCQ, right: UCQ) -> bool:
+    return ucq_contained_in(left, right) and ucq_contained_in(right, left)
+
+
+def _as_ucq(query: CQ | UCQ) -> UCQ:
+    return query if isinstance(query, UCQ) else UCQ.of(query)
+
+
+def contained_in(sub: CQ | UCQ, sup: CQ | UCQ) -> bool:
+    """Containment with CQ/UCQ dispatch."""
+    return ucq_contained_in(_as_ucq(sub), _as_ucq(sup))
+
+
+def equivalent(left: CQ | UCQ, right: CQ | UCQ) -> bool:
+    """Equivalence with CQ/UCQ dispatch."""
+    return contained_in(left, right) and contained_in(right, left)
+
+
+def prune_subsumed(query: UCQ) -> UCQ:
+    """Drop disjuncts contained in another disjunct (UCQ minimisation).
+
+    The result is equivalent to the input: if ``p1 ⊆ p2`` then every answer
+    ``p1`` contributes is already produced by ``p2``.  Mutually equivalent
+    disjuncts keep their first representative.
+    """
+    disjuncts = list(query.disjuncts)
+    keep: list[CQ] = []
+    for index, cq in enumerate(disjuncts):
+        subsumed = False
+        for other_index, other in enumerate(disjuncts):
+            if index == other_index or not cq_contained_in(cq, other):
+                continue
+            mutual = cq_contained_in(other, cq)
+            if not mutual or other_index < index:
+                subsumed = True
+                break
+        if not subsumed:
+            keep.append(cq)
+    return UCQ(keep, name=query.name)

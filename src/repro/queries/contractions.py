@@ -1,0 +1,108 @@
+"""Contractions and specializations of CQs (Section 5.2 / Definition C.1).
+
+A *contraction* of a CQ ``q(x̄)`` is obtained by identifying variables:
+identifying an answer variable ``x`` with a non-answer variable ``y`` yields
+``x``; identifying two answer variables is not allowed.
+
+A *specialization* (Definition C.1) is a pair ``(p, V)`` where ``p`` is a
+contraction of ``q`` and ``x̄ ⊆ V ⊆ var(p)`` — the set ``V`` marks the
+variables that are intended to map to database constants rather than to
+chase-invented nulls.
+
+Both notions underlie the UCQ_k-approximations of OMQs and CQSs
+(Definition C.6 and Proposition 5.11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from ..datamodel import Variable
+from .cq import CQ, dedupe_isomorphic
+
+__all__ = [
+    "contractions",
+    "proper_contractions",
+    "specializations",
+    "identify",
+    "is_contraction_of",
+]
+
+
+def identify(query: CQ, groups: Iterable[Iterable[Variable]]) -> CQ:
+    """Contract *query* by identifying each group of variables.
+
+    Each group may contain at most one answer variable; if it contains one,
+    the group's representative is that answer variable, otherwise the least
+    variable by name.
+    """
+    mapping: dict[Variable, Variable] = {}
+    head_set = set(query.head)
+    for group in groups:
+        members = list(group)
+        answers = [v for v in members if v in head_set]
+        if len(answers) > 1:
+            raise ValueError(f"cannot identify two answer variables: {answers}")
+        representative = answers[0] if answers else min(members)
+        for member in members:
+            mapping[member] = representative
+    return query.apply(mapping)
+
+
+def _partitions(items: list) -> Iterator[list[list]]:
+    """All set partitions of *items* (standard recursive generation)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        for index in range(len(partition)):
+            yield partition[:index] + [[first] + partition[index]] + partition[index + 1:]
+        yield [[first]] + partition
+
+
+def contractions(query: CQ, *, dedupe: bool = True) -> list[CQ]:
+    """All contractions of *query* (including the trivial one).
+
+    The number of contractions is the number of set partitions of the
+    variables with no two answer variables in a block — exponential, so this
+    is meant for the small queries of the approximation procedures.
+    """
+    variables = sorted(query.variables())
+    head_set = set(query.head)
+    result: list[CQ] = []
+    for partition in _partitions(variables):
+        if any(sum(1 for v in block if v in head_set) > 1 for block in partition):
+            continue
+        result.append(identify(query, partition))
+    if dedupe:
+        result = dedupe_isomorphic(result)
+    return result
+
+
+def proper_contractions(query: CQ, *, dedupe: bool = True) -> list[CQ]:
+    """Contractions that actually identify at least two variables."""
+    total = contractions(query, dedupe=dedupe)
+    return [p for p in total if len(p.variables()) < len(query.variables())]
+
+
+def specializations(query: CQ) -> Iterator[tuple[CQ, frozenset[Variable]]]:
+    """All specializations ``(p, V)`` of *query* (Definition C.1).
+
+    Yields each contraction ``p`` together with each ``V`` satisfying
+    ``x̄ ⊆ V ⊆ var(p)``.
+    """
+    head = frozenset(query.head)
+    for contraction in contractions(query, dedupe=False):
+        optional = sorted(contraction.variables() - set(contraction.head))
+        for r in range(len(optional) + 1):
+            for extra in itertools.combinations(optional, r):
+                yield contraction, head | frozenset(extra)
+
+
+def is_contraction_of(candidate: CQ, query: CQ) -> bool:
+    """True iff *candidate* is (isomorphic to) a contraction of *query*."""
+    if candidate.arity != query.arity:
+        return False
+    return any(candidate.is_isomorphic_to(p) for p in contractions(query, dedupe=False))

@@ -1,0 +1,77 @@
+"""Cores of conjunctive queries (Section 4).
+
+The *core* of a CQ ``q`` is a ⊆-minimal subquery of ``q`` that is equivalent
+to ``q``.  It is unique up to isomorphism.  Cores power Grohe's Theorem:
+a CQ belongs to ``CQ≡_k`` iff its core has treewidth ≤ k
+(Dalmau–Kolaitis–Vardi, cited as [20]).
+
+The algorithm below repeatedly looks for a *proper endomorphism* — a
+homomorphism from ``q`` into its own canonical database that fixes the
+answer variables and whose image is a strict subset of the atoms — and
+replaces ``q`` with the image.  When no proper endomorphism exists the query
+is a core.
+"""
+
+from __future__ import annotations
+
+from ..datamodel import Term, find_homomorphisms
+from .cq import CQ
+
+__all__ = ["core", "is_core", "proper_endomorphism", "retract_once"]
+
+
+def proper_endomorphism(query: CQ) -> dict[Term, Term] | None:
+    """Find an endomorphism of ``q`` (fixing the head) with a smaller image.
+
+    Returns a mapping whose atom image is a strict subset of the query's
+    atoms, or None if the query is a core.
+    """
+    fixed = {v: v for v in query.head}
+    fixed.update({c: c for c in query.constants()})
+
+    # An endomorphism with a strictly smaller image misses at least one
+    # atom, so it is a homomorphism into D[q] minus that atom; trying each
+    # atom in turn is therefore complete (and avoids enumerating all
+    # endomorphisms).
+    if len(query.atoms) <= 1:
+        return None
+    for skipped in query.atoms:
+        sub_target = query.canonical_database()
+        sub_target.discard(skipped)
+        for hom in find_homomorphisms(query.atoms, sub_target, fixed=fixed, limit=1):
+            return hom
+    return None
+
+
+def retract_once(query: CQ) -> CQ | None:
+    """One retraction step: the image query, or None if already a core."""
+    hom = proper_endomorphism(query)
+    if hom is None:
+        return None
+    image_atoms = {a.apply(hom) for a in query.atoms}
+    return CQ(query.head, sorted(image_atoms, key=str), name=query.name)
+
+
+def core(query: CQ) -> CQ:
+    """The core of *query* (unique up to isomorphism).
+
+    >>> from repro.queries import parse_cq
+    >>> q = parse_cq("q() :- E(x, y), E(y, x), E(u, v)")
+    >>> len(core(q).atoms)
+    2
+    """
+    current = query
+    while True:
+        smaller = retract_once(current)
+        if smaller is None:
+            return current
+        if len(smaller.atoms) >= len(current.atoms) and set(smaller.atoms) == set(
+            current.atoms
+        ):  # pragma: no cover - defensive against non-shrinking loops
+            return current
+        current = smaller
+
+
+def is_core(query: CQ) -> bool:
+    """True iff the query has no proper endomorphism."""
+    return proper_endomorphism(query) is None

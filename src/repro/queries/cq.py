@@ -1,0 +1,289 @@
+"""Conjunctive queries and unions of conjunctive queries (Section 2).
+
+A CQ ``q(x̄) = ∃ȳ (R1(x̄1) ∧ ... ∧ Rm(x̄m))`` is represented by its answer
+variables ``x̄`` (the *head*) and its atoms; existential variables are the
+remaining ones.  A UCQ is a non-empty list of CQs of the same arity.
+
+Every CQ ``q`` is also a database ``D[q]`` — its *canonical database* —
+obtained by viewing variables as constants (Section 2); homomorphism-based
+algorithms (containment, cores, the Grohe construction) work on ``D[q]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..datamodel import (
+    Atom,
+    Instance,
+    Schema,
+    Term,
+    Variable,
+    find_homomorphism,
+    is_variable,
+)
+
+__all__ = ["CQ", "UCQ"]
+
+
+class CQ:
+    """A conjunctive query.
+
+    >>> from repro.datamodel import variables, Atom
+    >>> x, y, z = variables("x y z")
+    >>> q = CQ((x,), [Atom("R", (x, y)), Atom("R", (y, z))])
+    >>> q.arity
+    1
+    >>> sorted(v.name for v in q.existential_variables())
+    ['y', 'z']
+    """
+
+    __slots__ = ("head", "atoms", "name")
+
+    def __init__(
+        self,
+        head: Sequence[Variable],
+        atoms: Iterable[Atom],
+        name: str = "q",
+    ) -> None:
+        self.head = tuple(head)
+        # Deduplicate while preserving order (a CQ is a set of atoms).
+        self.atoms = tuple(dict.fromkeys(atoms))
+        self.name = name
+        if not self.atoms:
+            raise ValueError("a CQ must have at least one atom")
+        seen = set(self.head)
+        if len(seen) != len(self.head):
+            raise ValueError(f"duplicate answer variable in head {self.head}")
+        for v in self.head:
+            if not is_variable(v):
+                raise ValueError(f"answer position {v!r} is not a variable")
+        all_vars = self.variables()
+        for v in self.head:
+            if v not in all_vars:
+                raise ValueError(f"answer variable {v!r} does not occur in any atom")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """The number of answer variables."""
+        return len(self.head)
+
+    def is_boolean(self) -> bool:
+        """True iff the query has no answer variables."""
+        return not self.head
+
+    def variables(self) -> set[Variable]:
+        """All variables occurring in the query."""
+        result: set[Variable] = set()
+        for atom in self.atoms:
+            result.update(atom.variables())
+        return result
+
+    def existential_variables(self) -> set[Variable]:
+        """``ȳ`` — the variables that are not answer variables."""
+        return self.variables() - set(self.head)
+
+    def constants(self) -> set[Term]:
+        """All constants mentioned in atoms (empty for paper-strict CQs)."""
+        result: set[Term] = set()
+        for atom in self.atoms:
+            result.update(atom.constants())
+        return result
+
+    def is_constant_free(self) -> bool:
+        """True iff the query contains only variables (the paper's CQs)."""
+        return not self.constants()
+
+    def predicates(self) -> set[str]:
+        return {atom.pred for atom in self.atoms}
+
+    def schema(self) -> Schema:
+        return Schema.from_atoms(self.atoms)
+
+    def size(self) -> int:
+        """``‖q‖`` — a simple size measure (total number of atom positions)."""
+        return sum(atom.arity + 1 for atom in self.atoms)
+
+    # ------------------------------------------------------------------
+    # Canonical database and transformations
+    # ------------------------------------------------------------------
+    def canonical_database(self) -> Instance:
+        """``D[q]`` — variables become constants (they stay as-is)."""
+        return Instance(self.atoms)
+
+    def apply(self, mapping: Mapping[Term, Term], name: str | None = None) -> "CQ":
+        """Substitute terms; answer variables must remain (distinct) variables."""
+        new_head = tuple(mapping.get(v, v) for v in self.head)
+        for v in new_head:
+            if not is_variable(v):
+                raise ValueError(f"substitution maps answer variable to constant {v!r}")
+        return CQ(new_head, (a.apply(mapping) for a in self.atoms), name or self.name)
+
+    def rename_apart(self, suffix: str) -> "CQ":
+        """A variable-disjoint copy: every variable gets *suffix* appended."""
+        mapping = {v: Variable(v.name + suffix) for v in self.variables()}
+        return self.apply(mapping)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def gaifman_adjacency(self) -> dict[Term, set[Term]]:
+        """The Gaifman graph of ``D[q]`` (all terms, including constants)."""
+        return self.canonical_database().gaifman_adjacency()
+
+    def existential_gaifman_adjacency(self) -> dict[Variable, set[Variable]]:
+        """``G^q|ȳ`` — the Gaifman graph restricted to existential variables.
+
+        This is the graph whose treewidth defines the paper's (liberal)
+        treewidth of a CQ (Section 2).
+        """
+        existential = self.existential_variables()
+        adjacency: dict[Variable, set[Variable]] = {v: set() for v in existential}
+        full = self.gaifman_adjacency()
+        for v in existential:
+            adjacency[v] = {u for u in full.get(v, ()) if u in existential}
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # Equality up to renaming
+    # ------------------------------------------------------------------
+    def same_as(self, other: "CQ") -> bool:
+        """Syntactic equality (same head, same atom set)."""
+        return self.head == other.head and set(self.atoms) == set(other.atoms)
+
+    def is_isomorphic_to(self, other: "CQ") -> bool:
+        """Equality up to renaming of variables (head positions aligned)."""
+        if self.arity != other.arity or len(self.atoms) != len(other.atoms):
+            return False
+        if sorted(a.pred for a in self.atoms) != sorted(a.pred for a in other.atoms):
+            return False
+        fixed = dict(zip(self.head, other.head))
+        target = other.canonical_database()
+        for hom in _injective_homs(self, target, fixed):
+            if {a.apply(hom) for a in self.atoms} == set(other.atoms):
+                return True
+        return False
+
+    def iso_key(self) -> tuple:
+        """A cheap invariant under variable renaming (for bucketing)."""
+        signature = sorted(
+            (atom.pred, tuple(1 if t in self.head else 0 for t in atom.args))
+            for atom in self.atoms
+        )
+        return (self.arity, tuple(signature))
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        body = " ∧ ".join(map(str, self.atoms))
+        return f"{self.name}({head}) :- {body}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CQ) and self.same_as(other)
+
+    def __hash__(self) -> int:
+        return hash((self.head, frozenset(self.atoms)))
+
+
+def _injective_homs(source: CQ, target: Instance, fixed: Mapping) -> Iterator[dict]:
+    from ..datamodel import find_homomorphisms
+
+    yield from find_homomorphisms(
+        source.atoms, target, fixed=fixed, injective=True
+    )
+
+
+class UCQ:
+    """A union of conjunctive queries ``q1(x̄) ∨ ... ∨ qn(x̄)``.
+
+    All disjuncts must have the same arity.  Disjuncts may use different
+    variable names; answers are matched positionally.
+    """
+
+    __slots__ = ("disjuncts", "name")
+
+    def __init__(self, disjuncts: Iterable[CQ], name: str = "q") -> None:
+        self.disjuncts = tuple(disjuncts)
+        self.name = name
+        if not self.disjuncts:
+            raise ValueError("a UCQ must have at least one disjunct")
+        arities = {cq.arity for cq in self.disjuncts}
+        if len(arities) != 1:
+            raise ValueError(f"disjuncts have mixed arities {sorted(arities)}")
+
+    @classmethod
+    def of(cls, *cqs: CQ, name: str = "q") -> "UCQ":
+        return cls(cqs, name=name)
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def predicates(self) -> set[str]:
+        result: set[str] = set()
+        for cq in self.disjuncts:
+            result.update(cq.predicates())
+        return result
+
+    def schema(self) -> Schema:
+        schema = Schema()
+        for cq in self.disjuncts:
+            schema = schema.union(cq.schema())
+        return schema
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for cq in self.disjuncts:
+            result.update(cq.variables())
+        return result
+
+    def max_cq_variables(self) -> int:
+        """The largest variable count over the disjuncts (``n`` in Def 6.5)."""
+        return max(len(cq.variables()) for cq in self.disjuncts)
+
+    def size(self) -> int:
+        return sum(cq.size() for cq in self.disjuncts)
+
+    def map(self, fn) -> "UCQ":
+        """Apply *fn* to every disjunct, keeping the UCQ structure."""
+        return UCQ([fn(cq) for cq in self.disjuncts], name=self.name)
+
+    def __iter__(self) -> Iterator[CQ]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UCQ) and set(self.disjuncts) == set(other.disjuncts)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.disjuncts))
+
+    def __repr__(self) -> str:
+        return " ∨ ".join(f"[{cq!r}]" for cq in self.disjuncts)
+
+
+def dedupe_isomorphic(cqs: Iterable[CQ]) -> list[CQ]:
+    """Keep one representative per isomorphism class (bucketed by iso_key)."""
+    buckets: dict[tuple, list[CQ]] = {}
+    kept: list[CQ] = []
+    for cq in cqs:
+        key = cq.iso_key()
+        bucket = buckets.setdefault(key, [])
+        if any(cq.is_isomorphic_to(existing) for existing in bucket):
+            continue
+        bucket.append(cq)
+        kept.append(cq)
+    return kept
+
+
+__all__.append("dedupe_isomorphic")

@@ -1,0 +1,84 @@
+"""CQ/UCQ evaluation by backtracking homomorphism search.
+
+The evaluation problem (Section 2): given a (U)CQ ``q(x̄)``, a database
+``D``, and a candidate answer ``c̄``, decide whether ``c̄ ∈ q(D)``.  The
+answer-enumeration variants compute ``q(D)`` outright.
+
+This module is the generic (NP-hard in general) engine; the polynomial
+algorithm for bounded-treewidth queries (Prop 2.1) lives in
+:mod:`repro.queries.td_evaluation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..datamodel import Instance, Term, find_homomorphism, find_homomorphisms
+from .cq import CQ, UCQ
+
+__all__ = [
+    "evaluate_cq",
+    "evaluate_ucq",
+    "evaluate",
+    "is_answer",
+    "holds",
+    "iter_answers",
+]
+
+
+def iter_answers(query: CQ, database: Instance) -> Iterator[tuple[Term, ...]]:
+    """Yield answers to *query* over *database* (possibly with repeats)."""
+    for hom in find_homomorphisms(query.atoms, database):
+        yield tuple(hom[v] for v in query.head)
+
+
+def evaluate_cq(query: CQ, database: Instance) -> set[tuple[Term, ...]]:
+    """``q(D)`` for a CQ — the set of all answers (Section 2).
+
+    For a Boolean query the result is ``{()}`` or ``∅``.
+    """
+    return set(iter_answers(query, database))
+
+
+def evaluate_ucq(query: UCQ, database: Instance) -> set[tuple[Term, ...]]:
+    """``q(D)`` for a UCQ — the union of the disjuncts' answers."""
+    answers: set[tuple[Term, ...]] = set()
+    for cq in query.disjuncts:
+        answers |= evaluate_cq(cq, database)
+    return answers
+
+
+def evaluate(query: CQ | UCQ, database: Instance) -> set[tuple[Term, ...]]:
+    """Dispatch on CQ vs UCQ."""
+    if isinstance(query, UCQ):
+        return evaluate_ucq(query, database)
+    return evaluate_cq(query, database)
+
+
+def is_answer(
+    query: CQ | UCQ, database: Instance, candidate: Sequence[Term]
+) -> bool:
+    """Decide ``c̄ ∈ q(D)`` — the paper's evaluation problem.
+
+    Decides without enumerating all answers: the candidate pins the answer
+    variables before the homomorphism search starts.
+    """
+    candidate = tuple(candidate)
+    disjuncts: Iterable[CQ]
+    disjuncts = query.disjuncts if isinstance(query, UCQ) else (query,)
+    for cq in disjuncts:
+        if len(candidate) != cq.arity:
+            raise ValueError(
+                f"candidate arity {len(candidate)} != query arity {cq.arity}"
+            )
+        fixed = dict(zip(cq.head, candidate))
+        if find_homomorphism(cq.atoms, database, fixed=fixed) is not None:
+            return True
+    return False
+
+
+def holds(query: CQ | UCQ, database: Instance) -> bool:
+    """``D |= q`` for a Boolean (U)CQ (Section 2)."""
+    if query.arity != 0:
+        raise ValueError("holds() is for Boolean queries; use is_answer()")
+    return is_answer(query, database, ())

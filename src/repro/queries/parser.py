@@ -1,0 +1,172 @@
+"""A small text syntax for CQs, UCQs, atoms and databases.
+
+Grammar (whitespace-insensitive)::
+
+    cq     :=  NAME "(" vars? ")" ":-" atom ("," atom)*
+    atom   :=  PRED "(" term ("," term)* ")"   |   PRED "(" ")"
+    term   :=  IDENT            -- a variable
+            |  "'" chars "'"    -- a string constant
+            |  DIGITS           -- an integer constant
+
+Identifiers are variables by default; pass ``constants={"a", ...}`` to make
+chosen bare identifiers parse as constants instead (handy for databases).
+
+>>> q = parse_cq("q(x) :- R(x, y), S(y, 'paris')")
+>>> q.arity
+1
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..datamodel import Atom, Instance, Term, Variable
+from .cq import CQ, UCQ
+
+__all__ = ["parse_atom", "parse_atoms", "parse_cq", "parse_ucq", "parse_database", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed query/atom text."""
+
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)\s*")
+_INT_RE = re.compile(r"^-?\d+$")
+_QUOTED_RE = re.compile(r"^'([^']*)'$|^\"([^\"]*)\"$")
+
+
+def _parse_term(token: str, constants: set[str]) -> Term:
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    quoted = _QUOTED_RE.match(token)
+    if quoted:
+        return quoted.group(1) if quoted.group(1) is not None else quoted.group(2)
+    if _INT_RE.match(token):
+        return int(token)
+    if token in constants:
+        return token
+    if not re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", token):
+        raise ParseError(f"bad term {token!r}")
+    return Variable(token)
+
+
+def _split_atoms(text: str) -> list[str]:
+    """Split a comma-separated atom list, respecting parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {text!r}")
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_atom(text: str, constants: Iterable[str] = ()) -> Atom:
+    """Parse a single atom, e.g. ``"R(x, 'a', 3)"``."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise ParseError(f"bad atom {text!r}")
+    pred, args_text = match.group(1), match.group(2).strip()
+    const_set = set(constants)
+    if not args_text:
+        return Atom(pred, ())
+    args = tuple(_parse_term(tok, const_set) for tok in args_text.split(","))
+    return Atom(pred, args)
+
+
+def parse_atoms(text: str, constants: Iterable[str] = ()) -> list[Atom]:
+    """Parse a comma-separated list of atoms."""
+    return [parse_atom(part, constants) for part in _split_atoms(text)]
+
+
+def parse_cq(text: str, constants: Iterable[str] = ()) -> CQ:
+    """Parse a CQ, e.g. ``"q(x, y) :- R(x, z), S(z, y)"``.
+
+    A Boolean query is written ``"q() :- R(x, x)"``.
+    """
+    if ":-" not in text:
+        raise ParseError(f"missing ':-' in {text!r}")
+    head_text, body_text = text.split(":-", 1)
+    head_match = _ATOM_RE.fullmatch(head_text)
+    if not head_match:
+        raise ParseError(f"bad head {head_text!r}")
+    name = head_match.group(1)
+    head_args = head_match.group(2).strip()
+    head: tuple[Variable, ...] = ()
+    if head_args:
+        terms = tuple(_parse_term(tok, set()) for tok in head_args.split(","))
+        for term in terms:
+            if not isinstance(term, Variable):
+                raise ParseError(f"head terms must be variables, got {term!r}")
+        head = terms  # type: ignore[assignment]
+    atoms = parse_atoms(body_text, constants)
+    if not atoms:
+        raise ParseError(f"empty body in {text!r}")
+    return CQ(head, atoms, name=name)
+
+
+def parse_ucq(texts: Iterable[str] | str, constants: Iterable[str] = ()) -> UCQ:
+    """Parse a UCQ from one string with ``|``-separated disjuncts, or a list.
+
+    >>> u = parse_ucq("q(x) :- R(x, y) | q(x) :- S(x)")
+    >>> len(u)
+    2
+    """
+    if isinstance(texts, str):
+        texts = [part for part in texts.split("|") if part.strip()]
+    cqs = [parse_cq(text, constants) for text in texts]
+    return UCQ(cqs, name=cqs[0].name if cqs else "q")
+
+
+def parse_database(text: str) -> Instance:
+    """Parse a database: comma/newline separated *ground* atoms.
+
+    Bare identifiers are constants here (databases have no variables).
+
+    >>> db = parse_database("R(a, b), S(b)")
+    >>> len(db)
+    2
+    """
+    chunks: list[str] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            chunks.append(line.rstrip(","))
+    merged = ",".join(chunks) if chunks else text
+    atoms = []
+    for part in _split_atoms(merged):
+        match = _ATOM_RE.fullmatch(part)
+        if not match:
+            raise ParseError(f"bad atom {part!r}")
+        pred, args_text = match.group(1), match.group(2).strip()
+        if not args_text:
+            atoms.append(Atom(pred, ()))
+            continue
+        args = []
+        for token in args_text.split(","):
+            token = token.strip()
+            quoted = _QUOTED_RE.match(token)
+            if quoted:
+                args.append(quoted.group(1) if quoted.group(1) is not None else quoted.group(2))
+            elif _INT_RE.match(token):
+                args.append(int(token))
+            else:
+                args.append(token)
+        atoms.append(Atom(pred, tuple(args)))
+    return Instance(atoms)

@@ -1,0 +1,154 @@
+"""Compiling CQs/UCQs to SQL, with a sqlite3 execution backend.
+
+Two purposes:
+
+* **adoption** — a downstream user can push the paper's queries (including
+  the UCQ_k rewritings produced by the approximation machinery) into any
+  relational engine;
+* **validation** — sqlite3 (stdlib) acts as an independent oracle for the
+  homomorphism-based evaluator: the differential tests check
+  ``evaluate_cq(q, D) == evaluate_via_sqlite(q, D)`` on random inputs.
+
+Translation is the textbook one: one table alias per atom, equality
+predicates for repeated variables and constants, ``SELECT DISTINCT`` over
+the answer variables, ``UNION`` across UCQ disjuncts.  Boolean queries
+compile to an ``EXISTS``-style ``SELECT 1 ... LIMIT 1``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Sequence
+
+from ..datamodel import Instance, Schema, Term, Variable, is_variable
+from .cq import CQ, UCQ
+
+__all__ = [
+    "cq_to_sql",
+    "ucq_to_sql",
+    "create_table_statements",
+    "load_into_sqlite",
+    "evaluate_via_sqlite",
+]
+
+
+def _column(alias: str, position: int) -> str:
+    return f"{alias}.c{position}"
+
+
+def _literal(value: Term) -> str:
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def cq_to_sql(query: CQ) -> str:
+    """Translate a CQ into a single SELECT statement.
+
+    >>> from repro.queries import parse_cq
+    >>> print(cq_to_sql(parse_cq("q(x) :- R(x, y), S(y)")))
+    SELECT DISTINCT t0.c0 AS x FROM R AS t0, S AS t1 WHERE t0.c1 = t1.c0
+    """
+    aliases = [f"t{i}" for i in range(len(query.atoms))]
+    from_clause = ", ".join(
+        f"{atom.pred} AS {alias}" for atom, alias in zip(query.atoms, aliases)
+    )
+    first_occurrence: dict[Term, str] = {}
+    conditions: list[str] = []
+    for atom, alias in zip(query.atoms, aliases):
+        for position, term in enumerate(atom.args):
+            column = _column(alias, position)
+            if is_variable(term):
+                seen = first_occurrence.get(term)
+                if seen is None:
+                    first_occurrence[term] = column
+                else:
+                    conditions.append(f"{seen} = {column}")
+            else:
+                conditions.append(f"{column} = {_literal(term)}")
+    if query.is_boolean():
+        select = "SELECT 1 AS hit"
+    else:
+        parts = [
+            f"{first_occurrence[v]} AS {v.name}" for v in query.head
+        ]
+        select = "SELECT DISTINCT " + ", ".join(parts)
+    sql = f"{select} FROM {from_clause}"
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    if query.is_boolean():
+        sql += " LIMIT 1"
+    return sql
+
+
+def ucq_to_sql(query: UCQ) -> str:
+    """Translate a UCQ: the UNION of its disjuncts' SELECTs."""
+    return "\nUNION\n".join(cq_to_sql(cq) for cq in query.disjuncts)
+
+
+def create_table_statements(schema: Schema) -> list[str]:
+    """CREATE TABLE statements: one table per predicate, columns c0..c{n-1}."""
+    statements = []
+    for pred, arity in schema.items():
+        if arity == 0:
+            columns = "hit INTEGER"
+        else:
+            columns = ", ".join(f"c{i} TEXT" for i in range(arity))
+        statements.append(f"CREATE TABLE {pred} ({columns})")
+    return statements
+
+
+def load_into_sqlite(
+    database: Instance, connection: sqlite3.Connection | None = None
+) -> sqlite3.Connection:
+    """Materialise an instance into (a fresh in-memory) sqlite database."""
+    if connection is None:
+        connection = sqlite3.connect(":memory:")
+    schema = database.schema()
+    for statement in create_table_statements(schema):
+        connection.execute(statement)
+    for pred in sorted(schema.predicates()):
+        arity = schema.arity_of(pred)
+        rows = [
+            tuple(str(t) for t in atom.args)
+            for atom in database.atoms_with_pred(pred)
+        ]
+        if arity == 0:
+            connection.executemany(f"INSERT INTO {pred} VALUES (1)", [()] * len(rows))
+            continue
+        placeholders = ", ".join("?" for _ in range(arity))
+        connection.executemany(
+            f"INSERT INTO {pred} VALUES ({placeholders})", rows
+        )
+    connection.commit()
+    return connection
+
+
+def evaluate_via_sqlite(
+    query: CQ | UCQ, database: Instance
+) -> set[tuple[str, ...]]:
+    """Evaluate through sqlite3 — the independent oracle.
+
+    Values come back as strings (that is how they are stored); compare
+    against the homomorphism engine after the same stringification.
+    Predicates of the query missing from the database yield no rows, as
+    CQ semantics requires.
+    """
+    disjuncts: Sequence[CQ] = (
+        query.disjuncts if isinstance(query, UCQ) else (query,)
+    )
+    present = database.predicates()
+    connection = load_into_sqlite(database)
+    try:
+        answers: set[tuple[str, ...]] = set()
+        for cq in disjuncts:
+            if not cq.predicates() <= present:
+                continue  # a table is empty-and-absent: no matches
+            rows = connection.execute(cq_to_sql(cq)).fetchall()
+            if cq.is_boolean():
+                if rows:
+                    answers.add(())
+            else:
+                answers.update(tuple(row) for row in rows)
+        return answers
+    finally:
+        connection.close()

@@ -1,0 +1,56 @@
+"""Hardness reductions: grids, minor maps, Grohe's database, p-Clique
+pipelines, and the OMQ → CQS reduction."""
+
+from .clique import (
+    CliqueReduction,
+    clique_via_cq,
+    clique_via_cqs,
+    directed_grid_cq,
+    grid_constraints,
+    pad_cliques,
+)
+from .diversification import (
+    diversification_step,
+    is_diversification_of,
+    untangle,
+)
+from .grids import (
+    K_of,
+    clique_graph,
+    cycle_graph,
+    grid_cq,
+    grid_graph,
+    grid_vertex_variable,
+    pair_bijection,
+)
+from .grohe_db import GroheDatabase, GroheElement, find_clique, grohe_database
+from .minors import MinorMap, grid_minor_map, identity_grid_minor_map, make_onto
+from .omq_to_cqs import OMQToCQSReduction, omq_to_cqs
+
+__all__ = [
+    "CliqueReduction",
+    "GroheDatabase",
+    "GroheElement",
+    "K_of",
+    "MinorMap",
+    "OMQToCQSReduction",
+    "clique_graph",
+    "clique_via_cq",
+    "clique_via_cqs",
+    "cycle_graph",
+    "directed_grid_cq",
+    "find_clique",
+    "grid_cq",
+    "grid_constraints",
+    "grid_graph",
+    "grid_minor_map",
+    "grid_vertex_variable",
+    "grohe_database",
+    "identity_grid_minor_map",
+    "make_onto",
+    "omq_to_cqs",
+    "pair_bijection",
+    "diversification_step",
+    "is_diversification_of",
+    "untangle",
+]

@@ -1,0 +1,147 @@
+"""Diversification — the 'untangling' step of the Theorem 5.4 proof
+(Appendix D.2, Examples D.8/D.9).
+
+A *diversification* of a database ``D0`` (relative to a protected tuple
+``ā0``) replaces each atom ``R(ā) ∈ D0`` by a finite set of atoms
+``R(ā′1), ..., R(ā′n)`` where each ``ā′i`` renames some non-protected
+constants to fresh *isolated* constants.  Diversifications are ordered by
+``⪯``: ``D1 ⪯ D2`` iff every atom of ``D1`` keeps at most the old
+constants that the corresponding atom of ``D2`` keeps.  The OMQ lower
+bound works with a ⪯-minimal diversification still satisfying the query —
+the "maximally untangled" homomorphic preimage of Example D.9.
+
+This module implements:
+
+* :func:`diversification_step` — split one occurrence of one constant off
+  an atom (the elementary move);
+* :func:`untangle` — greedy ⪯-descent: keep applying steps while the OMQ
+  still holds, yielding a minimal diversification w.r.t. single-step moves;
+* :func:`is_diversification_of` — the defining homomorphism check
+  (``·↑`` maps fresh constants back to their originals).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..datamodel import Atom, Instance, Term, fresh_null
+from ..omq import OMQ, certain_answers
+
+__all__ = ["diversification_step", "untangle", "is_diversification_of"]
+
+
+def diversification_step(
+    database: Instance,
+    atom: Atom,
+    position: int,
+    *,
+    origin_map: dict[Term, Term],
+) -> tuple[Instance, Atom] | None:
+    """Split the constant at *position* of *atom* into a fresh copy.
+
+    Returns the new database and the replacement atom, or None when the
+    move is degenerate (the atom does not occur, or the position already
+    holds a constant unique to this atom occurrence).
+    """
+    if atom not in database:
+        return None
+    old = atom.args[position]
+    # Splitting is only "untangling" when the constant also occurs
+    # elsewhere (in this atom or another); otherwise nothing is shared.
+    occurrences = sum(a.args.count(old) for a in database)
+    if occurrences <= 1:
+        return None
+    copy = fresh_null("d")
+    origin_map[copy] = origin_map.get(old, old)
+    new_args = list(atom.args)
+    new_args[position] = copy
+    replacement = Atom(atom.pred, tuple(new_args))
+    result = database.copy()
+    result.discard(atom)
+    result.add(replacement)
+    return result, replacement
+
+
+def untangle(
+    database: Instance,
+    omq: OMQ,
+    *,
+    protected: Iterable[Term] = (),
+    still_holds: Callable[[Instance], bool] | None = None,
+    max_steps: int = 10_000,
+) -> tuple[Instance, dict[Term, Term]]:
+    """Greedily diversify *database* while the OMQ keeps holding.
+
+    The paper chooses a ⪯-minimal diversification ``D1`` of ``D0`` with
+    ``D1⁺ |= Q``; greedy single-constant splitting reaches a
+    step-minimal one, which is what Example D.9 illustrates (the shared
+    junk constant ``b`` splits into one fresh constant per atom).
+
+    Returns the untangled database together with the ``·↑`` origin map
+    (fresh constant → original constant).
+    """
+    protected = set(protected)
+    if still_holds is None:
+        boolean = omq.arity == 0
+
+        def still_holds(candidate: Instance) -> bool:
+            answers = certain_answers(omq, candidate).answers
+            return (() in answers) if boolean else bool(answers)
+
+    current = database.copy()
+    origin: dict[Term, Term] = {}
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for atom in sorted(current.atoms(), key=str):
+            for position, value in enumerate(atom.args):
+                if value in protected:
+                    continue
+                stepped = diversification_step(
+                    current, atom, position, origin_map=origin
+                )
+                if stepped is None:
+                    continue
+                candidate, _ = stepped
+                steps += 1
+                if still_holds(candidate):
+                    current = candidate
+                    progress = True
+                    break
+                if steps >= max_steps:
+                    break
+            if progress or steps >= max_steps:
+                break
+    return current, origin
+
+
+def is_diversification_of(
+    candidate: Instance,
+    original: Instance,
+    origin: dict[Term, Term],
+    *,
+    protected: Iterable[Term] = (),
+) -> bool:
+    """Check the defining property: ``·↑`` is a homomorphism onto D0 atoms.
+
+    Every candidate atom must project (via the origin map, identity on old
+    constants) to an atom of the original, and protected constants must
+    survive untouched.
+    """
+    protected = set(protected)
+    for atom in candidate:
+        projected = atom.apply(origin)
+        if projected not in original:
+            return False
+    for value in protected:
+        if value in original.dom() and value not in candidate.dom():
+            return False
+    # Fresh constants must be isolated (each occurs in exactly one atom).
+    fresh = set(origin)
+    isolated = candidate.isolated_constants()
+    for value in fresh & candidate.dom():
+        occurrences = sum(a.args.count(value) for a in candidate)
+        if occurrences > 1 and value not in isolated:
+            return False
+    return True

@@ -1,0 +1,95 @@
+"""Grids and grid queries (Section 6: the k × K-grid, K = C(k, 2)).
+
+The k × ℓ-grid has vertex set ``{(i, j) : 1 ≤ i ≤ k, 1 ≤ j ≤ ℓ}`` and an
+edge between two vertices iff their Manhattan distance is 1.  Grids are the
+canonical high-treewidth graphs: tw(k × ℓ grid) = min(k, ℓ) for k, ℓ ≥ 2,
+and by the Excluded Grid Theorem every graph of high treewidth contains a
+big grid minor — which is why all the paper's hardness reductions are built
+on them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..datamodel import Atom, Variable
+from ..queries import CQ
+from ..treewidth.decomposition import Graph, make_graph
+
+__all__ = [
+    "K_of",
+    "pair_bijection",
+    "grid_graph",
+    "grid_cq",
+    "grid_vertex_variable",
+    "clique_graph",
+    "cycle_graph",
+]
+
+
+def K_of(k: int) -> int:
+    """``K = C(k, 2)`` — the paper's capital-K convention (Section 6)."""
+    return k * (k - 1) // 2
+
+
+def pair_bijection(k: int) -> dict[frozenset[int], int]:
+    """The fixed bijection χ between 2-element subsets of [k] and [K].
+
+    Deterministic: pairs are enumerated in lexicographic order.
+    """
+    mapping: dict[frozenset[int], int] = {}
+    for index, (i, j) in enumerate(itertools.combinations(range(1, k + 1), 2), start=1):
+        mapping[frozenset((i, j))] = index
+    return mapping
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The rows × cols grid graph (vertices are (i, j) pairs, 1-based)."""
+    vertices = [(i, j) for i in range(1, rows + 1) for j in range(1, cols + 1)]
+    edges = []
+    for i, j in vertices:
+        if i + 1 <= rows:
+            edges.append(((i, j), (i + 1, j)))
+        if j + 1 <= cols:
+            edges.append(((i, j), (i, j + 1)))
+    return make_graph(vertices, edges)
+
+
+def grid_vertex_variable(i: int, j: int) -> Variable:
+    """The query variable standing for grid vertex (i, j)."""
+    return Variable(f"g{i}_{j}")
+
+
+def grid_cq(rows: int, cols: int, pred: str = "E", *, symmetric: bool = True) -> CQ:
+    """The Boolean grid CQ: one *pred* atom per grid edge.
+
+    With ``symmetric=True`` both orientations of every edge are included —
+    the right encoding of an undirected graph into a binary relation (and
+    it keeps the query a core with respect to symmetric databases).
+    """
+    atoms: list[Atom] = []
+    for i in range(1, rows + 1):
+        for j in range(1, cols + 1):
+            here = grid_vertex_variable(i, j)
+            if i + 1 <= rows:
+                atoms.append(Atom(pred, (here, grid_vertex_variable(i + 1, j))))
+                if symmetric:
+                    atoms.append(Atom(pred, (grid_vertex_variable(i + 1, j), here)))
+            if j + 1 <= cols:
+                atoms.append(Atom(pred, (here, grid_vertex_variable(i, j + 1))))
+                if symmetric:
+                    atoms.append(Atom(pred, (grid_vertex_variable(i, j + 1), here)))
+    return CQ((), atoms, name=f"grid{rows}x{cols}")
+
+
+def clique_graph(size: int) -> Graph:
+    """The complete graph K_size on vertices 1..size."""
+    vertices = list(range(1, size + 1))
+    return make_graph(vertices, itertools.combinations(vertices, 2))
+
+
+def cycle_graph(size: int) -> Graph:
+    """The cycle C_size on vertices 1..size."""
+    vertices = list(range(1, size + 1))
+    edges = [(i, i % size + 1) for i in vertices]
+    return make_graph(vertices, edges)

@@ -1,0 +1,253 @@
+"""Grohe's database construction — Theorem 6.1 / Lemma H.2 (Appendix H.1).
+
+Given a graph ``G``, a clique size ``k``, databases ``D ⊆ D′``, a set
+``A ⊆ dom(D)``, and a minor map ``µ`` from the (k × K)-grid onto
+``G^D|A`` (K = C(k,2)), the construction produces ``D* = D*(G, D, D′, A, µ)``
+with the properties the hardness proofs rely on:
+
+1. the projection ``h0`` is a surjective homomorphism ``D* → D′``;
+2. ``G`` has a k-clique **iff** there is a homomorphism ``h: D → D*`` with
+   ``h0(h(·))`` the identity on ``A``;
+3. if ``D′ |= Σ`` (frontier-guarded, with the clique-richness side
+   condition of Lemma H.2(3), or with TGDs whose heads introduce no
+   elements outside their guards), then ``D* |= Σ``.
+
+Elements of ``D*`` are either elements of ``dom(D′) \\ A`` or 5-tuples
+``(v, e, i, p, z)`` with ``v ∈ V(G)``, ``e ∈ E(G)``, ``i ∈ [k]``, ``p`` a
+2-subset of ``[k]`` and ``z ∈ µ(i, χ(p))``.  Facts come from *labelled
+cliques*: partial maps ``η: [k] → V(G)`` with pairwise-adjacent images;
+every fact ``R(z̄) ∈ D′`` whose A-elements are all covered by ``η`` yields
+``R(z̄_η)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..datamodel import Atom, Instance, Term
+from ..treewidth.decomposition import Graph, subgraph
+from .grids import K_of, pair_bijection
+from .minors import MinorMap
+
+__all__ = ["GroheElement", "GroheDatabase", "grohe_database", "find_clique"]
+
+
+@dataclass(frozen=True, repr=False)
+class GroheElement:
+    """A composite domain element ``(v, e, i, p, z)`` of ``D*``."""
+
+    v: Hashable
+    e: frozenset
+    i: int
+    p: frozenset
+    z: Term
+
+    def __repr__(self) -> str:
+        edge = "|".join(sorted(map(str, self.e)))
+        pair = "".join(sorted(map(str, self.p)))
+        return f"⟨{self.v},{edge},{self.i},{pair},{self.z}⟩"
+
+
+@dataclass
+class GroheDatabase:
+    """``D*`` together with the projection ``h0`` and provenance."""
+
+    d_star: Instance
+    h0: dict[Term, Term]
+    A: frozenset
+    graph: Graph
+    k: int
+    base: Instance  # the D of the construction
+    extended: Instance  # the D′
+
+    def project(self, term: Term) -> Term:
+        """``h0`` on one element."""
+        return self.h0.get(term, term)
+
+    def h0_is_homomorphism(self) -> bool:
+        """Sanity: h0 maps every D*-atom into D′ (Lemma H.2, item 2)."""
+        return all(
+            atom.apply(self.h0) in self.extended for atom in self.d_star
+        )
+
+    def h0_is_surjective(self) -> bool:
+        """Sanity: every element of dom(D′) is hit (when G has any clique
+        structure covering all grid cells — vacuously checked here)."""
+        image = {self.h0.get(t, t) for t in self.d_star.dom()}
+        return image >= self.extended.dom()
+
+    # ------------------------------------------------------------------
+    # Item (2) of Lemma H.2 — the k-clique criterion
+    # ------------------------------------------------------------------
+    def clique_homomorphism(self) -> dict[Term, Term] | None:
+        """A homomorphism ``h: D → D*`` with ``h0 ∘ h = id`` on ``A``.
+
+        Implemented by pinning: each ``a ∈ A`` may only map into
+        ``h0^{-1}(a)``, expressed through auxiliary unary pin atoms so the
+        generic indexed search applies unchanged.
+        """
+        from ..datamodel import all_movable, find_homomorphism
+
+        pinned_target = self.d_star.copy()
+        preimages: dict[Term, list[Term]] = {a: [] for a in self.A}
+        for element in self.d_star.dom():
+            origin = self.h0.get(element, element)
+            if origin in preimages:
+                preimages[origin].append(element)
+        source_atoms = list(self.base.atoms())
+        for index, a in enumerate(sorted(self.A, key=repr)):
+            pin = f"pin#{index}"
+            source_atoms.append(Atom(pin, (a,)))
+            for element in preimages[a]:
+                pinned_target.add(Atom(pin, (element,)))
+        return find_homomorphism(source_atoms, pinned_target, movable=all_movable)
+
+    def has_clique_certificate(self) -> bool:
+        """True iff the Lemma H.2(2) homomorphism exists."""
+        return self.clique_homomorphism() is not None
+
+
+def _labelled_cliques(
+    graph: Graph, labels: frozenset[int]
+) -> Iterator[dict[int, Hashable]]:
+    """All injective maps labels → V(G) with pairwise adjacent images."""
+    ordered = sorted(labels)
+    assignment: dict[int, Hashable] = {}
+
+    def backtrack(index: int) -> Iterator[dict[int, Hashable]]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        label = ordered[index]
+        if assignment:
+            pools = [set(graph[v]) for v in assignment.values()]
+            candidates = sorted(set.intersection(*pools) - set(assignment.values()), key=repr)
+        else:
+            candidates = sorted(graph, key=repr)
+        for vertex in candidates:
+            assignment[label] = vertex
+            yield from backtrack(index + 1)
+            del assignment[label]
+
+    yield from backtrack(0)
+
+
+def grohe_database(
+    graph: Graph,
+    k: int,
+    base: Instance,
+    extended: Instance,
+    A: frozenset | set,
+    minor_map: MinorMap,
+    *,
+    validate: bool = True,
+) -> GroheDatabase:
+    """Build ``D*(G, D, D′, A, µ)`` (Appendix H.1).
+
+    *graph* is the p-Clique instance, *base* is D, *extended* is D′ ⊇ D,
+    *A* the high-treewidth core of dom(D), *minor_map* a minor map from the
+    (k × K)-grid onto ``G^D|A``.
+    """
+    A = frozenset(A)
+    if validate:
+        if not (base.atoms() <= extended.atoms()):
+            raise ValueError("the construction needs D ⊆ D′")
+        if not A <= base.dom():
+            raise ValueError("A must be a subset of dom(D)")
+        gaifman = base.gaifman_adjacency()
+        restricted = subgraph(gaifman, A)
+        from .grids import grid_graph
+
+        template = grid_graph(k, K_of(k))
+        problems = minor_map.validate(template, restricted)
+        if problems:
+            raise ValueError(f"invalid minor map: {problems[:3]}")
+        if not minor_map.covered() >= A:
+            raise ValueError("the minor map must be onto A (use make_onto)")
+
+    chi = pair_bijection(k)
+    chi_inverse = {index: pair for pair, index in chi.items()}
+
+    # Each z ∈ A lives in exactly one branch set µ(i, column); the column
+    # corresponds to the pair χ^{-1}(column).  Record (i, pair) per z.
+    location: dict[Term, tuple[int, frozenset[int]]] = {}
+    for (i, column), branch in (
+        ((cell[0], cell[1]), minor_map[cell]) for cell in minor_map.branch_sets
+    ):
+        for z in branch:
+            location[z] = (i, chi_inverse[column])
+
+    d_star = Instance()
+    h0: dict[Term, Term] = {}
+
+    for fact in extended:
+        a_elements = [t for t in dict.fromkeys(fact.args) if t in A]
+        labels: set[int] = set()
+        ok = True
+        for z in a_elements:
+            if z not in location:
+                ok = False
+                break
+            i, pair = location[z]
+            labels |= {i} | set(pair)
+        if not ok:
+            continue
+        if not a_elements:
+            d_star.add(fact)
+            for t in fact.args:
+                h0.setdefault(t, t)
+            continue
+        for eta in _labelled_cliques(graph, frozenset(labels)):
+            replacement: dict[Term, Term] = {}
+            for z in a_elements:
+                i, pair = location[z]
+                j, l = sorted(pair)
+                element = GroheElement(
+                    v=eta[i],
+                    e=frozenset({eta[j], eta[l]}),
+                    i=i,
+                    p=frozenset(pair),
+                    z=z,
+                )
+                replacement[z] = element
+                h0[element] = z
+            new_fact = fact.apply(replacement)
+            d_star.add(new_fact)
+            for t in new_fact.args:
+                if not isinstance(t, GroheElement):
+                    h0.setdefault(t, t)
+
+    return GroheDatabase(
+        d_star=d_star,
+        h0=h0,
+        A=A,
+        graph=graph,
+        k=k,
+        base=base,
+        extended=extended,
+    )
+
+
+def find_clique(graph: Graph, k: int) -> list | None:
+    """Brute-force k-clique search (ground truth for the reductions).
+
+    Backtracking with neighbourhood intersection; fine for the benchmark
+    graph sizes.
+    """
+    vertices = sorted(graph, key=repr)
+    chosen: list = []
+
+    def backtrack(start: int) -> bool:
+        if len(chosen) == k:
+            return True
+        for index in range(start, len(vertices)):
+            candidate = vertices[index]
+            if all(candidate in graph[v] for v in chosen):
+                chosen.append(candidate)
+                if backtrack(index + 1):
+                    return True
+                chosen.pop()
+        return False
+
+    return list(chosen) if backtrack(0) else None

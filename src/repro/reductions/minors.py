@@ -1,0 +1,206 @@
+"""Minor maps (Section 6 / Appendix H preliminaries).
+
+A minor map from ``H`` to ``G`` assigns to each vertex of ``H`` a nonempty
+connected *branch set* in ``G``; branch sets are pairwise disjoint, and each
+``H``-edge is realised by some ``G``-edge between the corresponding branch
+sets.  It is *onto* when the branch sets cover ``V(G)``.
+
+The paper gets minor maps non-constructively (Excluded Grid Theorem) and
+then computes with them; we provide
+
+* a :class:`MinorMap` value with a full verifier;
+* the identity map for graphs that *are* grids;
+* :func:`grid_minor_map` — a constructive finder for the graph families the
+  pipelines use (graphs containing an explicit grid as a subgraph, found by
+  greedy embedding; arbitrary graphs may return None — minor testing in
+  general is not attempted, matching DESIGN.md's substitution notes).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from ..treewidth.decomposition import Graph, subgraph
+from .grids import grid_graph
+
+__all__ = ["MinorMap", "identity_grid_minor_map", "grid_minor_map", "make_onto"]
+
+
+class MinorMap:
+    """A minor map ``µ: V(H) → 2^{V(G)}`` with validation."""
+
+    __slots__ = ("branch_sets",)
+
+    def __init__(self, branch_sets: Mapping[Hashable, frozenset]) -> None:
+        self.branch_sets: dict[Hashable, frozenset] = {
+            v: frozenset(s) for v, s in branch_sets.items()
+        }
+
+    def __getitem__(self, vertex: Hashable) -> frozenset:
+        return self.branch_sets[vertex]
+
+    def __contains__(self, vertex: Hashable) -> bool:
+        return vertex in self.branch_sets
+
+    def covered(self) -> set:
+        """The union of all branch sets."""
+        result: set = set()
+        for branch in self.branch_sets.values():
+            result |= branch
+        return result
+
+    def owner_of(self, g_vertex: Hashable) -> Hashable | None:
+        """The H-vertex whose branch set contains *g_vertex* (or None)."""
+        for vertex, branch in self.branch_sets.items():
+            if g_vertex in branch:
+                return vertex
+        return None
+
+    def is_onto(self, graph: Graph) -> bool:
+        return self.covered() == set(graph)
+
+    def validate(self, minor: Graph, graph: Graph) -> list[str]:
+        """Check the three minor-map conditions; return problem strings."""
+        problems: list[str] = []
+        for vertex in minor:
+            branch = self.branch_sets.get(vertex)
+            if not branch:
+                problems.append(f"branch set of {vertex} missing or empty")
+                continue
+            if not branch <= set(graph):
+                problems.append(f"branch set of {vertex} leaves the graph")
+                continue
+            induced = subgraph(graph, branch)
+            if not _connected(induced):
+                problems.append(f"branch set of {vertex} is not connected")
+        seen: dict[Hashable, Hashable] = {}
+        for vertex, branch in self.branch_sets.items():
+            for g_vertex in branch:
+                if g_vertex in seen:
+                    problems.append(
+                        f"branch sets of {seen[g_vertex]} and {vertex} overlap"
+                    )
+                seen[g_vertex] = vertex
+        for a in minor:
+            for b in minor[a]:
+                if repr(a) < repr(b):
+                    if not self._edge_realised(a, b, graph):
+                        problems.append(f"minor edge ({a}, {b}) not realised")
+        return problems
+
+    def _edge_realised(self, a: Hashable, b: Hashable, graph: Graph) -> bool:
+        branch_a = self.branch_sets.get(a, frozenset())
+        branch_b = self.branch_sets.get(b, frozenset())
+        return any(u in graph and branch_b & graph[u] for u in branch_a)
+
+    def is_valid(self, minor: Graph, graph: Graph) -> bool:
+        return not self.validate(minor, graph)
+
+
+def _connected(graph: Graph) -> bool:
+    if not graph:
+        return False
+    start = next(iter(graph))
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for neigh in graph[node]:
+            if neigh not in seen:
+                seen.add(neigh)
+                stack.append(neigh)
+    return seen == set(graph)
+
+
+def identity_grid_minor_map(rows: int, cols: int) -> MinorMap:
+    """µ for a graph that literally is the rows × cols grid: singletons."""
+    return MinorMap(
+        {
+            (i, j): frozenset({(i, j)})
+            for i in range(1, rows + 1)
+            for j in range(1, cols + 1)
+        }
+    )
+
+
+def grid_minor_map(graph: Graph, rows: int, cols: int) -> MinorMap | None:
+    """Find a rows × cols grid minor by greedy *subgraph* embedding.
+
+    Sound but incomplete: it looks for the grid as a subgraph (singleton
+    branch sets) via backtracking in row-major order, which succeeds on the
+    graph families our reductions use (grids, grid queries with decorations)
+    and may return None on graphs whose grid minors need contractions.
+    """
+    template = grid_graph(rows, cols)
+    order = [(i, j) for i in range(1, rows + 1) for j in range(1, cols + 1)]
+    assignment: dict[tuple[int, int], Hashable] = {}
+    used: set[Hashable] = set()
+    vertices = sorted(graph, key=repr)
+
+    def predecessors(cell: tuple[int, int]) -> list[tuple[int, int]]:
+        i, j = cell
+        result = []
+        if i > 1:
+            result.append((i - 1, j))
+        if j > 1:
+            result.append((i, j - 1))
+        return result
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        cell = order[index]
+        anchors = predecessors(cell)
+        if anchors:
+            candidates: set[Hashable] | None = None
+            for anchor in anchors:
+                neighbours = set(graph[assignment[anchor]])
+                candidates = neighbours if candidates is None else candidates & neighbours
+            pool = sorted(candidates - used, key=repr) if candidates else []
+        else:
+            pool = [v for v in vertices if v not in used]
+        for candidate in pool:
+            assignment[cell] = candidate
+            used.add(candidate)
+            if backtrack(index + 1):
+                return True
+            used.discard(candidate)
+            del assignment[cell]
+        return False
+
+    if not backtrack(0):
+        return None
+    return MinorMap({cell: frozenset({v}) for cell, v in assignment.items()})
+
+
+def make_onto(minor_map: MinorMap, graph: Graph, restrict_to: set | None = None) -> MinorMap:
+    """Extend branch sets greedily so the map covers *restrict_to* (or V(G)).
+
+    Theorem 6.1 assumes an onto map when the host graph is connected; this
+    absorbs each uncovered vertex into an adjacent branch set (repeating
+    until fixpoint), preserving connectivity and disjointness.
+    """
+    target = set(graph) if restrict_to is None else set(restrict_to)
+    branches = {v: set(s) for v, s in minor_map.branch_sets.items()}
+    owner: dict[Hashable, Hashable] = {}
+    for vertex, branch in branches.items():
+        for g_vertex in branch:
+            owner[g_vertex] = vertex
+    changed = True
+    while changed:
+        changed = False
+        for g_vertex in sorted(target - set(owner), key=repr):
+            for neighbour in sorted(graph.get(g_vertex, ()), key=repr):
+                if neighbour in owner:
+                    home = owner[neighbour]
+                    branches[home].add(g_vertex)
+                    owner[g_vertex] = home
+                    changed = True
+                    break
+    uncovered = target - set(owner)
+    if uncovered:
+        raise ValueError(
+            f"cannot cover vertices {sorted(map(repr, uncovered))[:5]}: "
+            "they are not connected to any branch set"
+        )
+    return MinorMap({v: frozenset(s) for v, s in branches.items()})

@@ -1,0 +1,43 @@
+"""Semantic tree-likeness: Grohe machinery for plain CQs and Example 4.4."""
+
+from .appendix_c5 import (
+    appendix_c5_databases,
+    appendix_c5_ontology,
+    longest_s_path,
+    s_path_query,
+)
+from .example44 import (
+    example44_as_cqs,
+    example44_q,
+    example44_q1,
+    example44_q1_rewritten,
+    example44_q2,
+    example44_q_prime,
+    example44_sigma,
+)
+from .grohe import (
+    in_cq_k_equiv,
+    in_ucq_k_equiv,
+    semantic_treewidth,
+    semantic_treewidth_ucq,
+    tractable_witness,
+)
+
+__all__ = [
+    "appendix_c5_databases",
+    "appendix_c5_ontology",
+    "longest_s_path",
+    "s_path_query",
+    "example44_as_cqs",
+    "example44_q",
+    "example44_q1",
+    "example44_q1_rewritten",
+    "example44_q2",
+    "example44_q_prime",
+    "example44_sigma",
+    "in_cq_k_equiv",
+    "in_ucq_k_equiv",
+    "semantic_treewidth",
+    "semantic_treewidth_ucq",
+    "tractable_witness",
+]

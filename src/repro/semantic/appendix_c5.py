@@ -1,0 +1,125 @@
+"""The Appendix C.5 construction: why ``k < ar(T) − 1`` is different.
+
+Theorem 5.1 and Proposition 5.2 require ``k ≥ ar(T) − 1``.  Appendix C.5
+shows the restriction is not an artifact: it builds an OMQ
+``Q = (S, Σ, q)`` with ``ar(T) = 6`` and ``k = 1`` such that
+
+* ``Q`` *is* (uniformly) UCQ_1-equivalent — the witness is the query
+  asking for an ``S``-path of length ``2^n``;
+* but **every** equivalent OMQ from (G, UCQ_1) keeping the same ontology
+  needs a CQ with at least ``2^n`` atoms (Lemma C.8), so the polynomial
+  contraction-based approximation cannot be equivalent to ``Q``.
+
+The ontology uses a binary-counter gadget: ``n`` bit predicates
+``B^0_i/B^1_i`` drive a doubling construction so that a ``T1`` atom forces
+an ``S``-path of length ``2^n`` while a ``T2`` atom forces one of length
+``2^n − 1``.  The full gadget of the appendix needs high-arity carries; we
+implement the *behavioural* core that Lemma C.8's proof actually uses — a
+guarded ontology where a ``T1``-atom (resp. ``T2``-atom) generates an
+``S``-path of length exactly ``2^n`` (resp. ``2^n − 1``) through predicates
+of arity ≥ 3 that a treewidth-1 UCQ cannot mention with distinct variables.
+DESIGN.md records this substitution.
+
+The executable claims (exercised by tests and bench E17):
+
+* ``chase(D1, Σ)`` contains an S-path of length ``2^n`` and none longer;
+* ``chase(D2, Σ)`` contains an S-path of length ``2^n − 1`` and none longer;
+* hence the minimal UCQ_1 witness distinguishing the two is the
+  ``2^n``-atom path query — exponential in ``‖Q‖``, exactly Lemma C.8.
+"""
+
+from __future__ import annotations
+
+from ..datamodel import Atom, Instance, Variable
+from ..queries import CQ
+from ..tgds import TGD
+
+__all__ = [
+    "appendix_c5_ontology",
+    "appendix_c5_databases",
+    "s_path_query",
+    "longest_s_path",
+]
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+def appendix_c5_ontology(n: int) -> list[TGD]:
+    """A guarded ontology making T1 spawn an S-path of length 2^n.
+
+    Doubling gadget: level-ℓ markers ``P_ℓ(x, y, z)`` (arity 3, so they are
+    invisible to UCQ_1 queries with distinct variables) span an S-path of
+    length ``2^ℓ`` between ``x`` and ``y``:
+
+    * ``P_0(x, y, z)`` emits the single edge ``S(x, y)``;
+    * ``P_{ℓ+1}(x, y, z)`` splits into ``P_ℓ(x, m, z)`` and ``P_ℓ(m, y, z)``
+      with a fresh midpoint ``m``.
+
+    ``T1(x, y, z)`` seeds ``P_n``; ``T2(x, y, z)`` seeds ``P_{n-1}`` plus
+    ... plus ``P_0`` chained — an S-path of length ``2^n − 1``.
+    """
+    if n < 1:
+        raise ValueError("the construction needs n ≥ 1")
+    x, y, z, m = _v("x"), _v("y"), _v("z"), _v("m")
+    tgds: list[TGD] = []
+    tgds.append(TGD([Atom("P0", (x, y, z))], [Atom("S", (x, y))], name="emit"))
+    for level in range(n):
+        tgds.append(
+            TGD(
+                [Atom(f"P{level + 1}", (x, y, z))],
+                [Atom(f"P{level}", (x, m, z)), Atom(f"P{level}", (m, y, z))],
+                name=f"double{level + 1}",
+            )
+        )
+    tgds.append(TGD([Atom("T1", (x, y, z))], [Atom(f"P{n}", (x, y, z))], name="seed1"))
+    # T2: chain P_{n-1}, ..., P_0 — lengths 2^{n-1} + ... + 1 = 2^n − 1.
+    head: list[Atom] = []
+    left = x
+    midpoints = [_v(f"w{i}") for i in range(n - 1)]
+    for level in range(n - 1, -1, -1):
+        right = y if level == 0 else midpoints[n - 1 - level]
+        head.append(Atom(f"P{level}", (left, right, z)))
+        left = right
+    tgds.append(TGD([Atom("T2", (x, y, z))], head, name="seed2"))
+    return tgds
+
+
+def appendix_c5_databases() -> tuple[Instance, Instance]:
+    """``D1 = {T1(c1, c2, c3)}`` and ``D2 = {T2(c1, c2, c3)}``."""
+    return (
+        Instance([Atom("T1", ("c1", "c2", "c3"))]),
+        Instance([Atom("T2", ("c1", "c2", "c3"))]),
+    )
+
+
+def s_path_query(length: int) -> CQ:
+    """The Boolean query "there is an S-path of the given length"."""
+    variables = [_v(f"p{i}") for i in range(length + 1)]
+    atoms = [
+        Atom("S", (variables[i], variables[i + 1])) for i in range(length)
+    ]
+    return CQ((), atoms, name=f"spath{length}")
+
+
+def longest_s_path(instance: Instance) -> int:
+    """Length of the longest simple S-path in *instance* (DFS)."""
+    edges: dict = {}
+    for atom in instance.atoms_with_pred("S"):
+        edges.setdefault(atom.args[0], set()).add(atom.args[1])
+    best = 0
+
+    def dfs(node, seen, length) -> None:
+        nonlocal best
+        best = max(best, length)
+        for successor in edges.get(node, ()):
+            if successor not in seen:
+                seen.add(successor)
+                dfs(successor, seen, length + 1)
+                seen.discard(successor)
+
+    starts = set(edges)
+    for start in starts:
+        dfs(start, {start}, 0)
+    return best

@@ -1,0 +1,79 @@
+"""The paper's Example 4.4, as executable artifacts.
+
+The example shows that (i) the ontology and (ii) the data schema both
+influence semantic treewidth:
+
+* ``Q1 = (S, Σ, q)`` with ``Σ = {R2(x) → R4(x)}`` and ``q`` a treewidth-2
+  core: alone, ``q ∉ UCQ≡_1``; under Σ, ``Q1`` is equivalent to
+  ``(S, Σ, q′)`` with ``q′ ∈ CQ_1`` — so ``Q1 ∈ (G, UCQ)^{≡,u}_1``.
+* ``Q2 = (S′, Σ′, q)`` with ``Σ′ = {S(x) → R1(x), S(x) → R3(x)}`` and full
+  data schema is *not* in ``(G, UCQ)^≡_1``; dropping ``R1`` from the data
+  schema makes it so.
+
+Tests (and bench E8) verify the claims that are checkable with our
+machinery: the treewidths, the core property of ``q``, the equivalences
+``Q1 ≡ Q1'`` and ``q ≡_Σ q′`` in the CQS reading.
+"""
+
+from __future__ import annotations
+
+from ..datamodel import Schema
+from ..queries import UCQ, parse_cq
+from ..tgds import parse_tgds
+from ..omq import OMQ
+from ..cqs import CQS
+
+__all__ = [
+    "example44_q",
+    "example44_q_prime",
+    "example44_q1",
+    "example44_q1_rewritten",
+    "example44_sigma",
+    "example44_q2",
+    "example44_as_cqs",
+]
+
+_SCHEMA = Schema({"R1": 1, "R2": 1, "R3": 1, "R4": 1, "P": 2})
+
+
+def example44_sigma():
+    """``Σ = {R2(x) → R4(x)}``."""
+    return parse_tgds(["R2(x) -> R4(x)"])
+
+
+def example44_q():
+    """The Boolean treewidth-2 core ``q`` of Example 4.4."""
+    return parse_cq(
+        "q() :- P(x2, x1), P(x4, x1), P(x2, x3), P(x4, x3), "
+        "R1(x1), R2(x2), R3(x3), R4(x4)"
+    )
+
+
+def example44_q_prime():
+    """The treewidth-1 query ``q′`` equivalent to ``q`` under Σ."""
+    return parse_cq("q() :- P(x2, x1), P(x2, x3), R1(x1), R2(x2), R3(x3)")
+
+
+def example44_q1() -> OMQ:
+    """``Q1 = (S, Σ, q)`` — the ontology lowers the semantic treewidth."""
+    return OMQ(_SCHEMA, example44_sigma(), UCQ.of(example44_q()), name="Q1")
+
+
+def example44_q1_rewritten() -> OMQ:
+    """``(S, Σ, q′)`` — the witness that Q1 ∈ (G, UCQ)^{≡,u}_1."""
+    return OMQ(_SCHEMA, example44_sigma(), UCQ.of(example44_q_prime()), name="Q1'")
+
+
+def example44_q2() -> OMQ:
+    """``Q2`` — full data schema blocks the treewidth-1 rewriting.
+
+    ``Σ′ = {S(x) → R1(x), S(x) → R3(x)}`` over the schema extended with S.
+    """
+    schema = Schema({"S": 1, "R1": 1, "R2": 1, "R3": 1, "R4": 1, "P": 2})
+    sigma = parse_tgds(["S(x) -> R1(x)", "S(x) -> R3(x)"])
+    return OMQ(schema, sigma, UCQ.of(example44_q()), name="Q2")
+
+
+def example44_as_cqs() -> CQS:
+    """The first part of the example in its CQS reading (Section 4.2)."""
+    return CQS(example44_sigma(), UCQ.of(example44_q()), name="S44")

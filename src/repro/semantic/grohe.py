@@ -1,0 +1,81 @@
+"""Semantic tree-likeness of plain CQs/UCQs — Grohe's Theorem (Section 4).
+
+``CQ≡_k`` is the class of CQs equivalent to one of treewidth ≤ k.  The key
+decidable characterisation (Dalmau–Kolaitis–Vardi [20]): a CQ is in
+``CQ≡_k`` iff its *core* is in ``CQ_k``.  Grohe's Theorem (Thm 4.1) then
+says: a recursively enumerable class of bounded-arity CQs is
+PTime-evaluable iff FPT-evaluable iff contained in some ``CQ≡_k`` —
+experiments E2/E16 exercise this machinery.
+"""
+
+from __future__ import annotations
+
+from ..queries import CQ, UCQ, core
+from ..treewidth import cq_treewidth, in_cq_k
+
+__all__ = [
+    "semantic_treewidth",
+    "in_cq_k_equiv",
+    "in_ucq_k_equiv",
+    "semantic_treewidth_ucq",
+    "tractable_witness",
+]
+
+
+def semantic_treewidth(query: CQ) -> int:
+    """The treewidth of the query's core — the least k with ``q ∈ CQ≡_k``.
+
+    >>> from repro.queries import parse_cq
+    >>> semantic_treewidth(parse_cq("q() :- E(x,y), E(y,z), E(z,x), E(x,x)"))
+    1
+    """
+    return cq_treewidth(core(query))
+
+
+def in_cq_k_equiv(query: CQ, k: int) -> bool:
+    """``q ∈ CQ≡_k`` — equivalent to a CQ of treewidth ≤ k ([20])."""
+    return in_cq_k(core(query), k)
+
+
+def semantic_treewidth_ucq(query: UCQ) -> int:
+    """Maximum semantic treewidth over the disjuncts.
+
+    (The natural UCQ generalisation the paper mentions after Thm 4.1:
+    minimise each disjunct independently, after dropping disjuncts
+    subsumed by others — subsumption does not change the maximum needed
+    here because a subsumed disjunct can simply be deleted.)
+    """
+    from ..queries import cq_contained_in
+
+    disjuncts = list(query.disjuncts)
+    keep: list[CQ] = []
+    for i, cq in enumerate(disjuncts):
+        if any(
+            j != i and cq_contained_in(cq, other)
+            for j, other in enumerate(disjuncts)
+        ):
+            # Contained in another disjunct: deleting it preserves the UCQ.
+            # (Break ties so mutually equivalent disjuncts keep one copy.)
+            if any(
+                j < i and cq_contained_in(cq, other) and cq_contained_in(other, cq)
+                for j, other in enumerate(disjuncts)
+            ) or any(
+                j != i
+                and cq_contained_in(cq, other)
+                and not cq_contained_in(other, cq)
+                for j, other in enumerate(disjuncts)
+            ):
+                continue
+        keep.append(cq)
+    return max(semantic_treewidth(cq) for cq in keep)
+
+
+def in_ucq_k_equiv(query: UCQ, k: int) -> bool:
+    """``q ∈ UCQ≡_k`` — equivalent to a UCQ of treewidth ≤ k."""
+    return semantic_treewidth_ucq(query) <= k
+
+
+def tractable_witness(query: CQ, k: int) -> CQ | None:
+    """A treewidth-≤k CQ equivalent to *query*, if one exists (its core)."""
+    witness = core(query)
+    return witness if in_cq_k(witness, k) else None

@@ -1,0 +1,44 @@
+"""TGDs: objects, parsing, syntactic classes, satisfaction, weak acyclicity."""
+
+from .classes import (
+    all_frontier_guarded,
+    all_full,
+    all_guarded,
+    all_linear,
+    classify,
+    in_fg_m,
+    max_body_atoms,
+    max_body_variables,
+    max_head_atoms,
+    schema_of,
+)
+from .dl import DLSyntaxError, axiom_to_tgd, tbox_to_tgds
+from .parser import parse_tgd, parse_tgds
+from .satisfaction import satisfies, satisfies_all, violating_trigger, violations
+from .tgd import TGD
+from .weak_acyclicity import dependency_graph, is_weakly_acyclic
+
+__all__ = [
+    "DLSyntaxError",
+    "TGD",
+    "axiom_to_tgd",
+    "tbox_to_tgds",
+    "all_frontier_guarded",
+    "all_full",
+    "all_guarded",
+    "all_linear",
+    "classify",
+    "dependency_graph",
+    "in_fg_m",
+    "is_weakly_acyclic",
+    "max_body_atoms",
+    "max_body_variables",
+    "max_head_atoms",
+    "parse_tgd",
+    "parse_tgds",
+    "satisfies",
+    "satisfies_all",
+    "schema_of",
+    "violating_trigger",
+    "violations",
+]

@@ -1,0 +1,96 @@
+"""TGD classes G, FG, FG_m, L, FULL and membership tests for *sets* of TGDs.
+
+A "set of TGDs from class C" is just a finite set each of whose members is in
+C; these helpers check that, compute the parameters that the paper's theorems
+are stated in terms of (``r`` = schema arity, ``m`` = max head atoms,
+``H_Σ``/``B_Σ`` from Appendix A), and classify sets for dispatching the
+right algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..datamodel import Schema
+from .tgd import TGD
+
+__all__ = [
+    "all_guarded",
+    "all_frontier_guarded",
+    "all_linear",
+    "all_full",
+    "in_fg_m",
+    "max_head_atoms",
+    "max_body_atoms",
+    "max_body_variables",
+    "schema_of",
+    "classify",
+]
+
+
+def all_guarded(tgds: Iterable[TGD]) -> bool:
+    """``Σ ∈ G`` — every TGD is guarded."""
+    return all(tgd.is_guarded() for tgd in tgds)
+
+
+def all_frontier_guarded(tgds: Iterable[TGD]) -> bool:
+    """``Σ ∈ FG`` — every TGD is frontier-guarded."""
+    return all(tgd.is_frontier_guarded() for tgd in tgds)
+
+
+def all_linear(tgds: Iterable[TGD]) -> bool:
+    """``Σ ∈ L`` — every TGD has a single body atom."""
+    return all(tgd.is_linear() for tgd in tgds)
+
+
+def all_full(tgds: Iterable[TGD]) -> bool:
+    """``Σ ∈ FULL`` — no TGD has existential variables."""
+    return all(tgd.is_full() for tgd in tgds)
+
+
+def max_head_atoms(tgds: Iterable[TGD]) -> int:
+    """``H_Σ`` / the ``m`` of FG_m — the maximum number of head atoms."""
+    return max((len(tgd.head) for tgd in tgds), default=0)
+
+
+def max_body_atoms(tgds: Iterable[TGD]) -> int:
+    """``B_Σ`` — the maximum number of body atoms."""
+    return max((len(tgd.body) for tgd in tgds), default=0)
+
+
+def max_body_variables(tgds: Iterable[TGD]) -> int:
+    """The paper's width ``w(Q)`` ingredient: max variables in any body."""
+    return max((len(tgd.body_variables()) for tgd in tgds), default=0)
+
+
+def in_fg_m(tgds: Iterable[TGD], m: int) -> bool:
+    """``Σ ∈ FG_m`` — frontier-guarded with at most *m* head atoms each."""
+    tgds = list(tgds)
+    return all_frontier_guarded(tgds) and max_head_atoms(tgds) <= m
+
+
+def schema_of(tgds: Iterable[TGD]) -> Schema:
+    """``sch(Σ)`` — the set of predicates occurring in Σ, with arities."""
+    schema = Schema()
+    for tgd in tgds:
+        schema = schema.union(tgd.schema())
+    return schema
+
+
+def classify(tgds: Sequence[TGD]) -> set[str]:
+    """The set of class labels that the given set of TGDs belongs to.
+
+    >>> from repro.tgds import parse_tgds, classify
+    >>> sorted(classify(parse_tgds(["R(x, y) -> P(x)"])))
+    ['FG', 'FULL', 'G', 'L', 'TGD']
+    """
+    labels = {"TGD"}
+    if all_guarded(tgds):
+        labels.add("G")
+    if all_frontier_guarded(tgds):
+        labels.add("FG")
+    if all_linear(tgds):
+        labels.add("L")
+    if all_full(tgds):
+        labels.add("FULL")
+    return labels

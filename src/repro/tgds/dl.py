@@ -1,0 +1,146 @@
+"""Description-logic ontologies as guarded TGDs (Section 1 / related work).
+
+The paper positions its results against the DL-based characterisations of
+[7]: ``ELHI⊥`` is "essentially a fragment of guarded TGDs".  This module
+makes that folklore executable for the positive (⊥-free) fragment — a
+convenient authoring surface for the examples and benchmarks, and a live
+demonstration that the DL setting embeds into ours:
+
+==============================  =================================  =========
+DL axiom                        TGD                                class
+==============================  =================================  =========
+``A ⊑ B``                       ``A(x) → B(x)``                    G, L
+``A ⊓ B ⊑ C``                   ``A(x), B(x) → C(x)``              G
+``A ⊑ ∃R.B``                    ``A(x) → R(x, y), B(y)``           G, L
+``∃R.A ⊑ B``                    ``R(x, y), A(y) → B(x)``           G
+``∃R.⊤ ⊑ B`` (domain)           ``R(x, y) → B(x)``                 G, L
+``∃R⁻.⊤ ⊑ B`` (range)           ``R(x, y) → B(y)``                 G, L
+``R ⊑ S`` (role hierarchy)      ``R(x, y) → S(x, y)``              G, L
+``R ⊑ S⁻``                      ``R(x, y) → S(y, x)``              G, L
+``A ⊑ ∃R⁻.B``                   ``A(x) → R(y, x), B(y)``           G, L
+==============================  =================================  =========
+
+Axioms are written in ASCII: ``<`` for ⊑, ``&`` for ⊓, ``some R B`` for
+∃R.B, ``inv R`` for R⁻, ``top`` for ⊤.
+
+>>> tbox_to_tgds(["Surgeon < Doctor", "Doctor < some worksAt Dept"])[0]
+Surgeon(?x) → Doctor(?x)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..datamodel import Atom, Variable
+from .tgd import TGD
+
+__all__ = ["axiom_to_tgd", "tbox_to_tgds", "DLSyntaxError"]
+
+
+class DLSyntaxError(ValueError):
+    """Raised on malformed DL axiom text."""
+
+
+_X, _Y = Variable("x"), Variable("y")
+_NAME = r"[A-Za-z_][A-Za-z_0-9]*"
+
+
+def _concept_atoms(text: str, var: Variable, *, fresh: Variable) -> list[Atom] | None:
+    """Atoms expressing membership of *var* in the (right-hand) concept.
+
+    Returns None when the concept is not expressible on the head side.
+    """
+    text = text.strip()
+    if text == "top":
+        return []
+    some = re.fullmatch(rf"some\s+(inv\s+)?({_NAME})\s+({_NAME}|top)", text)
+    if some:
+        inverted, role, filler = some.group(1), some.group(2), some.group(3)
+        role_atom = (
+            Atom(role, (fresh, var)) if inverted else Atom(role, (var, fresh))
+        )
+        atoms = [role_atom]
+        if filler != "top":
+            atoms.append(Atom(filler, (fresh,)))
+        return atoms
+    if re.fullmatch(_NAME, text):
+        return [Atom(text, (var,))]
+    return None
+
+
+def _lhs_atoms(text: str, var: Variable, aux: Variable) -> list[Atom] | None:
+    """Atoms expressing the left-hand concept (body side)."""
+    text = text.strip()
+    parts = [p.strip() for p in text.split("&")]
+    if sum(1 for p in parts if p.startswith("some")) > 1:
+        # Two existentials would share the auxiliary variable; split the
+        # axiom instead (A ⊓ B ⊑ C style conjunctions remain fine).
+        return None
+    atoms: list[Atom] = []
+    for part in parts:
+        some = re.fullmatch(rf"some\s+(inv\s+)?({_NAME})\s+({_NAME}|top)", part)
+        if some:
+            inverted, role, filler = some.group(1), some.group(2), some.group(3)
+            atoms.append(
+                Atom(role, (aux, var)) if inverted else Atom(role, (var, aux))
+            )
+            if filler != "top":
+                atoms.append(Atom(filler, (aux,)))
+            continue
+        if part == "top":
+            continue
+        if re.fullmatch(_NAME, part):
+            atoms.append(Atom(part, (var,)))
+            continue
+        return None
+    return atoms
+
+
+def axiom_to_tgd(text: str) -> TGD:
+    """Translate one DL axiom (``lhs < rhs``) into a guarded TGD."""
+    if "<" not in text:
+        raise DLSyntaxError(f"missing '<' in axiom {text!r}")
+    lhs_text, rhs_text = (part.strip() for part in text.split("<", 1))
+
+    # Role axioms: R < S, R < inv S.
+    role = re.fullmatch(rf"({_NAME})\s*", lhs_text)
+    role_rhs = re.fullmatch(rf"(inv\s+)?({_NAME})\s*", rhs_text)
+    if (
+        role
+        and role_rhs
+        and " " not in lhs_text.strip()
+        and lhs_text.strip()[0].islower()
+    ):
+        src = role.group(1)
+        inverted, dst = role_rhs.group(1), role_rhs.group(2)
+        head = Atom(dst, (_Y, _X)) if inverted else Atom(dst, (_X, _Y))
+        return TGD([Atom(src, (_X, _Y))], [head], name=text)
+
+    body = _lhs_atoms(lhs_text, _X, _Y)
+    if body is None or not body:
+        raise DLSyntaxError(f"unsupported left-hand side in {text!r}")
+    head = _concept_atoms(rhs_text, _X, fresh=Variable("z"))
+    if head is None or not head:
+        raise DLSyntaxError(f"unsupported right-hand side in {text!r}")
+    tgd = TGD(body, head, name=text)
+    if not tgd.is_guarded():
+        # ∃R.A ⊑ ∃S.B with A ≠ top uses two body atoms sharing y — still
+        # guarded by the role atom; anything slipping through is a bug in
+        # the table above, so fail loudly.
+        raise DLSyntaxError(f"translation of {text!r} is not guarded")
+    return tgd
+
+
+def tbox_to_tgds(axioms: Iterable[str] | str) -> list[TGD]:
+    """Translate a TBox (list of axioms, or ';'/newline separated text)."""
+    if isinstance(axioms, str):
+        chunks = []
+        for line in axioms.splitlines():
+            line = line.split("#", 1)[0]  # strip comments before ';'-split
+            for chunk in line.split(";"):
+                chunk = chunk.strip()
+                if chunk:
+                    chunks.append(chunk)
+        axioms = chunks
+    return [axiom_to_tgd(axiom) for axiom in axioms]

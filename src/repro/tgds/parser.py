@@ -1,0 +1,48 @@
+"""Text syntax for TGDs.
+
+A TGD is written ``"body -> head"`` where body and head are comma-separated
+atom lists; an empty body is written ``"true -> head"`` or just
+``"-> head"``.  Existential variables are inferred: every head variable not
+occurring in the body is existentially quantified (the paper's convention).
+
+>>> sigma = parse_tgd("Person(x), WorksFor(x, y) -> Employer(y)")
+>>> sigma.is_guarded()
+True
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..queries.parser import ParseError, parse_atoms
+from .tgd import TGD
+
+__all__ = ["parse_tgd", "parse_tgds"]
+
+
+def parse_tgd(text: str) -> TGD:
+    """Parse a single TGD from ``"R(x,y), S(y) -> T(y,z)"`` syntax."""
+    if "->" not in text:
+        raise ParseError(f"missing '->' in TGD {text!r}")
+    body_text, head_text = text.split("->", 1)
+    body_text = body_text.strip()
+    if body_text in ("", "true", "⊤"):
+        body = []
+    else:
+        body = parse_atoms(body_text)
+    head = parse_atoms(head_text)
+    if not head:
+        raise ParseError(f"empty head in TGD {text!r}")
+    return TGD(body, head)
+
+
+def parse_tgds(texts: Iterable[str] | str) -> list[TGD]:
+    """Parse several TGDs (a list of strings, or one ';'/newline-separated)."""
+    if isinstance(texts, str):
+        parts = []
+        for chunk in texts.replace(";", "\n").splitlines():
+            chunk = chunk.strip()
+            if chunk and not chunk.startswith("#"):
+                parts.append(chunk)
+        texts = parts
+    return [parse_tgd(text) for text in texts]

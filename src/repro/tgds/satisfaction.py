@@ -1,0 +1,58 @@
+"""TGD satisfaction: ``I |= σ`` and ``I |= Σ`` (Section 2).
+
+An instance satisfies ``σ: φ(x̄, ȳ) → ∃z̄ ψ(x̄, z̄)`` iff
+``q_φ(I) ⊆ q_ψ(I)`` where ``q_φ(x̄) = ∃ȳ φ`` and ``q_ψ(x̄) = ∃z̄ ψ``.
+Operationally: every homomorphism of the body into ``I`` must extend (on the
+frontier) to a homomorphism of the head into ``I``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..datamodel import Instance, Term, find_homomorphism, find_homomorphisms
+from .tgd import TGD
+
+__all__ = ["satisfies", "satisfies_all", "violations", "violating_trigger"]
+
+
+def violating_trigger(instance: Instance, tgd: TGD) -> dict[Term, Term] | None:
+    """A body homomorphism with no head extension, or None if ``I |= σ``."""
+    if not tgd.body:
+        # Empty body: the head must simply hold (with fresh witnesses
+        # allowed only if the head already has a match).
+        if find_homomorphism(tgd.head, instance) is None:
+            return {}
+        return None
+    frontier = tgd.frontier()
+    seen_frontier_images: set[tuple] = set()
+    frontier_order = sorted(frontier)
+    for body_hom in find_homomorphisms(tgd.body, instance):
+        image = tuple(body_hom[v] for v in frontier_order)
+        if image in seen_frontier_images:
+            continue
+        seen_frontier_images.add(image)
+        fixed = {v: body_hom[v] for v in frontier}
+        if find_homomorphism(tgd.head, instance, fixed=fixed) is None:
+            return dict(body_hom)
+    return None
+
+
+def satisfies(instance: Instance, tgd: TGD) -> bool:
+    """``I |= σ``."""
+    return violating_trigger(instance, tgd) is None
+
+
+def satisfies_all(instance: Instance, tgds: Iterable[TGD]) -> bool:
+    """``I |= Σ``."""
+    return all(satisfies(instance, tgd) for tgd in tgds)
+
+
+def violations(instance: Instance, tgds: Iterable[TGD]) -> list[tuple[TGD, dict]]:
+    """All violated TGDs with one witnessing trigger each (for diagnostics)."""
+    found = []
+    for tgd in tgds:
+        trigger = violating_trigger(instance, tgd)
+        if trigger is not None:
+            found.append((tgd, trigger))
+    return found

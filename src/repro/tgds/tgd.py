@@ -1,0 +1,180 @@
+"""Tuple-generating dependencies (Section 2).
+
+A TGD ``σ: ∀x̄∀ȳ (φ(x̄, ȳ) → ∃z̄ ψ(x̄, z̄))`` is constant-free; its *body* is
+``φ`` (possibly empty), its *head* ``ψ`` (non-empty), its *frontier*
+``fr(σ) = x̄`` the variables shared between body and head, and its
+existential variables are ``z̄``.
+
+Syntactic classes (Section 2):
+
+* **guarded** (G): some body atom contains *all* body variables;
+* **frontier-guarded** (FG): some body atom contains all frontier variables;
+* **linear** (L): exactly one body atom;
+* **full** (FULL): no existential variables.
+
+``G ⊊ FG ⊊ TGD`` and ``L ⊊ G``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..datamodel import Atom, Schema, Term, Variable, is_variable
+
+__all__ = ["TGD"]
+
+
+class TGD:
+    """A single tuple-generating dependency.
+
+    >>> from repro.tgds import parse_tgd
+    >>> sigma = parse_tgd("R(x, y) -> S(y, z)")
+    >>> sorted(v.name for v in sigma.frontier())
+    ['y']
+    >>> sorted(v.name for v in sigma.existential_variables())
+    ['z']
+    """
+
+    __slots__ = ("body", "head", "name", "_frontier", "_exvars")
+
+    def __init__(
+        self,
+        body: Iterable[Atom],
+        head: Iterable[Atom],
+        name: str = "",
+    ) -> None:
+        self.body = tuple(dict.fromkeys(body))
+        self.head = tuple(dict.fromkeys(head))
+        self.name = name
+        if not self.head:
+            raise ValueError("a TGD must have a non-empty head")
+        for atom in self.body + self.head:
+            for term in atom.args:
+                if not is_variable(term):
+                    raise ValueError(
+                        f"TGDs are constant-free; {atom} contains {term!r}"
+                    )
+        self._frontier = frozenset(self.body_variables() & self.head_variables())
+        self._exvars = frozenset(self.head_variables() - self.body_variables())
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def body_variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for atom in self.body:
+            result.update(atom.variables())
+        return result
+
+    def head_variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for atom in self.head:
+            result.update(atom.variables())
+        return result
+
+    def variables(self) -> set[Variable]:
+        return self.body_variables() | self.head_variables()
+
+    def frontier(self) -> frozenset[Variable]:
+        """``fr(σ)`` — variables occurring in both body and head."""
+        return self._frontier
+
+    def existential_variables(self) -> frozenset[Variable]:
+        """``z̄`` — head variables not occurring in the body."""
+        return self._exvars
+
+    # ------------------------------------------------------------------
+    # Syntactic classes
+    # ------------------------------------------------------------------
+    def guards(self) -> list[Atom]:
+        """Body atoms containing all body variables."""
+        body_vars = self.body_variables()
+        return [a for a in self.body if a.variables() >= body_vars]
+
+    def frontier_guards(self) -> list[Atom]:
+        """Body atoms containing all frontier variables."""
+        return [a for a in self.body if a.variables() >= self._frontier]
+
+    def guard(self) -> Atom | None:
+        """A guard atom if one exists (``guard(σ)``), else None.
+
+        An empty-body TGD is guarded by definition; it has no guard atom.
+        """
+        guards = self.guards()
+        return guards[0] if guards else None
+
+    def frontier_guard(self) -> Atom | None:
+        guards = self.frontier_guards()
+        return guards[0] if guards else None
+
+    def is_guarded(self) -> bool:
+        """σ ∈ G: empty body, or some body atom guards all body variables."""
+        return not self.body or bool(self.guards())
+
+    def is_frontier_guarded(self) -> bool:
+        """σ ∈ FG: empty body, or some body atom guards the frontier."""
+        return not self.body or bool(self.frontier_guards())
+
+    def is_linear(self) -> bool:
+        """σ ∈ L: exactly one body atom."""
+        return len(self.body) == 1
+
+    def is_full(self) -> bool:
+        """σ ∈ FULL: no existentially quantified head variables."""
+        return not self._exvars
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def predicates(self) -> set[str]:
+        return {a.pred for a in self.body} | {a.pred for a in self.head}
+
+    def schema(self) -> Schema:
+        return Schema.from_atoms(self.body + self.head)
+
+    def size(self) -> int:
+        """``‖σ‖`` — total number of atom positions plus atoms."""
+        return sum(a.arity + 1 for a in self.body + self.head)
+
+    def apply(self, mapping: Mapping[Term, Term]) -> "TGD":
+        """Rename variables (images must again be variables)."""
+        for image in mapping.values():
+            if not is_variable(image):
+                raise ValueError(f"TGD substitution must map to variables, got {image!r}")
+        return TGD(
+            (a.apply(mapping) for a in self.body),
+            (a.apply(mapping) for a in self.head),
+            name=self.name,
+        )
+
+    def rename_apart(self, suffix: str) -> "TGD":
+        mapping = {v: Variable(v.name + suffix) for v in self.variables()}
+        return self.apply(mapping)
+
+    def split_head(self) -> list["TGD"]:
+        """Single-head TGDs, one per head atom — **only valid for full TGDs**.
+
+        Splitting a head with shared existential variables changes the
+        semantics, so this raises unless the TGD is full.
+        """
+        if not self.is_full():
+            raise ValueError("split_head() is only semantics-preserving for full TGDs")
+        return [TGD(self.body, (atom,), name=self.name) for atom in self.head]
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        body = ", ".join(map(str, self.body)) if self.body else "⊤"
+        head = ", ".join(map(str, self.head))
+        return f"{body} → {head}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TGD)
+            and set(self.body) == set(other.body)
+            and set(self.head) == set(other.head)
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.body), frozenset(self.head)))

@@ -1,0 +1,120 @@
+"""Weak acyclicity — a standard sufficient condition for chase termination.
+
+(Fagin–Kolaitis–Miller–Popa, cited as [22].)  Build the *dependency graph*
+over positions ``(R, i)``: for each TGD, each frontier variable occurrence
+in a body position ``p`` and head position ``p'`` adds a normal edge
+``p → p'``; each existential variable in head position ``p''`` adds a
+*special* edge ``p → p''`` for every body position ``p`` of every frontier
+variable of that TGD.  Σ is weakly acyclic iff no cycle passes through a
+special edge; then every chase sequence terminates on every database.
+
+The paper's experiments need terminating chases in many places (Prop 4.5
+containment, Lemma 6.8, the Theorem 5.13 pipeline); this module lets the
+engine *prove* termination up front rather than guess.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .tgd import TGD
+
+__all__ = ["dependency_graph", "is_weakly_acyclic"]
+
+Position = tuple[str, int]
+
+
+def dependency_graph(
+    tgds: Iterable[TGD],
+) -> tuple[set[tuple[Position, Position]], set[tuple[Position, Position]]]:
+    """The (normal, special) edge sets of the dependency graph."""
+    normal: set[tuple[Position, Position]] = set()
+    special: set[tuple[Position, Position]] = set()
+    for tgd in tgds:
+        body_positions: dict = {}
+        for atom in tgd.body:
+            for index, term in enumerate(atom.args):
+                body_positions.setdefault(term, set()).add((atom.pred, index))
+        existential = tgd.existential_variables()
+        for atom in tgd.head:
+            for index, term in enumerate(atom.args):
+                head_pos = (atom.pred, index)
+                if term in existential:
+                    for var in tgd.frontier():
+                        for body_pos in body_positions.get(var, ()):
+                            special.add((body_pos, head_pos))
+                elif term in body_positions:
+                    for body_pos in body_positions[term]:
+                        normal.add((body_pos, head_pos))
+    return normal, special
+
+
+def is_weakly_acyclic(tgds: Sequence[TGD]) -> bool:
+    """True iff no cycle of the dependency graph uses a special edge.
+
+    Algorithm: compute strongly connected components of the combined graph
+    (Tarjan, iterative); a special edge inside one SCC witnesses a bad cycle.
+
+    >>> from repro.tgds import parse_tgds
+    >>> is_weakly_acyclic(parse_tgds(["R(x, y) -> R(y, z)"]))
+    False
+    >>> is_weakly_acyclic(parse_tgds(["R(x, y) -> S(y, z)"]))
+    True
+    """
+    normal, special = dependency_graph(tgds)
+    edges = normal | special
+    vertices = {p for edge in edges for p in edge}
+    adjacency: dict[Position, list[Position]] = {v: [] for v in vertices}
+    for src, dst in edges:
+        adjacency[src].append(dst)
+
+    # Iterative Tarjan SCC.
+    index_counter = 0
+    indices: dict[Position, int] = {}
+    low: dict[Position, int] = {}
+    on_stack: set[Position] = set()
+    stack: list[Position] = []
+    component: dict[Position, int] = {}
+    comp_counter = 0
+
+    for root in vertices:
+        if root in indices:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        indices[root] = low[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in indices:
+                    indices[succ] = low[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], indices[succ])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == indices[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_counter
+                    if member == node:
+                        break
+                comp_counter += 1
+            if work:
+                parent, _ = work[-1]
+                low[parent] = min(low[parent], low[node])
+
+    for src, dst in special:
+        if component[src] == component[dst]:
+            return False
+    return True

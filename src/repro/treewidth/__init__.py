@@ -1,0 +1,63 @@
+"""Treewidth: decompositions, heuristics, exact computation, paper conventions."""
+
+from .ctree import (
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_c_tree,
+    is_guarded_acyclic,
+)
+from .decomposition import (
+    Graph,
+    TreeDecomposition,
+    decomposition_from_order,
+    is_forest,
+    make_graph,
+    subgraph,
+)
+from .exact import (
+    TreewidthLimitError,
+    has_treewidth_at_most,
+    treewidth_exact,
+)
+from .heuristics import (
+    decompose_min_fill,
+    min_degree_order,
+    min_fill_order,
+    treewidth_upper_bound,
+)
+from .query_treewidth import (
+    cq_treewidth,
+    in_cq_k,
+    in_ucq_k,
+    instance_treewidth,
+    instance_treewidth_up_to,
+    paper_treewidth,
+    ucq_treewidth,
+)
+
+__all__ = [
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "is_c_tree",
+    "is_guarded_acyclic",
+    "Graph",
+    "TreeDecomposition",
+    "TreewidthLimitError",
+    "cq_treewidth",
+    "decompose_min_fill",
+    "decomposition_from_order",
+    "has_treewidth_at_most",
+    "in_cq_k",
+    "in_ucq_k",
+    "instance_treewidth",
+    "instance_treewidth_up_to",
+    "is_forest",
+    "make_graph",
+    "min_degree_order",
+    "min_fill_order",
+    "paper_treewidth",
+    "subgraph",
+    "treewidth_exact",
+    "treewidth_upper_bound",
+    "ucq_treewidth",
+]

@@ -1,0 +1,115 @@
+"""C-trees and guarded tree decompositions (Appendix B).
+
+Lemma B.4: containment counterexamples for guarded OMQs can be taken to be
+**C-trees** — databases with a tree decomposition whose root bag induces
+``C`` and whose every other bag is *guarded* (contained in some atom's
+arguments).  Intuitively: a cyclic core ``C`` with acyclic guarded
+decoration hanging off it.
+
+Deciding whether ``D`` is a C-tree reduces to hypergraph α-acyclicity:
+guarded bags can be normalised to atom scopes, so a suitable decomposition
+exists iff the hypergraph ``{args(a) : a ∈ D} ∪ {dom(C)}`` has a join tree
+— the classical GYO criterion.  The module therefore also provides general
+α-acyclicity (``is_alpha_acyclic``) and GYO reduction, plus the customary
+corollary: a database is *guarded-acyclic* (a ∅-tree, treewidth ≤ ar−1 the
+guarded way) iff its scope hypergraph is α-acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..datamodel import Instance, Term
+
+__all__ = [
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "is_c_tree",
+    "is_guarded_acyclic",
+]
+
+
+def gyo_reduction(
+    hyperedges: Iterable[frozenset],
+) -> list[frozenset]:
+    """Run the GYO (Graham/Yu–Özsoyoğlu) reduction to a fixpoint.
+
+    Repeatedly (a) drop hyperedges contained in another, and (b) remove
+    *ear vertices* occurring in exactly one hyperedge.  Returns the
+    irreducible residue — empty or a single empty edge iff the input is
+    α-acyclic.
+    """
+    edges = [frozenset(e) for e in hyperedges]
+    changed = True
+    while changed:
+        changed = False
+        # (a) containment.
+        kept: list[frozenset] = []
+        for index, edge in enumerate(edges):
+            if any(
+                (edge < other) or (edge == other and j < index)
+                for j, other in enumerate(edges)
+            ):
+                changed = True
+                continue
+            kept.append(edge)
+        edges = kept
+        # (b) ear vertices.
+        counts: dict[Term, int] = {}
+        for edge in edges:
+            for vertex in edge:
+                counts[vertex] = counts.get(vertex, 0) + 1
+        lonely = {v for v, c in counts.items() if c == 1}
+        if lonely:
+            reduced = [frozenset(e - lonely) for e in edges]
+            if reduced != edges:
+                changed = True
+            edges = [e for e in reduced]
+    return [e for e in edges if e]
+
+
+def is_alpha_acyclic(hyperedges: Iterable[frozenset]) -> bool:
+    """α-acyclicity via GYO: the reduction must consume everything."""
+    return len(gyo_reduction(hyperedges)) <= 1
+
+
+def _scopes(database: Instance) -> list[frozenset]:
+    return [frozenset(atom.args) for atom in database]
+
+
+def is_guarded_acyclic(database: Instance) -> bool:
+    """True iff D has a fully guarded tree decomposition (a ∅-tree).
+
+    >>> from repro.queries import parse_database
+    >>> is_guarded_acyclic(parse_database("R(a, b), R(b, c)"))
+    True
+    >>> is_guarded_acyclic(parse_database("R(a, b), R(b, c), R(c, a)"))
+    False
+    """
+    return is_alpha_acyclic(_scopes(database))
+
+
+def is_c_tree(database: Instance, core: Sequence[Term] | Instance) -> bool:
+    """Is *database* a C-tree with the given cyclic core (Appendix B)?
+
+    *core* is the set of constants allowed in the root bag (pass the
+    ``C``-part's domain, or the sub-instance itself).  A database is a
+    C-tree iff a tree decomposition exists whose root bag is exactly the
+    core's domain and whose other bags are guarded — equivalently, the
+    scope hypergraph extended with the root bag is α-acyclic.
+
+    >>> from repro.queries import parse_database
+    >>> triangle = parse_database("R(a, b), R(b, c), R(c, a)")
+    >>> is_c_tree(triangle, [])
+    False
+    >>> is_c_tree(triangle, ["a", "b", "c"])
+    True
+    """
+    if isinstance(core, Instance):
+        root = frozenset(core.dom())
+    else:
+        root = frozenset(core)
+    stray = root - database.dom()
+    if stray:
+        raise ValueError(f"core constants {sorted(map(repr, stray))} not in dom(D)")
+    return is_alpha_acyclic(_scopes(database) + [root])

@@ -1,0 +1,208 @@
+"""Tree decompositions (Section 2).
+
+A tree decomposition of an undirected graph ``G = (V, E)`` is a pair
+``(T, χ)`` with ``T`` a tree and ``χ`` a bag labelling such that (1) bags
+cover the vertices, (2) every edge lives in some bag, and (3) the bags
+containing any fixed vertex form a connected subtree.  Its width is the
+maximum bag size minus one.
+
+Graphs are adjacency dicts ``{vertex: set_of_neighbours}`` throughout this
+package (no self loops).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Graph",
+    "TreeDecomposition",
+    "decomposition_from_order",
+    "make_graph",
+    "subgraph",
+    "is_forest",
+]
+
+Graph = dict  # Graph = dict[vertex, set[vertex]] — alias for readability.
+
+
+def make_graph(
+    vertices: Iterable[Hashable], edges: Iterable[tuple[Hashable, Hashable]]
+) -> Graph:
+    """Build an adjacency dict from vertex and edge lists (no self loops)."""
+    adjacency: Graph = {v: set() for v in vertices}
+    for a, b in edges:
+        if a == b:
+            continue
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    return adjacency
+
+
+def subgraph(graph: Mapping, keep: Iterable[Hashable]) -> Graph:
+    """The induced subgraph on *keep*."""
+    keep_set = set(keep)
+    return {v: set(graph.get(v, ())) & keep_set for v in keep_set}
+
+
+def is_forest(graph: Mapping) -> bool:
+    """True iff the graph is acyclic (every component is a tree)."""
+    seen: set = set()
+    for start in graph:
+        if start in seen:
+            continue
+        seen.add(start)
+        stack = [(start, None)]
+        while stack:
+            node, parent = stack.pop()
+            used_parent_edge = False
+            for neigh in graph[node]:
+                if neigh == parent and not used_parent_edge:
+                    used_parent_edge = True
+                    continue
+                if neigh in seen:
+                    return False
+                seen.add(neigh)
+                stack.append((neigh, node))
+    return True
+
+
+class TreeDecomposition:
+    """A tree decomposition: bags indexed by node id + tree edges.
+
+    >>> td = TreeDecomposition({0: {"a", "b"}, 1: {"b", "c"}}, [(0, 1)])
+    >>> td.width
+    1
+    """
+
+    __slots__ = ("bags", "edges")
+
+    def __init__(
+        self,
+        bags: Mapping[Hashable, Iterable[Hashable]],
+        edges: Iterable[tuple[Hashable, Hashable]] = (),
+    ) -> None:
+        self.bags: dict[Hashable, frozenset] = {
+            node: frozenset(bag) for node, bag in bags.items()
+        }
+        self.edges: list[tuple[Hashable, Hashable]] = [
+            (a, b) for a, b in edges
+        ]
+        if not self.bags:
+            raise ValueError("a tree decomposition needs at least one bag")
+        for a, b in self.edges:
+            if a not in self.bags or b not in self.bags:
+                raise ValueError(f"edge ({a}, {b}) references unknown bag")
+
+    @property
+    def width(self) -> int:
+        """Maximum bag size minus one."""
+        return max(len(bag) for bag in self.bags.values()) - 1
+
+    def nodes(self) -> list:
+        return list(self.bags)
+
+    def neighbors(self, node) -> list:
+        result = []
+        for a, b in self.edges:
+            if a == node:
+                result.append(b)
+            elif b == node:
+                result.append(a)
+        return result
+
+    def rooted(self, root=None) -> tuple[Hashable, dict]:
+        """Return (root, parent-map) for a DFS rooting of the tree."""
+        if root is None:
+            root = next(iter(self.bags))
+        parent: dict = {root: None}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for neigh in self.neighbors(node):
+                if neigh not in parent:
+                    parent[neigh] = node
+                    stack.append(neigh)
+        return root, parent
+
+    # ------------------------------------------------------------------
+    # Validation (the three conditions of Section 2)
+    # ------------------------------------------------------------------
+    def is_tree(self) -> bool:
+        """The decomposition's skeleton must be a connected acyclic graph."""
+        if len(self.edges) != len(self.bags) - 1:
+            return False
+        _, parent = self.rooted()
+        return len(parent) == len(self.bags)
+
+    def validate(self, graph: Mapping) -> list[str]:
+        """Check the decomposition against *graph*; return problem strings."""
+        problems: list[str] = []
+        if not self.is_tree():
+            problems.append("skeleton is not a tree")
+        covered = set().union(*self.bags.values())
+        missing = set(graph) - covered
+        if missing:
+            problems.append(f"vertices not covered: {sorted(map(str, missing))[:5]}")
+        for v, neighbours in graph.items():
+            for u in neighbours:
+                if not any({u, v} <= bag for bag in self.bags.values()):
+                    problems.append(f"edge ({u}, {v}) not in any bag")
+                    break
+        for vertex in set(graph):
+            nodes_with = {n for n, bag in self.bags.items() if vertex in bag}
+            if not nodes_with:
+                continue
+            # Connectivity of the occurrence set within the tree.
+            start = next(iter(nodes_with))
+            reached = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neigh in self.neighbors(node):
+                    if neigh in nodes_with and neigh not in reached:
+                        reached.add(neigh)
+                        stack.append(neigh)
+            if reached != nodes_with:
+                problems.append(f"occurrences of {vertex} are not connected")
+        return problems
+
+    def is_valid_for(self, graph: Mapping) -> bool:
+        return not self.validate(graph)
+
+    def __repr__(self) -> str:
+        return f"TreeDecomposition<{len(self.bags)} bags, width {self.width}>"
+
+
+def decomposition_from_order(
+    graph: Mapping, order: Sequence[Hashable]
+) -> TreeDecomposition:
+    """Tree decomposition induced by an elimination *order*.
+
+    Standard construction: eliminate vertices in order, each bag is the
+    eliminated vertex plus its (fill-in) neighbourhood; each bag connects to
+    the bag of the next-eliminated vertex it contains.
+    """
+    if set(order) != set(graph):
+        raise ValueError("order must enumerate exactly the graph's vertices")
+    if not order:
+        raise ValueError("cannot decompose the empty graph")
+    working = {v: set(ns) for v, ns in graph.items()}
+    position = {v: i for i, v in enumerate(order)}
+    bags: dict[int, set] = {}
+    for index, vertex in enumerate(order):
+        neighbours = working[vertex]
+        bags[index] = {vertex} | neighbours
+        for a in neighbours:
+            working[a] |= neighbours - {a}
+            working[a].discard(vertex)
+            working[a].discard(a)
+        del working[vertex]
+    edges = []
+    for index, vertex in enumerate(order):
+        later = [position[u] for u in bags[index] if position[u] > index]
+        if later:
+            edges.append((index, min(later)))
+        elif index + 1 < len(order):
+            edges.append((index, index + 1))
+    return TreeDecomposition(bags, edges)

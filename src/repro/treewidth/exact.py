@@ -1,0 +1,112 @@
+"""Exact treewidth for small graphs.
+
+Deciding "treewidth ≤ w" is done by searching for an elimination order in
+which every vertex has at most ``w`` *remaining* neighbours at elimination
+time.  The key fact making the search state small: after eliminating
+``V \\ R``, the effective neighbourhood of ``v ∈ R`` is the set of vertices
+of ``R`` reachable from ``v`` via paths whose interior lies entirely outside
+``R`` — so the state is just the set ``R`` of remaining vertices, and failed
+states can be memoised.
+
+This is exponential in ``|V|`` but exact; the queries handled by the
+approximation procedures are small, which is the intended use.  Callers that
+only need an upper bound should use :mod:`repro.treewidth.heuristics`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from .decomposition import is_forest
+from .heuristics import treewidth_upper_bound
+
+__all__ = ["treewidth_exact", "has_treewidth_at_most", "TreewidthLimitError"]
+
+#: Default maximum vertex count for exact computation.
+DEFAULT_EXACT_LIMIT = 20
+
+
+class TreewidthLimitError(RuntimeError):
+    """The graph is too large for exact treewidth computation."""
+
+
+def _effective_degree(
+    graph: Mapping, remaining: frozenset, vertex: Hashable
+) -> int:
+    """|remaining neighbours of *vertex* via eliminated-interior paths|."""
+    seen = {vertex}
+    stack = [vertex]
+    reached: set = set()
+    while stack:
+        node = stack.pop()
+        for neigh in graph[node]:
+            if neigh in seen:
+                continue
+            seen.add(neigh)
+            if neigh in remaining:
+                reached.add(neigh)
+            else:
+                stack.append(neigh)
+    return len(reached)
+
+
+def has_treewidth_at_most(graph: Mapping, width: int) -> bool:
+    """Decide ``tw(G) ≤ width`` by memoised elimination-order search."""
+    vertices = frozenset(graph)
+    if len(vertices) <= width + 1:
+        return True
+    failed: set[frozenset] = set()
+
+    def search(remaining: frozenset) -> bool:
+        if len(remaining) <= width + 1:
+            return True
+        if remaining in failed:
+            return False
+        candidates = sorted(
+            (
+                (degree, v)
+                for v in remaining
+                if (degree := _effective_degree(graph, remaining, v)) <= width
+            ),
+            key=lambda pair: pair[0],
+        )
+        for degree, vertex in candidates:
+            # "Simplicial/low-degree first" rule: eliminating a vertex of
+            # effective degree ≤ 1 is always safe, no need to branch.
+            if degree <= 1:
+                return search(remaining - {vertex})
+        for _, vertex in candidates:
+            if search(remaining - {vertex}):
+                return True
+        failed.add(remaining)
+        return False
+
+    return search(vertices)
+
+
+def treewidth_exact(
+    graph: Mapping, *, limit: int = DEFAULT_EXACT_LIMIT
+) -> int:
+    """The exact treewidth (standard definition: edgeless graphs have tw 0).
+
+    Raises :class:`TreewidthLimitError` for graphs larger than *limit*
+    vertices — use the heuristics for those.
+    """
+    if not graph:
+        return 0
+    if not any(graph.values()):
+        return 0
+    if is_forest(graph):
+        return 1
+    if len(graph) > limit:
+        raise TreewidthLimitError(
+            f"graph has {len(graph)} vertices; exact treewidth is limited to "
+            f"{limit} (pass a larger limit explicitly if you must)"
+        )
+    upper = treewidth_upper_bound(graph)
+    width = 2  # forests were handled above, so tw ≥ 2 here
+    while width < upper:
+        if has_treewidth_at_most(graph, width):
+            return width
+        width += 1
+    return upper

@@ -1,0 +1,87 @@
+"""Treewidth in the paper's conventions (Section 2).
+
+Two quirks relative to the textbook definition:
+
+* the treewidth of a graph with an *empty edge set* is defined to be **1**
+  (so paper treewidth is always ≥ 1);
+* the treewidth of a CQ ``q(x̄) = ∃ȳ φ(x̄, ȳ)`` is measured on ``G^q|ȳ`` —
+  the Gaifman graph restricted to the *existential* variables only (the
+  "liberal" definition).  A UCQ has treewidth k if each disjunct does.
+
+``CQ_k`` / ``UCQ_k`` membership tests and instance treewidth live here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..datamodel import Instance, Term
+from ..queries.cq import CQ, UCQ
+from .decomposition import subgraph
+from .exact import DEFAULT_EXACT_LIMIT, treewidth_exact
+
+__all__ = [
+    "paper_treewidth",
+    "cq_treewidth",
+    "ucq_treewidth",
+    "in_cq_k",
+    "in_ucq_k",
+    "instance_treewidth",
+    "instance_treewidth_up_to",
+]
+
+
+def paper_treewidth(graph: Mapping, *, limit: int = DEFAULT_EXACT_LIMIT) -> int:
+    """Treewidth with the paper's floor: edgeless (or empty) graphs have tw 1."""
+    if not graph or not any(graph.values()):
+        return 1
+    return max(1, treewidth_exact(graph, limit=limit))
+
+
+def cq_treewidth(query: CQ, *, limit: int = DEFAULT_EXACT_LIMIT) -> int:
+    """The paper treewidth of a CQ: ``tw(G^q|ȳ)`` over existential variables.
+
+    >>> from repro.queries import parse_cq
+    >>> cq_treewidth(parse_cq("q() :- R(x, y), R(y, z), R(z, x)"))
+    2
+    >>> cq_treewidth(parse_cq("q(x) :- R(x, y), R(y, z)"))
+    1
+    """
+    return paper_treewidth(query.existential_gaifman_adjacency(), limit=limit)
+
+
+def ucq_treewidth(query: UCQ, *, limit: int = DEFAULT_EXACT_LIMIT) -> int:
+    """Maximum disjunct treewidth (a UCQ has tw k iff each disjunct ≤ k)."""
+    return max(cq_treewidth(cq, limit=limit) for cq in query.disjuncts)
+
+
+def in_cq_k(query: CQ, k: int, *, limit: int = DEFAULT_EXACT_LIMIT) -> bool:
+    """``q ∈ CQ_k`` — syntactic treewidth at most k."""
+    if k < 1:
+        raise ValueError("paper treewidth classes start at k = 1")
+    return cq_treewidth(query, limit=limit) <= k
+
+
+def in_ucq_k(query: UCQ, k: int, *, limit: int = DEFAULT_EXACT_LIMIT) -> bool:
+    """``q ∈ UCQ_k`` — every disjunct in CQ_k."""
+    return all(in_cq_k(cq, k, limit=limit) for cq in query.disjuncts)
+
+
+def instance_treewidth(
+    instance: Instance, *, limit: int = DEFAULT_EXACT_LIMIT
+) -> int:
+    """The paper treewidth of an instance (of its Gaifman graph)."""
+    return paper_treewidth(instance.gaifman_adjacency(), limit=limit)
+
+
+def instance_treewidth_up_to(
+    instance: Instance, excluded: Iterable[Term], *, limit: int = DEFAULT_EXACT_LIMIT
+) -> int:
+    """Treewidth of ``G^D`` restricted to ``dom(D) \\ excluded``.
+
+    The paper says "D has treewidth k up to c̄" for the subgraph induced by
+    the domain minus the tuple c̄ (Appendix C.3).
+    """
+    graph = instance.gaifman_adjacency()
+    keep = set(graph) - set(excluded)
+    return paper_treewidth(subgraph(graph, keep), limit=limit)

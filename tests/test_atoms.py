@@ -1,0 +1,83 @@
+"""Tests for repro.datamodel.atoms."""
+
+import pytest
+
+from repro.datamodel import Atom, variables
+
+x, y, z = variables("x y z")
+
+
+class TestConstruction:
+    def test_basic(self):
+        atom = Atom("R", (x, "a"))
+        assert atom.pred == "R"
+        assert atom.args == (x, "a")
+
+    def test_arity(self):
+        assert Atom("R", (x, y, z)).arity == 3
+        assert Atom("P", ()).arity == 0
+
+    def test_rejects_empty_predicate(self):
+        with pytest.raises(TypeError):
+            Atom("", (x,))
+
+    def test_rejects_non_string_predicate(self):
+        with pytest.raises(TypeError):
+            Atom(3, (x,))
+
+    def test_args_coerced_to_tuple(self):
+        assert Atom("R", [x, y]).args == (x, y)
+
+
+class TestEqualityAndHash:
+    def test_equal_atoms(self):
+        assert Atom("R", (x, y)) == Atom("R", (x, y))
+
+    def test_unequal_pred(self):
+        assert Atom("R", (x, y)) != Atom("S", (x, y))
+
+    def test_unequal_args(self):
+        assert Atom("R", (x, y)) != Atom("R", (y, x))
+
+    def test_set_membership(self):
+        assert len({Atom("R", (x,)), Atom("R", (x,))}) == 1
+
+
+class TestInspection:
+    def test_variables(self):
+        assert Atom("R", (x, "a", y)).variables() == {x, y}
+
+    def test_constants(self):
+        assert Atom("R", (x, "a", 3)).constants() == {"a", 3}
+
+    def test_terms(self):
+        assert Atom("R", (x, "a")).terms() == {x, "a"}
+
+    def test_is_ground(self):
+        assert Atom("R", ("a", "b")).is_ground()
+        assert not Atom("R", (x, "b")).is_ground()
+
+    def test_iteration(self):
+        assert list(Atom("R", (x, y))) == [x, y]
+
+    def test_len(self):
+        assert len(Atom("R", (x, y))) == 2
+
+
+class TestSubstitution:
+    def test_apply_mapping(self):
+        atom = Atom("R", (x, y)).apply({x: "a"})
+        assert atom == Atom("R", ("a", y))
+
+    def test_apply_identity_on_missing(self):
+        assert Atom("R", (x,)).apply({}) == Atom("R", (x,))
+
+    def test_apply_fn(self):
+        atom = Atom("R", (1, 2)).apply_fn(lambda t: t * 10)
+        assert atom == Atom("R", (10, 20))
+
+    def test_rename_pred(self):
+        assert Atom("R", (x,)).rename_pred("S") == Atom("S", (x,))
+
+    def test_repr_shows_vars_and_constants(self):
+        assert repr(Atom("R", (x, "a"))) == "R(?x, a)"

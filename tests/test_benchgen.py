@@ -1,0 +1,102 @@
+"""Tests for the workload generators."""
+
+from repro.benchgen import (
+    chain_database,
+    clique_cq,
+    clique_rich_graph,
+    cycle_cq,
+    employment_database,
+    employment_ontology,
+    erdos_renyi,
+    inclusion_chain,
+    inflated_triangle_cq,
+    path_cq,
+    planted_clique,
+    random_binary_database,
+    recursive_guarded_ontology,
+    reversal_constraints,
+)
+from repro.queries import core, is_core
+from repro.reductions import find_clique
+from repro.tgds import all_guarded, all_linear, is_weakly_acyclic
+from repro.treewidth import cq_treewidth
+
+
+class TestGraphs:
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(10, 0.3, seed=1) == erdos_renyi(10, 0.3, seed=1)
+
+    def test_erdos_renyi_density(self):
+        sparse = erdos_renyi(20, 0.05, seed=2)
+        dense = erdos_renyi(20, 0.8, seed=2)
+        assert sum(map(len, sparse.values())) < sum(map(len, dense.values()))
+
+    def test_planted_clique_present(self):
+        graph = planted_clique(15, 0.1, 5, seed=3)
+        assert find_clique(graph, 5) is not None
+
+    def test_clique_rich_blocks(self):
+        graph = clique_rich_graph(3, 4, 0.1, seed=4)
+        assert find_clique(graph, 4) is not None
+
+
+class TestQueries:
+    def test_path_treewidth_one(self):
+        assert cq_treewidth(path_cq(5)) == 1
+
+    def test_cycle_treewidth_two(self):
+        assert cq_treewidth(cycle_cq(5)) == 2
+
+    def test_clique_treewidth(self):
+        assert cq_treewidth(clique_cq(4)) == 3
+
+    def test_clique_is_core(self):
+        assert is_core(clique_cq(3))
+
+    def test_inflated_core_is_triangle(self):
+        q = inflated_triangle_cq(4)
+        assert len(q.atoms) == 3 + 12
+        assert len(core(q).atoms) == 3
+
+    def test_non_boolean_path(self):
+        q = path_cq(3, boolean=False)
+        assert q.arity == 1
+
+
+class TestDatabases:
+    def test_random_binary_size(self):
+        db = random_binary_database(10, 25, seed=5)
+        assert len(db) == 25
+
+    def test_chain(self):
+        db = chain_database(4)
+        assert len(db) == 4 and len(db.dom()) == 5
+
+    def test_employment_matches_ontology(self):
+        db = employment_database(20, 3, seed=6)
+        # Chase with the employment ontology terminates and grows the data.
+        from repro.chase import chase
+
+        result = chase(db, employment_ontology())
+        assert result.terminated
+        assert len(result.instance) > len(db)
+
+
+class TestOntologies:
+    def test_employment_guarded_weakly_acyclic(self):
+        tgds = employment_ontology()
+        assert all_guarded(tgds)
+        assert is_weakly_acyclic(tgds)
+
+    def test_inclusion_chain_linear(self):
+        tgds = inclusion_chain(5)
+        assert len(tgds) == 5 and all_linear(tgds)
+
+    def test_recursive_not_weakly_acyclic(self):
+        tgds = recursive_guarded_ontology()
+        assert all_guarded(tgds)
+        assert not is_weakly_acyclic(tgds)
+
+    def test_reversal_constraints(self):
+        tgds = reversal_constraints(("E", "F"))
+        assert len(tgds) == 2 and all(t.is_full() for t in tgds)

@@ -1,0 +1,170 @@
+"""Tests for the type-blocked guarded chase (ground saturation, expansion)."""
+
+import pytest
+
+from repro.chase import (
+    TypeTable,
+    canonical_config,
+    chase,
+    ground_saturation,
+    saturated_expansion,
+)
+from repro.datamodel import Atom, fresh_null
+from repro.queries import parse_database
+from repro.tgds import parse_tgds
+
+
+class TestCanonicalConfig:
+    def test_nulls_renamed(self):
+        n1, n2 = fresh_null(), fresh_null()
+        key1, _, _ = canonical_config([n1, n2], [Atom("R", (n1, n2))])
+        key2, _, _ = canonical_config([n2, n1], [Atom("R", (n2, n1))])
+        assert key1 == key2
+
+    def test_constants_kept(self):
+        n = fresh_null()
+        key_a, _, _ = canonical_config(["a", n], [Atom("R", ("a", n))])
+        key_b, _, _ = canonical_config(["b", n], [Atom("R", ("b", n))])
+        assert key_a != key_b
+
+    def test_roundtrip_translation(self):
+        n = fresh_null()
+        atoms = [Atom("R", ("a", n))]
+        _, to_canon, from_canon = canonical_config(["a", n], atoms)
+        assert [a.apply(to_canon).apply(from_canon) for a in atoms] == atoms
+
+    def test_structurally_different_configs_differ(self):
+        n = fresh_null()
+        key1, _, _ = canonical_config([n], [Atom("P", (n,))])
+        key2, _, _ = canonical_config([n], [Atom("Q", (n,))])
+        assert key1 != key2
+
+
+class TestTypeTable:
+    def test_requires_guarded(self):
+        with pytest.raises(ValueError):
+            TypeTable(parse_tgds(["R(x, u), S(u, y) -> T(x, y)"]))
+
+    def test_closure_full_tgds(self):
+        table = TypeTable(parse_tgds(["R(x, y) -> S(y, x)"]))
+        closure = table.closure(("a", "b"), [Atom("R", ("a", "b"))])
+        assert Atom("S", ("b", "a")) in closure
+
+    def test_closure_via_descendant_roundtrip(self):
+        # Ground atom derivable only through a null detour.
+        table = TypeTable(
+            parse_tgds(
+                ["A(x) -> E(x, y)", "E(x, y) -> F(y, x)", "F(y, x) -> C(x)"]
+            )
+        )
+        closure = table.closure(("a",), [Atom("A", ("a",))])
+        assert Atom("C", ("a",)) in closure
+
+    def test_closure_memoised(self):
+        table = TypeTable(parse_tgds(["R(x, y) -> R(y, z)"]))
+        table.closure(("a", "b"), [Atom("R", ("a", "b"))])
+        size_before = len(table.table)
+        table.closure(("a", "b"), [Atom("R", ("a", "b"))])
+        assert len(table.table) == size_before
+
+    def test_recursive_tgd_terminates(self):
+        table = TypeTable(parse_tgds(["R(x, y) -> R(y, z)"]))
+        closure = table.closure(("a", "b"), [Atom("R", ("a", "b"))])
+        assert Atom("R", ("a", "b")) in closure
+
+
+class TestGroundSaturation:
+    def _agree_with_chase(self, db_text, tgd_texts):
+        db = parse_database(db_text)
+        tgds = parse_tgds(tgd_texts)
+        expected = chase(db, tgds).instance
+        got = ground_saturation(db, tgds)
+        assert got.atoms() == expected.atoms()
+
+    def test_matches_terminating_chase_simple(self):
+        self._agree_with_chase("E(a, b), E(b, c)", ["E(x, y) -> E(y, x)"])
+
+    def test_matches_terminating_chase_feedback(self):
+        self._agree_with_chase(
+            "P(a, b), Q(b, a)",
+            ["P(x, y) -> Q(x, y)", "Q(x, y), P(x, y) -> W(x)"],
+        )
+
+    def test_cross_bag_feedback(self):
+        self._agree_with_chase(
+            "G(a, b, c), R(a, b)",
+            ["R(x, y) -> S(x, y)", "G(x, y, z), S(x, y) -> H(z)"],
+        )
+
+    def test_infinite_chase_ground_part(self):
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(["R(x, y) -> R(y, z)", "R(x, y) -> B(x)"])
+        got = ground_saturation(db, tgds)
+        bounded = chase(db, tgds, max_level=6)
+        ground_ref = {
+            a for a in bounded.instance if all(t in db.dom() for t in a.args)
+        }
+        assert got.atoms() == frozenset(ground_ref)
+
+    def test_null_roundtrip_ground_atom(self):
+        db = parse_database("A(a)")
+        tgds = parse_tgds(
+            ["A(x) -> E(x, y)", "E(x, y) -> F(y, x)", "F(y, x) -> C(x)"]
+        )
+        got = ground_saturation(db, tgds)
+        assert Atom("C", ("a",)) in got
+
+    def test_empty_tgds(self):
+        db = parse_database("R(a, b)")
+        assert ground_saturation(db, []).atoms() == db.atoms()
+
+
+class TestSaturatedExpansion:
+    def test_exact_on_terminating(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"])
+        expansion = saturated_expansion(db, tgds, unfold=2)
+        assert expansion.provably_exact
+        reference = chase(db, tgds).instance
+        # Same atoms up to null renaming: compare predicate multisets and
+        # ground parts.
+        assert sorted(a.pred for a in expansion.instance) == sorted(
+            a.pred for a in reference
+        )
+
+    def test_closes_on_weakly_acyclic_recursion(self):
+        # Semi-oblivious firing makes this set terminate: the second R-atom
+        # re-triggers the first TGD with an already-fired frontier image.
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(["R(x, y) -> S(y, z)", "S(x, y) -> R(y, x)"])
+        expansion = saturated_expansion(db, tgds, unfold=2, max_nodes=500)
+        assert expansion.provably_exact
+
+    def test_sound_on_infinite(self):
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(["R(x, y) -> S(y, z)", "S(x, y) -> R(x, y)"])
+        expansion = saturated_expansion(db, tgds, unfold=2, max_nodes=500)
+        assert not expansion.truncated
+        assert expansion.blocked > 0
+        # Every UCQ answer over the expansion must appear in a deep bounded
+        # chase (soundness of the collected atoms).
+        from repro.queries import evaluate_cq, parse_cq
+
+        q = parse_cq("q(x) :- R(x, y), S(y, z)")
+        deep = chase(db, tgds, max_level=8)
+        got = {t for t in evaluate_cq(q, expansion.instance) if t[0] in db.dom()}
+        ref = {t for t in evaluate_cq(q, deep.instance) if t[0] in db.dom()}
+        assert got == ref
+
+    def test_truncation_flag(self):
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(["R(x, y) -> R(y, z)"])
+        expansion = saturated_expansion(db, tgds, unfold=50, max_nodes=3)
+        assert expansion.truncated
+        assert not expansion.provably_exact
+
+    def test_ground_included(self):
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(["R(x, y) -> S(y, z)", "S(x, y) -> T(x)"])
+        expansion = saturated_expansion(db, tgds, unfold=1)
+        assert Atom("T", ("b",)) in expansion.instance

@@ -1,0 +1,114 @@
+"""Edge-case tests for the chase engines (shared nulls, repeats, prefixes)."""
+
+from repro.chase import chase, ground_saturation, restricted_chase, saturated_expansion
+from repro.datamodel import is_null
+from repro.queries import parse_database
+from repro.tgds import parse_tgds, satisfies_all
+
+
+class TestSharedExistentials:
+    def test_multi_head_shares_one_null(self):
+        # z occurs in both head atoms: the SAME null must witness both.
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> R(x, z), S(z, x)"])
+        result = chase(db, tgds)
+        r_atoms = list(result.instance.atoms_with_pred("R"))
+        s_atoms = list(result.instance.atoms_with_pred("S"))
+        assert len(r_atoms) == len(s_atoms) == 1
+        assert r_atoms[0].args[1] == s_atoms[0].args[0]
+
+    def test_two_existentials_distinct_nulls(self):
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> R(x, y, z)"])
+        result = chase(db, tgds)
+        atom = next(iter(result.instance.atoms_with_pred("R")))
+        assert atom.args[1] != atom.args[2]
+        assert is_null(atom.args[1]) and is_null(atom.args[2])
+
+    def test_repeated_head_variable(self):
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> R(x, x)"])
+        result = chase(db, tgds)
+        assert next(iter(result.instance.atoms_with_pred("R"))).args == ("a", "a")
+
+
+class TestFiringDiscipline:
+    def test_one_firing_per_frontier_image(self):
+        # Two body homs (y -> b, y -> c) but the same frontier image (x -> a)
+        # would fire twice; distinct frontier images fire separately.
+        db = parse_database("R(a, b), R(a, c)")
+        tgds = parse_tgds(["R(x, y) -> S(x, z)"])
+        result = chase(db, tgds)
+        # frontier is {x} only? No: frontier = head ∩ body = {x}. One firing.
+        assert len(result.instance.atoms_with_pred("S")) == 1
+
+    def test_distinct_frontier_images_fire_separately(self):
+        db = parse_database("R(a, b), R(c, d)")
+        tgds = parse_tgds(["R(x, y) -> S(x, z)"])
+        result = chase(db, tgds)
+        assert len(result.instance.atoms_with_pred("S")) == 2
+
+    def test_full_tgd_duplicate_heads_not_duplicated(self):
+        db = parse_database("R(a, b), R(b, a)")
+        tgds = parse_tgds(["R(x, y) -> R(y, x)"])
+        result = chase(db, tgds)
+        assert len(result.instance) == 2
+
+
+class TestPrefixes:
+    def test_prefixes_are_monotone(self):
+        db = parse_database("E(a, b)")
+        tgds = parse_tgds(["E(x, y) -> E(y, z)"])
+        previous = None
+        for level in (1, 2, 3, 4):
+            result = chase(db, tgds, max_level=level)
+            atoms = result.instance.atoms()
+            if previous is not None:
+                # Null identities differ between runs; compare sizes.
+                assert len(atoms) >= len(previous)
+            previous = atoms
+
+    def test_prefix_of_exact_chase_via_levels(self):
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> B(x)", "B(x) -> C(x)", "C(x) -> D(x)"])
+        result = chase(db, tgds)
+        assert {a.pred for a in result.atoms_up_to_level(2)} == {"A", "B", "C"}
+
+
+class TestEnginesAgree:
+    def test_three_engines_same_ground_part(self):
+        # ReportsTo(m, m) ties the regress off, so even the restricted
+        # chase terminates (unlike the open-ended manager chain).
+        db = parse_database("Emp(a), ReportsTo(a, m), Emp(m), ReportsTo(m, m)")
+        tgds = parse_tgds(
+            ["Emp(x) -> ReportsTo(x, y)", "ReportsTo(x, y) -> Emp(y)"]
+        )
+        dom = db.dom()
+
+        def ground(instance):
+            return {a for a in instance if all(t in dom for t in a.args)}
+
+        saturated = ground_saturation(db, tgds)
+        restricted = restricted_chase(db, tgds)
+        expansion = saturated_expansion(db, tgds, unfold=2)
+        assert restricted.terminated
+        assert satisfies_all(restricted.instance, tgds)
+        assert ground(restricted.instance) >= ground(saturated)  # ⊇ trivially
+        assert saturated.atoms() == frozenset(ground(expansion.instance))
+
+    def test_restricted_chase_diverges_on_manager_regress(self):
+        # Without the tie-off the restricted chase genuinely diverges; the
+        # bound must stop it and report non-termination.
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(
+            ["Emp(x) -> ReportsTo(x, y)", "ReportsTo(x, y) -> Emp(y)"]
+        )
+        result = restricted_chase(db, tgds, max_rounds=5)
+        assert not result.terminated
+
+    def test_restricted_subset_of_semi_oblivious(self):
+        db = parse_database("Emp(a), ReportsTo(a, boss)")
+        tgds = parse_tgds(["Emp(x) -> ReportsTo(x, y)"])
+        restricted = restricted_chase(db, tgds)
+        oblivious = chase(db, tgds)
+        assert len(restricted.instance) <= len(oblivious.instance)

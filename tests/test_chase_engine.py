@@ -1,0 +1,141 @@
+"""Tests for the oblivious level-wise chase engine (Section 2 / App A)."""
+
+import pytest
+
+from repro.chase import ChaseNonterminationError, chase, terminating_chase
+from repro.queries import parse_database
+from repro.tgds import parse_tgds, satisfies_all
+
+
+class TestBasicChase:
+    def test_full_tgd_fixpoint(self):
+        db = parse_database("E(a, b), E(b, c)")
+        result = chase(db, parse_tgds(["E(x, y) -> E(y, x)"]))
+        assert result.terminated
+        assert len(result.instance) == 4
+
+    def test_transitive_closure(self):
+        db = parse_database("E(a, b), E(b, c), E(c, d)")
+        result = chase(db, parse_tgds(["E(x, y), E(y, z) -> E(x, z)"]))
+        assert result.terminated
+        # All 6 pairs (a,b),(b,c),(c,d),(a,c),(b,d),(a,d).
+        assert len(result.instance) == 6
+
+    def test_existential_invents_null(self):
+        db = parse_database("Emp(a)")
+        result = chase(db, parse_tgds(["Emp(x) -> WorksFor(x, y)"]))
+        assert result.terminated
+        assert result.null_count() == 1
+
+    def test_result_satisfies_tgds(self):
+        db = parse_database("Emp(a), Mgr(b)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)", "Mgr(x) -> Emp(x)"])
+        result = chase(db, tgds)
+        assert satisfies_all(result.instance, tgds)
+
+    def test_empty_tgd_set(self):
+        db = parse_database("R(a, b)")
+        result = chase(db, [])
+        assert result.terminated and result.instance == db
+
+    def test_empty_body_tgd_fires_once(self):
+        db = parse_database("R(a, b)")
+        result = chase(db, parse_tgds(["-> Start(x)"]))
+        assert result.terminated
+        assert len(result.instance.atoms_with_pred("Start")) == 1
+
+    def test_oblivious_fires_even_if_satisfied(self):
+        # The oblivious chase fires R(a,b) -> S(b, z) although S(b, q) holds.
+        db = parse_database("R(a, b), S(b, q)")
+        result = chase(db, parse_tgds(["R(x, y) -> S(y, z)"]))
+        assert len(result.instance.atoms_with_pred("S")) == 2
+
+
+class TestLevels:
+    def test_database_atoms_level_zero(self):
+        db = parse_database("E(a, b)")
+        result = chase(db, parse_tgds(["E(x, y) -> F(y)"]))
+        for atom in db:
+            assert result.levels[atom] == 0
+
+    def test_derived_levels_increase(self):
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> B(x)", "B(x) -> C(x)"])
+        result = chase(db, tgds)
+        levels = {atom.pred: lvl for atom, lvl in result.levels.items()}
+        assert levels == {"A": 0, "B": 1, "C": 2}
+
+    def test_level_is_max_body_plus_one(self):
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> B(x)", "A(x), B(x) -> C(x)"])
+        result = chase(db, tgds)
+        levels = {atom.pred: lvl for atom, lvl in result.levels.items()}
+        assert levels["C"] == 2
+
+    def test_atoms_up_to_level(self):
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> B(x)", "B(x) -> C(x)"])
+        result = chase(db, tgds)
+        prefix = result.atoms_up_to_level(1)
+        assert {a.pred for a in prefix} == {"A", "B"}
+
+
+class TestBounds:
+    def test_max_level_prefix(self):
+        db = parse_database("E(a, b)")
+        tgds = parse_tgds(["E(x, y) -> E(y, z)"])
+        result = chase(db, tgds, max_level=3)
+        assert not result.terminated
+        assert result.reason == "level bound"
+        assert result.max_level <= 3
+
+    def test_max_level_prefix_grows(self):
+        db = parse_database("E(a, b)")
+        tgds = parse_tgds(["E(x, y) -> E(y, z)"])
+        small = chase(db, tgds, max_level=2)
+        large = chase(db, tgds, max_level=4)
+        assert len(small.instance) < len(large.instance)
+
+    def test_safety_cap_raises(self):
+        db = parse_database("E(a, b)")
+        tgds = parse_tgds(["E(x, y) -> E(y, z), E(z, y)"])
+        with pytest.raises(ChaseNonterminationError):
+            chase(db, tgds, safety_cap=100)
+
+    def test_ground_part(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Emp(x)"])
+        result = chase(db, tgds)
+        assert result.ground_part().atoms() == db.atoms()
+
+
+class TestTerminatingChase:
+    def test_accepts_weakly_acyclic(self):
+        db = parse_database("R(a, b)")
+        result = terminating_chase(db, parse_tgds(["R(x, y) -> S(y, z)"]))
+        assert result.terminated
+
+    def test_rejects_non_terminating(self):
+        db = parse_database("R(a, b)")
+        with pytest.raises(ValueError):
+            terminating_chase(db, parse_tgds(["R(x, y) -> R(y, z)"]))
+
+    def test_accepts_full(self):
+        db = parse_database("R(a, b)")
+        result = terminating_chase(db, parse_tgds(["R(x, y) -> R(y, x)"]))
+        assert result.terminated
+
+
+class TestUniversality:
+    def test_chase_maps_into_any_model(self):
+        """Prop 2.2: chase(D, Σ) → J for every model J ⊇ D of Σ."""
+        from repro.datamodel import instance_homomorphism
+        from repro.queries import parse_database
+
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"])
+        result = chase(db, tgds)
+        model = parse_database("Emp(a), WorksFor(a, acme), Comp(acme)")
+        fixed = {c: c for c in db.dom()}
+        hom = instance_homomorphism(result.instance, model, fixed=fixed)
+        assert hom is not None

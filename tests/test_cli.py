@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def files(tmp_path):
+    db = tmp_path / "db.txt"
+    db.write_text("Emp(ada)\nMgr(grace)\n")
+    tgds = tmp_path / "sigma.txt"
+    tgds.write_text("Emp(x) -> Person(x)\nMgr(x) -> Emp(x)\n")
+    query = tmp_path / "q.txt"
+    query.write_text("q(x) :- Person(x)")
+    return db, tgds, query
+
+
+class TestCommands:
+    def test_chase(self, files, capsys):
+        db, tgds, _ = files
+        assert main(["chase", str(db), str(tgds)]) == 0
+        out = capsys.readouterr().out
+        assert "Person(ada)" in out and "Person(grace)" in out
+
+    def test_certain(self, files, capsys):
+        db, tgds, query = files
+        assert main(["certain", str(db), str(tgds), str(query)]) == 0
+        out = capsys.readouterr().out
+        assert "('ada',)" in out and "('grace',)" in out
+
+    def test_evaluate_inline(self, capsys):
+        # -e makes *all* positional arguments inline text.
+        assert main(["evaluate", "Emp(ada)", "q(x) :- Emp(x)", "-e"]) == 0
+        assert "('ada',)" in capsys.readouterr().out
+
+    def test_evaluate_files(self, files, tmp_path, capsys):
+        db, _, _ = files
+        query = tmp_path / "plain.txt"
+        query.write_text("q(x) :- Emp(x)")
+        assert main(["evaluate", str(db), str(query)]) == 0
+        assert "('ada',)" in capsys.readouterr().out
+
+    def test_rewrite_success(self, capsys):
+        code = main(
+            [
+                "rewrite",
+                "E(x, y) -> E(y, x)",
+                "q() :- E(x, y), E(y, z), E(z, w), E(w, x)",
+                "-e",
+                "-k",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "E(" in capsys.readouterr().out
+
+    def test_rewrite_failure(self, capsys):
+        code = main(
+            ["rewrite", "", "q() :- E(x, y), E(y, z), E(z, x)", "-e", "-k", "1"]
+        )
+        assert code == 1
+
+    def test_classify(self, capsys):
+        assert main(["classify", "Emp(x) -> Person(x)", "-e"]) == 0
+        out = capsys.readouterr().out
+        assert "G" in out and "weakly-acyclic" in out
+
+    def test_clique(self, capsys):
+        assert main(["clique", "-k", "2", "--vertices", "6", "--probability", "0.5"]) == 0
+        assert "clique" in capsys.readouterr().out
+
+    def test_certain_inline_strategy(self, capsys):
+        code = main(
+            [
+                "certain",
+                "Emp(a)",
+                "Emp(x) -> WorksFor(x, y); WorksFor(x, y) -> Comp(y)",
+                "q(x) :- WorksFor(x, y), Comp(y)",
+                "-e",
+                "--strategy",
+                "rewrite",
+            ]
+        )
+        assert code == 0
+        assert "('a',)" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Tests for plain CQ/UCQ containment (Chandra–Merlin)."""
+
+import pytest
+
+from repro.queries import (
+    contained_in,
+    cq_contained_in,
+    cq_equivalent,
+    equivalent,
+    parse_cq,
+    parse_ucq,
+    ucq_contained_in,
+    ucq_equivalent,
+)
+
+
+class TestCQContainment:
+    def test_specialisation_contained(self):
+        # R(x,x) ⊆ ∃y R(x,y)
+        assert cq_contained_in(parse_cq("q(x) :- R(x, x)"), parse_cq("q(x) :- R(x, y)"))
+
+    def test_generalisation_not_contained(self):
+        assert not cq_contained_in(
+            parse_cq("q(x) :- R(x, y)"), parse_cq("q(x) :- R(x, x)")
+        )
+
+    def test_longer_path_contained_in_shorter(self):
+        p3 = parse_cq("q() :- E(x, y), E(y, z), E(z, w)")
+        p2 = parse_cq("q() :- E(x, y), E(y, z)")
+        assert cq_contained_in(p3, p2)
+        assert not cq_contained_in(p2, p3)
+
+    def test_equivalence_up_to_redundancy(self):
+        redundant = parse_cq("q() :- E(x, y), E(u, v)")
+        minimal = parse_cq("q() :- E(x, y)")
+        assert cq_equivalent(redundant, minimal)
+
+    def test_head_correspondence_is_positional(self):
+        q1 = parse_cq("q(x) :- E(x, y)")
+        q2 = parse_cq("q(y) :- E(y, z)")
+        assert cq_equivalent(q1, q2)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cq_contained_in(parse_cq("q(x) :- E(x, y)"), parse_cq("q() :- E(x, y)"))
+
+    def test_triangle_vs_clique4(self):
+        tri = parse_cq("q() :- E(x,y), E(y,z), E(z,x)")
+        k4 = parse_cq(
+            "q() :- E(a,b), E(b,a), E(a,c), E(c,a), E(a,d), E(d,a), "
+            "E(b,c), E(c,b), E(b,d), E(d,b), E(c,d), E(d,c)"
+        )
+        assert cq_contained_in(k4, tri)
+        assert not cq_contained_in(tri, k4)
+
+    def test_constants(self):
+        q1 = parse_cq("q() :- E('a', x)")
+        q2 = parse_cq("q() :- E(y, x)")
+        assert cq_contained_in(q1, q2)
+        assert not cq_contained_in(q2, q1)
+
+    def test_transitivity_sample(self):
+        a = parse_cq("q() :- E(x, x)")
+        b = parse_cq("q() :- E(x, y), E(y, x)")
+        c = parse_cq("q() :- E(x, y)")
+        assert cq_contained_in(a, b) and cq_contained_in(b, c)
+        assert cq_contained_in(a, c)
+
+
+class TestUCQContainment:
+    def test_disjunct_subset(self):
+        small = parse_ucq("q() :- E(x, x)")
+        big = parse_ucq("q() :- E(x, x) | q() :- P(x)")
+        assert ucq_contained_in(small, big)
+        assert not ucq_contained_in(big, small)
+
+    def test_each_disjunct_must_embed(self):
+        left = parse_ucq("q() :- E(x, y) | q() :- P(x)")
+        right = parse_ucq("q() :- E(x, y)")
+        assert not ucq_contained_in(left, right)
+
+    def test_equivalence_modulo_redundant_disjunct(self):
+        left = parse_ucq("q() :- E(x, y) | q() :- E(x, x)")
+        right = parse_ucq("q() :- E(x, y)")
+        assert ucq_equivalent(left, right)
+
+    def test_dispatch_helpers(self):
+        cq = parse_cq("q() :- E(x, x)")
+        u = parse_ucq("q() :- E(x, y)")
+        assert contained_in(cq, u)
+        assert not equivalent(cq, u)

@@ -1,0 +1,89 @@
+"""Tests for contractions and specializations (Def C.1 / Section 5.2)."""
+
+import pytest
+
+from repro.datamodel import variables
+from repro.queries import (
+    contractions,
+    cq_contained_in,
+    identify,
+    is_contraction_of,
+    parse_cq,
+    proper_contractions,
+    specializations,
+)
+
+x, y, z = variables("x y z")
+
+
+class TestIdentify:
+    def test_identify_two_existentials(self):
+        q = parse_cq("q() :- E(x, y), E(y, z)")
+        p = identify(q, [[y, z]])
+        assert len(p.variables()) == 2
+
+    def test_identify_answer_with_existential_keeps_answer(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        p = identify(q, [[x, y]])
+        assert p.head == (x,)
+        assert p.atoms[0].args == (x, x)
+
+    def test_identify_two_answers_rejected(self):
+        q = parse_cq("q(x, y) :- E(x, y)")
+        with pytest.raises(ValueError):
+            identify(q, [[x, y]])
+
+
+class TestContractions:
+    def test_trivial_included(self):
+        q = parse_cq("q() :- E(x, y)")
+        cs = contractions(q)
+        assert any(c.is_isomorphic_to(q) for c in cs)
+
+    def test_count_two_vars_boolean(self):
+        q = parse_cq("q() :- E(x, y)")
+        assert len(contractions(q)) == 2  # E(x,y) and E(x,x)
+
+    def test_count_three_vars_path(self):
+        q = parse_cq("q() :- E(x, y), E(y, z)")
+        assert len(contractions(q)) == 5
+
+    def test_answer_variable_blocks(self):
+        q = parse_cq("q(x, y) :- E(x, y)")
+        # Only the trivial contraction: x and y are both answer variables.
+        assert len(contractions(q)) == 1
+
+    def test_proper_contractions_exclude_trivial(self):
+        q = parse_cq("q() :- E(x, y)")
+        props = proper_contractions(q)
+        assert all(len(p.variables()) < 2 for p in props)
+
+    def test_contractions_contained_in_original(self):
+        q = parse_cq("q() :- E(x, y), E(y, z)")
+        for p in contractions(q):
+            assert cq_contained_in(p, q)
+
+    def test_is_contraction_of(self):
+        q = parse_cq("q() :- E(x, y), E(y, z)")
+        loop = parse_cq("q() :- E(u, u)")
+        assert is_contraction_of(loop, q)
+        other = parse_cq("q() :- P(u)")
+        assert not is_contraction_of(other, q)
+
+
+class TestSpecializations:
+    def test_head_always_in_v(self):
+        q = parse_cq("q(x) :- E(x, y)")
+        for p, v in specializations(q):
+            assert set(p.head) <= v
+
+    def test_count_for_single_edge_boolean(self):
+        q = parse_cq("q() :- E(x, y)")
+        specs = list(specializations(q))
+        # Trivial contraction: V ⊆ {x, y} → 4 choices; loop: V ⊆ {x} → 2.
+        assert len(specs) == 6
+
+    def test_v_subset_of_variables(self):
+        q = parse_cq("q() :- E(x, y), E(y, z)")
+        for p, v in specializations(q):
+            assert v <= p.variables() | set(p.head)

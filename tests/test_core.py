@@ -1,0 +1,66 @@
+"""Tests for CQ cores (Section 4)."""
+
+from repro.benchgen import clique_cq, inflated_triangle_cq
+from repro.queries import core, cq_equivalent, is_core, parse_cq, retract_once
+
+
+class TestCore:
+    def test_redundant_atom_removed(self):
+        q = parse_cq("q() :- E(x, y), E(u, v)")
+        assert len(core(q).atoms) == 1
+
+    def test_core_equivalent_to_original(self):
+        q = parse_cq("q() :- E(x, y), E(y, z), E(u, v)")
+        assert cq_equivalent(core(q), q)
+
+    def test_triangle_is_core(self):
+        assert is_core(parse_cq("q() :- E(x, y), E(y, z), E(z, x)"))
+
+    def test_loop_absorbs_everything(self):
+        q = parse_cq("q() :- E(x, x), E(u, v), E(v, w)")
+        assert len(core(q).atoms) == 1
+        assert core(q).atoms[0].pred == "E"
+
+    def test_symmetric_pair_core(self):
+        q = parse_cq("q() :- E(x, y), E(y, x), E(u, v)")
+        assert len(core(q).atoms) == 2
+
+    def test_answer_variables_protected(self):
+        # x is an answer variable, so E(x, y) cannot be folded away even
+        # though E(u, v) subsumes its shape.
+        q = parse_cq("q(x) :- E(x, y), E(u, v)")
+        c = core(q)
+        assert any(x in atom.variables() for atom in c.atoms for x in [q.head[0]])
+
+    def test_constants_protected(self):
+        q = parse_cq("q() :- E('a', y), E(u, v)")
+        c = core(q)
+        assert "a" in c.constants()
+
+    def test_clique_queries_are_cores(self):
+        for k in (3, 4):
+            assert is_core(clique_cq(k))
+
+    def test_inflated_triangle_core_is_triangle(self):
+        q = inflated_triangle_cq(3)
+        c = core(q)
+        assert len(c.atoms) == 3
+
+    def test_core_idempotent(self):
+        q = inflated_triangle_cq(2)
+        once = core(q)
+        assert core(once).same_as(once)
+
+    def test_retract_once_on_core_returns_none(self):
+        assert retract_once(parse_cq("q() :- E(x, y), E(y, x)")) is None
+
+    def test_single_atom_is_core(self):
+        assert is_core(parse_cq("q() :- E(x, y)"))
+
+    def test_path_is_core(self):
+        assert is_core(parse_cq("q() :- E(x, y), E(y, z)"))
+
+    def test_grid_is_core(self):
+        from repro.reductions import directed_grid_cq
+
+        assert is_core(directed_grid_cq(2, 2))

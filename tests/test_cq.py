@@ -1,0 +1,141 @@
+"""Tests for repro.queries.cq (CQ/UCQ objects)."""
+
+import pytest
+
+from repro.datamodel import Atom, Variable, variables
+from repro.queries import CQ, UCQ, dedupe_isomorphic, parse_cq
+
+x, y, z, w = variables("x y z w")
+E = lambda *args: Atom("E", args)
+
+
+class TestCQConstruction:
+    def test_basic(self):
+        q = CQ((x,), [E(x, y)])
+        assert q.arity == 1 and q.head == (x,)
+
+    def test_boolean(self):
+        assert CQ((), [E(x, y)]).is_boolean()
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            CQ((), [])
+
+    def test_rejects_unsafe_head(self):
+        with pytest.raises(ValueError):
+            CQ((z,), [E(x, y)])
+
+    def test_rejects_duplicate_head(self):
+        with pytest.raises(ValueError):
+            CQ((x, x), [E(x, y)])
+
+    def test_rejects_constant_head(self):
+        with pytest.raises(ValueError):
+            CQ(("a",), [E("a", y)])
+
+    def test_atoms_deduplicated(self):
+        q = CQ((), [E(x, y), E(x, y)])
+        assert len(q.atoms) == 1
+
+
+class TestCQInspection:
+    def test_variables(self):
+        q = CQ((x,), [E(x, y), E(y, z)])
+        assert q.variables() == {x, y, z}
+
+    def test_existential_variables(self):
+        q = CQ((x,), [E(x, y), E(y, z)])
+        assert q.existential_variables() == {y, z}
+
+    def test_constants(self):
+        q = CQ((), [E(x, "a")])
+        assert q.constants() == {"a"}
+        assert not q.is_constant_free()
+
+    def test_predicates(self):
+        q = CQ((), [E(x, y), Atom("P", (x,))])
+        assert q.predicates() == {"E", "P"}
+
+    def test_size_positive(self):
+        assert CQ((), [E(x, y)]).size() > 0
+
+    def test_canonical_database(self):
+        q = CQ((x,), [E(x, y)])
+        assert q.canonical_database().atoms() == frozenset({E(x, y)})
+
+
+class TestCQTransforms:
+    def test_apply(self):
+        q = CQ((x,), [E(x, y)]).apply({y: z})
+        assert q.atoms == (E(x, z),)
+
+    def test_apply_protects_head(self):
+        with pytest.raises(ValueError):
+            CQ((x,), [E(x, y)]).apply({x: "a"})
+
+    def test_rename_apart_disjoint(self):
+        q = CQ((x,), [E(x, y)])
+        renamed = q.rename_apart("_1")
+        assert q.variables().isdisjoint(renamed.variables())
+
+    def test_gaifman_of_existential_vars(self):
+        q = CQ((x,), [E(x, y), E(y, z)])
+        adj = q.existential_gaifman_adjacency()
+        assert set(adj) == {y, z}
+        assert adj[y] == {z}
+
+
+class TestCQIsomorphism:
+    def test_isomorphic_renaming(self):
+        q1 = parse_cq("q(x) :- E(x, y)")
+        q2 = parse_cq("q(u) :- E(u, v)")
+        assert q1.is_isomorphic_to(q2)
+
+    def test_not_isomorphic_structure(self):
+        q1 = parse_cq("q() :- E(x, y)")
+        q2 = parse_cq("q() :- E(x, x)")
+        assert not q1.is_isomorphic_to(q2)
+
+    def test_head_position_matters(self):
+        q1 = parse_cq("q(x) :- E(x, y)")
+        q2 = parse_cq("q(y) :- E(x, y)")
+        assert not q1.is_isomorphic_to(q2)
+
+    def test_dedupe_isomorphic(self):
+        qs = [
+            parse_cq("q() :- E(x, y)"),
+            parse_cq("q() :- E(u, v)"),
+            parse_cq("q() :- E(x, x)"),
+        ]
+        assert len(dedupe_isomorphic(qs)) == 2
+
+
+class TestUCQ:
+    def test_same_arity_required(self):
+        with pytest.raises(ValueError):
+            UCQ([parse_cq("q(x) :- E(x, y)"), parse_cq("q() :- E(x, y)")])
+
+    def test_nonempty(self):
+        with pytest.raises(ValueError):
+            UCQ([])
+
+    def test_iteration_and_len(self):
+        u = UCQ.of(parse_cq("q() :- E(x, y)"), parse_cq("q() :- P(x)"))
+        assert len(u) == 2 and len(list(u)) == 2
+
+    def test_predicates_union(self):
+        u = UCQ.of(parse_cq("q() :- E(x, y)"), parse_cq("q() :- P(x)"))
+        assert u.predicates() == {"E", "P"}
+
+    def test_max_cq_variables(self):
+        u = UCQ.of(parse_cq("q() :- E(x, y)"), parse_cq("q() :- E(x, y), E(y, z)"))
+        assert u.max_cq_variables() == 3
+
+    def test_map(self):
+        u = UCQ.of(parse_cq("q() :- E(x, y)"))
+        renamed = u.map(lambda cq: cq.rename_apart("_z"))
+        assert renamed.disjuncts[0].variables() != u.disjuncts[0].variables()
+
+    def test_equality_order_insensitive(self):
+        a, b = parse_cq("q() :- E(x, y)"), parse_cq("q() :- P(x)")
+        assert UCQ.of(a, b) == UCQ.of(b, a)

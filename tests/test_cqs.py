@@ -1,0 +1,119 @@
+"""Tests for CQS objects, closed-world evaluation, and containment under
+constraints (Sections 3.2, 4.2, Prop 4.5)."""
+
+import pytest
+
+from repro.cqs import (
+    CQS,
+    PromiseViolation,
+    contained_under,
+    cqs_contained_in,
+    cqs_equivalent,
+    equivalent_under,
+)
+from repro.queries import parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgds
+
+SYMMETRIC = parse_tgds(["E(x, y) -> E(y, x)"])
+
+
+class TestCQSObject:
+    def test_classification(self):
+        spec = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        assert spec.is_guarded() and spec.is_frontier_guarded()
+        assert spec.in_fg_m(1)
+
+    def test_schema(self):
+        spec = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y), P(x)"))
+        assert spec.schema().predicates() == {"E", "P"}
+
+    def test_omq_bridge_full_schema(self):
+        spec = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        assert spec.omq().has_full_data_schema()
+
+    def test_with_query(self):
+        spec = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        other = spec.with_query(parse_ucq("q(x) :- E(y, x)"))
+        assert other.tgds == spec.tgds
+
+
+class TestEvaluation:
+    def test_promise_checked(self):
+        spec = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        with pytest.raises(PromiseViolation):
+            spec.evaluate(parse_database("E(a, b)"))
+
+    def test_promise_can_be_skipped(self):
+        spec = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        answers = spec.evaluate(parse_database("E(a, b)"), check_promise=False)
+        assert answers == {("a",)}
+
+    def test_closed_world_no_derivation(self):
+        # Closed world: constraints restrict inputs, they do not add facts.
+        spec = CQS(parse_tgds(["Emp(x) -> Person(x)"]), parse_ucq("q(x) :- Person(x)"))
+        db = parse_database("Emp(a), Person(a)")
+        assert spec.evaluate(db) == {("a",)}
+
+    def test_satisfying_database(self):
+        spec = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        db = parse_database("E(a, b), E(b, a)")
+        assert spec.evaluate(db) == {("a",), ("b",)}
+
+    def test_is_answer(self):
+        spec = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        db = parse_database("E(a, b), E(b, a)")
+        assert spec.is_answer(db, ("a",))
+        assert not spec.is_answer(db, ("zzz",))
+
+
+class TestContainmentUnderConstraints:
+    def test_plain_containment_special_case(self):
+        # With Σ = ∅ this is Chandra–Merlin.
+        assert contained_under(
+            parse_cq("q() :- E(x, x)"), parse_cq("q() :- E(x, y)"), []
+        )
+
+    def test_constraints_enable_containment(self):
+        # Under symmetry, E(x,y) entails E(y,x).
+        q1 = parse_cq("q(x) :- E(x, y)")
+        q2 = parse_cq("q(x) :- E(y, x)")
+        assert not contained_under(q1, q2, [])
+        assert contained_under(q1, q2, SYMMETRIC)
+
+    def test_example_employment(self):
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"])
+        q1 = parse_cq("q(x) :- Emp(x)")
+        q2 = parse_cq("q(x) :- WorksFor(x, y), Comp(y)")
+        assert contained_under(q1, q2, tgds)
+        assert not contained_under(q2, q1, tgds)
+
+    def test_equivalence(self):
+        q1 = parse_cq("q(x) :- E(x, y)")
+        q2 = parse_cq("q(x) :- E(y, x)")
+        assert equivalent_under(q1, q2, SYMMETRIC)
+
+    def test_cqs_level_wrappers(self):
+        s1 = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        s2 = CQS(SYMMETRIC, parse_ucq("q(x) :- E(y, x)"))
+        assert cqs_contained_in(s1, s2)
+        assert cqs_equivalent(s1, s2)
+
+    def test_cqs_containment_needs_shared_sigma(self):
+        s1 = CQS(SYMMETRIC, parse_ucq("q(x) :- E(x, y)"))
+        s2 = CQS([], parse_ucq("q(x) :- E(x, y)"))
+        with pytest.raises(ValueError):
+            cqs_contained_in(s1, s2)
+
+    def test_ucq_containment_disjunctwise(self):
+        u1 = parse_ucq("q(x) :- E(x, y) | q(x) :- E(y, x)")
+        u2 = parse_ucq("q(x) :- E(x, y)")
+        assert contained_under(u1, u2, SYMMETRIC)
+
+    def test_guarded_infinite_chase_containment(self):
+        tgds = parse_tgds(
+            ["Emp(x) -> ReportsTo(x, y)", "ReportsTo(x, y) -> Emp(y)"]
+        )
+        q1 = parse_cq("q(x) :- Emp(x)")
+        q2 = parse_cq("q(x) :- ReportsTo(x, y)")
+        assert contained_under(q1, q2, tgds)
+        assert not contained_under(q2, q1, tgds)

@@ -1,0 +1,48 @@
+"""Tests for CQS.evaluate_optimized — the Thm 5.7/5.12 upper bound as API."""
+
+import pytest
+
+from repro.cqs import CQS, PromiseViolation
+from repro.queries import parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgds
+
+SYMMETRY = parse_tgds(["E(x, y) -> E(y, x)"])
+FOUR_CYCLE = parse_cq("q() :- E(x, y), E(y, z), E(z, w), E(w, x)")
+
+
+class TestEvaluateOptimized:
+    def test_agrees_with_plain_on_equivalent_spec(self):
+        spec = CQS(SYMMETRY, FOUR_CYCLE)
+        db = parse_database("E(a, b), E(b, a), E(b, c), E(c, b)")
+        assert spec.evaluate_optimized(db) == spec.evaluate(db) == {()}
+
+    def test_agrees_on_negative_instance(self):
+        spec = CQS(SYMMETRY, FOUR_CYCLE)
+        db = parse_database("F(a, b)")
+        assert spec.evaluate_optimized(db) == spec.evaluate(db) == set()
+
+    def test_falls_back_when_not_equivalent(self):
+        # Odd ring: not UCQ_1-equivalent; the call must still answer.
+        odd = parse_cq("q() :- E(x, y), E(y, z), E(z, x)")
+        spec = CQS(SYMMETRY, odd)
+        db = parse_database(
+            "E(a, b), E(b, a), E(b, c), E(c, b), E(c, a), E(a, c)"
+        )
+        assert spec.evaluate_optimized(db) == spec.evaluate(db) == {()}
+
+    def test_falls_back_on_unguarded_constraints(self):
+        tgds = parse_tgds(["R(x, u), S(u, y) -> T(x, y)"])
+        spec = CQS(tgds, parse_ucq("q() :- T(x, y)"))
+        db = parse_database("T(a, b)")
+        assert spec.evaluate_optimized(db, check_promise=False) == {()}
+
+    def test_promise_still_enforced(self):
+        spec = CQS(SYMMETRY, FOUR_CYCLE)
+        with pytest.raises(PromiseViolation):
+            spec.evaluate_optimized(parse_database("E(a, b)"))
+
+    def test_non_boolean_answers(self):
+        query = parse_cq("q(h) :- Hub(h, y), E(y, z), E(z, y)")
+        spec = CQS(SYMMETRY, query)
+        db = parse_database("E(a, b), E(b, a), Hub(h1, a), Hub(h2, zzz)")
+        assert spec.evaluate_optimized(db) == spec.evaluate(db) == {("h1",)}

@@ -1,0 +1,90 @@
+"""Tests for C-trees and α-acyclicity (Appendix B)."""
+
+import pytest
+
+from repro.queries import parse_database
+from repro.treewidth.ctree import (
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_c_tree,
+    is_guarded_acyclic,
+)
+
+
+def edges(*groups):
+    return [frozenset(g) for g in groups]
+
+
+class TestGYO:
+    def test_single_edge_acyclic(self):
+        assert is_alpha_acyclic(edges("ab"))
+
+    def test_path_acyclic(self):
+        assert is_alpha_acyclic(edges("ab", "bc", "cd"))
+
+    def test_triangle_cyclic(self):
+        assert not is_alpha_acyclic(edges("ab", "bc", "ca"))
+
+    def test_alpha_not_hereditary(self):
+        # The classical quirk: adding the big edge makes it acyclic.
+        assert is_alpha_acyclic(edges("ab", "bc", "ca", "abc"))
+
+    def test_star_acyclic(self):
+        assert is_alpha_acyclic(edges("ab", "ac", "ad"))
+
+    def test_reduction_residue_on_cycle(self):
+        residue = gyo_reduction(edges("ab", "bc", "ca"))
+        assert len(residue) == 3  # the cycle survives intact
+
+    def test_empty_input(self):
+        assert is_alpha_acyclic([])
+
+
+class TestGuardedAcyclic:
+    def test_path_database(self):
+        assert is_guarded_acyclic(parse_database("R(a, b), R(b, c)"))
+
+    def test_triangle_database(self):
+        assert not is_guarded_acyclic(parse_database("R(a, b), R(b, c), R(c, a)"))
+
+    def test_wide_guard_absorbs(self):
+        # A ternary guard covering the triangle makes it acyclic.
+        db = parse_database("R(a, b), R(b, c), R(c, a), G(a, b, c)")
+        assert is_guarded_acyclic(db)
+
+    def test_tree_of_ternary_atoms(self):
+        db = parse_database("T(a, b, c), T(c, d, e)")
+        assert is_guarded_acyclic(db)
+
+
+class TestCTree:
+    TRIANGLE = parse_database("R(a, b), R(b, c), R(c, a)")
+
+    def test_triangle_needs_its_core(self):
+        assert not is_c_tree(self.TRIANGLE, [])
+        assert is_c_tree(self.TRIANGLE, ["a", "b", "c"])
+
+    def test_partial_core_insufficient(self):
+        assert not is_c_tree(self.TRIANGLE, ["a", "b"])
+
+    def test_decorated_triangle(self):
+        # A triangle core with an acyclic guarded tail: a C-tree.
+        db = parse_database("R(a, b), R(b, c), R(c, a), R(a, d), R(d, e)")
+        assert is_c_tree(db, ["a", "b", "c"])
+
+    def test_two_disjoint_cycles_one_core(self):
+        db = parse_database(
+            "R(a, b), R(b, c), R(c, a), R(u, v), R(v, w), R(w, u)"
+        )
+        assert not is_c_tree(db, ["a", "b", "c"])
+
+    def test_core_as_instance(self):
+        core = parse_database("R(a, b), R(b, c), R(c, a)")
+        assert is_c_tree(self.TRIANGLE, core)
+
+    def test_unknown_core_constant_rejected(self):
+        with pytest.raises(ValueError):
+            is_c_tree(self.TRIANGLE, ["zzz"])
+
+    def test_acyclic_database_is_empty_core_tree(self):
+        assert is_c_tree(parse_database("R(a, b), R(b, c)"), [])

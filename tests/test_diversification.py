@@ -1,0 +1,103 @@
+"""Tests for the diversification/untangling machinery (Appendix D.2)."""
+
+from repro.datamodel import Atom, Instance
+from repro.omq import OMQ, certain_answers
+from repro.queries import parse_ucq
+from repro.reductions import (
+    diversification_step,
+    is_diversification_of,
+    untangle,
+)
+from repro.tgds import parse_tgds
+
+
+def example_d9(n: int = 2, m: int = 2):
+    """The Example D.9 setup: grid atoms entangled through one junk constant."""
+    sigma = parse_tgds(["Xp(x, y, z) -> X(x, y)", "Yp(x, y, z) -> Y(x, y)"])
+    d0 = Instance()
+    for i in range(1, m + 1):
+        for j in range(1, n):
+            d0.add(Atom("Xp", (f"a{i}{j}", f"a{i}{j+1}", "b")))
+    for i in range(1, m):
+        for j in range(1, n + 1):
+            d0.add(Atom("Yp", (f"a{i}{j}", f"a{i+1}{j}", "b")))
+    query = parse_ucq(
+        "q() :- X(x11, x12), Y(x11, x21), X(x21, x22), Y(x12, x22)"
+    )
+    return d0, OMQ.with_full_data_schema(sigma, query)
+
+
+class TestDiversificationStep:
+    def test_splits_shared_constant(self):
+        db = Instance([Atom("R", ("a", "b")), Atom("S", ("b",))])
+        origin = {}
+        stepped = diversification_step(db, Atom("R", ("a", "b")), 1, origin_map=origin)
+        assert stepped is not None
+        new_db, replacement = stepped
+        assert Atom("R", ("a", "b")) not in new_db
+        assert replacement.pred == "R"
+        fresh = replacement.args[1]
+        assert origin[fresh] == "b"
+
+    def test_refuses_unique_constant(self):
+        db = Instance([Atom("R", ("a", "b"))])
+        # "a" occurs once overall: splitting it changes nothing structural.
+        assert diversification_step(db, Atom("R", ("a", "b")), 0, origin_map={}) is None
+
+    def test_refuses_missing_atom(self):
+        db = Instance([Atom("R", ("a", "b"))])
+        assert (
+            diversification_step(db, Atom("R", ("x", "y")), 0, origin_map={}) is None
+        )
+
+    def test_chained_origins_point_to_root(self):
+        db = Instance([Atom("R", ("a", "b")), Atom("S", ("b",)), Atom("T", ("b",))])
+        origin = {}
+        db2, rep = diversification_step(db, Atom("S", ("b",)), 0, origin_map=origin)
+        fresh1 = rep.args[0]
+        assert origin[fresh1] == "b"
+
+
+class TestUntangle:
+    def test_example_d9_untangles_junk_constant(self):
+        d0, omq = example_d9()
+        d1, origin = untangle(d0, omq)
+        b_occurrences = sum(a.args.count("b") for a in d1)
+        assert b_occurrences <= 1  # only one atom may keep the original
+        assert is_diversification_of(d1, d0, origin)
+
+    def test_query_preserved(self):
+        d0, omq = example_d9()
+        d1, _ = untangle(d0, omq)
+        assert () in certain_answers(omq, d1).answers
+
+    def test_protected_constants_untouched(self):
+        d0, omq = example_d9()
+        d1, _ = untangle(d0, omq, protected={"b"})
+        assert sum(a.args.count("b") for a in d1) == sum(
+            a.args.count("b") for a in d0
+        )
+
+    def test_grid_spine_survives(self):
+        # The a-constants are load-bearing for the query: untangling must
+        # keep at least one fully connected grid copy.
+        d0, omq = example_d9()
+        d1, _ = untangle(d0, omq)
+        assert len(d1) == len(d0)  # atom count is preserved by splitting
+
+
+class TestIsDiversificationOf:
+    def test_identity_is_diversification(self):
+        d0, _ = example_d9()
+        assert is_diversification_of(d0, d0, {})
+
+    def test_wrong_projection_rejected(self):
+        d0, _ = example_d9()
+        bogus = Instance([Atom("Xp", ("zz", "zz", "zz"))])
+        assert not is_diversification_of(bogus, d0, {})
+
+    def test_dropped_protected_rejected(self):
+        d0, _ = example_d9()
+        missing = Instance(a for a in d0 if "b" not in a.args)
+        # (all atoms mention b, so this is empty — protected check fires)
+        assert not is_diversification_of(missing, d0, {}, protected={"a11"})

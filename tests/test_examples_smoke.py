@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Each is run in a subprocess with a generous timeout, and key output lines
+are asserted so silent breakage (e.g. an example printing exceptions it
+swallows) is caught too.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "ontology-mediated answers" in out
+        assert "closed-world answers" in out
+
+    def test_ontology_mediated_querying(self):
+        out = run_example("ontology_mediated_querying.py")
+        assert "open-world   Staff(x):" in out
+        assert "FPT pipeline" in out
+
+    def test_constraint_aware_optimization(self):
+        out = run_example("constraint_aware_optimization.py")
+        assert "uniformly UCQ_1-equivalent under Σ: True" in out
+        assert "speedup" in out
+
+    def test_clique_reduction(self):
+        out = run_example("clique_reduction.py")
+        assert "k-clique" in out
+        assert "D* |= Σ: True" in out
+
+    def test_semantic_treewidth(self):
+        out = run_example("semantic_treewidth.py")
+        assert "Q1 ≡ (S, Σ, q'): True" in out
+
+    def test_university_dl(self):
+        out = run_example("university_dl.py")
+        assert "TBox compiled to" in out
+        assert "church" in out

@@ -1,0 +1,214 @@
+"""Tests for the extension modules: restricted chase, DL translation,
+Appendix C.5 construction, database I/O."""
+
+import pytest
+
+from repro.chase import chase, restricted_chase
+from repro.datamodel import Atom, Instance, instance_homomorphism
+from repro.datamodel.io import (
+    load_csv_directory,
+    load_facts,
+    save_csv_directory,
+    save_facts,
+)
+from repro.queries import evaluate_cq, holds, parse_cq, parse_database
+from repro.semantic import (
+    appendix_c5_databases,
+    appendix_c5_ontology,
+    longest_s_path,
+    s_path_query,
+)
+from repro.tgds import (
+    DLSyntaxError,
+    all_guarded,
+    axiom_to_tgd,
+    is_weakly_acyclic,
+    parse_tgds,
+    satisfies_all,
+    tbox_to_tgds,
+)
+
+
+class TestRestrictedChase:
+    def test_skips_satisfied_triggers(self):
+        db = parse_database("Emp(a), ReportsTo(a, boss)")
+        tgds = parse_tgds(["Emp(x) -> ReportsTo(x, y)"])
+        result = restricted_chase(db, tgds)
+        assert result.terminated
+        # The oblivious chase would add a fresh null; the restricted one
+        # is satisfied by the existing boss.
+        assert len(result.instance) == 2
+
+    def test_fires_unsatisfied_triggers(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> ReportsTo(x, y)"])
+        result = restricted_chase(db, tgds)
+        assert len(result.instance.atoms_with_pred("ReportsTo")) == 1
+
+    def test_terminates_where_oblivious_does_not(self):
+        # Cyclic: every node needs a successor; existing edges satisfy it.
+        db = parse_database("E(a, b), E(b, a), N(a), N(b)")
+        tgds = parse_tgds(["N(x) -> E(x, y)", "E(x, y) -> N(y)"])
+        result = restricted_chase(db, tgds)
+        assert result.terminated
+        assert satisfies_all(result.instance, tgds)
+
+    def test_agrees_with_oblivious_on_certain_answers(self):
+        db = parse_database("Emp(a), Mgr(b)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)", "Mgr(x) -> Emp(x)"])
+        restricted = restricted_chase(db, tgds)
+        oblivious = chase(db, tgds)
+        q = parse_cq("q(x) :- Person(x)")
+        dom = db.dom()
+        a = {t for t in evaluate_cq(q, restricted.instance) if t[0] in dom}
+        b = {t for t in evaluate_cq(q, oblivious.instance) if t[0] in dom}
+        assert a == b
+
+    def test_homomorphic_into_oblivious(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"])
+        restricted = restricted_chase(db, tgds)
+        oblivious = chase(db, tgds)
+        fixed = {c: c for c in db.dom()}
+        assert (
+            instance_homomorphism(restricted.instance, oblivious.instance, fixed=fixed)
+            is not None
+        )
+
+    def test_round_bound(self):
+        db = parse_database("E(a, b)")
+        tgds = parse_tgds(["E(x, y) -> E(y, z)"])
+        result = restricted_chase(db, tgds, max_rounds=3)
+        assert not result.terminated
+
+
+class TestDLTranslation:
+    def test_subsumption(self):
+        tgd = axiom_to_tgd("Surgeon < Doctor")
+        assert tgd.is_linear() and tgd.is_full()
+
+    def test_conjunction_body(self):
+        tgd = axiom_to_tgd("Doctor & Employed < Staff")
+        assert len(tgd.body) == 2 and tgd.is_guarded()
+
+    def test_existential_head(self):
+        tgd = axiom_to_tgd("Doctor < some worksAt Dept")
+        assert len(tgd.existential_variables()) == 1
+        assert {a.pred for a in tgd.head} == {"worksAt", "Dept"}
+
+    def test_existential_body(self):
+        tgd = axiom_to_tgd("some worksAt Dept < Employed")
+        assert tgd.is_guarded()
+        assert len(tgd.body) == 2
+
+    def test_domain_axiom(self):
+        tgd = axiom_to_tgd("some worksAt top < Employed")
+        assert len(tgd.body) == 1
+
+    def test_role_hierarchy(self):
+        tgd = axiom_to_tgd("worksAt < affiliatedWith")
+        assert tgd.is_full() and tgd.is_linear()
+
+    def test_inverse_role(self):
+        tgd = axiom_to_tgd("supervises < inv reportsTo")
+        head = tgd.head[0]
+        body = tgd.body[0]
+        assert head.args == (body.args[1], body.args[0])
+
+    def test_inverse_existential(self):
+        tgd = axiom_to_tgd("Dept < some inv worksAt Doctor")
+        assert tgd.is_guarded()
+
+    def test_whole_tbox_guarded(self):
+        tgds = tbox_to_tgds(
+            """
+            Surgeon < Doctor
+            Doctor < some worksAt Dept
+            some worksAt top < Employed
+            worksAt < affiliatedWith
+            """
+        )
+        assert len(tgds) == 4 and all_guarded(tgds)
+
+    def test_two_existentials_on_left_rejected(self):
+        with pytest.raises(DLSyntaxError):
+            axiom_to_tgd("some r top & some s top < B")
+
+    def test_missing_arrow(self):
+        with pytest.raises(DLSyntaxError):
+            axiom_to_tgd("Doctor Doctor")
+
+    def test_runs_through_the_chase(self):
+        tgds = tbox_to_tgds(["Surgeon < Doctor", "Doctor < some worksAt Dept"])
+        db = parse_database("Surgeon(kildare)")
+        result = chase(db, tgds)
+        assert result.terminated
+        assert any(a.pred == "Dept" for a in result.instance)
+
+
+class TestAppendixC5:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_path_lengths(self, n):
+        sigma = appendix_c5_ontology(n)
+        assert all_guarded(sigma) and is_weakly_acyclic(sigma)
+        d1, d2 = appendix_c5_databases()
+        c1, c2 = chase(d1, sigma), chase(d2, sigma)
+        assert longest_s_path(c1.instance) == 2**n
+        assert longest_s_path(c2.instance) == 2**n - 1
+
+    def test_witness_separates(self):
+        n = 2
+        sigma = appendix_c5_ontology(n)
+        d1, d2 = appendix_c5_databases()
+        witness = s_path_query(2**n)
+        assert holds(witness, chase(d1, sigma).instance)
+        assert not holds(witness, chase(d2, sigma).instance)
+
+    def test_shorter_witness_fails_to_separate(self):
+        n = 2
+        sigma = appendix_c5_ontology(n)
+        d1, d2 = appendix_c5_databases()
+        shorter = s_path_query(2**n - 1)
+        assert holds(shorter, chase(d1, sigma).instance)
+        assert holds(shorter, chase(d2, sigma).instance)
+
+    def test_rejects_n_zero(self):
+        with pytest.raises(ValueError):
+            appendix_c5_ontology(0)
+
+
+class TestDatabaseIO:
+    def test_facts_roundtrip(self, tmp_path):
+        db = parse_database("R(a, b), S(b), R(b, c)")
+        path = tmp_path / "db.facts"
+        save_facts(db, path)
+        assert load_facts(path) == db
+
+    def test_facts_int_coercion(self, tmp_path):
+        path = tmp_path / "db.facts"
+        path.write_text("R(1, 2)\n")
+        assert Atom("R", (1, 2)) in load_facts(path, coerce_ints=True)
+
+    def test_csv_roundtrip(self, tmp_path):
+        db = parse_database("R(a, b), R(b, c), S(x1)")
+        save_csv_directory(db, tmp_path / "data")
+        assert load_csv_directory(tmp_path / "data") == db
+
+    def test_csv_files_per_predicate(self, tmp_path):
+        db = parse_database("R(a, b), S(c)")
+        save_csv_directory(db, tmp_path / "data")
+        assert (tmp_path / "data" / "R.csv").exists()
+        assert (tmp_path / "data" / "S.csv").exists()
+
+    def test_csv_inconsistent_width(self, tmp_path):
+        data = tmp_path / "data"
+        data.mkdir()
+        (data / "R.csv").write_text("a,b\nc\n")
+        with pytest.raises(ValueError):
+            load_csv_directory(data)
+
+    def test_csv_int_coercion(self, tmp_path):
+        data = tmp_path / "data"
+        data.mkdir()
+        (data / "R.csv").write_text("1,2\n")
+        assert Atom("R", (1, 2)) in load_csv_directory(data, coerce_ints=True)

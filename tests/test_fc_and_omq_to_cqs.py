@@ -1,0 +1,119 @@
+"""Tests for finite witnesses (Def 6.5 / Thm 6.7) and the OMQ → CQS
+reduction (Prop 5.8 / Lemma 6.8)."""
+
+import pytest
+
+from repro.fc import (
+    WitnessUnavailableError,
+    finite_witness,
+    verify_witness_property,
+)
+from repro.omq import OMQ
+from repro.queries import parse_cq, parse_database, parse_ucq
+from repro.reductions import omq_to_cqs
+from repro.tgds import parse_tgds, satisfies_all
+
+RECURSIVE = parse_tgds(
+    [
+        "Emp(x) -> ReportsTo(x, y)",
+        "ReportsTo(x, y) -> Emp(y)",
+        "ReportsTo(x, y) -> Super(y, x)",
+    ]
+)
+
+
+class TestFiniteWitness:
+    def test_exact_on_terminating(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)"])
+        witness = finite_witness(db, tgds, n=3)
+        assert witness.exact
+        assert satisfies_all(witness.model, tgds)
+
+    def test_filtration_on_infinite(self):
+        db = parse_database("Emp(a)")
+        witness = finite_witness(db, RECURSIVE, n=3)
+        assert not witness.exact
+        assert satisfies_all(witness.model, RECURSIVE)
+        assert len(witness.model) < 10_000
+
+    def test_filtration_contains_database(self):
+        db = parse_database("Emp(a)")
+        witness = finite_witness(db, RECURSIVE, n=2)
+        assert db.atoms() <= witness.model.atoms()
+
+    def test_star_property_verified(self):
+        db = parse_database("Emp(a)")
+        witness = finite_witness(db, RECURSIVE, n=3)
+        q = parse_cq("q(x) :- ReportsTo(x, y), Super(y, x)")
+        assert verify_witness_property(witness, db, RECURSIVE, q)
+
+    def test_star_property_exact_trivial(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)"])
+        witness = finite_witness(db, tgds, n=3)
+        assert verify_witness_property(witness, db, tgds, parse_cq("q(x) :- Person(x)"))
+
+    def test_unguarded_nonterminating_rejected(self):
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(["R(x, u), S(u, y) -> S(y, z)"])
+        with pytest.raises(WitnessUnavailableError):
+            finite_witness(db, tgds, n=2)
+
+    def test_unguarded_but_weakly_acyclic_ok(self):
+        db = parse_database("R(a, b), S(b, c)")
+        tgds = parse_tgds(["R(x, u), S(u, y) -> T(x, y, z)"])
+        witness = finite_witness(db, tgds, n=2)
+        assert witness.exact
+
+
+class TestOMQToCQS:
+    def test_terminating_roundtrip(self):
+        db = parse_database("Emp(a), WorksFor(a, c1), Mgr(b)")
+        tgds = parse_tgds(
+            ["Emp(x) -> Person(x)", "Mgr(x) -> Emp(x)", "WorksFor(x, y) -> Comp(y)"]
+        )
+        Q = OMQ.with_full_data_schema(tgds, parse_ucq("q(x) :- Person(x)"))
+        red = omq_to_cqs(Q, db)
+        assert red.constraints_satisfied()
+        assert red.exact
+        assert red.open_world_answers() == red.closed_world_answers()
+
+    def test_infinite_chase_roundtrip(self):
+        db = parse_database("Emp(a)")
+        Q = OMQ.with_full_data_schema(
+            RECURSIVE, parse_ucq("q(x) :- ReportsTo(x, y), Super(y, x)")
+        )
+        red = omq_to_cqs(Q, db)
+        assert red.constraints_satisfied()
+        assert red.open_world_answers() == red.closed_world_answers() == {("a",)}
+
+    def test_negative_answers_preserved(self):
+        db = parse_database("Emp(a), Comp(b)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)", "WorksFor(x, y) -> Comp(y)"])
+        Q = OMQ.with_full_data_schema(
+            tgds, parse_ucq("q(x) :- Person(x)")
+        )
+        red = omq_to_cqs(Q, db)
+        answers = red.closed_world_answers()
+        assert ("b",) not in answers and ("a",) in answers
+
+    def test_d_plus_included(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)"])
+        Q = OMQ.with_full_data_schema(tgds, parse_ucq("q(x) :- Person(x)"))
+        red = omq_to_cqs(Q, db)
+        assert red.d_plus.atoms() <= red.d_star.atoms()
+
+    def test_rejects_unguarded(self):
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(["R(x, u), S(u, y) -> T(x, y)"])
+        Q = OMQ.with_full_data_schema(tgds, parse_ucq("q() :- T(x, y)"))
+        with pytest.raises(ValueError):
+            omq_to_cqs(Q, db)
+
+    def test_boolean_query(self):
+        db = parse_database("Emp(a)")
+        Q = OMQ.with_full_data_schema(RECURSIVE, parse_ucq("q() :- Super(x, y)"))
+        red = omq_to_cqs(Q, db)
+        assert red.open_world_answers() == red.closed_world_answers() == {()}

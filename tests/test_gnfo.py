@@ -1,0 +1,91 @@
+"""Tests for the GNFO surface (Appendix J)."""
+
+import pytest
+
+from repro.fc.gnfo import (
+    And,
+    Exists,
+    FOAtom,
+    GuardedNot,
+    is_gnfo,
+    omq_refutation_sentence,
+    tgd_to_gnfo,
+)
+from repro.datamodel import Atom, variables
+from repro.queries import parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgd, parse_tgds
+
+x, y, z = variables("x y z")
+
+
+class TestAST:
+    def test_atom_free_variables(self):
+        assert FOAtom(Atom("R", (x, y))).free_variables() == {x, y}
+
+    def test_exists_binds(self):
+        formula = Exists((y,), FOAtom(Atom("R", (x, y))))
+        assert formula.free_variables() == {x}
+
+    def test_guarded_not_free_variables(self):
+        formula = GuardedNot(FOAtom(Atom("P", (x,))), guard=Atom("R", (x, y)))
+        assert formula.free_variables() == {x, y}
+
+    def test_str_forms(self):
+        formula = GuardedNot(FOAtom(Atom("P", (x,))), guard=Atom("R", (x, y)))
+        assert "¬" in str(formula) and "R" in str(formula)
+
+
+class TestTGDTranslation:
+    def test_guarded_tgd_is_gnfo(self):
+        tgd = parse_tgd("R(x, y) -> S(y, z)")
+        assert is_gnfo(tgd_to_gnfo(tgd))
+
+    def test_frontier_guarded_tgd_is_gnfo(self):
+        tgd = parse_tgd("R(x, y), S(y, z) -> T(y)")
+        assert is_gnfo(tgd_to_gnfo(tgd))
+
+    def test_non_frontier_guarded_rejected(self):
+        tgd = parse_tgd("R(x, u), S(u, y) -> T(x, y)")
+        with pytest.raises(ValueError):
+            tgd_to_gnfo(tgd)
+
+    def test_empty_body_tgd(self):
+        tgd = parse_tgd("-> Start(x)")
+        assert is_gnfo(tgd_to_gnfo(tgd))
+
+    def test_multi_head(self):
+        tgd = parse_tgd("R(x, y) -> S(x, z), T(z, y)")
+        assert is_gnfo(tgd_to_gnfo(tgd))
+
+
+class TestRefutationSentence:
+    def test_boolean_omq(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)"])
+        q = parse_ucq("q() :- Person(x)")
+        sentence = omq_refutation_sentence(db, tgds, q)
+        assert is_gnfo(sentence)
+        assert sentence.free_variables() == set()
+
+    def test_candidate_instantiation(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)"])
+        q = parse_ucq("q(v) :- Person(v)")
+        sentence = omq_refutation_sentence(db, tgds, q, ("a",))
+        assert is_gnfo(sentence)
+        assert "Person(a)" in str(sentence)
+
+    def test_ucq_disjunction(self):
+        db = parse_database("Emp(a)")
+        q = parse_ucq("q() :- Person(x) | q() :- Mgr(x)")
+        sentence = omq_refutation_sentence(db, [], q)
+        assert "∨" in str(sentence)
+
+    def test_unguarded_negation_detected(self):
+        bad = GuardedNot(FOAtom(Atom("P", (x,))), guard=None)
+        assert not is_gnfo(bad)
+
+    def test_nested_structure_checked(self):
+        inner = GuardedNot(FOAtom(Atom("P", (x,))), guard=None)
+        outer = And((FOAtom(Atom("R", (x, y))), inner))
+        assert not is_gnfo(outer)

@@ -1,0 +1,127 @@
+"""Tests for Σ-groundings and the Definition C.6 OMQ approximation."""
+
+import pytest
+
+from repro.datamodel import Variable
+from repro.omq import (
+    OMQ,
+    certain_answers,
+    omq_contained_in,
+    omq_equivalent,
+    omq_ucq_k_approximation,
+    sigma_groundings,
+    v_connected_components,
+)
+from repro.queries import parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgds
+from repro.treewidth import in_ucq_k
+
+EMPLOYMENT = parse_tgds(
+    ["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"]
+)
+
+
+def _vars(*names):
+    return frozenset(Variable(n) for n in names)
+
+
+class TestVConnectedComponents:
+    def test_all_in_v_gives_no_components(self):
+        q = parse_cq("q() :- E(x, y)")
+        assert v_connected_components(q, _vars("x", "y")) == []
+
+    def test_single_component(self):
+        q = parse_cq("q() :- E(x, y), E(y, z)")
+        comps = v_connected_components(q, _vars("x"))
+        assert len(comps) == 1 and len(comps[0]) == 2
+
+    def test_split_components(self):
+        q = parse_cq("q() :- E(x, u), E(x, w)")
+        comps = v_connected_components(q, _vars("x"))
+        # u and w are separate non-V variables: two components.
+        assert len(comps) == 2
+
+    def test_components_joined_through_non_v_variable(self):
+        q = parse_cq("q() :- E(x, u), E(u, w)")
+        comps = v_connected_components(q, _vars("x"))
+        assert len(comps) == 1
+
+
+class TestSigmaGroundings:
+    def test_discovers_existential_rewriting(self):
+        q = parse_cq("q(x) :- WorksFor(x, y)")
+        groundings = sigma_groundings(q, _vars("x"), EMPLOYMENT)
+        preds = {frozenset(a.pred for a in g.atoms) for g in groundings}
+        assert frozenset({"Emp"}) in preds  # Emp(x) Σ-entails WorksFor(x, ·)
+
+    def test_trivial_grounding_when_v_covers(self):
+        q = parse_cq("q(x, y) :- WorksFor(x, y)")
+        groundings = sigma_groundings(q, _vars("x", "y"), EMPLOYMENT)
+        assert any(
+            len(g.atoms) == 1 and g.atoms[0].pred == "WorksFor" for g in groundings
+        )
+
+    def test_requires_guarded(self):
+        bad = parse_tgds(["R(x, u), S(u, y) -> T(x, y)"])
+        with pytest.raises(ValueError):
+            sigma_groundings(parse_cq("q() :- T(x, y)"), _vars(), bad)
+
+    def test_underivable_component_needs_itself(self):
+        tgds = parse_tgds(["A(x) -> B(x)"])
+        q = parse_cq("q(x) :- Z(x, w)")  # nothing entails Z
+        groundings = sigma_groundings(q, _vars("x"), tgds)
+        # Σ derives no Z atoms, so every grounding must carry a Z atom of
+        # its own (possibly decorated with redundant side atoms).
+        assert groundings
+        assert all(any(a.pred == "Z" for a in g.atoms) for g in groundings)
+
+
+class TestDefinitionC6Approximation:
+    def test_lemma_c7_item1_containment(self):
+        Q = OMQ.with_full_data_schema(
+            EMPLOYMENT, parse_ucq("q(x) :- WorksFor(x, y), Comp(y)")
+        )
+        approx = omq_ucq_k_approximation(Q, 1)
+        assert approx is not None
+        assert omq_contained_in(approx, Q)
+
+    def test_equivalence_when_ucq1_equivalent(self):
+        Q = OMQ.with_full_data_schema(
+            EMPLOYMENT, parse_ucq("q(x) :- WorksFor(x, y), Comp(y)")
+        )
+        approx = omq_ucq_k_approximation(Q, 1)
+        assert omq_equivalent(Q, approx)
+        assert in_ucq_k(approx.query, 1)
+
+    def test_answers_agree_on_data(self):
+        Q = OMQ.with_full_data_schema(
+            EMPLOYMENT, parse_ucq("q(x) :- WorksFor(x, y), Comp(y)")
+        )
+        approx = omq_ucq_k_approximation(Q, 1)
+        db = parse_database("Emp(a), WorksFor(b, c), Comp(d)")
+        assert (
+            certain_answers(Q, db).answers == certain_answers(approx, db).answers
+        )
+
+    def test_grid_approximation_strictly_weaker(self):
+        from repro.reductions import directed_grid_cq
+
+        Q = OMQ.with_full_data_schema([], directed_grid_cq(2, 2))
+        approx = omq_ucq_k_approximation(Q, 1)
+        assert approx is not None
+        assert omq_contained_in(approx, Q)
+        assert not omq_contained_in(Q, approx)  # tw-2 core: no tw-1 rewriting
+
+    def test_rejects_unguarded(self):
+        bad = parse_tgds(["R(x, u), S(u, y) -> T(x, y)"])
+        Q = OMQ.with_full_data_schema(bad, parse_ucq("q() :- T(x, y)"))
+        with pytest.raises(ValueError):
+            omq_ucq_k_approximation(Q, 1)
+
+    def test_example44_via_groundings(self):
+        from repro.semantic import example44_q1
+
+        Q = example44_q1()
+        approx = omq_ucq_k_approximation(Q, 1)
+        assert approx is not None
+        assert omq_equivalent(Q, approx)

@@ -1,0 +1,144 @@
+"""Tests for repro.datamodel.homomorphisms."""
+
+from repro.datamodel import (
+    Atom,
+    Instance,
+    all_movable,
+    count_homomorphisms,
+    exists_homomorphism,
+    find_homomorphism,
+    find_homomorphisms,
+    homomorphic_image,
+    instance_homomorphism,
+    instance_maps_to,
+    is_homomorphism,
+    is_isomorphic,
+    variables,
+)
+
+x, y, z = variables("x y z")
+E = lambda *args: Atom("E", args)
+P = lambda *args: Atom("P", args)
+
+
+def triangle() -> Instance:
+    return Instance([E("a", "b"), E("b", "c"), E("c", "a")])
+
+
+class TestBasicSearch:
+    def test_single_atom(self):
+        hom = find_homomorphism([E(x, y)], triangle())
+        assert hom is not None
+        assert E(hom[x], hom[y]) in triangle()
+
+    def test_path_into_triangle(self):
+        hom = find_homomorphism([E(x, y), E(y, z)], triangle())
+        assert hom is not None
+
+    def test_no_homomorphism(self):
+        db = Instance([E("a", "b")])
+        assert find_homomorphism([E(x, y), E(y, z)], db) is None
+
+    def test_constants_must_match(self):
+        assert find_homomorphism([E("a", x)], triangle()) is not None
+        assert find_homomorphism([E("b", "a")], triangle()) is None
+
+    def test_empty_source_yields_empty_mapping(self):
+        assert find_homomorphism([], triangle()) == {}
+
+    def test_repeated_variable(self):
+        db = Instance([E("a", "a"), E("a", "b")])
+        hom = find_homomorphism([E(x, x)], db)
+        assert hom == {x: "a"}
+
+    def test_count_triangle_edges(self):
+        # Each of the 3 edges is a hom target for E(x, y).
+        assert count_homomorphisms([E(x, y)], triangle()) == 3
+
+    def test_count_paths_of_length_two(self):
+        assert count_homomorphisms([E(x, y), E(y, z)], triangle()) == 3
+
+    def test_enumeration_is_exhaustive_and_distinct(self):
+        homs = list(find_homomorphisms([E(x, y)], triangle()))
+        assert len({tuple(sorted(h.items(), key=str)) for h in homs}) == 3
+
+    def test_limit(self):
+        homs = list(find_homomorphisms([E(x, y)], triangle(), limit=2))
+        assert len(homs) == 2
+
+
+class TestFixedAndMovable:
+    def test_fixed_assignment(self):
+        hom = find_homomorphism([E(x, y)], triangle(), fixed={x: "a"})
+        assert hom == {x: "a", y: "b"}
+
+    def test_fixed_unsatisfiable(self):
+        assert find_homomorphism([E(x, y)], triangle(), fixed={y: "a", x: "b"}) is None
+
+    def test_all_movable_lets_constants_move(self):
+        source = Instance([E("u", "v")])
+        hom = instance_homomorphism(source, triangle())
+        assert hom is not None
+
+    def test_instance_maps_to(self):
+        assert instance_maps_to(Instance([E("u", "v"), E("v", "w")]), triangle())
+        square = Instance([E(1, 2), E(2, 3), E(3, 4), E(4, 1)])
+        # A directed square cannot map into a directed triangle (it would
+        # need a closed walk of length 4, but the triangle's closed walks
+        # have length divisible by 3).
+        assert not instance_maps_to(square, triangle())
+
+    def test_instance_hom_with_pinned_elements(self):
+        source = Instance([E("a", "v")])
+        hom = instance_homomorphism(source, triangle(), fixed={"a": "a"})
+        assert hom is not None and hom["a"] == "a"
+
+
+class TestInjectivity:
+    def test_injective_excludes_collapses(self):
+        db = Instance([E("a", "a")])
+        assert find_homomorphism([E(x, y)], db) is not None
+        assert find_homomorphism([E(x, y)], db, injective=True) is None
+
+    def test_injective_positive(self):
+        hom = find_homomorphism(
+            [E(x, y), E(y, z)], triangle(), injective=True
+        )
+        assert hom is not None
+        assert len({hom[x], hom[y], hom[z]}) == 3
+
+    def test_injective_respects_fixed(self):
+        db = Instance([E("a", "b"), E("a", "a")])
+        hom = find_homomorphism([E(x, y)], db, fixed={x: "a"}, injective=True)
+        assert hom == {x: "a", y: "b"}
+
+
+class TestVerifiersAndHelpers:
+    def test_is_homomorphism(self):
+        assert is_homomorphism({x: "a", y: "b"}, [E(x, y)], triangle())
+        assert not is_homomorphism({x: "b", y: "a"}, [E(x, y)], triangle())
+
+    def test_homomorphic_image(self):
+        image = homomorphic_image([E(x, y)], {x: "a", y: "b"})
+        assert image == {E("a", "b")}
+
+    def test_exists(self):
+        assert exists_homomorphism([E(x, y)], triangle())
+        assert not exists_homomorphism([P(x)], triangle())
+
+
+class TestIsomorphism:
+    def test_isomorphic_triangles(self):
+        other = Instance([E(1, 2), E(2, 3), E(3, 1)])
+        assert is_isomorphic(triangle(), other)
+
+    def test_non_isomorphic_sizes(self):
+        assert not is_isomorphic(triangle(), Instance([E("a", "b")]))
+
+    def test_non_isomorphic_same_size(self):
+        path = Instance([E(1, 2), E(2, 3), E(3, 4)])
+        loopy = Instance([E(1, 1), E(2, 3), E(3, 4)])
+        assert not is_isomorphic(path, loopy)
+
+    def test_self_isomorphism(self):
+        assert is_isomorphic(triangle(), triangle())

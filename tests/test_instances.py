@@ -1,0 +1,134 @@
+"""Tests for repro.datamodel.instances."""
+
+from repro.datamodel import Atom, Instance
+
+R = lambda *args: Atom("R", args)
+S = lambda *args: Atom("S", args)
+
+
+class TestMutation:
+    def test_add_new(self):
+        db = Instance()
+        assert db.add(R("a", "b"))
+        assert R("a", "b") in db
+
+    def test_add_duplicate(self):
+        db = Instance([R("a", "b")])
+        assert not db.add(R("a", "b"))
+        assert len(db) == 1
+
+    def test_add_all_counts_new(self):
+        db = Instance([R("a", "b")])
+        assert db.add_all([R("a", "b"), R("b", "c")]) == 1
+
+    def test_discard_present(self):
+        db = Instance([R("a", "b")])
+        assert db.discard(R("a", "b"))
+        assert len(db) == 0
+        assert db.dom() == set()
+
+    def test_discard_absent(self):
+        assert not Instance().discard(R("a", "b"))
+
+    def test_dom_tracks_occurrences(self):
+        db = Instance([R("a", "b"), S("a")])
+        db.discard(S("a"))
+        assert "a" in db.dom()
+        db.discard(R("a", "b"))
+        assert db.dom() == set()
+
+
+class TestLookup:
+    def test_atoms_with_pred(self):
+        db = Instance([R("a", "b"), S("a")])
+        assert db.atoms_with_pred("R") == {R("a", "b")}
+
+    def test_atoms_matching_position(self):
+        db = Instance([R("a", "b"), R("a", "c"), R("b", "c")])
+        assert db.atoms_matching("R", 0, "a") == {R("a", "b"), R("a", "c")}
+
+    def test_candidates_empty_for_missing_bound_value(self):
+        db = Instance([R("a", "b")])
+        assert list(db.candidates(R("zz", "b"), {"zz": "zz"})) == []
+
+    def test_candidates_unfiltered_without_bindings(self):
+        db = Instance([R("a", "b")])
+        assert set(db.candidates(R("zz", "b"), {})) == {R("a", "b")}
+
+    def test_dom(self):
+        assert Instance([R("a", "b")]).dom() == {"a", "b"}
+
+    def test_predicates(self):
+        assert Instance([R("a", "b"), S("a")]).predicates() == {"R", "S"}
+
+    def test_schema_inference(self):
+        schema = Instance([R("a", "b"), S("a")]).schema()
+        assert schema.arity_of("R") == 2
+
+
+class TestDerived:
+    def test_restrict(self):
+        db = Instance([R("a", "b"), R("b", "c"), S("a")])
+        restricted = db.restrict({"a", "b"})
+        assert restricted.atoms() == frozenset({R("a", "b"), S("a")})
+
+    def test_restrict_preds(self):
+        db = Instance([R("a", "b"), S("a")])
+        assert db.restrict_preds(["S"]).atoms() == frozenset({S("a")})
+
+    def test_copy_is_independent(self):
+        db = Instance([R("a", "b")])
+        clone = db.copy()
+        clone.add(R("b", "c"))
+        assert len(db) == 1 and len(clone) == 2
+
+    def test_union(self):
+        merged = Instance([R("a", "b")]).union(Instance([S("a")]))
+        assert len(merged) == 2
+
+
+class TestGaifman:
+    def test_adjacency(self):
+        db = Instance([R("a", "b"), R("b", "c")])
+        adj = db.gaifman_adjacency()
+        assert adj["b"] == {"a", "c"}
+        assert adj["a"] == {"b"}
+
+    def test_no_self_loops(self):
+        adj = Instance([R("a", "a")]).gaifman_adjacency()
+        assert adj["a"] == set()
+
+    def test_connected_components(self):
+        db = Instance([R("a", "b"), R("c", "d")])
+        comps = db.connected_components()
+        assert sorted(map(sorted, comps)) == [["a", "b"], ["c", "d"]]
+
+    def test_is_connected(self):
+        assert Instance([R("a", "b"), R("b", "c")]).is_connected()
+        assert not Instance([R("a", "b"), R("c", "d")]).is_connected()
+
+    def test_isolated_constants(self):
+        db = Instance([R("a", "b"), S("b")])
+        assert db.isolated_constants() == {"a"}
+
+    def test_guarded_sets(self):
+        db = Instance([R("a", "b")])
+        assert db.guarded_sets() == {frozenset({"a", "b"})}
+
+    def test_maximal_guarded_sets(self):
+        db = Instance([Atom("T", ("a", "b", "c")), R("a", "b"), S("d")])
+        maximal = db.maximal_guarded_sets()
+        assert frozenset({"a", "b", "c"}) in maximal
+        assert frozenset({"a", "b"}) not in maximal
+        assert frozenset({"d"}) in maximal
+
+
+class TestProtocol:
+    def test_equality(self):
+        assert Instance([R("a", "b")]) == Instance([R("a", "b")])
+
+    def test_subset(self):
+        assert Instance([R("a", "b")]) <= Instance([R("a", "b"), S("a")])
+
+    def test_iteration(self):
+        assert set(Instance([R("a", "b")])) == {R("a", "b")}

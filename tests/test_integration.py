@@ -1,0 +1,134 @@
+"""End-to-end integration scenarios crossing several subsystems."""
+
+from repro import (
+    CQS,
+    OMQ,
+    certain_answers,
+    chase,
+    evaluate,
+    is_uniformly_ucq_k_equivalent,
+    parse_cq,
+    parse_database,
+    parse_tgds,
+    parse_ucq,
+)
+from repro.benchgen import employment_database, employment_ontology
+from repro.chase import ground_saturation, linearize, rewrite_ucq, saturated_expansion
+from repro.omq import evaluate_fpt
+from repro.queries import evaluate_td_ucq
+from repro.reductions import clique_via_cqs, omq_to_cqs
+from repro.benchgen import planted_clique
+
+
+class TestOpenVsClosedWorld:
+    """The paper's two facets of TGDs, side by side on one dataset."""
+
+    DB = parse_database("Emp(ada), Mgr(grace), Emp(grace)")
+    SIGMA = parse_tgds(["Mgr(x) -> Emp(x)", "Emp(x) -> Person(x)"])
+    QUERY = parse_ucq("q(x) :- Person(x)")
+
+    def test_open_world_derives(self):
+        Q = OMQ.with_full_data_schema(self.SIGMA, self.QUERY)
+        assert certain_answers(Q, self.DB).answers == {("ada",), ("grace",)}
+
+    def test_closed_world_does_not(self):
+        spec = CQS(self.SIGMA, self.QUERY)
+        # D |= Σ (grace is listed as Emp too, no Person facts asked for) —
+        # but Person is simply empty in D.
+        assert spec.evaluate(self.DB, check_promise=False) == set()
+
+    def test_omq_to_cqs_bridges_the_two(self):
+        Q = OMQ.with_full_data_schema(self.SIGMA, self.QUERY)
+        red = omq_to_cqs(Q, self.DB)
+        assert red.closed_world_answers() == certain_answers(Q, self.DB).answers
+
+
+class TestAllStrategiesAgree:
+    """chase / guarded / bounded / FPT pipelines give one answer set."""
+
+    def test_on_employment_workload(self):
+        db = employment_database(25, 3, seed=42)
+        tgds = employment_ontology()
+        query = parse_ucq("q(x) :- WorksFor(x, y), Company(y)")
+        Q = OMQ.with_full_data_schema(tgds, query)
+        by_chase = certain_answers(Q, db, strategy="chase").answers
+        by_guarded = certain_answers(Q, db, strategy="guarded").answers
+        by_bounded = certain_answers(Q, db, strategy="bounded", level_bound=10).answers
+        by_fpt = evaluate_fpt(Q, db, k=1).answers
+        assert by_chase == by_guarded == by_bounded == by_fpt
+
+    def test_rewriting_agrees_with_chase_linear(self):
+        db = parse_database("Emp(a), Emp(b), WorksFor(c, acme)")
+        tgds = parse_tgds(
+            ["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"]
+        )
+        query = parse_cq("q(x) :- WorksFor(x, y), Comp(y)")
+        rewriting = rewrite_ucq(query, tgds)
+        result = chase(db, tgds)
+        dom = db.dom()
+        via_chase = {
+            t for t in evaluate(query, result.instance) if all(c in dom for c in t)
+        }
+        assert evaluate(rewriting, db) == via_chase
+
+    def test_linearization_agrees_with_expansion(self):
+        db = parse_database("Emp(a), Emp(b)")
+        tgds = parse_tgds(
+            [
+                "Emp(x) -> ReportsTo(x, y)",
+                "ReportsTo(x, y) -> Emp(y)",
+                "ReportsTo(x, y) -> Super(y, x)",
+            ]
+        )
+        query = parse_cq("q(x) :- ReportsTo(x, y), Super(y, x)")
+        lin = linearize(db, tgds)
+        linear = chase(lin.d_star, lin.sigma_star, max_level=7, safety_cap=300_000)
+        expansion = saturated_expansion(db, tgds, unfold=3)
+        dom = db.dom()
+        a = {t for t in evaluate(query, linear.instance) if t[0] in dom}
+        b = {t for t in evaluate(query, expansion.instance) if t[0] in dom}
+        assert a == b == {("a",), ("b",)}
+
+
+class TestSemanticOptimisationPipeline:
+    """Meta problem → rewriting → faster evaluation, end to end."""
+
+    def test_cycle_under_symmetry(self):
+        constraints = parse_tgds(["E(x, y) -> E(y, x)"])
+        query = parse_cq("q() :- E(x, y), E(y, z), E(z, w), E(w, x)")
+        spec = CQS(constraints, query)
+        verdict = is_uniformly_ucq_k_equivalent(spec, 1)
+        assert verdict and verdict.witness is not None
+
+        db = parse_database("E(a, b), E(b, a), E(b, c), E(c, b)")
+        assert spec.promise_holds(db)
+        original = evaluate(query, db)
+        rewritten = evaluate_td_ucq(verdict.witness, db)
+        assert original == rewritten == {()}
+
+    def test_negative_database(self):
+        constraints = parse_tgds(["E(x, y) -> E(y, x)"])
+        query = parse_cq("q() :- E(x, y), E(y, z), E(z, w), E(w, x)")
+        verdict = is_uniformly_ucq_k_equivalent(CQS(constraints, query), 1)
+        db = parse_database("F(a, b)")  # no E edges at all
+        assert evaluate(verdict.witness, db) == evaluate(query, db) == set()
+
+
+class TestHardnessPipeline:
+    """The Theorem 5.13 reduction as an actual CQS-Evaluation instance."""
+
+    def test_round_trip(self):
+        graph = planted_clique(8, 0.2, 3, seed=21)
+        red = clique_via_cqs(graph, 3)
+        # The constructed database is a legal input: it satisfies Σ.
+        answers = red.spec.evaluate(red.database)
+        assert (() in answers) == red.ground_truth()
+
+    def test_ground_saturation_consistency(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(
+            ["Emp(x) -> ReportsTo(x, y)", "ReportsTo(x, y) -> Emp(y)"]
+        )
+        saturated = ground_saturation(db, tgds)
+        # The ground part of an infinite chase: just the original Emp(a).
+        assert saturated.atoms() == db.atoms()

@@ -1,0 +1,68 @@
+"""Tests for the Σ-type linearization (Lemma A.3)."""
+
+import pytest
+
+from repro.chase import chase, linearize, saturated_expansion
+from repro.queries import evaluate, parse_cq, parse_database
+from repro.tgds import all_linear, parse_tgds
+
+
+class TestLinearize:
+    def test_output_is_linear(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"])
+        lin = linearize(db, tgds)
+        assert all_linear(lin.sigma_star)
+
+    def test_requires_guarded(self):
+        db = parse_database("R(a, b)")
+        with pytest.raises(ValueError):
+            linearize(db, parse_tgds(["R(x, u), S(u, y) -> T(x, y)"]))
+
+    def test_type_count_finite_on_recursive_set(self):
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(["R(x, y) -> S(y, z)", "S(x, y) -> R(y, x)"])
+        lin = linearize(db, tgds)
+        assert lin.type_count() >= 2
+
+    def test_d_star_covers_database(self):
+        db = parse_database("Emp(a), Emp(b)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)"])
+        lin = linearize(db, tgds)
+        assert len(lin.d_star) >= 2
+
+    def test_agrees_with_direct_chase_terminating(self):
+        db = parse_database("Emp(e1), WorksFor(e1, acme)")
+        tgds = parse_tgds(
+            [
+                "Emp(x) -> Person(x)",
+                "WorksFor(x, y) -> Company(y)",
+                "WorksFor(x, y), Emp(x) -> HasEmployer(x, y)",
+            ]
+        )
+        q = parse_cq("q(x) :- Person(x), HasEmployer(x, y), Company(y)")
+        direct = evaluate(q, chase(db, tgds).instance)
+        lin = linearize(db, tgds)
+        linear_chase = chase(lin.d_star, lin.sigma_star, max_level=8)
+        assert evaluate(q, linear_chase.instance) == direct
+
+    def test_agrees_with_expansion_on_infinite(self):
+        db = parse_database("R(a, b)")
+        tgds = parse_tgds(
+            ["R(x, y) -> S(y, z)", "S(x, y) -> R(y, x)", "S(x, y) -> T(x)"]
+        )
+        q = parse_cq("q(x) :- R(x, y), S(y, z), T(y)")
+        lin = linearize(db, tgds)
+        linear_chase = chase(lin.d_star, lin.sigma_star, max_level=8, safety_cap=200_000)
+        expansion = saturated_expansion(db, tgds, unfold=3)
+        dom = db.dom()
+        got = {t for t in evaluate(q, linear_chase.instance) if t[0] in dom}
+        ref = {t for t in evaluate(q, expansion.instance) if t[0] in dom}
+        assert got == ref
+
+    def test_expander_emits_schema_atoms(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> Person(x)"])
+        lin = linearize(db, tgds)
+        result = chase(lin.d_star, lin.sigma_star, max_level=4)
+        assert any(a.pred == "Person" for a in result.instance)

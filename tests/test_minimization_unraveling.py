@@ -1,0 +1,119 @@
+"""Tests for semantic minimisation, unravelings, and the OMQ approximation
+bridge (the Lemma 7.2 / Appendix C.3/D artifacts)."""
+
+import pytest
+
+from repro.chase import guarded_unravel, k_unravel
+from repro.cqs import (
+    is_minimal_under_constraints,
+    minimize_under_constraints,
+)
+from repro.datamodel import instance_homomorphism
+from repro.omq import OMQ, omq_is_ucq_k_equivalent, omq_ucq_k_rewriting
+from repro.queries import core, cq_equivalent, parse_cq, parse_database, parse_ucq
+from repro.cqs.containment import equivalent_under
+from repro.semantic import example44_q1
+from repro.tgds import parse_tgds
+from repro.treewidth import in_ucq_k, instance_treewidth, instance_treewidth_up_to
+
+SYMMETRY = parse_tgds(["E(x, y) -> E(y, x)"])
+
+
+class TestMinimizationUnderConstraints:
+    def test_no_constraints_matches_core(self):
+        q = parse_cq("q() :- E(x, y), E(u, v)")
+        minimal = minimize_under_constraints(q, [])
+        assert len(minimal.atoms) == len(core(q).atoms) == 1
+
+    def test_symmetry_halves_back_edge(self):
+        q = parse_cq("q() :- E(x, y), E(y, x)")
+        minimal = minimize_under_constraints(q, SYMMETRY)
+        assert len(minimal.atoms) == 1
+
+    def test_result_equivalent_under_constraints(self):
+        q = parse_cq("q() :- E(x, y), E(y, z), E(z, y)")
+        minimal = minimize_under_constraints(q, SYMMETRY)
+        assert equivalent_under(minimal, q, SYMMETRY)
+
+    def test_beats_plain_core(self):
+        # The 4-cycle is a core, but under symmetry it folds further.
+        q = parse_cq("q() :- E(x, y), E(y, z), E(z, w), E(w, x)")
+        assert len(core(q).atoms) == 4
+        minimal = minimize_under_constraints(q, SYMMETRY)
+        assert len(minimal.variables()) < 4
+
+    def test_answer_variables_kept(self):
+        q = parse_cq("q(x) :- E(x, y), E(y, x)")
+        minimal = minimize_under_constraints(q, SYMMETRY)
+        assert minimal.arity == 1
+
+    def test_is_minimal_predicate(self):
+        assert is_minimal_under_constraints(parse_cq("q() :- E(x, y)"), SYMMETRY)
+        assert not is_minimal_under_constraints(
+            parse_cq("q() :- E(x, y), E(y, x)"), SYMMETRY
+        )
+
+
+class TestUnravelings:
+    TRIANGLE = parse_database("E(a, b), E(b, c), E(c, a)")
+
+    def test_guarded_unravel_maps_back(self):
+        unraveled = guarded_unravel(self.TRIANGLE, ["a", "b"], depth=3)
+        hom = instance_homomorphism(
+            unraveled, self.TRIANGLE, fixed={"a": "a", "b": "b"}
+        )
+        assert hom is not None
+
+    def test_guarded_unravel_is_tree_like(self):
+        unraveled = guarded_unravel(self.TRIANGLE, ["a", "b"], depth=3)
+        # The triangle has treewidth 2; its guarded unraveling has width
+        # ar(S) − 1 = 1.
+        assert instance_treewidth(unraveled) == 1
+
+    def test_guarded_unravel_grows_with_depth(self):
+        small = guarded_unravel(self.TRIANGLE, ["a", "b"], depth=1)
+        large = guarded_unravel(self.TRIANGLE, ["a", "b"], depth=3)
+        assert len(small) < len(large)
+
+    def test_guarded_unravel_bad_start(self):
+        with pytest.raises(ValueError):
+            guarded_unravel(self.TRIANGLE, ["a", "zzz"], depth=2)
+
+    def test_k_unravel_treewidth_bound(self):
+        db = parse_database("T(a, b, c), T(b, c, d)")
+        unraveled = k_unravel(db, ["a"], k=1, depth=2)
+        assert instance_treewidth_up_to(unraveled, ["a"]) <= 1
+
+    def test_k_unravel_maps_back(self):
+        unraveled = k_unravel(self.TRIANGLE, ["a"], k=1, depth=2)
+        hom = instance_homomorphism(unraveled, self.TRIANGLE, fixed={"a": "a"})
+        assert hom is not None
+
+
+class TestOMQApproximationBridge:
+    def test_example44_equivalent(self):
+        assert bool(omq_is_ucq_k_equivalent(example44_q1(), 1))
+
+    def test_rewriting_returned(self):
+        rewritten = omq_ucq_k_rewriting(example44_q1(), 1)
+        assert rewritten is not None
+        assert in_ucq_k(rewritten.query, 1)
+        assert rewritten.tgds == example44_q1().tgds
+
+    def test_negative_case(self):
+        from repro.reductions import directed_grid_cq
+
+        Q = OMQ.with_full_data_schema([], directed_grid_cq(2, 2))
+        assert not omq_is_ucq_k_equivalent(Q, 1)
+        assert omq_ucq_k_rewriting(Q, 1) is None
+
+    def test_restricted_schema_rejected(self):
+        from repro.datamodel import Schema
+
+        Q = OMQ(
+            Schema({"Emp": 1}),
+            parse_tgds(["Emp(x) -> Person(x)"]),
+            parse_ucq("q(x) :- Person(x)"),
+        )
+        with pytest.raises(NotImplementedError):
+            omq_is_ucq_k_equivalent(Q, 1)

@@ -1,0 +1,130 @@
+"""Tests for OMQ objects and evaluation (Section 3.1, Prop 3.1)."""
+
+import pytest
+
+from repro.datamodel import Schema
+from repro.omq import OMQ, certain_answers, is_certain_answer
+from repro.queries import parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgds
+
+EMPLOYMENT = parse_tgds(
+    [
+        "Emp(x) -> Person(x)",
+        "Mgr(x) -> Emp(x)",
+        "WorksFor(x, y) -> Comp(y)",
+    ]
+)
+
+
+def employment_omq(query_text):
+    return OMQ.with_full_data_schema(EMPLOYMENT, parse_ucq(query_text))
+
+
+class TestOMQObject:
+    def test_full_data_schema(self):
+        Q = employment_omq("q(x) :- Person(x)")
+        assert Q.has_full_data_schema()
+
+    def test_restricted_data_schema(self):
+        schema = Schema({"Emp": 1})
+        Q = OMQ(schema, EMPLOYMENT, parse_ucq("q(x) :- Person(x)"))
+        assert not Q.has_full_data_schema()
+
+    def test_validate_database(self):
+        schema = Schema({"Emp": 1})
+        Q = OMQ(schema, EMPLOYMENT, parse_ucq("q(x) :- Person(x)"))
+        Q.validate_database(parse_database("Emp(a)"))
+        with pytest.raises(Exception):
+            Q.validate_database(parse_database("Person(a)"))
+
+    def test_language_classification(self):
+        Q = employment_omq("q(x) :- Person(x)")
+        assert Q.is_guarded() and Q.is_frontier_guarded()
+        assert "WA" in Q.ontology_classes()
+
+    def test_arity(self):
+        assert employment_omq("q(x) :- Person(x)").arity == 1
+        assert employment_omq("q() :- Person(x)").arity == 0
+
+    def test_size_positive(self):
+        assert employment_omq("q(x) :- Person(x)").size() > 0
+
+
+class TestCertainAnswers:
+    def test_ontology_adds_answers(self):
+        db = parse_database("Emp(a), Mgr(b)")
+        Q = employment_omq("q(x) :- Person(x)")
+        answer = certain_answers(Q, db)
+        assert answer.answers == {("a",), ("b",)}
+        assert answer.complete
+
+    def test_closed_world_would_miss(self):
+        from repro.queries import evaluate
+
+        db = parse_database("Emp(a)")
+        assert evaluate(parse_cq("q(x) :- Person(x)"), db) == set()
+
+    def test_nulls_not_answers(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"])
+        Q = OMQ.with_full_data_schema(tgds, parse_ucq("q(y) :- Comp(y)"))
+        assert certain_answers(Q, db).answers == set()
+
+    def test_boolean_omq(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)"])
+        Q = OMQ.with_full_data_schema(tgds, parse_ucq("q() :- WorksFor(x, y)"))
+        assert () in certain_answers(Q, db).answers
+
+    def test_is_certain_answer(self):
+        db = parse_database("Mgr(b)")
+        Q = employment_omq("q(x) :- Person(x)")
+        assert is_certain_answer(Q, db, ("b",))
+        assert not is_certain_answer(Q, db, ("c",))
+
+    def test_strategies_agree_on_terminating(self):
+        db = parse_database("Emp(a), Mgr(b), WorksFor(a, acme)")
+        Q = employment_omq("q(x) :- Person(x)")
+        chase_ans = certain_answers(Q, db, strategy="chase").answers
+        guarded_ans = certain_answers(Q, db, strategy="guarded").answers
+        bounded_ans = certain_answers(Q, db, strategy="bounded").answers
+        assert chase_ans == guarded_ans == bounded_ans
+
+    def test_rewrite_strategy_linear(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"])
+        Q = OMQ.with_full_data_schema(
+            tgds, parse_ucq("q(x) :- WorksFor(x, y), Comp(y)")
+        )
+        ans = certain_answers(Q, db, strategy="rewrite")
+        assert ans.answers == {("a",)} and ans.complete
+
+    def test_guarded_strategy_infinite_chase(self):
+        db = parse_database("Emp(a)")
+        tgds = parse_tgds(
+            [
+                "Emp(x) -> ReportsTo(x, y)",
+                "ReportsTo(x, y) -> Emp(y)",
+                "ReportsTo(x, y) -> Super(y, x)",
+            ]
+        )
+        Q = OMQ.with_full_data_schema(
+            tgds, parse_ucq("q(x) :- ReportsTo(x, y), Super(y, x)")
+        )
+        ans = certain_answers(Q, db, strategy="guarded")
+        assert ans.answers == {("a",)}
+
+    def test_unknown_strategy(self):
+        db = parse_database("Emp(a)")
+        with pytest.raises(ValueError):
+            certain_answers(employment_omq("q(x) :- Person(x)"), db, strategy="nope")
+
+    def test_auto_picks_complete_strategy(self):
+        db = parse_database("Emp(a)")
+        ans = certain_answers(employment_omq("q(x) :- Person(x)"), db)
+        assert ans.complete
+
+    def test_ucq_disjuncts_union(self):
+        db = parse_database("Emp(a), WorksFor(b, acme)")
+        Q = employment_omq("q(x) :- Person(x) | q(x) :- Comp(x)")
+        assert certain_answers(Q, db).answers == {("a",), ("acme",)}

@@ -1,0 +1,113 @@
+"""Tests for the FPT pipeline of Prop 3.3(3) and OMQ containment."""
+
+import pytest
+
+from repro.benchgen import employment_database, employment_ontology
+from repro.omq import (
+    OMQ,
+    certain_answers,
+    decide_fpt,
+    evaluate_fpt,
+    omq_contained_in,
+    omq_equivalent,
+)
+from repro.omq.containment import SameOntologyRequiredError
+from repro.queries import parse_database, parse_ucq
+from repro.tgds import parse_tgds
+
+
+def _omq(query_text, tgds=None):
+    return OMQ.with_full_data_schema(
+        tgds if tgds is not None else employment_ontology(), parse_ucq(query_text)
+    )
+
+
+class TestFPTPipeline:
+    def test_agrees_with_chase_strategy(self):
+        db = employment_database(15, 2, seed=3)
+        Q = _omq("q(x) :- Person(x)")
+        reference = certain_answers(Q, db, strategy="chase").answers
+        result = evaluate_fpt(Q, db, k=1)
+        assert result.answers == reference
+        assert result.complete
+
+    def test_treewidth_one_join_query(self):
+        db = employment_database(12, 2, seed=4)
+        Q = _omq("q(x) :- WorksFor(x, y), Company(y)")
+        reference = certain_answers(Q, db, strategy="chase").answers
+        assert evaluate_fpt(Q, db, k=1).answers == reference
+
+    def test_rejects_high_treewidth_query(self):
+        Q = _omq("q() :- ReportsTo(x, y), ReportsTo(y, z), ReportsTo(z, x)")
+        db = employment_database(5, 1, seed=5)
+        with pytest.raises(ValueError):
+            evaluate_fpt(Q, db, k=1)
+        assert evaluate_fpt(Q, db, k=2) is not None
+
+    def test_rejects_unguarded_ontology(self):
+        tgds = parse_tgds(["R(x, u), S(u, y) -> T(x, y)"])
+        Q = _omq("q(x) :- T(x, y)", tgds)
+        with pytest.raises(ValueError):
+            evaluate_fpt(Q, parse_database("R(a, b)"), k=1)
+
+    def test_decision_variant(self):
+        db = parse_database("Emp(a), Mgr(b)")
+        Q = _omq("q(x) :- Person(x)")
+        assert decide_fpt(Q, db, ("a",), k=1)
+        assert not decide_fpt(Q, db, ("zzz",), k=1)
+
+    def test_cost_split_reported(self):
+        db = employment_database(10, 2, seed=6)
+        result = evaluate_fpt(_omq("q(x) :- Person(x)"), db, k=1)
+        assert result.materialise_seconds >= 0
+        assert result.evaluate_seconds >= 0
+        assert result.chase_atoms > 0
+
+    def test_boolean_query(self):
+        db = parse_database("Mgr(m)")
+        Q = _omq("q() :- Manages(x, y)")
+        result = evaluate_fpt(Q, db, k=1)
+        assert result.answers == {()}
+
+
+class TestContainment:
+    def test_equivalent_rewriting(self):
+        tgds = parse_tgds(["Mgr(x) -> Emp(x)"])
+        Q1 = _omq("q(x) :- Emp(x) | q(x) :- Mgr(x)", tgds)
+        Q2 = _omq("q(x) :- Emp(x)", tgds)
+        assert omq_equivalent(Q1, Q2)
+
+    def test_strict_containment(self):
+        tgds = parse_tgds(["Mgr(x) -> Emp(x)"])
+        Q1 = _omq("q(x) :- Mgr(x)", tgds)
+        Q2 = _omq("q(x) :- Emp(x)", tgds)
+        assert omq_contained_in(Q1, Q2)
+        assert not omq_contained_in(Q2, Q1)
+
+    def test_ontology_matters(self):
+        from repro.datamodel import Schema
+        from repro.queries import parse_ucq as _pu
+
+        schema = Schema({"Mgr": 1, "Emp": 1})
+        Q1 = OMQ(schema, [], _pu("q(x) :- Mgr(x)"))
+        Q2 = OMQ(schema, [], _pu("q(x) :- Emp(x)"))
+        assert not omq_contained_in(Q1, Q2)
+
+    def test_different_ontologies_raise(self):
+        Q1 = _omq("q(x) :- Emp(x)", parse_tgds(["Mgr(x) -> Emp(x)"]))
+        Q2 = _omq("q(x) :- Emp(x)", [])
+        with pytest.raises(SameOntologyRequiredError):
+            omq_contained_in(Q1, Q2)
+
+    def test_arity_mismatch(self):
+        tgds = parse_tgds(["Mgr(x) -> Emp(x)"])
+        with pytest.raises(ValueError):
+            omq_contained_in(_omq("q(x) :- Emp(x)", tgds), _omq("q() :- Emp(x)", tgds))
+
+    def test_existential_reasoning_in_containment(self):
+        tgds = parse_tgds(["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"])
+        Q1 = _omq("q(x) :- Emp(x)", tgds)
+        Q2 = _omq("q(x) :- WorksFor(x, y), Comp(y)", tgds)
+        # Every Emp works somewhere (a company), so Q1 ⊆ Q2.
+        assert omq_contained_in(Q1, Q2)
+        assert not omq_contained_in(Q2, Q1)

@@ -1,0 +1,129 @@
+"""Tests for the query/database/TGD text syntax."""
+
+import pytest
+
+from repro.datamodel import Atom, Variable
+from repro.queries import (
+    ParseError,
+    parse_atom,
+    parse_atoms,
+    parse_cq,
+    parse_database,
+    parse_ucq,
+)
+from repro.tgds import parse_tgd, parse_tgds
+
+
+class TestAtomParsing:
+    def test_variables_by_default(self):
+        atom = parse_atom("R(x, y)")
+        assert atom == Atom("R", (Variable("x"), Variable("y")))
+
+    def test_quoted_constants(self):
+        assert parse_atom("R('a', \"b\")") == Atom("R", ("a", "b"))
+
+    def test_integer_constants(self):
+        assert parse_atom("R(3, -1)") == Atom("R", (3, -1))
+
+    def test_declared_constants(self):
+        atom = parse_atom("R(a, x)", constants={"a"})
+        assert atom == Atom("R", ("a", Variable("x")))
+
+    def test_nullary(self):
+        assert parse_atom("Ans()") == Atom("Ans", ())
+
+    def test_bad_atom(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+
+    def test_atom_list(self):
+        atoms = parse_atoms("R(x, y), S(y)")
+        assert len(atoms) == 2
+
+
+class TestCQParsing:
+    def test_head_variables(self):
+        q = parse_cq("q(x, y) :- R(x, z), S(z, y)")
+        assert [v.name for v in q.head] == ["x", "y"]
+        assert len(q.atoms) == 2
+
+    def test_boolean(self):
+        assert parse_cq("q() :- R(x, x)").is_boolean()
+
+    def test_name(self):
+        assert parse_cq("myq() :- R(x, x)").name == "myq"
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(x) R(x, y)")
+
+    def test_constant_in_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(3) :- R(x, y)")
+
+    def test_constants_in_body(self):
+        q = parse_cq("q(x) :- R(x, 'paris')")
+        assert "paris" in q.constants()
+
+
+class TestUCQParsing:
+    def test_pipe_separated(self):
+        u = parse_ucq("q(x) :- R(x, y) | q(x) :- S(x)")
+        assert len(u) == 2
+
+    def test_list_input(self):
+        u = parse_ucq(["q() :- R(x, y)", "q() :- S(x)"])
+        assert len(u) == 2
+
+
+class TestDatabaseParsing:
+    def test_bare_identifiers_are_constants(self):
+        db = parse_database("R(a, b), S(b)")
+        assert Atom("R", ("a", "b")) in db
+
+    def test_newlines_and_comments(self):
+        db = parse_database(
+            """
+            # the edge relation
+            R(a, b)
+            R(b, c),
+            """
+        )
+        assert len(db) == 2
+
+    def test_integers(self):
+        db = parse_database("R(1, 2)")
+        assert Atom("R", (1, 2)) in db
+
+
+class TestTGDParsing:
+    def test_existentials_inferred(self):
+        tgd = parse_tgd("R(x, y) -> S(y, z)")
+        assert {v.name for v in tgd.existential_variables()} == {"z"}
+        assert {v.name for v in tgd.frontier()} == {"y"}
+
+    def test_empty_body(self):
+        tgd = parse_tgd("true -> Start(x)")
+        assert not tgd.body
+
+    def test_bare_arrow_empty_body(self):
+        assert not parse_tgd("-> Start(x)").body
+
+    def test_multi_atom_head(self):
+        tgd = parse_tgd("R(x, y) -> S(x, z), T(z, y)")
+        assert len(tgd.head) == 2
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x, y), S(y)")
+
+    def test_parse_tgds_semicolons(self):
+        tgds = parse_tgds("R(x, y) -> S(y); S(x) -> T(x)")
+        assert len(tgds) == 2
+
+    def test_parse_tgds_list(self):
+        assert len(parse_tgds(["R(x, y) -> S(y)"])) == 1
+
+    def test_parse_tgds_comments(self):
+        tgds = parse_tgds("# comment\nR(x, y) -> S(y)")
+        assert len(tgds) == 1

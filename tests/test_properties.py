@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Each property mirrors a fact the paper takes for granted:
+
+* homomorphisms compose;
+* CQ containment is reflexive/transitive; cores preserve equivalence;
+* contractions are contained in their origin;
+* the chase result satisfies Σ on terminating inputs and is universal;
+* tree decompositions from elimination orders are valid;
+* ground saturation agrees with the chase on terminating guarded inputs.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.chase import chase, ground_saturation
+from repro.datamodel import (
+    Atom,
+    Instance,
+    Variable,
+    find_homomorphism,
+    homomorphic_image,
+    is_homomorphism,
+)
+from repro.queries import (
+    CQ,
+    contractions,
+    core,
+    cq_contained_in,
+    cq_equivalent,
+    evaluate_cq,
+    evaluate_td,
+)
+from repro.tgds import TGD, satisfies_all
+from repro.treewidth import decomposition_from_order, make_graph
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+CONSTANTS = ["a", "b", "c", "d"]
+VARNAMES = ["x", "y", "z", "u", "v"]
+PREDS = [("E", 2), ("P", 1), ("T", 3)]
+
+
+@st.composite
+def ground_atoms(draw):
+    pred, arity = draw(st.sampled_from(PREDS))
+    args = tuple(draw(st.sampled_from(CONSTANTS)) for _ in range(arity))
+    return Atom(pred, args)
+
+
+@st.composite
+def databases(draw):
+    return Instance(draw(st.lists(ground_atoms(), min_size=1, max_size=8)))
+
+
+@st.composite
+def query_atoms(draw):
+    pred, arity = draw(st.sampled_from(PREDS))
+    args = tuple(
+        Variable(draw(st.sampled_from(VARNAMES))) for _ in range(arity)
+    )
+    return Atom(pred, args)
+
+
+@st.composite
+def boolean_cqs(draw):
+    atoms = draw(st.lists(query_atoms(), min_size=1, max_size=4))
+    return CQ((), atoms)
+
+
+@st.composite
+def guarded_full_tgds(draw):
+    """Full guarded TGDs over E/P: body one E atom, head over its variables."""
+    body_vars = [Variable(n) for n in draw(st.permutations(["x", "y"]))]
+    body = [Atom("E", tuple(body_vars))]
+    head_pred, head_arity = draw(st.sampled_from([("E", 2), ("P", 1)]))
+    head_args = tuple(draw(st.sampled_from(body_vars)) for _ in range(head_arity))
+    return TGD(body, [Atom(head_pred, head_args)])
+
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# ---------------------------------------------------------------------------
+# Homomorphisms
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(boolean_cqs(), databases())
+def test_found_homomorphisms_verify(query, db):
+    hom = find_homomorphism(query.atoms, db)
+    if hom is not None:
+        assert is_homomorphism(hom, query.atoms, db)
+        assert homomorphic_image(query.atoms, hom) <= db.atoms()
+
+
+@SETTINGS
+@given(boolean_cqs(), databases())
+def test_td_evaluation_agrees_with_backtracking(query, db):
+    assert evaluate_td(query, db) == evaluate_cq(query, db)
+
+
+# ---------------------------------------------------------------------------
+# Containment, cores, contractions
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(boolean_cqs())
+def test_containment_reflexive(query):
+    assert cq_contained_in(query, query)
+
+
+@SETTINGS
+@given(boolean_cqs())
+def test_core_equivalent_and_idempotent(query):
+    reduced = core(query)
+    assert cq_equivalent(reduced, query)
+    assert len(core(reduced).atoms) == len(reduced.atoms)
+
+
+@SETTINGS
+@given(boolean_cqs())
+def test_contractions_contained(query):
+    for contraction in contractions(query)[:8]:
+        assert cq_contained_in(contraction, query)
+
+
+@SETTINGS
+@given(boolean_cqs(), databases())
+def test_core_preserves_answers(query, db):
+    assert evaluate_cq(core(query), db) == evaluate_cq(query, db)
+
+
+# ---------------------------------------------------------------------------
+# Chase
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(databases(), st.lists(guarded_full_tgds(), min_size=1, max_size=3))
+def test_chase_fixpoint_satisfies_tgds(db, tgds):
+    result = chase(db, tgds)
+    assert result.terminated
+    assert satisfies_all(result.instance, tgds)
+    assert db.atoms() <= result.instance.atoms()
+
+
+@SETTINGS
+@given(databases(), st.lists(guarded_full_tgds(), min_size=1, max_size=3))
+def test_ground_saturation_agrees_with_full_chase(db, tgds):
+    assert ground_saturation(db, tgds).atoms() == chase(db, tgds).instance.atoms()
+
+
+@SETTINGS
+@given(databases(), st.lists(guarded_full_tgds(), min_size=1, max_size=2), boolean_cqs())
+def test_certain_answers_monotone_in_levels(db, tgds, query):
+    shallow = chase(db, tgds, max_level=1).instance
+    deep = chase(db, tgds, max_level=3).instance
+    assert evaluate_cq(query, shallow) <= evaluate_cq(query, deep)
+
+
+# ---------------------------------------------------------------------------
+# Treewidth
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(st.integers(3, 7), st.data())
+def test_elimination_order_decomposition_valid(n, data):
+    edges = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    graph = make_graph(range(n), [(a, b) for a, b in edges if a != b])
+    order = data.draw(st.permutations(list(range(n))))
+    td = decomposition_from_order(graph, list(order))
+    assert td.is_valid_for(graph)

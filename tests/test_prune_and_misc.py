@@ -1,0 +1,67 @@
+"""Tests for UCQ subsumption pruning and assorted late additions."""
+
+import pytest
+
+from repro.benchgen import random_binary_database
+from repro.queries import (
+    evaluate_ucq,
+    parse_cq,
+    parse_ucq,
+    prune_subsumed,
+    ucq_equivalent,
+)
+
+
+class TestPruneSubsumed:
+    def test_drops_contained_disjunct(self):
+        u = parse_ucq("q() :- E(x, x) | q() :- E(x, y)")
+        pruned = prune_subsumed(u)
+        assert len(pruned) == 1
+        assert pruned.disjuncts[0].atoms[0].variables() == {
+            *parse_cq("q() :- E(x, y)").variables()
+        }
+
+    def test_keeps_incomparable(self):
+        u = parse_ucq("q() :- P(x) | q() :- E(x, y)")
+        assert len(prune_subsumed(u)) == 2
+
+    def test_mutually_equivalent_keep_one(self):
+        u = parse_ucq("q() :- E(x, y) | q() :- E(u, v)")
+        assert len(prune_subsumed(u)) == 1
+
+    def test_equivalence_preserved(self):
+        u = parse_ucq(
+            "q(a) :- E(a, b), E(b, a) | q(a) :- E(a, b) | q(a) :- E(a, a)"
+        )
+        pruned = prune_subsumed(u)
+        assert ucq_equivalent(pruned, u)
+
+    def test_answers_preserved_on_random_data(self):
+        u = parse_ucq(
+            "q(a) :- E(a, b), E(b, c) | q(a) :- E(a, b) | q(a) :- E(a, a)"
+        )
+        pruned = prune_subsumed(u)
+        for seed in range(5):
+            db = random_binary_database(6, 12, seed=seed)
+            assert evaluate_ucq(pruned, db) == evaluate_ucq(u, db)
+
+    def test_transitive_chain_keeps_top(self):
+        u = parse_ucq(
+            "q() :- E(x, x) | q() :- E(x, y), E(y, x) | q() :- E(x, y)"
+        )
+        pruned = prune_subsumed(u)
+        assert len(pruned) == 1
+
+
+class TestUCQEvaluationEdgeCases:
+    def test_disjuncts_with_different_variable_names(self):
+        u = parse_ucq("q(x) :- P(x) | q(w) :- R(w, v)")
+        db = random_binary_database(4, 6, preds=("R",), seed=1)
+        answers = evaluate_ucq(u, db)
+        assert all(len(t) == 1 for t in answers)
+
+    def test_empty_database_gives_empty(self):
+        from repro.datamodel import Instance
+
+        u = parse_ucq("q(x) :- P(x)")
+        assert evaluate_ucq(u, Instance()) == set()

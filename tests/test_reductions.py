@@ -1,0 +1,201 @@
+"""Tests for grids, minor maps, Grohe's database, and the clique pipelines
+(Theorem 6.1 / Lemma H.2 / Theorem 4.1 / Theorem 5.13)."""
+
+import pytest
+
+from repro.benchgen import erdos_renyi, planted_clique
+from repro.queries import holds, is_core
+from repro.reductions import (
+    K_of,
+    MinorMap,
+    clique_graph,
+    clique_via_cq,
+    clique_via_cqs,
+    cycle_graph,
+    directed_grid_cq,
+    find_clique,
+    grid_cq,
+    grid_graph,
+    grid_minor_map,
+    grohe_database,
+    identity_grid_minor_map,
+    make_onto,
+    pad_cliques,
+    pair_bijection,
+)
+from repro.treewidth import treewidth_exact
+
+
+class TestGrids:
+    def test_K_of(self):
+        assert K_of(3) == 3 and K_of(4) == 6 and K_of(2) == 1
+
+    def test_pair_bijection_total(self):
+        chi = pair_bijection(4)
+        assert sorted(chi.values()) == list(range(1, 7))
+        assert all(len(p) == 2 for p in chi)
+
+    def test_grid_graph_structure(self):
+        g = grid_graph(2, 3)
+        assert len(g) == 6
+        assert g[(1, 1)] == {(2, 1), (1, 2)}
+
+    def test_grid_treewidth(self):
+        assert treewidth_exact(grid_graph(3, 3)) == 3
+
+    def test_grid_cq_symmetric(self):
+        q = grid_cq(2, 2)
+        assert len(q.atoms) == 8  # 4 edges, both orientations
+
+    def test_directed_grid_cq_is_core(self):
+        assert is_core(directed_grid_cq(2, 2))
+        assert is_core(directed_grid_cq(3, 3))
+
+    def test_clique_cycle_helpers(self):
+        assert find_clique(clique_graph(5), 5)
+        assert find_clique(cycle_graph(5), 3) is None
+
+
+class TestMinorMaps:
+    def test_identity_map_valid(self):
+        template = grid_graph(2, 2)
+        mm = MinorMap({v: frozenset({v}) for v in template})
+        assert mm.is_valid(template, template)
+        assert mm.is_onto(template)
+
+    def test_invalid_disconnected_branch(self):
+        template = grid_graph(1, 2)
+        host = grid_graph(2, 2)
+        mm = MinorMap(
+            {(1, 1): frozenset({(1, 1), (2, 2)}), (1, 2): frozenset({(1, 2)})}
+        )
+        assert any("connected" in p for p in mm.validate(template, host))
+
+    def test_invalid_overlap(self):
+        template = grid_graph(1, 2)
+        host = grid_graph(1, 2)
+        mm = MinorMap(
+            {(1, 1): frozenset({(1, 1)}), (1, 2): frozenset({(1, 1), (1, 2)})}
+        )
+        assert any("overlap" in p for p in mm.validate(template, host))
+
+    def test_grid_minor_finder_on_grid(self):
+        host = grid_graph(3, 3)
+        mm = grid_minor_map(host, 2, 2)
+        assert mm is not None
+        assert mm.is_valid(grid_graph(2, 2), host)
+
+    def test_grid_minor_finder_failure(self):
+        host = grid_graph(1, 3)  # a path has no 2x2 grid subgraph
+        assert grid_minor_map(host, 2, 2) is None
+
+    def test_make_onto(self):
+        host = grid_graph(2, 3)
+        mm = grid_minor_map(host, 2, 2)
+        onto = make_onto(mm, host)
+        assert onto.is_onto(host)
+        assert onto.is_valid(grid_graph(2, 2), host)
+
+
+class TestGroheDatabase:
+    def _build(self, graph, k=3):
+        from repro.reductions import grid_vertex_variable
+
+        cols = K_of(k)
+        query = directed_grid_cq(k, cols)
+        base = query.canonical_database()
+        mm = MinorMap(
+            {
+                (i, j): frozenset({grid_vertex_variable(i, j)})
+                for i in range(1, k + 1)
+                for j in range(1, cols + 1)
+            }
+        )
+        return grohe_database(graph, k, base, base, frozenset(base.dom()), mm), query
+
+    def test_h0_is_homomorphism(self):
+        gd, _ = self._build(clique_graph(4))
+        assert gd.h0_is_homomorphism()
+
+    def test_h0_surjective_with_cliques_present(self):
+        gd, _ = self._build(clique_graph(4))
+        assert gd.h0_is_surjective()
+
+    def test_clique_criterion_positive(self):
+        gd, _ = self._build(clique_graph(4))
+        assert gd.has_clique_certificate()
+
+    def test_clique_criterion_negative(self):
+        gd, _ = self._build(cycle_graph(6))
+        assert not gd.has_clique_certificate()
+
+    def test_validation_rejects_bad_inputs(self):
+        from repro.datamodel import Instance, Atom
+
+        base = Instance([Atom("E", ("a", "b"))])
+        bigger = Instance([Atom("E", ("c", "d"))])
+        with pytest.raises(ValueError):
+            grohe_database(clique_graph(3), 2, base, bigger, {"a"}, MinorMap({}))
+
+
+class TestCliquePipelines:
+    @pytest.mark.parametrize(
+        "graph,expect",
+        [
+            (clique_graph(3), True),
+            (clique_graph(4), True),
+            (cycle_graph(5), False),
+            (cycle_graph(7), False),
+        ],
+    )
+    def test_cq_pipeline(self, graph, expect):
+        red = clique_via_cq(graph, 3)
+        assert red.ground_truth() == expect
+        assert red.decide_by_certificate() == expect
+        assert red.decide_by_evaluation() == expect
+
+    def test_cq_pipeline_random_graphs(self):
+        for seed in range(3):
+            graph = planted_clique(10, 0.25, 3, seed=seed)
+            red = clique_via_cq(graph, 3)
+            assert red.decide_by_evaluation() == red.ground_truth()
+
+    def test_cq_pipeline_negative_random(self):
+        # Sparse random graphs with no triangle.
+        graph = erdos_renyi(10, 0.08, seed=5)
+        red = clique_via_cq(graph, 3)
+        assert red.decide_by_evaluation() == red.ground_truth()
+
+    def test_cqs_pipeline_constraints_hold(self):
+        red = clique_via_cqs(clique_graph(4), 3)
+        assert red.constraints_satisfied()
+        assert red.spec is not None
+
+    @pytest.mark.parametrize(
+        "graph,expect",
+        [(clique_graph(4), True), (cycle_graph(5), False)],
+    )
+    def test_cqs_pipeline_decides(self, graph, expect):
+        red = clique_via_cqs(graph, 3)
+        assert red.decide_by_evaluation() == expect
+        assert red.decide_by_certificate() == expect
+
+    def test_cqs_database_is_valid_cqs_input(self):
+        red = clique_via_cqs(clique_graph(4), 3)
+        answers = red.spec.evaluate(red.database)  # promise must hold
+        assert (() in answers) == red.ground_truth()
+
+    def test_k2_works(self):
+        red = clique_via_cq(clique_graph(2), 2)
+        assert red.decide_by_evaluation()
+
+    def test_k1_rejected(self):
+        with pytest.raises(ValueError):
+            clique_via_cq(clique_graph(2), 1)
+
+    def test_pad_cliques_strong_product(self):
+        padded = pad_cliques(cycle_graph(4), 2)
+        assert len(padded) == 8
+        # C4 has max clique 2 → padded has a 4-clique but no 6-clique.
+        assert find_clique(padded, 4)
+        assert not find_clique(padded, 6)

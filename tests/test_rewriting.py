@@ -1,0 +1,109 @@
+"""Tests for UCQ rewriting under linear TGDs (Prop D.2)."""
+
+import random
+
+import pytest
+
+from repro.benchgen import inclusion_chain
+from repro.chase import RewritingLimitError, chase, rewrite_ucq
+from repro.queries import evaluate, parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgds
+
+EMPLOYMENT = parse_tgds(
+    ["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"]
+)
+
+
+def reference_answers(query, db, tgds, levels=6):
+    result = chase(db, tgds, max_level=levels)
+    dom = db.dom()
+    return {
+        t for t in evaluate(query, result.instance) if all(c in dom for c in t)
+    }
+
+
+class TestRewriteBasics:
+    def test_trivial_no_tgds(self):
+        q = parse_cq("q(x) :- Comp(x)")
+        rew = rewrite_ucq(q, [])
+        assert len(rew) == 1
+
+    def test_atomic_query_unfolds(self):
+        q = parse_cq("q(x) :- Comp(x)")
+        rew = rewrite_ucq(q, EMPLOYMENT)
+        preds = {a.pred for cq in rew for a in cq.atoms}
+        assert "WorksFor" in preds  # unfolded one step
+
+    def test_existential_join_blocks_step(self):
+        # Comp(y) with y shared cannot be resolved before factorization.
+        q = parse_cq("q() :- WorksFor(x, y), Emp(y)")
+        rew = rewrite_ucq(q, EMPLOYMENT)
+        db = parse_database("Emp(a), WorksFor(b, a)")
+        assert evaluate(rew, db) == reference_answers(q, db, EMPLOYMENT)
+
+    def test_factorization_completes(self):
+        q = parse_cq("q(x) :- WorksFor(x, y), Comp(y)")
+        rew = rewrite_ucq(q, EMPLOYMENT)
+        db = parse_database("Emp(a)")
+        assert ("a",) in evaluate(rew, db)
+
+    def test_rejects_nonlinear(self):
+        with pytest.raises(ValueError):
+            rewrite_ucq(parse_cq("q(x) :- R(x)"), parse_tgds(["A(x), B(x) -> R(x)"]))
+
+    def test_rejects_multi_head(self):
+        with pytest.raises(ValueError):
+            rewrite_ucq(parse_cq("q(x) :- R(x)"), parse_tgds(["A(x) -> R(x), S(x)"]))
+
+    def test_limit_raises(self):
+        chain = inclusion_chain(6)
+        q = parse_cq("q(x) :- R6(x, y)")
+        with pytest.raises(RewritingLimitError):
+            rewrite_ucq(q, chain, max_cqs=2)
+
+    def test_chain_depth_unfolds_fully(self):
+        chain = inclusion_chain(4)
+        q = parse_cq("q(x) :- R4(x, y)")
+        rew = rewrite_ucq(q, chain)
+        preds = {a.pred for cq in rew for a in cq.atoms}
+        assert "R0" in preds
+
+    def test_ucq_input(self):
+        u = parse_ucq("q(x) :- Comp(x) | q(x) :- Emp(x)")
+        rew = rewrite_ucq(u, EMPLOYMENT)
+        assert len(rew) >= 2
+
+
+class TestDifferential:
+    QUERIES = [
+        parse_cq("q(x) :- WorksFor(x, y), Comp(y)"),
+        parse_cq("q() :- WorksFor(x, y), Emp(y)"),
+        parse_cq("q(x) :- Comp(x)"),
+        parse_cq("q(x, y) :- WorksFor(x, y)"),
+    ]
+
+    def test_randomized_against_chase(self):
+        rng = random.Random(23)
+        consts = ["a", "b", "c", "d"]
+        for trial in range(25):
+            atoms = []
+            for _ in range(rng.randint(1, 6)):
+                pred = rng.choice(["Emp", "WorksFor", "Comp"])
+                if pred == "WorksFor":
+                    atoms.append(f"{pred}({rng.choice(consts)}, {rng.choice(consts)})")
+                else:
+                    atoms.append(f"{pred}({rng.choice(consts)})")
+            db = parse_database(", ".join(atoms))
+            for q in self.QUERIES:
+                rew = rewrite_ucq(q, EMPLOYMENT)
+                assert evaluate(rew, db) == reference_answers(q, db, EMPLOYMENT), (
+                    trial,
+                    q,
+                )
+
+    def test_chain_differential(self):
+        chain = inclusion_chain(3)
+        q = parse_cq("q(x) :- R3(x, y)")
+        rew = rewrite_ucq(q, chain)
+        db = parse_database("R0(a, b), R1(c, d), R3(e, f)")
+        assert evaluate(rew, db) == reference_answers(q, db, chain)

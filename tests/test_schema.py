@@ -1,0 +1,87 @@
+"""Tests for repro.datamodel.schema."""
+
+import pytest
+
+from repro.datamodel import Atom, Schema, SchemaError, variables
+
+x, y = variables("x y")
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        schema = Schema({"R": 2, "P": 1})
+        assert schema.arity_of("R") == 2
+        assert schema.arity_of("P") == 1
+
+    def test_from_pairs(self):
+        schema = Schema([("R", 2)])
+        assert "R" in schema
+
+    def test_conflicting_arity_raises(self):
+        schema = Schema({"R": 2})
+        with pytest.raises(SchemaError):
+            schema.add("R", 3)
+
+    def test_re_add_same_arity_ok(self):
+        schema = Schema({"R": 2})
+        schema.add("R", 2)
+        assert len(schema) == 1
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": -1})
+
+    def test_from_atoms(self):
+        schema = Schema.from_atoms([Atom("R", (x, y)), Atom("P", (x,))])
+        assert schema.arity_of("R") == 2 and schema.arity_of("P") == 1
+
+    def test_from_atoms_conflict(self):
+        with pytest.raises(SchemaError):
+            Schema.from_atoms([Atom("R", (x,)), Atom("R", (x, y))])
+
+
+class TestQueries:
+    def test_max_arity(self):
+        assert Schema({"R": 2, "T": 4}).arity() == 4
+
+    def test_empty_arity_zero(self):
+        assert Schema().arity() == 0
+
+    def test_unknown_predicate(self):
+        with pytest.raises(SchemaError):
+            Schema().arity_of("R")
+
+    def test_predicates(self):
+        assert Schema({"R": 1, "S": 2}).predicates() == {"R", "S"}
+
+    def test_validate_atom(self):
+        schema = Schema({"R": 2})
+        schema.validate_atom(Atom("R", (x, y)))
+        with pytest.raises(SchemaError):
+            schema.validate_atom(Atom("R", (x,)))
+
+    def test_contains_atoms(self):
+        schema = Schema({"R": 2})
+        assert schema.contains_atoms([Atom("R", ("a", "b"))])
+        assert not schema.contains_atoms([Atom("S", ("a",))])
+
+
+class TestAlgebra:
+    def test_union(self):
+        merged = Schema({"R": 2}).union(Schema({"S": 1}))
+        assert merged.predicates() == {"R", "S"}
+
+    def test_union_conflict(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 2}).union(Schema({"R": 3}))
+
+    def test_subschema(self):
+        assert Schema({"R": 2}) <= Schema({"R": 2, "S": 1})
+        assert not (Schema({"R": 2, "S": 1}) <= Schema({"R": 2}))
+
+    def test_equality_and_hash(self):
+        assert Schema({"R": 2}) == Schema({"R": 2})
+        assert hash(Schema({"R": 2})) == hash(Schema({"R": 2}))
+
+    def test_iteration_sorted(self):
+        assert list(Schema({"S": 1, "R": 2})) == ["R", "S"]

@@ -1,0 +1,93 @@
+"""Tests for tree-decomposition-based evaluation (Prop 2.1)."""
+
+import random
+
+from repro.benchgen import random_binary_database
+from repro.queries import (
+    evaluate_cq,
+    evaluate_td,
+    evaluate_td_ucq,
+    evaluate_ucq,
+    is_answer,
+    is_answer_td,
+    parse_cq,
+    parse_database,
+    parse_ucq,
+)
+
+TRIANGLE = parse_database("E(a, b), E(b, c), E(c, a)")
+PATH = parse_database("E(a, b), E(b, c), E(c, d)")
+
+
+class TestAgreementWithBacktracking:
+    def test_path_query(self):
+        q = parse_cq("q(x) :- E(x, y), E(y, z)")
+        assert evaluate_td(q, PATH) == evaluate_cq(q, PATH)
+
+    def test_boolean_triangle(self):
+        q = parse_cq("q() :- E(x, y), E(y, z), E(z, x)")
+        assert evaluate_td(q, TRIANGLE) == evaluate_cq(q, TRIANGLE)
+
+    def test_constants(self):
+        q = parse_cq("q(x) :- E(x, 'b')")
+        assert evaluate_td(q, PATH) == evaluate_cq(q, PATH)
+
+    def test_single_atom(self):
+        q = parse_cq("q(x, y) :- E(x, y)")
+        assert evaluate_td(q, PATH) == evaluate_cq(q, PATH)
+
+    def test_star_query(self):
+        db = parse_database("E(h, a), E(h, b), E(h, c), P(h)")
+        q = parse_cq("q(x) :- E(x, u), E(x, v), E(x, w), P(x)")
+        assert evaluate_td(q, db) == evaluate_cq(q, db)
+
+    def test_empty_result(self):
+        q = parse_cq("q() :- E(x, x)")
+        assert evaluate_td(q, PATH) == set()
+
+    def test_ucq(self):
+        u = parse_ucq("q(x) :- E(x, y) | q(x) :- E(y, x)")
+        assert evaluate_td_ucq(u, PATH) == evaluate_ucq(u, PATH)
+
+    def test_randomized_differential(self):
+        rng = random.Random(11)
+        queries = [
+            parse_cq("q(x) :- E(x, y), E(y, z)"),
+            parse_cq("q() :- E(x, y), E(y, z), E(z, x)"),
+            parse_cq("q(x, w) :- E(x, y), E(y, w), E(x, w)"),
+            parse_cq("q() :- E(x, y), E(y, z), E(z, w), E(w, x)"),
+        ]
+        for trial in range(10):
+            db = random_binary_database(
+                rng.randint(3, 8), rng.randint(4, 15), seed=trial
+            )
+            for q in queries:
+                assert evaluate_td(q, db) == evaluate_cq(q, db), (trial, q)
+
+
+class TestDecisionVariant:
+    def test_positive(self):
+        q = parse_cq("q(x, z) :- E(x, y), E(y, z)")
+        assert is_answer_td(q, PATH, ("a", "c"))
+
+    def test_negative(self):
+        q = parse_cq("q(x, z) :- E(x, y), E(y, z)")
+        assert not is_answer_td(q, PATH, ("a", "d"))
+
+    def test_agreement_with_backtracking(self):
+        q = parse_cq("q(x, z) :- E(x, y), E(y, z)")
+        for c1 in "abcd":
+            for c2 in "abcd":
+                assert is_answer_td(q, PATH, (c1, c2)) == is_answer(
+                    q, PATH, (c1, c2)
+                )
+
+    def test_fully_bound_query(self):
+        q = parse_cq("q(x, y) :- E(x, y)")
+        assert is_answer_td(q, PATH, ("a", "b"))
+        assert not is_answer_td(q, PATH, ("b", "a"))
+
+    def test_boolean(self):
+        q = parse_cq("q() :- E(x, y), E(y, z), E(z, x)")
+        assert is_answer_td(q, TRIANGLE, ())
+        assert not is_answer_td(q, PATH, ())

@@ -1,0 +1,108 @@
+"""Tests for repro.datamodel.terms."""
+
+import pickle
+
+import pytest
+
+from repro.datamodel import (
+    Null,
+    Variable,
+    fresh_null,
+    is_constant,
+    is_null,
+    is_variable,
+    variables,
+)
+
+
+class TestVariable:
+    def test_interning_same_object(self):
+        assert Variable("x") is Variable("x")
+
+    def test_distinct_names_distinct_objects(self):
+        assert Variable("x") is not Variable("y")
+
+    def test_equality(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_in_sets(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_repr(self):
+        assert repr(Variable("abc")) == "?abc"
+
+    def test_ordering_by_name(self):
+        assert Variable("a") < Variable("b")
+        assert not (Variable("b") < Variable("a"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TypeError):
+            Variable("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            Variable(42)
+
+    def test_pickle_roundtrip_preserves_interning(self):
+        x = Variable("x")
+        restored = pickle.loads(pickle.dumps(x))
+        assert restored is x
+
+
+class TestNull:
+    def test_fresh_nulls_are_distinct(self):
+        assert fresh_null() != fresh_null()
+
+    def test_equality_by_identity_number(self):
+        assert Null(7) == Null(7)
+        assert Null(7) != Null(8)
+
+    def test_hint_does_not_affect_equality(self):
+        assert Null(7, "a") == Null(7, "b")
+
+    def test_repr_contains_hint(self):
+        assert "z" in repr(fresh_null("z"))
+
+    def test_ordering(self):
+        assert Null(1) < Null(2)
+
+    def test_hashable(self):
+        assert len({Null(1), Null(1), Null(2)}) == 2
+
+
+class TestPredicates:
+    def test_variable_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable("x")
+        assert not is_variable(Null(1))
+
+    def test_null_is_null(self):
+        assert is_null(Null(1))
+        assert not is_null("a")
+        assert not is_null(Variable("x"))
+
+    def test_constants_are_everything_but_variables(self):
+        assert is_constant("a")
+        assert is_constant(3)
+        assert is_constant(Null(1))
+        assert not is_constant(Variable("x"))
+
+    def test_tuples_are_constants(self):
+        assert is_constant(("composite", 1))
+
+
+class TestVariablesHelper:
+    def test_space_separated(self):
+        x, y, z = variables("x y z")
+        assert (x.name, y.name, z.name) == ("x", "y", "z")
+
+    def test_comma_separated(self):
+        assert [v.name for v in variables("a, b")] == ["a", "b"]
+
+    def test_iterable_input(self):
+        assert [v.name for v in variables(["u", "v"])] == ["u", "v"]
+
+    def test_returns_interned(self):
+        (x,) = variables("x")
+        assert x is Variable("x")

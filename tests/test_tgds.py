@@ -1,0 +1,188 @@
+"""Tests for TGD objects, classes, satisfaction, and weak acyclicity."""
+
+import pytest
+
+from repro.datamodel import Atom, variables
+from repro.queries import parse_database
+from repro.tgds import (
+    TGD,
+    all_frontier_guarded,
+    all_full,
+    all_guarded,
+    all_linear,
+    classify,
+    in_fg_m,
+    is_weakly_acyclic,
+    max_body_atoms,
+    max_head_atoms,
+    parse_tgd,
+    parse_tgds,
+    satisfies,
+    satisfies_all,
+    schema_of,
+    violating_trigger,
+    violations,
+)
+
+x, y, z = variables("x y z")
+
+
+class TestTGDObject:
+    def test_frontier(self):
+        tgd = parse_tgd("R(x, y), S(y, z) -> T(y, w)")
+        assert tgd.frontier() == {y}
+
+    def test_existentials(self):
+        tgd = parse_tgd("R(x, y) -> T(y, w), U(w, v)")
+        assert {v_.name for v_ in tgd.existential_variables()} == {"w", "v"}
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValueError):
+            TGD([Atom("R", (x, y))], [])
+
+    def test_constants_rejected(self):
+        with pytest.raises(ValueError):
+            TGD([Atom("R", (x, "a"))], [Atom("S", (x,))])
+
+    def test_guard_detection(self):
+        tgd = parse_tgd("R(x, y, z), S(x, y) -> T(x)")
+        assert tgd.guard() == Atom("R", variables("x y z"))
+
+    def test_guarded_positive(self):
+        assert parse_tgd("R(x, y) -> S(y, z)").is_guarded()
+
+    def test_guarded_negative(self):
+        assert not parse_tgd("R(x, y), S(y, z) -> T(x, z)").is_guarded()
+
+    def test_frontier_guarded_weaker_than_guarded(self):
+        tgd = parse_tgd("R(x, y), S(y, z) -> T(x, y)")
+        assert not tgd.is_guarded()
+        assert tgd.is_frontier_guarded()
+
+    def test_not_frontier_guarded(self):
+        tgd = parse_tgd("R(x, u), S(u, y) -> T(x, y)")
+        assert not tgd.is_frontier_guarded()
+
+    def test_empty_body_is_guarded(self):
+        assert parse_tgd("-> Start(x)").is_guarded()
+        assert parse_tgd("-> Start(x)").is_frontier_guarded()
+
+    def test_linear(self):
+        assert parse_tgd("R(x, y) -> S(y)").is_linear()
+        assert not parse_tgd("R(x, y), S(y) -> T(y)").is_linear()
+
+    def test_full(self):
+        assert parse_tgd("R(x, y) -> S(y, x)").is_full()
+        assert not parse_tgd("R(x, y) -> S(y, z)").is_full()
+
+    def test_split_head_full(self):
+        tgd = parse_tgd("R(x, y) -> S(x), T(y)")
+        assert len(tgd.split_head()) == 2
+
+    def test_split_head_existential_rejected(self):
+        with pytest.raises(ValueError):
+            parse_tgd("R(x, y) -> S(x, z), T(z)").split_head()
+
+    def test_rename_apart(self):
+        tgd = parse_tgd("R(x, y) -> S(y, z)")
+        renamed = tgd.rename_apart("_0")
+        assert tgd.variables().isdisjoint(renamed.variables())
+
+    def test_equality_modulo_atom_order(self):
+        a = parse_tgd("R(x, y), S(y) -> T(x)")
+        b = parse_tgd("S(y), R(x, y) -> T(x)")
+        assert a == b
+
+
+class TestClasses:
+    def test_all_guarded(self):
+        assert all_guarded(parse_tgds(["R(x, y) -> S(y)", "S(x) -> T(x)"]))
+
+    def test_all_linear(self):
+        assert all_linear(parse_tgds(["R(x, y) -> S(y)"]))
+        assert not all_linear(parse_tgds(["R(x, y), S(y) -> T(y)"]))
+
+    def test_in_fg_m(self):
+        tgds = parse_tgds(["R(x, y) -> S(x, z), T(z, y)"])
+        assert in_fg_m(tgds, 2)
+        assert not in_fg_m(tgds, 1)
+
+    def test_max_counts(self):
+        tgds = parse_tgds(["R(x, y), S(y) -> T(x), U(y), V(x)"])
+        assert max_body_atoms(tgds) == 2
+        assert max_head_atoms(tgds) == 3
+
+    def test_schema_of(self):
+        schema = schema_of(parse_tgds(["R(x, y) -> S(y)"]))
+        assert schema.arity_of("R") == 2 and schema.arity_of("S") == 1
+
+    def test_classify(self):
+        labels = classify(parse_tgds(["R(x, y) -> S(y)"]))
+        assert {"G", "FG", "L", "TGD"} <= labels
+
+    def test_full_and_frontier_guarded_hierarchy(self):
+        tgds = parse_tgds(["R(x, y) -> S(y, x)"])
+        assert all_full(tgds) and all_guarded(tgds) and all_frontier_guarded(tgds)
+
+
+class TestSatisfaction:
+    def test_satisfied_full(self):
+        db = parse_database("R(a, b), S(b, a)")
+        assert satisfies(db, parse_tgd("R(x, y) -> S(y, x)"))
+
+    def test_violated_full(self):
+        db = parse_database("R(a, b)")
+        assert not satisfies(db, parse_tgd("R(x, y) -> S(y, x)"))
+
+    def test_existential_witness_any_value(self):
+        db = parse_database("R(a, b), T(b, q)")
+        assert satisfies(db, parse_tgd("R(x, y) -> T(y, z)"))
+
+    def test_existential_missing(self):
+        db = parse_database("R(a, b)")
+        assert not satisfies(db, parse_tgd("R(x, y) -> T(y, z)"))
+
+    def test_violating_trigger_returned(self):
+        db = parse_database("R(a, b)")
+        trigger = violating_trigger(db, parse_tgd("R(x, y) -> S(y)"))
+        assert trigger is not None and set(trigger.values()) == {"a", "b"}
+
+    def test_satisfies_all_and_violations(self):
+        db = parse_database("R(a, b), S(b)")
+        tgds = parse_tgds(["R(x, y) -> S(y)", "S(x) -> P(x)"])
+        assert not satisfies_all(db, tgds)
+        assert len(violations(db, tgds)) == 1
+
+    def test_empty_body_satisfied(self):
+        db = parse_database("Start(a)")
+        assert satisfies(db, parse_tgd("-> Start(x)"))
+
+    def test_empty_body_violated(self):
+        db = parse_database("Other(a)")
+        assert not satisfies(db, parse_tgd("-> Start(x)"))
+
+
+class TestWeakAcyclicity:
+    def test_self_recursive_existential(self):
+        assert not is_weakly_acyclic(parse_tgds(["R(x, y) -> R(y, z)"]))
+
+    def test_acyclic_chain(self):
+        assert is_weakly_acyclic(parse_tgds(["R(x, y) -> S(y, z)", "S(x, y) -> T(x)"]))
+
+    def test_full_tgds_always_weakly_acyclic(self):
+        assert is_weakly_acyclic(
+            parse_tgds(["R(x, y) -> R(y, x)", "R(x, y) -> S(x, y)", "S(x, y) -> R(x, y)"])
+        )
+
+    def test_cycle_through_special_edge(self):
+        tgds = parse_tgds(["R(x, y) -> S(y, z)", "S(x, y) -> R(x, y)"])
+        assert not is_weakly_acyclic(tgds)
+
+    def test_special_into_dead_end_is_weakly_acyclic(self):
+        # The null flows to (S,1) and onward to (R,0), which has no
+        # outgoing edge: no cycle through the special edge.
+        tgds = parse_tgds(["R(x, y) -> S(y, z)", "S(x, y) -> R(y, x)"])
+        assert is_weakly_acyclic(tgds)
+
+    def test_empty_set(self):
+        assert is_weakly_acyclic([])

@@ -1,0 +1,166 @@
+"""Tests for the treewidth package (decompositions, exact, paper quirks)."""
+
+import pytest
+
+from repro.queries import parse_cq, parse_database
+from repro.reductions import grid_graph
+from repro.treewidth import (
+    TreeDecomposition,
+    TreewidthLimitError,
+    cq_treewidth,
+    decompose_min_fill,
+    decomposition_from_order,
+    has_treewidth_at_most,
+    in_cq_k,
+    in_ucq_k,
+    instance_treewidth,
+    instance_treewidth_up_to,
+    is_forest,
+    make_graph,
+    min_fill_order,
+    paper_treewidth,
+    treewidth_exact,
+    treewidth_upper_bound,
+    ucq_treewidth,
+)
+from repro.queries import parse_ucq
+
+
+def cycle(n):
+    return make_graph(range(n), [(i, (i + 1) % n) for i in range(n)])
+
+
+def path(n):
+    return make_graph(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def complete(n):
+    return make_graph(range(n), [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestDecompositionObject:
+    def test_width(self):
+        td = TreeDecomposition({0: {"a", "b"}, 1: {"b", "c"}}, [(0, 1)])
+        assert td.width == 1
+
+    def test_validate_good(self):
+        graph = path(3)
+        td = decompose_min_fill(graph)
+        assert td.is_valid_for(graph)
+
+    def test_validate_missing_edge(self):
+        graph = make_graph([0, 1], [(0, 1)])
+        td = TreeDecomposition({0: {0}, 1: {1}}, [(0, 1)])
+        assert any("edge" in p for p in td.validate(graph))
+
+    def test_validate_disconnected_occurrence(self):
+        graph = make_graph([0, 1, 2], [(0, 1), (1, 2)])
+        td = TreeDecomposition(
+            {0: {0, 1}, 1: {1, 2}, 2: {0, 2}},
+            [(0, 1), (1, 2)],
+        )
+        problems = td.validate(graph)
+        assert problems  # vertex 0's (or 2's) occurrences are disconnected
+
+    def test_skeleton_must_be_tree(self):
+        td = TreeDecomposition({0: {"a"}, 1: {"a"}}, [])
+        assert not td.is_tree()
+
+    def test_from_order_valid_on_cycle(self):
+        graph = cycle(5)
+        td = decomposition_from_order(graph, list(range(5)))
+        assert td.is_valid_for(graph)
+        assert td.width >= 2
+
+    def test_from_order_requires_full_order(self):
+        with pytest.raises(ValueError):
+            decomposition_from_order(path(3), [0, 1])
+
+
+class TestHeuristics:
+    def test_min_fill_path_is_optimal(self):
+        td = decompose_min_fill(path(6))
+        assert td.width == 1
+
+    def test_upper_bound_cycle(self):
+        assert treewidth_upper_bound(cycle(6)) == 2
+
+    def test_order_covers_all_vertices(self):
+        assert set(min_fill_order(cycle(5))) == set(range(5))
+
+
+class TestExact:
+    def test_forest_detection(self):
+        assert is_forest(path(5))
+        assert not is_forest(cycle(4))
+
+    def test_path(self):
+        assert treewidth_exact(path(6)) == 1
+
+    def test_cycle(self):
+        assert treewidth_exact(cycle(7)) == 2
+
+    def test_complete(self):
+        assert treewidth_exact(complete(5)) == 4
+
+    def test_grid_2x2(self):
+        assert treewidth_exact(grid_graph(2, 2)) == 2
+
+    def test_grid_3x3(self):
+        assert treewidth_exact(grid_graph(3, 3)) == 3
+
+    def test_grid_3x4(self):
+        assert treewidth_exact(grid_graph(3, 4)) == 3
+
+    def test_edgeless(self):
+        assert treewidth_exact(make_graph([1, 2, 3], [])) == 0
+
+    def test_decision_variant(self):
+        assert has_treewidth_at_most(cycle(5), 2)
+        assert not has_treewidth_at_most(complete(4), 2)
+
+    def test_limit_raises(self):
+        with pytest.raises(TreewidthLimitError):
+            treewidth_exact(complete(25), limit=20)
+
+
+class TestPaperConventions:
+    def test_edgeless_graph_has_paper_treewidth_one(self):
+        assert paper_treewidth(make_graph([1, 2], [])) == 1
+
+    def test_empty_graph(self):
+        assert paper_treewidth({}) == 1
+
+    def test_cq_treewidth_ignores_answer_variables(self):
+        # The triangle with all three vertices as answers: G^q|ȳ is empty.
+        q = parse_cq("q(x, y, z) :- E(x, y), E(y, z), E(z, x)")
+        assert cq_treewidth(q) == 1
+
+    def test_cq_treewidth_boolean_triangle(self):
+        assert cq_treewidth(parse_cq("q() :- E(x, y), E(y, z), E(z, x)")) == 2
+
+    def test_cq_treewidth_path(self):
+        assert cq_treewidth(parse_cq("q() :- E(x, y), E(y, z)")) == 1
+
+    def test_in_cq_k(self):
+        tri = parse_cq("q() :- E(x, y), E(y, z), E(z, x)")
+        assert in_cq_k(tri, 2) and not in_cq_k(tri, 1)
+
+    def test_in_cq_k_rejects_zero(self):
+        with pytest.raises(ValueError):
+            in_cq_k(parse_cq("q() :- E(x, y)"), 0)
+
+    def test_ucq_treewidth_is_max(self):
+        u = parse_ucq(
+            "q() :- E(x, y) | q() :- E(x, y), E(y, z), E(z, x)"
+        )
+        assert ucq_treewidth(u) == 2
+        assert in_ucq_k(u, 2) and not in_ucq_k(u, 1)
+
+    def test_instance_treewidth(self):
+        db = parse_database("E(a, b), E(b, c), E(c, a)")
+        assert instance_treewidth(db) == 2
+
+    def test_instance_treewidth_up_to(self):
+        db = parse_database("E(a, b), E(b, c), E(c, a)")
+        assert instance_treewidth_up_to(db, ["a"]) == 1

@@ -1,0 +1,82 @@
+"""Cross-validation of the treewidth machinery against networkx.
+
+networkx ships approximation heuristics (min-degree / min-fill-in) that
+return tree decompositions whose width *upper-bounds* the true treewidth.
+Our exact solver must therefore never exceed them, and on graphs whose
+treewidth is known in closed form both must bracket the same value.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from networkx.algorithms.approximation import (
+    treewidth_min_degree,
+    treewidth_min_fill_in,
+)
+
+from repro.reductions import grid_graph
+from repro.treewidth import (
+    decompose_min_fill,
+    make_graph,
+    treewidth_exact,
+    treewidth_upper_bound,
+)
+
+
+def _to_nx(graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph)
+    for v, neighbours in graph.items():
+        for u in neighbours:
+            g.add_edge(v, u)
+    return g
+
+
+def _random_graph(n: int, p: float, seed: int):
+    rng = random.Random(seed)
+    vertices = list(range(n))
+    edges = [
+        (a, b)
+        for i, a in enumerate(vertices)
+        for b in vertices[i + 1:]
+        if rng.random() < p
+    ]
+    return make_graph(vertices, edges)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_below_nx_upper_bounds(self, seed):
+        graph = _random_graph(10, 0.3, seed)
+        if not any(graph.values()):
+            pytest.skip("edgeless sample")
+        exact = treewidth_exact(graph)
+        nx_graph = _to_nx(graph)
+        for approx in (treewidth_min_degree, treewidth_min_fill_in):
+            width, _ = approx(nx_graph)
+            assert exact <= width
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_our_heuristic_is_a_valid_upper_bound(self, seed):
+        graph = _random_graph(9, 0.35, seed)
+        if not any(graph.values()):
+            pytest.skip("edgeless sample")
+        assert treewidth_upper_bound(graph) >= treewidth_exact(graph)
+
+    @pytest.mark.parametrize(
+        "rows,cols,expected", [(2, 2, 2), (2, 5, 2), (3, 3, 3), (3, 4, 3)]
+    )
+    def test_grid_treewidth_closed_form(self, rows, cols, expected):
+        graph = grid_graph(rows, cols)
+        assert treewidth_exact(graph) == expected
+        nx_width, _ = treewidth_min_fill_in(_to_nx(graph))
+        assert nx_width >= expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_min_fill_decomposition_validates(self, seed):
+        graph = _random_graph(8, 0.4, seed)
+        if not any(graph.values()):
+            pytest.skip("edgeless sample")
+        td = decompose_min_fill(graph)
+        assert td.is_valid_for(graph)
