@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable
 
-__all__ = ["timed", "print_table", "series_shape"]
+__all__ = ["timed", "print_table", "print_stats", "stats_columns", "series_shape"]
 
 
 def timed(fn: Callable, *args, **kwargs):
@@ -30,6 +30,26 @@ def timed(fn: Callable, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def stats_columns(stats, prefix: str = "") -> dict:
+    """EvalStats counters as table-row columns (work done, not seconds).
+
+    *stats* is a :class:`repro.datamodel.EvalStats`; *prefix* distinguishes
+    several stats objects in one row (e.g. ``"delta "`` vs ``"naive "``).
+    """
+    return {
+        f"{prefix}enum": stats.triggers_enumerated,
+        f"{prefix}fired": stats.triggers_fired,
+        f"{prefix}dedup": stats.triggers_deduped,
+        f"{prefix}backtracks": stats.hom_backtracks,
+        f"{prefix}probes": stats.index_probes,
+    }
+
+
+def print_stats(label: str, stats) -> None:
+    """Print one EvalStats summary line (``label: counters``)."""
+    print(f"  {label}: {stats.summary()}")
 
 
 def print_table(title: str, rows: Iterable[dict]) -> None:

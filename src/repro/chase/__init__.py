@@ -11,6 +11,7 @@ from .blocked import (
 from .engine import (
     ChaseNonterminationError,
     ChaseResult,
+    EvalStats,
     chase,
     terminating_chase,
 )
@@ -27,6 +28,7 @@ from .rewriting import (
 __all__ = [
     "ChaseNonterminationError",
     "ChaseResult",
+    "EvalStats",
     "Linearization",
     "RewritingLimitError",
     "SaturationResult",

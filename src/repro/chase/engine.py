@@ -20,18 +20,41 @@ same frontier image), hence identical UCQ certain answers, models, and
 ground parts; and semi-oblivious firing is the one whose termination weak
 acyclicity certifies.
 
+Two trigger-search strategies compute the same level-wise sequence:
+
+* ``strategy="delta"`` (the default) is *semi-naive*: at level ``i`` only
+  triggers whose body image intersects the atoms produced at level
+  ``i − 1`` are considered.  The previous level's atoms are kept in a
+  per-level delta :class:`~repro.datamodel.Instance` whose
+  ``atoms_by_pred()`` view seeds the search per body atom, and a pivot
+  rule (the pivot must be the *first* body atom landing in the delta)
+  ensures no trigger is ever enumerated twice.
+* ``strategy="naive"`` re-enumerates every body homomorphism into the whole
+  instance at every level and discards already-fired keys.  It is the
+  obviously-correct oracle that the differential suite (``tests/oracle/``)
+  checks the delta engine against; both produce identical level maps and
+  isomorphic instances.
+
+An :class:`~repro.datamodel.EvalStats` object (on ``ChaseResult.stats``)
+counts triggers enumerated/fired/deduped, homomorphism backtracks, and
+index probes, so benchmarks report work done, not just seconds.
+
 Termination: guaranteed for full TGDs and weakly acyclic sets; otherwise the
 caller must bound levels/atoms (the result records whether a fixpoint was
-reached).
+reached).  An *unbounded* run past the safety cap raises; a run bounded by
+``max_level``/``max_atoms`` that trips the cap stops with
+``reason="atom bound"`` instead.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from ..datamodel import (
     Atom,
+    EvalStats,
     Instance,
     Term,
     Variable,
@@ -40,10 +63,19 @@ from ..datamodel import (
 )
 from ..tgds import TGD, all_full, is_weakly_acyclic
 
-__all__ = ["ChaseResult", "ChaseNonterminationError", "chase", "terminating_chase"]
+__all__ = [
+    "ChaseResult",
+    "ChaseNonterminationError",
+    "EvalStats",
+    "chase",
+    "terminating_chase",
+]
 
 #: Global safety cap: an unbounded chase that exceeds this many atoms raises.
 DEFAULT_SAFETY_CAP = 1_000_000
+
+#: Trigger-search strategies accepted by :func:`chase`.
+STRATEGIES = ("delta", "naive")
 
 
 class ChaseNonterminationError(RuntimeError):
@@ -70,6 +102,10 @@ class ChaseResult:
         Number of triggers fired.
     reason:
         Why the run stopped ("fixpoint", "level bound", "atom bound").
+    strategy:
+        The trigger-search strategy that produced this result.
+    stats:
+        Evaluation counters for the run (:class:`EvalStats`).
     """
 
     instance: Instance
@@ -79,6 +115,8 @@ class ChaseResult:
     fired: int
     reason: str
     original_dom: frozenset = field(default_factory=frozenset)
+    strategy: str = "delta"
+    stats: EvalStats = field(default_factory=EvalStats)
 
     def atoms_up_to_level(self, level: int) -> Instance:
         """``chase^ℓ_s(D, Σ)`` — the prefix of atoms with level ≤ *level*."""
@@ -96,16 +134,6 @@ class ChaseResult:
         return len(self.instance.dom() - self.original_dom)
 
 
-def _trigger_key(tgd_index: int, tgd: TGD, hom: Mapping[Term, Term]) -> tuple:
-    # Semi-oblivious (Skolem) firing: one firing per (TGD, frontier image).
-    # Two body homomorphisms with the same frontier image would produce
-    # heads differing only in the names of fresh nulls, so collapsing them
-    # preserves the chase up to homomorphic equivalence — and it is the
-    # discipline under which weak acyclicity guarantees termination.
-    ordered = tuple(sorted(tgd.frontier(), key=lambda v: v.name))
-    return (tgd_index, tuple(hom[v] for v in ordered))
-
-
 def _fire(
     tgd: TGD, hom: Mapping[Term, Term]
 ) -> list[Atom]:
@@ -116,6 +144,71 @@ def _fire(
     return [atom.apply(assignment) for atom in tgd.head]
 
 
+def _delta_triggers(
+    tgds: Sequence[TGD],
+    instance: Instance,
+    delta: Instance,
+    stats: EvalStats,
+) -> Iterator[tuple[int, TGD, dict[Term, Term]]]:
+    """Semi-naive trigger search: candidates seeded by the previous delta.
+
+    A trigger is new at this level iff its body image contains at least one
+    delta atom.  For each TGD and each body position, every delta fact that
+    unifies with that position seeds a homomorphism search for the rest of
+    the body over the full instance.  The pivot rule — the pivot position
+    must be the *first* body position whose image lies in the delta — makes
+    each trigger come out of exactly one (position, fact) seed, so no
+    trigger is enumerated twice within a level; and since a delta atom
+    belongs to exactly one level, no trigger is enumerated twice across
+    levels either.
+    """
+    by_pred = delta.atoms_by_pred()
+    for tgd_index, tgd in enumerate(tgds):
+        if not tgd.body:
+            continue
+        for pivot_index, pivot in enumerate(tgd.body):
+            facts = by_pred.get(pivot.pred)
+            if not facts:
+                continue
+            rest = [a for j, a in enumerate(tgd.body) if j != pivot_index]
+            earlier = tgd.body[:pivot_index]
+            for fact in facts:
+                if fact.arity != pivot.arity:
+                    continue
+                seed = _unify(pivot, fact)
+                if seed is None:
+                    continue
+                for hom in find_homomorphisms(
+                    rest, instance, fixed=seed, stats=stats
+                ):
+                    stats.triggers_enumerated += 1
+                    if any(a.apply(hom) in delta for a in earlier):
+                        # An earlier pivot position already produced (or
+                        # will produce) this very trigger; count and skip.
+                        stats.triggers_deduped += 1
+                        continue
+                    yield tgd_index, tgd, hom
+
+
+def _naive_triggers(
+    tgds: Sequence[TGD],
+    instance: Instance,
+    stats: EvalStats,
+) -> Iterator[tuple[int, TGD, dict[Term, Term]]]:
+    """Naive trigger search: all body homomorphisms into the full instance.
+
+    Deliberately does no delta bookkeeping — this is the oracle the
+    differential suite compares the delta engine against.  The fired-key
+    cache downstream discards the (many) re-enumerated triggers.
+    """
+    for tgd_index, tgd in enumerate(tgds):
+        if not tgd.body:
+            continue
+        for hom in find_homomorphisms(tgd.body, instance, stats=stats):
+            stats.triggers_enumerated += 1
+            yield tgd_index, tgd, hom
+
+
 def chase(
     database: Instance,
     tgds: Sequence[TGD],
@@ -123,6 +216,8 @@ def chase(
     max_level: int | None = None,
     max_atoms: int | None = None,
     safety_cap: int = DEFAULT_SAFETY_CAP,
+    strategy: str = "delta",
+    stats: EvalStats | None = None,
 ) -> ChaseResult:
     """Run the level-wise oblivious chase of *database* under *tgds*.
 
@@ -130,78 +225,110 @@ def chase(
     :class:`ChaseNonterminationError` past *safety_cap* atoms).  With
     ``max_level=ℓ`` the result is exactly ``chase^ℓ_s(D, Σ)`` for the
     level-wise sequence ``s`` (Lemma A.1); ``terminated`` then reports
-    whether the fixpoint happened to be reached within the bound.
+    whether the fixpoint happened to be reached within the bound.  A
+    *bounded* run (``max_level`` or ``max_atoms`` given) that trips the
+    safety cap stops with ``reason="atom bound"`` rather than raising.
+
+    *strategy* selects the trigger search: ``"delta"`` (semi-naive, the
+    default) or ``"naive"`` (full re-scan per level, the differential
+    oracle).  Both produce identical level maps and isomorphic instances.
+
+    *stats* may be a shared :class:`EvalStats` to accumulate counters
+    across runs; a fresh one is created otherwise (see ``result.stats``).
     """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown chase strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
     tgds = list(tgds)
+    if stats is None:
+        stats = EvalStats()
+    run_start = time.perf_counter()
     instance = database.copy()
     levels: dict[Atom, int] = {atom: 0 for atom in instance}
+    #: Per-(TGD, frontier-image) fired-trigger cache (semi-oblivious firing).
     fired_keys: set[tuple] = set()
     fired_count = 0
     original_dom = frozenset(database.dom())
+    bounded = max_level is not None or max_atoms is not None
 
-    # Empty-body TGDs fire exactly once, at level 1.
-    new_atoms: list[Atom] = list(instance.atoms())
+    # Frontier ordering per TGD, fixed once: the trigger key is the frontier
+    # image under this ordering.  Two body homomorphisms with the same
+    # frontier image would produce heads differing only in the names of
+    # fresh nulls, so collapsing them preserves the chase up to homomorphic
+    # equivalence — and it is the discipline under which weak acyclicity
+    # guarantees termination.
+    frontiers = [
+        tuple(sorted(tgd.frontier(), key=lambda v: v.name)) for tgd in tgds
+    ]
+
+    delta = instance.copy()  # level-0 delta: the database atoms
     reason = "fixpoint"
     level = 0
-    pending_empty_body = [
-        (i, tgd) for i, tgd in enumerate(tgds) if not tgd.body
-    ]
+    pending_empty_body = [tgd for tgd in tgds if not tgd.body]
 
     while True:
         level += 1
         if max_level is not None and level > max_level:
             reason = "level bound"
             break
+        level_start = time.perf_counter()
         produced: list[Atom] = []
 
         def emit(head_atoms: list[Atom], atom_level: int) -> None:
             nonlocal fired_count
             fired_count += 1
+            stats.triggers_fired += 1
             for atom in head_atoms:
                 if instance.add(atom):
                     levels[atom] = atom_level
                     produced.append(atom)
 
         if pending_empty_body:
-            for _, tgd in pending_empty_body:
+            # Empty-body TGDs fire exactly once, at level 1.
+            for tgd in pending_empty_body:
                 emit(_fire(tgd, {}), 1)
             pending_empty_body = []
 
-        # Semi-naive trigger search: a trigger fires at this level iff its
-        # body uses at least one atom created at the previous level.
-        fresh_frontier = set(new_atoms)
-        for tgd_index, tgd in enumerate(tgds):
-            if not tgd.body:
-                continue
-            for pivot_index, pivot in enumerate(tgd.body):
-                for fact in _matching(fresh_frontier, pivot):
-                    seed = _unify(pivot, fact)
-                    if seed is None:
-                        continue
-                    rest = [a for j, a in enumerate(tgd.body) if j != pivot_index]
-                    for hom in find_homomorphisms(rest, instance, fixed=seed):
-                        key = _trigger_key(tgd_index, tgd, hom)
-                        if key in fired_keys:
-                            continue
-                        body_level = max(
-                            levels[a.apply(hom)] for a in tgd.body
-                        )
-                        fired_keys.add(key)
-                        emit(_fire(tgd, hom), body_level + 1)
+        # Materialise this level's candidates before firing: emitting while
+        # the homomorphism search lazily walks the instance's live index
+        # sets would mutate them mid-iteration, and the level-wise
+        # semantics wants triggers judged against the end-of-previous-level
+        # instance anyway.
+        if strategy == "delta":
+            candidates = list(_delta_triggers(tgds, instance, delta, stats))
+        else:
+            candidates = list(_naive_triggers(tgds, instance, stats))
 
+        for tgd_index, tgd, hom in candidates:
+            key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))
+            if key in fired_keys:
+                stats.triggers_deduped += 1
+                continue
+            fired_keys.add(key)
+            body_level = max(levels[a.apply(hom)] for a in tgd.body)
+            emit(_fire(tgd, hom), body_level + 1)
+
+        stats.level_seconds[level] = time.perf_counter() - level_start
         if not produced:
             break
-        new_atoms = produced
+        delta = Instance(produced)
         if max_atoms is not None and len(instance) >= max_atoms:
             reason = "atom bound"
             break
         if len(instance) > safety_cap:
+            if bounded:
+                # The run is already bounded: report the cap as an atom
+                # bound instead of raising, so callers get a usable prefix.
+                reason = "atom bound"
+                break
             raise ChaseNonterminationError(
                 f"chase exceeded {safety_cap} atoms without reaching a "
                 "fixpoint; bound it with max_level/max_atoms or check "
                 "termination with is_weakly_acyclic()"
             )
 
+    stats.wall_seconds += time.perf_counter() - run_start
     terminated = reason == "fixpoint"
     top = max(levels.values(), default=0)
     return ChaseResult(
@@ -212,11 +339,9 @@ def chase(
         fired=fired_count,
         reason=reason,
         original_dom=original_dom,
+        strategy=strategy,
+        stats=stats,
     )
-
-
-def _matching(atoms: Iterable[Atom], pattern: Atom) -> list[Atom]:
-    return [a for a in atoms if a.pred == pattern.pred and a.arity == pattern.arity]
 
 
 def _unify(pattern: Atom, fact: Atom) -> dict[Term, Term] | None:
@@ -234,7 +359,13 @@ def _unify(pattern: Atom, fact: Atom) -> dict[Term, Term] | None:
     return bindings
 
 
-def terminating_chase(database: Instance, tgds: Sequence[TGD]) -> ChaseResult:
+def terminating_chase(
+    database: Instance,
+    tgds: Sequence[TGD],
+    *,
+    strategy: str = "delta",
+    stats: EvalStats | None = None,
+) -> ChaseResult:
     """Chase with a termination *proof* demanded up front.
 
     Accepts full or weakly acyclic sets (Appendix A uses both); raises
@@ -247,4 +378,4 @@ def terminating_chase(database: Instance, tgds: Sequence[TGD]) -> ChaseResult:
             "terminating_chase requires a full or weakly acyclic TGD set; "
             "use chase(..., max_level=...) or the blocked guarded chase"
         )
-    return chase(database, tgds)
+    return chase(database, tgds, strategy=strategy, stats=stats)

@@ -70,7 +70,22 @@ def rewrite_step(query: CQ, atom: Atom, tgd: TGD) -> CQ | None:
     """
     if len(tgd.head) != 1:
         raise ValueError("rewrite_step requires a single-head TGD")
-    fresh = tgd.rename_apart("~r")
+    # Rename the TGD apart with a suffix that cannot collide with the
+    # query's variables: after one rewrite the query already contains
+    # "~r"-suffixed variables, and a collision would silently merge
+    # unification classes (capturing, e.g., F(x, x') into F(x, x)).
+    query_names = {
+        term.name
+        for atom_ in query.atoms
+        for term in atom_.args
+        if is_variable(term)
+    }
+    query_names.update(v.name for v in query.head if is_variable(v))
+    suffix, counter = "~r", 0
+    while any(v.name + suffix in query_names for v in tgd.variables()):
+        counter += 1
+        suffix = f"~r{counter}"
+    fresh = tgd.rename_apart(suffix)
     head = fresh.head[0]
     if head.pred != atom.pred or head.arity != atom.arity:
         return None

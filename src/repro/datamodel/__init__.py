@@ -16,6 +16,7 @@ from .homomorphisms import (
 )
 from .instances import Database, Instance
 from .schema import Schema, SchemaError
+from .stats import EvalStats
 from .terms import (
     Null,
     Term,
@@ -30,6 +31,7 @@ from .terms import (
 __all__ = [
     "Atom",
     "Database",
+    "EvalStats",
     "Instance",
     "Null",
     "Schema",

@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Iterator, Mapping
 
 from .atoms import Atom
 from .instances import Instance
+from .stats import EvalStats
 from .terms import Term, is_null, is_variable
 
 __all__ = [
@@ -62,6 +63,7 @@ def find_homomorphisms(
     movable: Callable[[Term], bool] = default_movable,
     injective: bool = False,
     limit: int | None = None,
+    stats: EvalStats | None = None,
 ) -> Iterator[dict[Term, Term]]:
     """Enumerate homomorphisms from *source_atoms* into *target*.
 
@@ -79,6 +81,9 @@ def find_homomorphisms(
         is a CQ.
     limit:
         Stop after yielding this many homomorphisms.
+    stats:
+        Optional :class:`~repro.datamodel.EvalStats` accumulating index
+        probes, backtracks, and homomorphisms found.
 
     Yields complete mappings from the terms of the source atoms to
     ``dom(target)``.  The yielded dicts are fresh copies.
@@ -100,6 +105,8 @@ def find_homomorphisms(
         used = set(images)
 
     if not atoms:
+        if stats is not None:
+            stats.homs_found += 1
         yield dict(base)
         return
 
@@ -137,6 +144,8 @@ def find_homomorphisms(
         for index, atom in enumerate(pending):
             bound_terms = sum(1 for t in atom.args if t in bound)
             candidates = target.candidates(atom, bound)
+            if stats is not None:
+                stats.index_probes += 1
             size = len(candidates) if hasattr(candidates, "__len__") else 10**9
             score = (size, -bound_terms)
             if best_score is None or score < best_score:
@@ -153,9 +162,13 @@ def find_homomorphisms(
         index = pick_atom(pending, bound)
         atom = pending[index]
         rest = pending[:index] + pending[index + 1:]
+        if stats is not None:
+            stats.index_probes += 1
         for fact in target.candidates(atom, bound):
             new = match(atom, fact, bound)
             if new is None:
+                if stats is not None:
+                    stats.hom_backtracks += 1
                 continue
             bound.update(new)
             if injective:
@@ -169,6 +182,8 @@ def find_homomorphisms(
                 return
 
     for hom in search(remaining, dict(base)):
+        if stats is not None:
+            stats.homs_found += 1
         yield hom
         yielded += 1
         if limit is not None and yielded >= limit:
@@ -182,10 +197,17 @@ def find_homomorphism(
     fixed: Mapping[Term, Term] | None = None,
     movable: Callable[[Term], bool] = default_movable,
     injective: bool = False,
+    stats: EvalStats | None = None,
 ) -> dict[Term, Term] | None:
     """The first homomorphism found, or None if there is none."""
     for hom in find_homomorphisms(
-        source_atoms, target, fixed=fixed, movable=movable, injective=injective, limit=1
+        source_atoms,
+        target,
+        fixed=fixed,
+        movable=movable,
+        injective=injective,
+        limit=1,
+        stats=stats,
     ):
         return hom
     return None
@@ -215,12 +237,18 @@ def count_homomorphisms(
     fixed: Mapping[Term, Term] | None = None,
     movable: Callable[[Term], bool] = default_movable,
     injective: bool = False,
+    stats: EvalStats | None = None,
 ) -> int:
     """The number of homomorphisms (exhaustive enumeration)."""
     return sum(
         1
         for _ in find_homomorphisms(
-            source_atoms, target, fixed=fixed, movable=movable, injective=injective
+            source_atoms,
+            target,
+            fixed=fixed,
+            movable=movable,
+            injective=injective,
+            stats=stats,
         )
     )
 

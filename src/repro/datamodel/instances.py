@@ -89,6 +89,16 @@ class Instance:
         """All atoms over predicate *pred* (live view — do not mutate)."""
         return self._by_pred.get(pred, set())
 
+    def atoms_by_pred(self) -> dict[str, set[Atom]]:
+        """All atoms grouped by predicate (live sets — do not mutate).
+
+        The delta-driven chase keeps each level's freshly produced atoms in
+        an :class:`Instance` and uses this view to look up, per TGD body
+        atom, exactly the new facts that could seed a trigger — instead of
+        rescanning the whole frontier per body atom.
+        """
+        return {pred: atoms for pred, atoms in self._by_pred.items() if atoms}
+
     def atoms_matching(self, pred: str, pos: int, value: Term) -> set[Atom]:
         """All atoms R(..) with R = pred and *value* at position *pos*."""
         return self._by_pred_pos_val.get((pred, pos, value), set())

@@ -1,0 +1,90 @@
+"""Evaluation counters — how much work the engines actually do.
+
+Wall-clock seconds depend on the machine; the counters here do not.  An
+:class:`EvalStats` object is threaded (optionally) through the homomorphism
+search, the chase engine, and OMQ evaluation, so that a benchmark can report
+*work done* — triggers enumerated, backtracks, index probes — next to the
+seconds.  ROADMAP's "as fast as the hardware allows" is only checkable if
+the work is measured.
+
+A single object may be shared across several calls (e.g. one OMQ evaluation
+= one chase + one UCQ evaluation); counters accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EvalStats"]
+
+
+@dataclass
+class EvalStats:
+    """Counters for one (or several accumulated) evaluation runs.
+
+    Attributes
+    ----------
+    triggers_enumerated:
+        Candidate triggers (TGD + body homomorphism) materialised by the
+        chase's trigger search, including ones later discarded.
+    triggers_fired:
+        Triggers actually fired (one per new (TGD, frontier-image) key).
+    triggers_deduped:
+        Enumerated triggers discarded without firing — fired-key cache hits
+        plus same-level duplicate enumerations caught by the pivot rule.
+    hom_backtracks:
+        Candidate facts rejected during the backtracking join (a dead
+        branch of the homomorphism search).
+    index_probes:
+        Lookups into an :class:`~repro.datamodel.Instance`'s secondary
+        indexes (calls to ``Instance.candidates``).
+    homs_found:
+        Complete homomorphisms yielded by the search.
+    level_seconds:
+        Chase wall time per level, ``{level: seconds}``.
+    wall_seconds:
+        Total chase wall time.
+    """
+
+    triggers_enumerated: int = 0
+    triggers_fired: int = 0
+    triggers_deduped: int = 0
+    hom_backtracks: int = 0
+    index_probes: int = 0
+    homs_found: int = 0
+    level_seconds: dict[int, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        """Accumulate *other* into self (level times: sum per level)."""
+        self.triggers_enumerated += other.triggers_enumerated
+        self.triggers_fired += other.triggers_fired
+        self.triggers_deduped += other.triggers_deduped
+        self.hom_backtracks += other.hom_backtracks
+        self.index_probes += other.index_probes
+        self.homs_found += other.homs_found
+        for level, seconds in other.level_seconds.items():
+            self.level_seconds[level] = self.level_seconds.get(level, 0.0) + seconds
+        self.wall_seconds += other.wall_seconds
+        return self
+
+    def as_dict(self) -> dict:
+        """Counters as a flat dict (for JSON dumps and table rows)."""
+        return {
+            "triggers_enumerated": self.triggers_enumerated,
+            "triggers_fired": self.triggers_fired,
+            "triggers_deduped": self.triggers_deduped,
+            "hom_backtracks": self.hom_backtracks,
+            "index_probes": self.index_probes,
+            "homs_found": self.homs_found,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"triggers {self.triggers_enumerated} enumerated / "
+            f"{self.triggers_fired} fired / {self.triggers_deduped} deduped; "
+            f"homs {self.homs_found} found, {self.hom_backtracks} backtracks, "
+            f"{self.index_probes} index probes; {self.wall_seconds:.3f}s"
+        )

@@ -27,10 +27,10 @@ answer set is *provably* all of ``Q(D)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..datamodel import Instance, Term
+from ..datamodel import EvalStats, Instance, Term
 from ..queries import evaluate_ucq
 from ..tgds import all_full, all_linear, is_weakly_acyclic
 from ..chase import (
@@ -52,13 +52,15 @@ class OMQAnswer:
     """Certain answers plus provenance of how they were computed.
 
     ``answers`` is always sound (a subset of ``Q(D)``); ``complete`` is True
-    when it provably equals ``Q(D)``.
+    when it provably equals ``Q(D)``.  ``stats`` accumulates the evaluation
+    counters of the chase (when one ran) and the final UCQ evaluation.
     """
 
     answers: set[tuple[Term, ...]]
     complete: bool
     strategy: str
     detail: str = ""
+    stats: EvalStats = field(default_factory=EvalStats)
 
     def __contains__(self, candidate: tuple) -> bool:
         return tuple(candidate) in self.answers
@@ -77,13 +79,23 @@ def certain_answers(
     database: Instance,
     *,
     strategy: str = "auto",
+    chase_strategy: str = "delta",
     level_bound: int = DEFAULT_LEVEL_BOUND,
     unfold: int | None = None,
     max_nodes: int = 50_000,
+    stats: EvalStats | None = None,
 ) -> OMQAnswer:
-    """Compute ``Q(D)`` (Prop 3.1) with the given or auto-picked strategy."""
+    """Compute ``Q(D)`` (Prop 3.1) with the given or auto-picked strategy.
+
+    *chase_strategy* is forwarded to :func:`~repro.chase.chase` when a
+    chase-based strategy runs ("delta" or "naive").  *stats* may be a
+    shared :class:`EvalStats`; the returned answer carries it (or a fresh
+    one) with the chase and UCQ-evaluation counters accumulated.
+    """
     omq.validate_database(database)
     tgds = list(omq.tgds)
+    if stats is None:
+        stats = EvalStats()
 
     if strategy == "auto":
         if not tgds or all_full(tgds) or is_weakly_acyclic(tgds):
@@ -96,18 +108,22 @@ def certain_answers(
             strategy = "bounded"
 
     if strategy == "chase":
-        result = chase(database, tgds)
+        result = chase(database, tgds, strategy=chase_strategy, stats=stats)
         if not result.terminated:  # pragma: no cover - chase() would raise
             raise RuntimeError("chase strategy selected but chase did not terminate")
         answers = _restrict_to_database(
-            evaluate_ucq(omq.query, result.instance), database
+            evaluate_ucq(omq.query, result.instance, stats=stats), database
         )
-        return OMQAnswer(answers, True, "chase", f"{len(result.instance)} atoms")
+        return OMQAnswer(
+            answers, True, "chase", f"{len(result.instance)} atoms", stats=stats
+        )
 
     if strategy == "rewrite":
         rewriting = rewrite_ucq(omq.query, tgds)
-        answers = evaluate_ucq(rewriting, database)
-        return OMQAnswer(answers, True, "rewrite", f"{len(rewriting)} CQs")
+        answers = evaluate_ucq(rewriting, database, stats=stats)
+        return OMQAnswer(
+            answers, True, "rewrite", f"{len(rewriting)} CQs", stats=stats
+        )
 
     if strategy == "guarded":
         calibration = unfold if unfold is not None else max(
@@ -117,7 +133,7 @@ def certain_answers(
             database, tgds, unfold=calibration, max_nodes=max_nodes
         )
         answers = _restrict_to_database(
-            evaluate_ucq(omq.query, expansion.instance), database
+            evaluate_ucq(omq.query, expansion.instance, stats=stats), database
         )
         return OMQAnswer(
             answers,
@@ -125,18 +141,26 @@ def certain_answers(
             "guarded",
             f"{expansion.nodes} nodes, unfold={calibration}, "
             f"blocked={expansion.blocked}",
+            stats=stats,
         )
 
     if strategy == "bounded":
-        result = chase(database, tgds, max_level=level_bound)
+        result = chase(
+            database,
+            tgds,
+            max_level=level_bound,
+            strategy=chase_strategy,
+            stats=stats,
+        )
         answers = _restrict_to_database(
-            evaluate_ucq(omq.query, result.instance), database
+            evaluate_ucq(omq.query, result.instance, stats=stats), database
         )
         return OMQAnswer(
             answers,
             result.terminated,
             "bounded",
             f"level ≤ {level_bound}, {len(result.instance)} atoms",
+            stats=stats,
         )
 
     raise ValueError(f"unknown strategy {strategy!r}")

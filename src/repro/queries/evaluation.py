@@ -13,7 +13,13 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-from ..datamodel import Instance, Term, find_homomorphism, find_homomorphisms
+from ..datamodel import (
+    EvalStats,
+    Instance,
+    Term,
+    find_homomorphism,
+    find_homomorphisms,
+)
 from .cq import CQ, UCQ
 
 __all__ = [
@@ -26,33 +32,41 @@ __all__ = [
 ]
 
 
-def iter_answers(query: CQ, database: Instance) -> Iterator[tuple[Term, ...]]:
+def iter_answers(
+    query: CQ, database: Instance, *, stats: EvalStats | None = None
+) -> Iterator[tuple[Term, ...]]:
     """Yield answers to *query* over *database* (possibly with repeats)."""
-    for hom in find_homomorphisms(query.atoms, database):
+    for hom in find_homomorphisms(query.atoms, database, stats=stats):
         yield tuple(hom[v] for v in query.head)
 
 
-def evaluate_cq(query: CQ, database: Instance) -> set[tuple[Term, ...]]:
+def evaluate_cq(
+    query: CQ, database: Instance, *, stats: EvalStats | None = None
+) -> set[tuple[Term, ...]]:
     """``q(D)`` for a CQ — the set of all answers (Section 2).
 
     For a Boolean query the result is ``{()}`` or ``∅``.
     """
-    return set(iter_answers(query, database))
+    return set(iter_answers(query, database, stats=stats))
 
 
-def evaluate_ucq(query: UCQ, database: Instance) -> set[tuple[Term, ...]]:
+def evaluate_ucq(
+    query: UCQ, database: Instance, *, stats: EvalStats | None = None
+) -> set[tuple[Term, ...]]:
     """``q(D)`` for a UCQ — the union of the disjuncts' answers."""
     answers: set[tuple[Term, ...]] = set()
     for cq in query.disjuncts:
-        answers |= evaluate_cq(cq, database)
+        answers |= evaluate_cq(cq, database, stats=stats)
     return answers
 
 
-def evaluate(query: CQ | UCQ, database: Instance) -> set[tuple[Term, ...]]:
+def evaluate(
+    query: CQ | UCQ, database: Instance, *, stats: EvalStats | None = None
+) -> set[tuple[Term, ...]]:
     """Dispatch on CQ vs UCQ."""
     if isinstance(query, UCQ):
-        return evaluate_ucq(query, database)
-    return evaluate_cq(query, database)
+        return evaluate_ucq(query, database, stats=stats)
+    return evaluate_cq(query, database, stats=stats)
 
 
 def is_answer(

@@ -1,0 +1,8 @@
+"""Differential-testing oracles for the fast evaluation paths.
+
+The delta (semi-naive) chase engine is checked against the naive level-wise
+rescan (``chase(..., strategy="naive")``), and the indexed backtracking
+homomorphism search against a brute-force ``itertools.product`` enumerator.
+The slow side of each pair is obviously correct; the fast side must agree
+exactly.
+"""

@@ -1,0 +1,184 @@
+"""Differential suite: the delta chase against the naive oracle.
+
+``chase(..., strategy="naive")`` re-enumerates every trigger at every level
+— slow and obviously correct.  ``strategy="delta"`` (the default) must
+agree with it exactly: same ground part, same level histogram (atom levels
+are isomorphism-invariant via (predicate, level) counts), same termination
+reason, and isomorphic instances.  Inputs are random weakly acyclic guarded
+TGD sets with small databases (hypothesis), arbitrary guarded sets under a
+level bound, and the E03/E04 employment workloads from ``repro.benchgen``.
+"""
+
+from collections import Counter
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.benchgen import employment_database, employment_ontology
+from repro.chase import chase
+from repro.datamodel import Atom, Instance, Variable, is_isomorphic
+from repro.omq import OMQ, certain_answers
+from repro.queries import parse_ucq
+from repro.tgds import TGD, is_weakly_acyclic
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+PREDS = [("P", 1), ("Q", 1), ("R", 2), ("S", 2), ("T", 3)]
+CONSTANTS = ["a", "b", "c", "d"]
+VARNAMES = ["x", "y", "z", "w"]
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def guarded_tgds(draw):
+    """A guarded TGD: a guard atom over all body variables, an optional
+    side atom over a subset of them, and a 1–2 atom head that may use one
+    existential variable."""
+    guard_pred, guard_arity = draw(st.sampled_from(PREDS))
+    guard_args = tuple(
+        Variable(draw(st.sampled_from(VARNAMES))) for _ in range(guard_arity)
+    )
+    body = [Atom(guard_pred, guard_args)]
+    body_vars = sorted(set(guard_args))
+    if draw(st.booleans()):
+        side_pred, side_arity = draw(st.sampled_from(PREDS))
+        side_args = tuple(
+            draw(st.sampled_from(body_vars)) for _ in range(side_arity)
+        )
+        body.append(Atom(side_pred, side_args))
+    pool = list(body_vars)
+    if draw(st.booleans()):
+        pool.append(Variable("e"))  # one existential head variable
+    head = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        head_pred, head_arity = draw(st.sampled_from(PREDS))
+        head.append(
+            Atom(head_pred, tuple(draw(st.sampled_from(pool)) for _ in range(head_arity)))
+        )
+    return TGD(body, head)
+
+
+@st.composite
+def ground_atoms(draw):
+    pred, arity = draw(st.sampled_from(PREDS))
+    return Atom(pred, tuple(draw(st.sampled_from(CONSTANTS)) for _ in range(arity)))
+
+
+@st.composite
+def small_databases(draw):
+    return Instance(draw(st.lists(ground_atoms(), min_size=1, max_size=6)))
+
+
+# ---------------------------------------------------------------------------
+# Agreement checks
+# ---------------------------------------------------------------------------
+
+
+def level_histogram(result) -> Counter:
+    """(predicate, level) counts — invariant under null renaming."""
+    return Counter((atom.pred, level) for atom, level in result.levels.items())
+
+
+def assert_agree(delta, naive, *, check_isomorphism_up_to: int = 30) -> None:
+    assert delta.reason == naive.reason
+    assert delta.terminated == naive.terminated
+    assert delta.max_level == naive.max_level
+    assert delta.fired == naive.fired
+    assert len(delta.instance) == len(naive.instance)
+    assert delta.null_count() == naive.null_count()
+    assert delta.ground_part().atoms() == naive.ground_part().atoms()
+    assert level_histogram(delta) == level_histogram(naive)
+    if len(delta.instance) <= check_isomorphism_up_to:
+        assert is_isomorphic(delta.instance, naive.instance)
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(
+    st.lists(guarded_tgds(), min_size=1, max_size=3, unique_by=str),
+    small_databases(),
+)
+def test_weakly_acyclic_guarded_agreement(tgds, db):
+    """Naive and delta agree on terminating (weakly acyclic) inputs."""
+    assume(is_weakly_acyclic(tgds))
+    delta = chase(db, tgds, max_atoms=600, safety_cap=5_000, strategy="delta")
+    naive = chase(db, tgds, max_atoms=600, safety_cap=5_000, strategy="naive")
+    assert_agree(delta, naive)
+
+
+@SETTINGS
+@given(
+    st.lists(guarded_tgds(), min_size=1, max_size=3, unique_by=str),
+    small_databases(),
+    st.integers(min_value=1, max_value=4),
+)
+def test_level_bounded_agreement(tgds, db, bound):
+    """Prefixes chase^ℓ_s agree even when Σ is not weakly acyclic."""
+    delta = chase(db, tgds, max_level=bound, safety_cap=20_000, strategy="delta")
+    naive = chase(db, tgds, max_level=bound, safety_cap=20_000, strategy="naive")
+    assert_agree(delta, naive)
+
+
+@SETTINGS
+@given(small_databases())
+def test_employment_ontology_agreement(db):
+    """The E03/E04 ontology chases identically under both strategies; the
+    generated databases here use foreign predicates, so pad with Emp/Mgr."""
+    db = db.union(Instance([Atom("Emp", ("a",)), Atom("Mgr", ("b",))]))
+    tgds = employment_ontology()
+    delta = chase(db, tgds, strategy="delta")
+    naive = chase(db, tgds, strategy="naive")
+    assert_agree(delta, naive)
+
+
+# ---------------------------------------------------------------------------
+# The E03/E04 benchmark workloads
+# ---------------------------------------------------------------------------
+
+E03_QUERY = parse_ucq("q(x) :- Person(x)")
+E04_QUERY = parse_ucq("q(p0) :- Person(p0), ReportsTo(p0, p1), ReportsTo(p1, p2)")
+
+
+class TestBenchmarkWorkloads:
+    def certain(self, omq, db, chase_strategy):
+        return certain_answers(omq, db, chase_strategy=chase_strategy).answers
+
+    def test_e03_workload_same_answers(self):
+        ontology = employment_ontology()
+        omq = OMQ.with_full_data_schema(ontology, E03_QUERY)
+        for size in (30, 60):
+            db = employment_database(size, 3, seed=size)
+            assert self.certain(omq, db, "delta") == self.certain(omq, db, "naive")
+
+    def test_e04_workload_same_answers(self):
+        ontology = employment_ontology()
+        omq = OMQ.with_full_data_schema(ontology, E04_QUERY)
+        for size in (30, 60):
+            db = employment_database(size, 3, seed=size)
+            assert self.certain(omq, db, "delta") == self.certain(omq, db, "naive")
+
+    def test_e03_workload_full_agreement(self):
+        ontology = employment_ontology()
+        for size in (30, 60):
+            db = employment_database(size, 3, seed=size)
+            delta = chase(db, ontology, strategy="delta")
+            naive = chase(db, ontology, strategy="naive")
+            assert_agree(delta, naive, check_isomorphism_up_to=0)
+
+    def test_delta_does_less_trigger_search_work(self):
+        db = employment_database(60, 3, seed=60)
+        ontology = employment_ontology()
+        delta = chase(db, ontology, strategy="delta")
+        naive = chase(db, ontology, strategy="naive")
+        assert delta.stats.triggers_fired == naive.stats.triggers_fired
+        assert 2 * delta.stats.triggers_enumerated <= naive.stats.triggers_enumerated

@@ -1,0 +1,186 @@
+"""Brute-force oracle for the backtracking homomorphism search.
+
+``find_homomorphisms`` is an indexed backtracking join with dynamic atom
+selection — fast, and with enough moving parts (mobility, fixed seeds,
+injectivity, index-driven candidate pruning) to deserve an oracle.  The
+oracle enumerates *every* assignment of the movable source terms into
+``dom(target)`` with ``itertools.product`` and keeps the ones under which
+all source atoms land in the target.  On instances of ≤ 6 atoms the two
+must agree exactly, including the canonical-database case where the
+target's domain contains Variables viewed as constants (Section 2's
+``D[q]``, see the note in ``datamodel/instances.py``).
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.datamodel import (
+    Atom,
+    EvalStats,
+    Instance,
+    Variable,
+    all_movable,
+    default_movable,
+    find_homomorphisms,
+)
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+PREDS = [("P", 1), ("E", 2), ("T", 3)]
+CONSTANTS = ["a", "b", "c"]
+VARNAMES = ["x", "y", "z"]
+
+
+def brute_force_homomorphisms(
+    source_atoms,
+    target,
+    *,
+    fixed=None,
+    movable=default_movable,
+    injective=False,
+):
+    """All homomorphisms, by exhaustive assignment enumeration."""
+    atoms = list(source_atoms)
+    terms = []
+    for atom in atoms:
+        for term in atom.args:
+            if term not in terms:
+                terms.append(term)
+    base = dict(fixed or {})
+    for term in terms:
+        if term not in base and not movable(term):
+            base[term] = term
+    free = [t for t in terms if t not in base]
+    domain = list(target.dom())
+    found = []
+    for images in itertools.product(domain, repeat=len(free)):
+        mapping = dict(base)
+        mapping.update(zip(free, images))
+        if injective and len(set(mapping.values())) != len(mapping):
+            continue
+        if all(atom.apply(mapping) in target for atom in atoms):
+            found.append(mapping)
+    return found
+
+
+def as_set(homs):
+    return {frozenset(h.items()) for h in homs}
+
+
+def assert_same_homs(source_atoms, target, **kwargs):
+    fast = as_set(find_homomorphisms(source_atoms, target, **kwargs))
+    slow = as_set(brute_force_homomorphisms(source_atoms, target, **kwargs))
+    assert fast == slow
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis cross-check on random queries and small instances
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def query_atoms(draw):
+    pred, arity = draw(st.sampled_from(PREDS))
+    args = tuple(
+        Variable(draw(st.sampled_from(VARNAMES)))
+        if draw(st.booleans())
+        else draw(st.sampled_from(CONSTANTS))
+        for _ in range(arity)
+    )
+    return Atom(pred, args)
+
+
+@st.composite
+def ground_atoms(draw):
+    pred, arity = draw(st.sampled_from(PREDS))
+    return Atom(pred, tuple(draw(st.sampled_from(CONSTANTS)) for _ in range(arity)))
+
+
+@st.composite
+def small_instances(draw):
+    return Instance(draw(st.lists(ground_atoms(), min_size=1, max_size=6)))
+
+
+@SETTINGS
+@given(st.lists(query_atoms(), min_size=1, max_size=3), small_instances())
+def test_search_matches_brute_force(atoms, db):
+    assert_same_homs(atoms, db)
+
+
+@SETTINGS
+@given(st.lists(query_atoms(), min_size=1, max_size=3), small_instances())
+def test_injective_search_matches_brute_force(atoms, db):
+    assert_same_homs(atoms, db, injective=True)
+
+
+@SETTINGS
+@given(st.lists(ground_atoms(), min_size=1, max_size=3), small_instances())
+def test_instance_homomorphisms_match_brute_force(atoms, db):
+    # The paper's I → J: every domain element moves.
+    assert_same_homs(atoms, db, movable=all_movable)
+
+
+# ---------------------------------------------------------------------------
+# Directed cases
+# ---------------------------------------------------------------------------
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestDirectedCases:
+    def test_path_into_triangle(self):
+        path = [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        triangle = Instance(
+            [Atom("E", ("a", "b")), Atom("E", ("b", "c")), Atom("E", ("c", "a"))]
+        )
+        assert_same_homs(path, triangle)
+
+    def test_fixed_seed_restricts_search(self):
+        path = [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        triangle = Instance(
+            [Atom("E", ("a", "b")), Atom("E", ("b", "c")), Atom("E", ("c", "a"))]
+        )
+        assert_same_homs(path, triangle, fixed={X: "a"})
+
+    def test_constants_in_query_are_rigid(self):
+        atoms = [Atom("E", ("a", X))]
+        db = Instance([Atom("E", ("a", "b")), Atom("E", ("b", "a"))])
+        assert_same_homs(atoms, db)
+
+    def test_no_homomorphism_into_disconnected_target(self):
+        atoms = [Atom("E", (X, Y)), Atom("E", (Y, X))]
+        db = Instance([Atom("E", ("a", "b"))])
+        assert_same_homs(atoms, db)
+
+    def test_canonical_database_variables_as_constants(self):
+        # D[q] keeps the query's variables as domain elements (Section 2):
+        # the target's dom() contains Variable objects, and movable source
+        # variables may map onto them.  The identity embedding of a query
+        # into its own canonical database must be among the results.
+        query = [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        canonical = Instance(query)  # variables viewed as constants
+        fast = as_set(find_homomorphisms(query, canonical))
+        slow = as_set(brute_force_homomorphisms(query, canonical))
+        assert fast == slow
+        identity = frozenset({X: X, Y: Y, Z: Z}.items())
+        assert identity in fast
+
+    def test_canonical_database_mixed_terms(self):
+        # A canonical database with a constant: q(x) with atoms E(x, a).
+        query = [Atom("E", (X, "a")), Atom("E", ("a", Y))]
+        canonical = Instance(query)
+        assert_same_homs(query, canonical)
+
+    def test_stats_counters_move(self):
+        stats = EvalStats()
+        path = [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        triangle = Instance(
+            [Atom("E", ("a", "b")), Atom("E", ("b", "c")), Atom("E", ("c", "a"))]
+        )
+        homs = list(find_homomorphisms(path, triangle, stats=stats))
+        assert stats.homs_found == len(homs) == 3
+        assert stats.index_probes > 0

@@ -55,6 +55,58 @@ class TestFiringDiscipline:
         assert len(result.instance) == 2
 
 
+class TestSafetyCapBounded:
+    """A *bounded* run that trips the safety cap must not raise — it stops
+    with ``reason="atom bound"`` and hands back a usable prefix.  Only an
+    unbounded run raises :class:`ChaseNonterminationError` (that case is
+    covered in test_chase_engine.py::TestBounds)."""
+
+    def test_bounded_run_reports_atom_bound_instead_of_raising(self):
+        db = parse_database("E(a, b)")
+        tgds = parse_tgds(["E(x, y) -> E(y, z), E(z, y)"])
+        result = chase(db, tgds, max_level=50, safety_cap=40)
+        assert result.reason == "atom bound"
+        assert not result.terminated
+        assert len(result.instance) > 40  # the level that tripped completed
+
+    def test_max_atoms_bound_also_suppresses_the_raise(self):
+        db = parse_database("E(a, b)")
+        tgds = parse_tgds(["E(x, y) -> E(y, z), E(z, y)"])
+        result = chase(db, tgds, max_atoms=10_000, safety_cap=40)
+        assert result.reason == "atom bound"
+        assert not result.terminated
+
+    def test_cap_hit_exactly_at_level_boundary_is_not_a_hit(self):
+        # A(a) ⊢ B(a) ⊢ C(a): exactly 3 atoms after the last productive
+        # level.  The cap triggers only when *exceeded*, so a run ending
+        # exactly at the cap still reaches its fixpoint.
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> B(x)", "B(x) -> C(x)"])
+        result = chase(db, tgds, max_level=10, safety_cap=3)
+        assert result.terminated
+        assert result.reason == "fixpoint"
+        assert len(result.instance) == 3
+
+    def test_cap_one_below_level_boundary_stops(self):
+        # Same chain with the cap one lower: level 2 ends one atom past the
+        # cap, so the bounded run stops there with "atom bound".
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> B(x)", "B(x) -> C(x)"])
+        result = chase(db, tgds, max_level=10, safety_cap=2)
+        assert not result.terminated
+        assert result.reason == "atom bound"
+        assert len(result.instance) == 3
+
+    def test_both_strategies_agree_on_the_boundary(self):
+        db = parse_database("A(a)")
+        tgds = parse_tgds(["A(x) -> B(x)", "B(x) -> C(x)"])
+        for cap in (2, 3):
+            delta = chase(db, tgds, max_level=10, safety_cap=cap)
+            naive = chase(db, tgds, max_level=10, safety_cap=cap, strategy="naive")
+            assert delta.reason == naive.reason
+            assert delta.instance.atoms() == naive.instance.atoms()
+
+
 class TestPrefixes:
     def test_prefixes_are_monotone(self):
         db = parse_database("E(a, b)")

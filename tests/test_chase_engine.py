@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.chase import ChaseNonterminationError, chase, terminating_chase
+from repro.chase import ChaseNonterminationError, EvalStats, chase, terminating_chase
 from repro.queries import parse_database
 from repro.tgds import parse_tgds, satisfies_all
 
@@ -124,6 +124,77 @@ class TestTerminatingChase:
         db = parse_database("R(a, b)")
         result = terminating_chase(db, parse_tgds(["R(x, y) -> R(y, x)"]))
         assert result.terminated
+
+
+class TestStrategies:
+    TGDS = ["E(x, y), E(y, z) -> E(x, z)", "E(x, y) -> P(x)"]
+
+    def test_naive_strategy_reachable(self):
+        db = parse_database("E(a, b), E(b, c), E(c, d)")
+        result = chase(db, parse_tgds(self.TGDS), strategy="naive")
+        assert result.strategy == "naive"
+        assert result.terminated
+
+    def test_delta_is_the_default(self):
+        db = parse_database("E(a, b)")
+        assert chase(db, parse_tgds(self.TGDS)).strategy == "delta"
+
+    def test_unknown_strategy_raises(self):
+        db = parse_database("E(a, b)")
+        with pytest.raises(ValueError, match="unknown chase strategy"):
+            chase(db, parse_tgds(self.TGDS), strategy="eager")
+
+    def test_strategies_agree_on_instance_and_levels(self):
+        db = parse_database("E(a, b), E(b, c), E(c, d), E(d, a)")
+        tgds = parse_tgds(self.TGDS)
+        delta = chase(db, tgds, strategy="delta")
+        naive = chase(db, tgds, strategy="naive")
+        assert delta.instance.atoms() == naive.instance.atoms()  # full TGDs: no nulls
+        assert delta.levels == naive.levels
+        assert delta.fired == naive.fired
+
+
+class TestEvalStats:
+    def test_result_carries_stats(self):
+        db = parse_database("E(a, b), E(b, c), E(c, d)")
+        result = chase(db, parse_tgds(["E(x, y), E(y, z) -> E(x, z)"]))
+        stats = result.stats
+        assert stats.triggers_fired == result.fired
+        assert stats.triggers_enumerated >= stats.triggers_fired
+        assert stats.triggers_enumerated == (
+            stats.triggers_fired + stats.triggers_deduped
+        )
+        assert stats.wall_seconds > 0
+        assert set(stats.level_seconds) == set(range(1, len(stats.level_seconds) + 1))
+
+    def test_naive_enumerates_more_than_delta(self):
+        db = parse_database("E(a, b), E(b, c), E(c, d), E(d, e)")
+        tgds = parse_tgds(["E(x, y), E(y, z) -> E(x, z)"])
+        delta = chase(db, tgds, strategy="delta")
+        naive = chase(db, tgds, strategy="naive")
+        assert delta.stats.triggers_enumerated < naive.stats.triggers_enumerated
+
+    def test_multi_atom_bodies_record_search_work(self):
+        db = parse_database("E(a, b), E(b, c), E(c, d)")
+        result = chase(db, parse_tgds(["E(x, y), E(y, z) -> E(x, z)"]))
+        assert result.stats.index_probes > 0
+
+    def test_shared_stats_accumulate(self):
+        db = parse_database("E(a, b), E(b, c)")
+        tgds = parse_tgds(["E(x, y), E(y, z) -> E(x, z)"])
+        shared = EvalStats()
+        first = chase(db, tgds, stats=shared)
+        solo_fired = first.stats.triggers_fired
+        chase(db, tgds, stats=shared)
+        assert shared.triggers_fired == 2 * solo_fired
+
+    def test_merge_sums_counters(self):
+        left, right = EvalStats(), EvalStats()
+        left.triggers_fired, right.triggers_fired = 2, 3
+        left.level_seconds[1], right.level_seconds[1] = 0.5, 0.25
+        left.merge(right)
+        assert left.triggers_fired == 5
+        assert left.level_seconds[1] == 0.75
 
 
 class TestUniversality:

@@ -107,3 +107,15 @@ class TestDifferential:
         rew = rewrite_ucq(q, chain)
         db = parse_database("R0(a, b), R1(c, d), R3(e, f)")
         assert evaluate(rew, db) == reference_answers(q, db, chain)
+
+    def test_no_variable_capture_on_repeated_rewrites(self):
+        # Regression: the second rewrite step used the same rename-apart
+        # suffix as the first, so the query's ?x~r collided with the
+        # renamed TGD's ?x~r and F(?x~r, ?x) capture-rewrote to F(?x, ?x)
+        # instead of F(?x, ?x~r), losing the answer 'a'.
+        tgds = parse_tgds(["F(x, y) -> E(z, y)", "F(x, y) -> F(y, x)"])
+        q = parse_cq("q(x) :- E(y, x)")
+        rew = rewrite_ucq(q, tgds, max_cqs=300)
+        db = parse_database("F(a, b)")
+        assert evaluate(rew, db) == reference_answers(q, db, tgds)
+        assert evaluate(rew, db) == {("a",), ("b",)}
