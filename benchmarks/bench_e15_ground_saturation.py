@@ -12,11 +12,11 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from harness import print_table, series_shape, timed
+from harness import print_table, series_shape, stats_columns, timed
 
 from repro.benchgen import employment_database, employment_ontology, recursive_guarded_ontology
 from repro.chase import chase, ground_saturation
-from repro.datamodel import Atom, Instance
+from repro.datamodel import Atom, EvalStats, Instance
 
 RECURSIVE = recursive_guarded_ontology()
 EMPLOYMENT = employment_ontology()
@@ -36,7 +36,10 @@ def run() -> list[dict]:
     times = []
     for size in (10, 20, 40, 80):
         db = _emp_db(size)
-        saturated, seconds = timed(ground_saturation, db, RECURSIVE)
+        stats = EvalStats()
+        saturated, seconds = timed(
+            ground_saturation, db, RECURSIVE, stats=stats
+        )
         times.append(seconds)
         rows.append(
             {
@@ -44,6 +47,7 @@ def run() -> list[dict]:
                 "|D|": len(db),
                 "|D⁺|": len(saturated),
                 "time": seconds,
+                **stats_columns(stats),
                 "check": "sound (chase infinite)",
             }
         )
@@ -58,7 +62,10 @@ def run() -> list[dict]:
     )
     for size in (20, 40):
         db = employment_database(size, 3, seed=size)
-        saturated, seconds = timed(ground_saturation, db, EMPLOYMENT)
+        stats = EvalStats()
+        saturated, seconds = timed(
+            ground_saturation, db, EMPLOYMENT, stats=stats
+        )
         reference = chase(db, EMPLOYMENT).instance
         ground_ref = {
             a for a in reference if all(t in db.dom() for t in a.args)
@@ -71,6 +78,7 @@ def run() -> list[dict]:
                 "|D|": len(db),
                 "|D⁺|": len(saturated),
                 "time": seconds,
+                **stats_columns(stats),
                 "check": "== chase ground part" if ok else "MISMATCH",
             }
         )

@@ -14,13 +14,14 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from harness import print_table, timed
+from harness import print_table, stats_columns, timed
 
 from repro.omq import (
     OMQ,
     omq_contained_in,
     omq_ucq_k_approximation,
 )
+from repro.datamodel import EvalStats
 from repro.queries import parse_ucq
 from repro.tgds import parse_tgds
 
@@ -51,7 +52,10 @@ def run() -> list[dict]:
     rows = []
     for label, tgds, query_text, expect_equivalent in CASES:
         omq = OMQ.with_full_data_schema(list(tgds), parse_ucq(query_text))
-        approx, build_seconds = timed(omq_ucq_k_approximation, omq, 1)
+        stats = EvalStats()
+        approx, build_seconds = timed(
+            omq_ucq_k_approximation, omq, 1, stats=stats
+        )
         sound = approx is None or omq_contained_in(approx, omq)
         equivalent = approx is not None and omq_contained_in(omq, approx)
         assert sound and equivalent == expect_equivalent
@@ -60,6 +64,8 @@ def run() -> list[dict]:
                 "OMQ family": label,
                 "approx disjuncts": len(approx.query) if approx else 0,
                 "build time": build_seconds,
+                "nodes": stats.nodes_expanded,
+                **stats_columns(stats),
                 "Q^a_1 ⊆ Q (Lemma C.7(1))": sound,
                 "Q ≡ Q^a_1": equivalent,
                 "expected": expect_equivalent,

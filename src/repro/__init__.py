@@ -20,6 +20,11 @@ stand on:
   (Thm 6.1 / Lemma H.2) and the p-Clique reductions behind the paper's
   W[1]-hardness results.
 
+Every expensive engine is governed: pass ``budget=Budget(deadline=...,
+max_atoms=..., max_steps=...)`` to ``chase``/``certain_answers``/
+``rewrite_ucq`` and friends to get sound partial results instead of
+hangs (see ``docs/resource_governance.md``).
+
 Quickstart::
 
     from repro import parse_database, parse_tgds, parse_ucq, OMQ, certain_answers
@@ -55,6 +60,7 @@ from .queries import (
 )
 from .tgds import TGD, parse_tgd, parse_tgds
 from .chase import chase, ground_saturation, linearize, rewrite_ucq, saturated_expansion
+from .governance import Budget, BudgetExceeded
 from .treewidth import cq_treewidth, in_cq_k, in_ucq_k, ucq_treewidth
 from .omq import OMQ, certain_answers, evaluate_fpt, is_certain_answer
 from .cqs import CQS, is_uniformly_ucq_k_equivalent, ucq_k_approximation
@@ -64,6 +70,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "Atom",
+    "Budget",
+    "BudgetExceeded",
     "CQ",
     "CQS",
     "Database",

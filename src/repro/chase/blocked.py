@@ -34,11 +34,12 @@ a guard are determined by ``type_{D,Σ}(α)`` — the set of chase atoms over
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..datamodel import (
     Atom,
+    EvalStats,
     Instance,
     Null,
     Term,
@@ -46,6 +47,7 @@ from ..datamodel import (
     fresh_null,
     is_null,
 )
+from ..governance import Budget, BudgetExceeded
 from ..tgds import TGD, all_guarded
 
 __all__ = [
@@ -133,10 +135,20 @@ class TypeTable:
     ``type``-determinacy property of guarded TGDs.
     """
 
-    def __init__(self, tgds: Sequence[TGD]) -> None:
+    def __init__(
+        self,
+        tgds: Sequence[TGD],
+        *,
+        stats: EvalStats | None = None,
+        budget: Budget | None = None,
+    ) -> None:
         self.tgds = list(tgds)
         if not all_guarded(self.tgds):
             raise ValueError("TypeTable requires a guarded TGD set (Σ ∈ G)")
+        #: Evaluation counters for the type-completion trigger search.
+        self.stats = stats if stats is not None else EvalStats()
+        #: Optional governor, checked per type-completion trigger.
+        self.budget = budget
         #: canonical key -> set of atoms over canonical elements (growing).
         self.table: dict[tuple, set[Atom]] = {}
         #: child key -> parent keys that import from it.
@@ -187,7 +199,14 @@ class TypeTable:
         while self._worklist:
             key = self._worklist.pop()
             self._queued.discard(key)
-            self._process(key)
+            try:
+                self._process(key)
+            except BudgetExceeded:
+                # Keep the table resumable: the interrupted configuration
+                # stays queued, so a later (re-budgeted) closure() call can
+                # still complete the fixpoint.
+                self._enqueue(key)
+                raise
 
     def _process(self, key: tuple) -> None:
         atoms = self.table[key]
@@ -199,11 +218,18 @@ class TypeTable:
                 continue
             seen_triggers: set[tuple] = set()
             frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
-            for hom in find_homomorphisms(tgd.body, instance):
+            for hom in find_homomorphisms(
+                tgd.body, instance, stats=self.stats, budget=self.budget
+            ):
+                self.stats.triggers_enumerated += 1
                 trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
                 if trigger in seen_triggers:
+                    self.stats.triggers_deduped += 1
                     continue
                 seen_triggers.add(trigger)
+                if self.budget is not None:
+                    self.budget.check("type-table")
+                self.stats.triggers_fired += 1
                 grew |= self._apply(key, atoms, elements, tgd, hom)
         if grew:
             self._enqueue(key)
@@ -256,12 +282,23 @@ class TypeTable:
 
 
 def ground_saturation(
-    database: Instance, tgds: Sequence[TGD], *, table: TypeTable | None = None
+    database: Instance,
+    tgds: Sequence[TGD],
+    *,
+    table: TypeTable | None = None,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> Instance:
     """``D⁺`` — the database plus all chase atoms over ``dom(D)``.
 
     Exact for guarded TGD sets, including those with an infinite chase
     (Section 6.2 uses this object in the OMQ → CQS reduction).
+
+    A governed run that trips its *budget* raises the
+    :class:`~repro.governance.BudgetExceeded` with the sound-but-possibly-
+    incomplete ground part attached as ``exc.partial`` — exactness is this
+    function's contract, so it cannot degrade silently; callers wanting a
+    partial ``D⁺`` catch the trip and take the attachment.
 
     >>> from repro.queries import parse_database
     >>> from repro.tgds import parse_tgds
@@ -272,7 +309,7 @@ def ground_saturation(
     """
     tgds = list(tgds)
     if table is None:
-        table = TypeTable(tgds)
+        table = TypeTable(tgds, stats=stats, budget=budget)
     ground = database.copy()
 
     # Empty-body TGDs seed the ground part once (their heads are fresh
@@ -285,17 +322,23 @@ def ground_saturation(
             if not atom.variables():
                 ground.add(atom)
 
-    changed = True
-    while changed:
-        changed = False
-        bags = {frozenset(atom.args) for atom in ground}
-        for bag in sorted(bags, key=lambda b: sorted(map(repr, b))):
-            local = [a for a in ground if set(a.args) <= bag]
-            closure = table.closure(tuple(sorted(bag, key=repr)), local)
-            for atom in closure:
-                if atom not in ground:
-                    ground.add(atom)
-                    changed = True
+    try:
+        changed = True
+        while changed:
+            changed = False
+            bags = {frozenset(atom.args) for atom in ground}
+            for bag in sorted(bags, key=lambda b: sorted(map(repr, b))):
+                local = [a for a in ground if set(a.args) <= bag]
+                closure = table.closure(tuple(sorted(bag, key=repr)), local)
+                for atom in closure:
+                    if atom not in ground:
+                        ground.add(atom)
+                        changed = True
+    except BudgetExceeded as exc:
+        # Every atom already in `ground` is sound (it occurs in the chase);
+        # only completeness is lost.  D⁺-exactness is this function's
+        # contract, so raise — with the sound partial attached.
+        raise exc.attach(partial=ground, stats=table.stats)
     return ground
 
 
@@ -305,8 +348,10 @@ class SaturationResult:
 
     ``instance`` contains only atoms that genuinely occur in the chase;
     ``complete_for`` records the number of query variables the expansion is
-    calibrated for; ``truncated`` is True iff the node budget was hit (in
-    which case completeness is not claimed even heuristically).
+    calibrated for; ``truncated`` is True iff the node budget was hit or a
+    :class:`~repro.governance.Budget` tripped (in which case completeness is
+    not claimed even heuristically, and ``trip_reason`` carries the trip
+    code for a governed run); ``stats`` accumulates the work counters.
     """
 
     instance: Instance
@@ -315,6 +360,8 @@ class SaturationResult:
     truncated: bool
     nodes: int
     blocked: int = 0
+    stats: EvalStats = field(default_factory=EvalStats)
+    trip_reason: str | None = None
 
     @property
     def provably_exact(self) -> bool:
@@ -329,75 +376,117 @@ def saturated_expansion(
     *,
     unfold: int = 2,
     max_nodes: int = 50_000,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> SaturationResult:
     """Expand the guarded chase forest with type-based blocking.
 
     Branches stop once their configuration has appeared more than *unfold*
     times among the ancestors.  Use ``unfold ≥`` the number of variables of
     the UCQ to be evaluated.
+
+    A governed run (``budget`` given) degrades gracefully: on a trip the
+    atoms collected so far are returned as a ``truncated`` result with
+    ``trip_reason`` set — every collected atom is still a genuine chase
+    atom, because node closures are added atomically between budget checks.
     """
     tgds = list(tgds)
-    table = TypeTable(tgds)
-    ground = ground_saturation(database, tgds, table=table)
+    if stats is None:
+        stats = EvalStats()
+    table = TypeTable(tgds, stats=stats, budget=budget)
+    trip_reason: str | None = None
+    try:
+        ground = ground_saturation(database, tgds, table=table)
+    except BudgetExceeded as exc:
+        ground = exc.partial if exc.partial is not None else database.copy()
+        return SaturationResult(
+            instance=ground.copy(),
+            ground=ground,
+            complete_for=unfold,
+            truncated=True,
+            nodes=0,
+            stats=stats,
+            trip_reason=exc.code,
+        )
     collected = ground.copy()
     truncated = False
     blocked = 0
 
-    # Roots: one per ground bag (deduplicated).
-    roots = {frozenset(atom.args) for atom in ground}
-    queue: list[tuple[tuple, set[Atom], tuple]] = []
-    seen_roots: set[frozenset] = set()
-    for bag in roots:
-        if bag in seen_roots:
-            continue
-        seen_roots.add(bag)
-        elements = tuple(sorted(bag, key=repr))
-        local = {a for a in ground if set(a.args) <= bag}
-        closure = table.closure(elements, local)
-        collected.add_all(closure)
-        key, _, _ = canonical_config(elements, closure)
-        queue.append((elements, closure, (key,)))
-
     nodes = 0
-    # Global semi-oblivious firing: a (TGD, frontier image) pair fires once
-    # across the whole forest — a second firing elsewhere would only spawn
-    # an isomorphic subtree over the same frontier elements.
-    fired: set[tuple] = set()
-    while queue:
-        if nodes >= max_nodes:
-            truncated = True
-            break
-        elements, closure, path = queue.pop()
-        nodes += 1
-        instance = Instance(closure)
-        element_set = set(elements)
-        for tgd_index, tgd in enumerate(tgds):
-            if not tgd.body:
+    try:
+        # Roots: one per ground bag (deduplicated).
+        roots = {frozenset(atom.args) for atom in ground}
+        queue: list[tuple[tuple, set[Atom], tuple]] = []
+        seen_roots: set[frozenset] = set()
+        for bag in roots:
+            if bag in seen_roots:
                 continue
-            frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
-            for hom in find_homomorphisms(tgd.body, instance):
-                trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
-                if trigger in fired:
+            seen_roots.add(bag)
+            elements = tuple(sorted(bag, key=repr))
+            local = {a for a in ground if set(a.args) <= bag}
+            closure = table.closure(elements, local)
+            collected.add_all(closure)
+            key, _, _ = canonical_config(elements, closure)
+            queue.append((elements, closure, (key,)))
+
+        # Global semi-oblivious firing: a (TGD, frontier image) pair fires
+        # once across the whole forest — a second firing elsewhere would
+        # only spawn an isomorphic subtree over the same frontier elements.
+        fired: set[tuple] = set()
+        while queue:
+            if nodes >= max_nodes:
+                truncated = True
+                break
+            if budget is not None:
+                budget.check("expansion-node", atoms=len(collected))
+            elements, closure, path = queue.pop()
+            nodes += 1
+            stats.nodes_expanded += 1
+            instance = Instance(closure)
+            element_set = set(elements)
+            for tgd_index, tgd in enumerate(tgds):
+                if not tgd.body:
                     continue
-                fired.add(trigger)
-                assignment: dict[Term, Term] = {v: hom[v] for v in tgd.frontier()}
-                for z in sorted(tgd.existential_variables(), key=lambda v: v.name):
-                    assignment[z] = fresh_null(z.name)
-                head_atoms = [a.apply(assignment) for a in tgd.head]
-                child_elements = {t for a in head_atoms for t in a.args}
-                if child_elements <= element_set:
-                    continue  # no fresh nulls: atoms already in the closure
-                inherited = {a for a in closure if set(a.args) <= child_elements}
-                child_local = set(head_atoms) | inherited
-                child_sorted = tuple(sorted(child_elements, key=repr))
-                child_closure = table.closure(child_sorted, child_local)
-                collected.add_all(child_closure)
-                child_key, _, _ = canonical_config(child_sorted, child_closure)
-                occurrences = sum(1 for k in path if k == child_key)
-                if occurrences <= unfold:
-                    queue.append((child_sorted, child_closure, path + (child_key,)))
-                else:
-                    blocked += 1
+                frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
+                for hom in find_homomorphisms(
+                    tgd.body, instance, stats=stats, budget=budget
+                ):
+                    trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
+                    if trigger in fired:
+                        continue
+                    fired.add(trigger)
+                    assignment: dict[Term, Term] = {
+                        v: hom[v] for v in tgd.frontier()
+                    }
+                    for z in sorted(
+                        tgd.existential_variables(), key=lambda v: v.name
+                    ):
+                        assignment[z] = fresh_null(z.name)
+                    head_atoms = [a.apply(assignment) for a in tgd.head]
+                    child_elements = {t for a in head_atoms for t in a.args}
+                    if child_elements <= element_set:
+                        continue  # no fresh nulls: atoms already in the closure
+                    inherited = {
+                        a for a in closure if set(a.args) <= child_elements
+                    }
+                    child_local = set(head_atoms) | inherited
+                    child_sorted = tuple(sorted(child_elements, key=repr))
+                    child_closure = table.closure(child_sorted, child_local)
+                    collected.add_all(child_closure)
+                    child_key, _, _ = canonical_config(
+                        child_sorted, child_closure
+                    )
+                    occurrences = sum(1 for k in path if k == child_key)
+                    if occurrences <= unfold:
+                        queue.append(
+                            (child_sorted, child_closure, path + (child_key,))
+                        )
+                    else:
+                        blocked += 1
+    except BudgetExceeded as exc:
+        truncated = True
+        trip_reason = exc.code
+        exc.attach(stats=stats)
 
     return SaturationResult(
         instance=collected,
@@ -406,4 +495,6 @@ def saturated_expansion(
         truncated=truncated,
         nodes=nodes,
         blocked=blocked,
+        stats=stats,
+        trip_reason=trip_reason,
     )

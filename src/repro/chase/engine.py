@@ -44,6 +44,16 @@ caller must bound levels/atoms (the result records whether a fixpoint was
 reached).  An *unbounded* run past the safety cap raises; a run bounded by
 ``max_level``/``max_atoms`` that trips the cap stops with
 ``reason="atom bound"`` instead.
+
+Governance: a :class:`~repro.governance.Budget` adds wall-clock deadlines,
+atom/step budgets, and cooperative cancellation, checked before every
+trigger firing (``"trigger-fire"``) and per candidate fact of the trigger
+search (``"hom-backtrack"``).  A governed run never raises on a trip — it
+returns the level-wise prefix built so far with ``terminated=False`` and
+``reason`` set to the machine-readable trip code (``result.trip_reason``).
+Head atoms of a trigger are added atomically between checks, so the prefix
+is always a consistent chase prefix: every atom has a valid trigger
+derivation from earlier atoms.
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ from ..datamodel import (
     find_homomorphisms,
     fresh_null,
 )
+from ..governance import Budget, BudgetExceeded
 from ..tgds import TGD, all_full, is_weakly_acyclic
 
 __all__ = [
@@ -101,7 +112,9 @@ class ChaseResult:
     fired:
         Number of triggers fired.
     reason:
-        Why the run stopped ("fixpoint", "level bound", "atom bound").
+        Why the run stopped ("fixpoint", "level bound", "atom bound", or a
+        budget trip code: "deadline", "atom budget", "step budget",
+        "cancelled").
     strategy:
         The trigger-search strategy that produced this result.
     stats:
@@ -117,6 +130,16 @@ class ChaseResult:
     original_dom: frozenset = field(default_factory=frozenset)
     strategy: str = "delta"
     stats: EvalStats = field(default_factory=EvalStats)
+
+    @property
+    def complete(self) -> bool:
+        """Uniform alias for ``terminated`` (the governed-result protocol)."""
+        return self.terminated
+
+    @property
+    def trip_reason(self) -> str | None:
+        """The machine-readable stop reason for a cut-short run, else None."""
+        return None if self.terminated else self.reason
 
     def atoms_up_to_level(self, level: int) -> Instance:
         """``chase^ℓ_s(D, Σ)`` — the prefix of atoms with level ≤ *level*."""
@@ -149,6 +172,7 @@ def _delta_triggers(
     instance: Instance,
     delta: Instance,
     stats: EvalStats,
+    budget: Budget | None = None,
 ) -> Iterator[tuple[int, TGD, dict[Term, Term]]]:
     """Semi-naive trigger search: candidates seeded by the previous delta.
 
@@ -179,7 +203,7 @@ def _delta_triggers(
                 if seed is None:
                     continue
                 for hom in find_homomorphisms(
-                    rest, instance, fixed=seed, stats=stats
+                    rest, instance, fixed=seed, stats=stats, budget=budget
                 ):
                     stats.triggers_enumerated += 1
                     if any(a.apply(hom) in delta for a in earlier):
@@ -194,6 +218,7 @@ def _naive_triggers(
     tgds: Sequence[TGD],
     instance: Instance,
     stats: EvalStats,
+    budget: Budget | None = None,
 ) -> Iterator[tuple[int, TGD, dict[Term, Term]]]:
     """Naive trigger search: all body homomorphisms into the full instance.
 
@@ -204,7 +229,7 @@ def _naive_triggers(
     for tgd_index, tgd in enumerate(tgds):
         if not tgd.body:
             continue
-        for hom in find_homomorphisms(tgd.body, instance, stats=stats):
+        for hom in find_homomorphisms(tgd.body, instance, stats=stats, budget=budget):
             stats.triggers_enumerated += 1
             yield tgd_index, tgd, hom
 
@@ -218,6 +243,7 @@ def chase(
     safety_cap: int = DEFAULT_SAFETY_CAP,
     strategy: str = "delta",
     stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> ChaseResult:
     """Run the level-wise oblivious chase of *database* under *tgds*.
 
@@ -235,6 +261,12 @@ def chase(
 
     *stats* may be a shared :class:`EvalStats` to accumulate counters
     across runs; a fresh one is created otherwise (see ``result.stats``).
+
+    *budget* governs the run (see :mod:`repro.governance`): deadline, atom
+    and step budgets, cancellation, checked at ``"trigger-fire"`` and
+    ``"hom-backtrack"`` granularity.  A budget trip does **not** raise —
+    the consistent level-wise prefix built so far is returned with
+    ``terminated=False`` and ``reason`` set to the trip code.
     """
     if strategy not in STRATEGIES:
         raise ValueError(
@@ -250,7 +282,7 @@ def chase(
     fired_keys: set[tuple] = set()
     fired_count = 0
     original_dom = frozenset(database.dom())
-    bounded = max_level is not None or max_atoms is not None
+    bounded = max_level is not None or max_atoms is not None or budget is not None
 
     # Frontier ordering per TGD, fixed once: the trigger key is the frontier
     # image under this ordering.  Two body homomorphisms with the same
@@ -267,66 +299,81 @@ def chase(
     level = 0
     pending_empty_body = [tgd for tgd in tgds if not tgd.body]
 
-    while True:
-        level += 1
-        if max_level is not None and level > max_level:
-            reason = "level bound"
-            break
-        level_start = time.perf_counter()
-        produced: list[Atom] = []
+    def emit(head_atoms: list[Atom], atom_level: int, produced: list[Atom]) -> None:
+        nonlocal fired_count
+        fired_count += 1
+        stats.triggers_fired += 1
+        for atom in head_atoms:
+            if instance.add(atom):
+                levels[atom] = atom_level
+                produced.append(atom)
 
-        def emit(head_atoms: list[Atom], atom_level: int) -> None:
-            nonlocal fired_count
-            fired_count += 1
-            stats.triggers_fired += 1
-            for atom in head_atoms:
-                if instance.add(atom):
-                    levels[atom] = atom_level
-                    produced.append(atom)
+    try:
+        while True:
+            level += 1
+            if max_level is not None and level > max_level:
+                reason = "level bound"
+                break
+            level_start = time.perf_counter()
+            produced: list[Atom] = []
 
-        if pending_empty_body:
-            # Empty-body TGDs fire exactly once, at level 1.
-            for tgd in pending_empty_body:
-                emit(_fire(tgd, {}), 1)
-            pending_empty_body = []
+            if pending_empty_body:
+                # Empty-body TGDs fire exactly once, at level 1.
+                for tgd in pending_empty_body:
+                    emit(_fire(tgd, {}), 1, produced)
+                pending_empty_body = []
 
-        # Materialise this level's candidates before firing: emitting while
-        # the homomorphism search lazily walks the instance's live index
-        # sets would mutate them mid-iteration, and the level-wise
-        # semantics wants triggers judged against the end-of-previous-level
-        # instance anyway.
-        if strategy == "delta":
-            candidates = list(_delta_triggers(tgds, instance, delta, stats))
-        else:
-            candidates = list(_naive_triggers(tgds, instance, stats))
+            # Materialise this level's candidates before firing: emitting
+            # while the homomorphism search lazily walks the instance's live
+            # index sets would mutate them mid-iteration, and the level-wise
+            # semantics wants triggers judged against the end-of-previous-
+            # level instance anyway.
+            if strategy == "delta":
+                candidates = list(
+                    _delta_triggers(tgds, instance, delta, stats, budget)
+                )
+            else:
+                candidates = list(_naive_triggers(tgds, instance, stats, budget))
 
-        for tgd_index, tgd, hom in candidates:
-            key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))
-            if key in fired_keys:
-                stats.triggers_deduped += 1
-                continue
-            fired_keys.add(key)
-            body_level = max(levels[a.apply(hom)] for a in tgd.body)
-            emit(_fire(tgd, hom), body_level + 1)
+            for tgd_index, tgd, hom in candidates:
+                key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))
+                if key in fired_keys:
+                    stats.triggers_deduped += 1
+                    continue
+                if budget is not None:
+                    # Checked before the firing mutates anything: a trip here
+                    # leaves the instance a consistent prefix (all head atoms
+                    # of every fired trigger are present).
+                    budget.check("trigger-fire", atoms=len(instance))
+                fired_keys.add(key)
+                body_level = max(levels[a.apply(hom)] for a in tgd.body)
+                emit(_fire(tgd, hom), body_level + 1, produced)
 
-        stats.level_seconds[level] = time.perf_counter() - level_start
-        if not produced:
-            break
-        delta = Instance(produced)
-        if max_atoms is not None and len(instance) >= max_atoms:
-            reason = "atom bound"
-            break
-        if len(instance) > safety_cap:
-            if bounded:
-                # The run is already bounded: report the cap as an atom
-                # bound instead of raising, so callers get a usable prefix.
+            stats.level_seconds[level] = time.perf_counter() - level_start
+            if not produced:
+                break
+            delta = Instance(produced)
+            if max_atoms is not None and len(instance) >= max_atoms:
                 reason = "atom bound"
                 break
-            raise ChaseNonterminationError(
-                f"chase exceeded {safety_cap} atoms without reaching a "
-                "fixpoint; bound it with max_level/max_atoms or check "
-                "termination with is_weakly_acyclic()"
-            )
+            if len(instance) > safety_cap:
+                if bounded:
+                    # The run is already bounded: report the cap as an atom
+                    # bound instead of raising, so callers get a usable
+                    # prefix.
+                    reason = "atom bound"
+                    break
+                raise ChaseNonterminationError(
+                    f"chase exceeded {safety_cap} atoms without reaching a "
+                    "fixpoint; bound it with max_level/max_atoms or check "
+                    "termination with is_weakly_acyclic()"
+                )
+    except BudgetExceeded as exc:
+        # Graceful degradation: report the trip instead of raising.  The
+        # instance is consistent — head atoms are only ever added by a
+        # complete emit() between budget checks.
+        reason = exc.code
+        exc.attach(stats=stats)
 
     stats.wall_seconds += time.perf_counter() - run_start
     terminated = reason == "fixpoint"

@@ -13,28 +13,75 @@ certain answers agree; the tests check this.  This module exists for two
 reasons: (i) it documents the difference the paper's footnote glosses over,
 and (ii) it gives the benchmark generators a termination tool on inputs
 where the (semi-)oblivious chase diverges.
+
+The trigger search is the same delta-driven (semi-naive) machinery as the
+oblivious engine (:mod:`repro.chase.engine`): at round ``i`` only triggers
+whose body image intersects the atoms produced at round ``i − 1`` are
+considered, seeded from the delta's ``atoms_by_pred()`` view with the pivot
+rule, and a processed-trigger cache guarantees each (TGD, frontier-image)
+key is *examined* at most once — sound because head satisfaction is
+monotone (once satisfied, always satisfied).  ``strategy="naive"`` keeps
+the full re-scan per round as the differential oracle.  An
+:class:`~repro.datamodel.EvalStats` counts triggers examined/fired/deduped
+and head-satisfaction checks; a :class:`~repro.governance.Budget` governs
+the run at ``"restricted-fire"`` and ``"hom-backtrack"`` granularity,
+returning a consistent partial instance on a trip instead of raising.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import time
+from typing import Sequence
 
-from ..datamodel import Instance, Term, find_homomorphism, find_homomorphisms, fresh_null
+from ..datamodel import (
+    EvalStats,
+    Instance,
+    Term,
+    find_homomorphism,
+    fresh_null,
+)
+from ..governance import Budget, BudgetExceeded
 from ..tgds import TGD
+from .engine import STRATEGIES, _delta_triggers, _naive_triggers
 
 __all__ = ["restricted_chase", "RestrictedChaseResult"]
 
 
 class RestrictedChaseResult:
-    """Result of a restricted chase run."""
+    """Result of a restricted chase run.
 
-    __slots__ = ("instance", "terminated", "fired", "reason")
+    ``instance`` is the chased instance (a model of Σ and D iff
+    ``terminated``); ``reason`` is "fixpoint", "round bound", "atom bound",
+    or a budget trip code; ``stats`` carries the evaluation counters.
+    """
 
-    def __init__(self, instance: Instance, terminated: bool, fired: int, reason: str) -> None:
+    __slots__ = ("instance", "terminated", "fired", "reason", "rounds", "stats")
+
+    def __init__(
+        self,
+        instance: Instance,
+        terminated: bool,
+        fired: int,
+        reason: str,
+        rounds: int = 0,
+        stats: EvalStats | None = None,
+    ) -> None:
         self.instance = instance
         self.terminated = terminated
         self.fired = fired
         self.reason = reason
+        self.rounds = rounds
+        self.stats = stats if stats is not None else EvalStats()
+
+    @property
+    def complete(self) -> bool:
+        """Uniform alias for ``terminated`` (the governed-result protocol)."""
+        return self.terminated
+
+    @property
+    def trip_reason(self) -> str | None:
+        """The machine-readable stop reason for a cut-short run, else None."""
+        return None if self.terminated else self.reason
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -43,81 +90,141 @@ class RestrictedChaseResult:
         )
 
 
-def _head_satisfied(
-    instance: Instance, tgd: TGD, frontier_image: Mapping[Term, Term]
-) -> bool:
-    """Does some extension of the frontier image satisfy the head?"""
-    return (
-        find_homomorphism(tgd.head, instance, fixed=dict(frontier_image))
-        is not None
-    )
-
-
 def restricted_chase(
     database: Instance,
     tgds: Sequence[TGD],
     *,
     max_rounds: int | None = None,
     max_atoms: int = 500_000,
+    strategy: str = "delta",
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> RestrictedChaseResult:
-    """Run the restricted chase to a fixpoint (or a bound).
+    """Run the restricted chase to a fixpoint (or a bound / budget trip).
 
     A trigger fires only if the head has no match extending the frontier
     image.  Nondeterministic in general; this implementation processes
     triggers in a deterministic order, so results are reproducible.
+
+    *strategy* is ``"delta"`` (semi-naive trigger search, the default) or
+    ``"naive"`` (full re-scan per round, the differential oracle); both
+    compute a restricted chase, and their results are homomorphically
+    equivalent.  *stats* accumulates counters; *budget* governs the run —
+    on a trip the partial instance built so far is returned (every atom
+    carries a valid trigger derivation) with ``reason`` set to the trip
+    code instead of raising.
     """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown chase strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
     tgds = list(tgds)
+    if stats is None:
+        stats = EvalStats()
+    run_start = time.perf_counter()
     instance = database.copy()
     fired = 0
     rounds = 0
     reason = "fixpoint"
+    #: (TGD index, frontier image) keys already examined — fired *or*
+    #: skipped-as-satisfied; head satisfaction is monotone, so neither kind
+    #: ever needs re-examination.
+    handled: set[tuple] = set()
+    frontiers = [
+        tuple(sorted(tgd.frontier(), key=lambda v: v.name)) for tgd in tgds
+    ]
+    delta = instance.copy()  # round-0 delta: the database atoms
+    pending_empty_body = [tgd for tgd in tgds if not tgd.body]
 
-    while True:
-        rounds += 1
-        if max_rounds is not None and rounds > max_rounds:
-            reason = "round bound"
-            break
-        progressed = False
-        for tgd in tgds:
-            if not tgd.body:
-                if find_homomorphism(tgd.head, instance) is None:
-                    assignment = {
-                        z: fresh_null(z.name)
-                        for z in sorted(
-                            tgd.existential_variables(), key=lambda v: v.name
+    try:
+        while True:
+            rounds += 1
+            if max_rounds is not None and rounds > max_rounds:
+                reason = "round bound"
+                break
+            produced: list = []
+
+            if pending_empty_body:
+                for tgd in pending_empty_body:
+                    stats.head_checks += 1
+                    if (
+                        find_homomorphism(
+                            tgd.head, instance, stats=stats, budget=budget
                         )
-                    }
-                    instance.add_all(a.apply(assignment) for a in tgd.head)
-                    fired += 1
-                    progressed = True
-                continue
-            frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
-            seen: set[tuple] = set()
-            # Snapshot the homs first: firing mutates the instance.
-            homs = list(find_homomorphisms(tgd.body, instance))
-            for hom in homs:
-                key = tuple(hom[v] for v in frontier_order)
-                if key in seen:
+                        is None
+                    ):
+                        assignment = {
+                            z: fresh_null(z.name)
+                            for z in sorted(
+                                tgd.existential_variables(), key=lambda v: v.name
+                            )
+                        }
+                        for atom in tgd.head:
+                            grounded = atom.apply(assignment)
+                            if instance.add(grounded):
+                                produced.append(grounded)
+                        fired += 1
+                        stats.triggers_fired += 1
+                pending_empty_body = []
+
+            # Materialise before firing (firing mutates the live indexes the
+            # lazy search walks); head satisfaction is then re-checked
+            # against the *current* instance at fire time, which only makes
+            # the chase skip more — never fire a satisfied trigger.
+            if strategy == "delta":
+                candidates = list(
+                    _delta_triggers(tgds, instance, delta, stats, budget)
+                )
+            else:
+                candidates = list(_naive_triggers(tgds, instance, stats, budget))
+
+            for tgd_index, tgd, hom in candidates:
+                key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))
+                if key in handled:
+                    stats.triggers_deduped += 1
                     continue
-                seen.add(key)
+                if budget is not None:
+                    budget.check("restricted-fire", atoms=len(instance))
+                handled.add(key)
                 frontier_image = {v: hom[v] for v in tgd.frontier()}
-                if _head_satisfied(instance, tgd, frontier_image):
+                stats.head_checks += 1
+                if (
+                    find_homomorphism(
+                        tgd.head,
+                        instance,
+                        fixed=dict(frontier_image),
+                        stats=stats,
+                        budget=budget,
+                    )
+                    is not None
+                ):
                     continue
                 assignment: dict[Term, Term] = dict(frontier_image)
                 for z in sorted(tgd.existential_variables(), key=lambda v: v.name):
                     assignment[z] = fresh_null(z.name)
-                instance.add_all(a.apply(assignment) for a in tgd.head)
+                for atom in tgd.head:
+                    grounded = atom.apply(assignment)
+                    if instance.add(grounded):
+                        produced.append(grounded)
                 fired += 1
-                progressed = True
-        if not progressed:
-            break
-        if len(instance) > max_atoms:
-            reason = "atom bound"
-            break
+                stats.triggers_fired += 1
 
+            if not produced:
+                break
+            delta = Instance(produced)
+            if len(instance) > max_atoms:
+                reason = "atom bound"
+                break
+    except BudgetExceeded as exc:
+        reason = exc.code
+        exc.attach(stats=stats)
+
+    stats.wall_seconds += time.perf_counter() - run_start
     return RestrictedChaseResult(
         instance=instance,
         terminated=reason == "fixpoint",
         fired=fired,
         reason=reason,
+        rounds=rounds,
+        stats=stats,
     )

@@ -25,6 +25,7 @@ import itertools
 from typing import Iterable, Sequence
 
 from ..datamodel import Atom, Term, Variable, is_variable
+from ..governance import Budget, BudgetExceeded
 from ..queries import CQ, UCQ, dedupe_isomorphic
 from ..tgds import TGD, all_linear
 
@@ -205,11 +206,18 @@ def rewrite_ucq(
     tgds: Sequence[TGD],
     *,
     max_cqs: int = 10_000,
+    budget: Budget | None = None,
 ) -> UCQ:
     """The perfect rewriting of *query* under linear single-head *tgds*.
 
     ``q'(D) = q(chase(D, Σ))`` for every database D (Prop D.2).  Raises
     :class:`RewritingLimitError` past *max_cqs* distinct CQs.
+
+    A governed run checks *budget* once per rewriting candidate (the
+    ``"rewrite-step"`` site).  On a trip the *partial* rewriting — every CQ
+    derived so far, which is a sound under-approximation (each disjunct's
+    answers are certain answers) — is attached to the exception as
+    ``exc.partial`` before it propagates.
     """
     tgds = list(tgds)
     if not all_linear(tgds):
@@ -223,15 +231,34 @@ def rewrite_ucq(
     disjuncts = list(query.disjuncts) if isinstance(query, UCQ) else [query]
     known: list[CQ] = dedupe_isomorphic(disjuncts)
     frontier: list[CQ] = list(known)
+    try:
+        _rewrite_fixpoint(known, frontier, tgds, max_cqs, budget)
+    except BudgetExceeded as exc:
+        raise exc.attach(partial=UCQ(known, name=disjuncts[0].name))
+    return UCQ(known, name=disjuncts[0].name)
+
+
+def _rewrite_fixpoint(
+    known: list[CQ],
+    frontier: list[CQ],
+    tgds: list[TGD],
+    max_cqs: int,
+    budget: Budget | None,
+) -> None:
+    """Saturate *known* in place (the rewrite/factorize fixpoint loop)."""
     while frontier:
         next_frontier: list[CQ] = []
         for cq in frontier:
             candidates: list[CQ] = []
             for atom, tgd in itertools.product(cq.atoms, tgds):
+                if budget is not None:
+                    budget.check("rewrite-step")
                 rewritten = rewrite_step(cq, atom, tgd)
                 if rewritten is not None:
                     candidates.append(rewritten)
             for left, right in itertools.combinations(cq.atoms, 2):
+                if budget is not None:
+                    budget.check("rewrite-step")
                 factored = factorize_step(cq, left, right)
                 if factored is not None:
                     candidates.append(factored)
@@ -251,4 +278,3 @@ def rewrite_ucq(
                         "or evaluate via the chase instead"
                     )
         frontier = next_frontier
-    return UCQ(known, name=disjuncts[0].name)

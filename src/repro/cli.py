@@ -28,17 +28,48 @@ from pathlib import Path
 
 from .chase import chase
 from .cqs import CQS, is_uniformly_ucq_k_equivalent
+from .governance import Budget
 from .omq import OMQ, certain_answers
 from .queries import evaluate, parse_database, parse_ucq
 from .tgds import classify, is_weakly_acyclic, parse_tgds
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_BUDGET_TRIP"]
+
+#: Exit status for a run cut short by ``--timeout`` / ``--max-atoms``: the
+#: printed answers are sound but possibly incomplete.
+EXIT_BUDGET_TRIP = 3
 
 
 def _read(value: str, inline: bool) -> str:
     if inline:
         return value
     return Path(value).read_text()
+
+
+def _budget_from(args: argparse.Namespace) -> Budget | None:
+    """A Budget from --timeout / --max-atoms, or None when neither is set."""
+    if args.timeout is None and args.max_atoms is None:
+        return None
+    return Budget(deadline=args.timeout, max_atoms=args.max_atoms)
+
+
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; on expiry print the sound partial result "
+        f"and exit with status {EXIT_BUDGET_TRIP}",
+    )
+    parser.add_argument(
+        "--max-atoms",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop once the materialised instance holds N atoms "
+        f"(sound partial result, exit status {EXIT_BUDGET_TRIP})",
+    )
 
 
 def _add_io_flags(parser: argparse.ArgumentParser) -> None:
@@ -53,7 +84,8 @@ def _add_io_flags(parser: argparse.ArgumentParser) -> None:
 def cmd_chase(args: argparse.Namespace) -> int:
     db = parse_database(_read(args.database, args.inline))
     tgds = parse_tgds(_read(args.tgds, args.inline))
-    result = chase(db, tgds, max_level=args.max_level)
+    budget = _budget_from(args)
+    result = chase(db, tgds, max_level=args.max_level, budget=budget)
     for atom in sorted(result.instance, key=str):
         print(atom)
     print(
@@ -61,6 +93,14 @@ def cmd_chase(args: argparse.Namespace) -> int:
         f"max level {result.max_level}",
         file=sys.stderr,
     )
+    if budget is not None and result.trip_reason in ("deadline", "atom budget"):
+        print(
+            f"# BUDGET TRIPPED ({result.trip_reason}): the atoms above are a "
+            "sound chase prefix, not the full chase "
+            f"[{result.stats.summary()}]",
+            file=sys.stderr,
+        )
+        return EXIT_BUDGET_TRIP
     return 0
 
 
@@ -69,7 +109,8 @@ def cmd_certain(args: argparse.Namespace) -> int:
     tgds = parse_tgds(_read(args.tgds, args.inline))
     query = parse_ucq(_read(args.query, args.inline))
     omq = OMQ.with_full_data_schema(tgds, query)
-    answer = certain_answers(omq, db, strategy=args.strategy)
+    budget = _budget_from(args)
+    answer = certain_answers(omq, db, strategy=args.strategy, budget=budget)
     for row in sorted(answer.answers, key=str):
         print(row)
     print(
@@ -77,6 +118,14 @@ def cmd_certain(args: argparse.Namespace) -> int:
         f"(complete={answer.complete}; {answer.detail})",
         file=sys.stderr,
     )
+    if answer.trip is not None:
+        print(
+            f"# BUDGET TRIPPED ({answer.trip}): the answers above are sound "
+            "certain answers, the remainder is unknown "
+            f"[{answer.stats.summary()}]",
+            file=sys.stderr,
+        )
+        return EXIT_BUDGET_TRIP
     return 0
 
 
@@ -141,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("database")
     p.add_argument("tgds")
     p.add_argument("--max-level", type=int, default=None)
+    _add_budget_flags(p)
     _add_io_flags(p)
     p.set_defaults(fn=cmd_chase)
 
@@ -150,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("--strategy", default="auto",
                    choices=["auto", "chase", "rewrite", "guarded", "bounded"])
+    _add_budget_flags(p)
     _add_io_flags(p)
     p.set_defaults(fn=cmd_certain)
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..governance import trip_exception
 from ..queries import CQ, UCQ
 from ..tgds import TGD
 from ..omq import OMQ, certain_answers
@@ -43,6 +44,13 @@ def contained_under(
         answer = certain_answers(bridge, canonical, **eval_kwargs)
         if head in answer.answers:
             continue
+        if answer.trip is not None:
+            raise trip_exception(
+                answer.trip,
+                f"containment inconclusive for disjunct {disjunct}: the "
+                "budget tripped before the chase portion was complete",
+                stats=answer.stats,
+            )
         if not answer.complete:
             raise RuntimeError(
                 f"containment inconclusive for disjunct {disjunct}: chase "

@@ -23,6 +23,9 @@ from .instances import Instance
 from .stats import EvalStats
 from .terms import Term, is_null, is_variable
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from ..governance import Budget
+
 __all__ = [
     "find_homomorphism",
     "find_homomorphisms",
@@ -64,6 +67,7 @@ def find_homomorphisms(
     injective: bool = False,
     limit: int | None = None,
     stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
 ) -> Iterator[dict[Term, Term]]:
     """Enumerate homomorphisms from *source_atoms* into *target*.
 
@@ -84,6 +88,12 @@ def find_homomorphisms(
     stats:
         Optional :class:`~repro.datamodel.EvalStats` accumulating index
         probes, backtracks, and homomorphisms found.
+    budget:
+        Optional :class:`~repro.governance.Budget`, checked once per
+        candidate fact considered by the backtracking join (the
+        ``"hom-backtrack"`` check site).  A trip raises
+        :class:`~repro.governance.BudgetExceeded` mid-enumeration; every
+        homomorphism already yielded remains valid.
 
     Yields complete mappings from the terms of the source atoms to
     ``dom(target)``.  The yielded dicts are fresh copies.
@@ -165,6 +175,8 @@ def find_homomorphisms(
         if stats is not None:
             stats.index_probes += 1
         for fact in target.candidates(atom, bound):
+            if budget is not None:
+                budget.check("hom-backtrack")
             new = match(atom, fact, bound)
             if new is None:
                 if stats is not None:
@@ -198,6 +210,7 @@ def find_homomorphism(
     movable: Callable[[Term], bool] = default_movable,
     injective: bool = False,
     stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
 ) -> dict[Term, Term] | None:
     """The first homomorphism found, or None if there is none."""
     for hom in find_homomorphisms(
@@ -208,6 +221,7 @@ def find_homomorphism(
         injective=injective,
         limit=1,
         stats=stats,
+        budget=budget,
     ):
         return hom
     return None

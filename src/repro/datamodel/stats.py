@@ -40,6 +40,10 @@ class EvalStats:
         indexes (calls to ``Instance.candidates``).
     homs_found:
         Complete homomorphisms yielded by the search.
+    head_checks:
+        Head-satisfaction checks performed by the restricted chase.
+    nodes_expanded:
+        Guarded-chase-forest nodes expanded (blocked chase / filtration).
     level_seconds:
         Chase wall time per level, ``{level: seconds}``.
     wall_seconds:
@@ -52,6 +56,8 @@ class EvalStats:
     hom_backtracks: int = 0
     index_probes: int = 0
     homs_found: int = 0
+    head_checks: int = 0
+    nodes_expanded: int = 0
     level_seconds: dict[int, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
@@ -63,6 +69,8 @@ class EvalStats:
         self.hom_backtracks += other.hom_backtracks
         self.index_probes += other.index_probes
         self.homs_found += other.homs_found
+        self.head_checks += other.head_checks
+        self.nodes_expanded += other.nodes_expanded
         for level, seconds in other.level_seconds.items():
             self.level_seconds[level] = self.level_seconds.get(level, 0.0) + seconds
         self.wall_seconds += other.wall_seconds
@@ -77,6 +85,8 @@ class EvalStats:
             "hom_backtracks": self.hom_backtracks,
             "index_probes": self.index_probes,
             "homs_found": self.homs_found,
+            "head_checks": self.head_checks,
+            "nodes_expanded": self.nodes_expanded,
             "wall_seconds": self.wall_seconds,
         }
 

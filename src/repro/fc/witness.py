@@ -26,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..datamodel import Instance, Term, find_homomorphisms, fresh_null
+from ..datamodel import EvalStats, Instance, Term, find_homomorphisms, fresh_null
+from ..governance import Budget, trip_exception
 from ..queries import CQ, UCQ, evaluate_ucq
 from ..tgds import TGD, all_full, all_guarded, is_weakly_acyclic, satisfies_all
 from ..chase import canonical_config, chase, ground_saturation
@@ -62,11 +63,32 @@ def finite_witness(
     *,
     max_nodes: int = 20_000,
     max_retries: int = 3,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> FiniteWitness:
-    """Construct ``M(D, Σ, n)`` (Definition 6.5) for guarded Σ."""
+    """Construct ``M(D, Σ, n)`` (Definition 6.5) for guarded Σ.
+
+    A governed run checks *budget* once per retry (the
+    ``"witness-attempt"`` site) and inside each filtration (the
+    ``"expansion-node"`` site); a trip propagates as
+    :class:`~repro.governance.BudgetExceeded` — a witness is a certificate,
+    so there is no sound truncation to degrade to.
+    """
     tgds = list(tgds)
+    if stats is None:
+        stats = EvalStats()
     if not tgds or all_full(tgds) or is_weakly_acyclic(tgds):
-        result = chase(database, tgds)
+        result = chase(database, tgds, stats=stats, budget=budget)
+        if result.trip_reason is not None:
+            # A chase prefix is not a model, so it cannot be certified as a
+            # witness — surface the trip instead of a wrong certificate.
+            raise trip_exception(
+                result.trip_reason,
+                "budget tripped before the witness chase terminated",
+                site="witness-attempt",
+                partial=result.instance,
+                stats=stats,
+            )
         return FiniteWitness(result.instance, True, n, "chase")
     if not all_guarded(tgds):
         raise WitnessUnavailableError(
@@ -75,7 +97,11 @@ def finite_witness(
         )
     unfold = max(1, n)
     for attempt in range(max_retries):
-        model = _filtration(database, tgds, unfold + attempt, max_nodes)
+        if budget is not None:
+            budget.check("witness-attempt")
+        model = _filtration(
+            database, tgds, unfold + attempt, max_nodes, stats=stats, budget=budget
+        )
         if model is not None and satisfies_all(model, tgds):
             return FiniteWitness(model, False, n, f"filtration(unfold={unfold + attempt})")
     raise WitnessUnavailableError(
@@ -85,10 +111,16 @@ def finite_witness(
 
 
 def _filtration(
-    database: Instance, tgds: Sequence[TGD], unfold: int, max_nodes: int
+    database: Instance,
+    tgds: Sequence[TGD],
+    unfold: int,
+    max_nodes: int,
+    *,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> Instance | None:
     """Blocked guarded-chase expansion with fold-back redirection."""
-    table = TypeTable(tgds)
+    table = TypeTable(tgds, stats=stats, budget=budget)
     ground = ground_saturation(database, tgds, table=table)
     collected = ground.copy()
 
@@ -112,15 +144,21 @@ def _filtration(
     while queue:
         if nodes >= max_nodes:
             return None
+        if budget is not None:
+            budget.check("expansion-node", atoms=len(collected))
         elements, closure, ancestry = queue.pop()
         nodes += 1
+        if stats is not None:
+            stats.nodes_expanded += 1
         instance = Instance(closure)
         element_set = set(elements)
         for tgd_index, tgd in enumerate(tgds):
             if not tgd.body:
                 continue
             frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
-            for hom in find_homomorphisms(tgd.body, instance):
+            for hom in find_homomorphisms(
+                tgd.body, instance, stats=stats, budget=budget
+            ):
                 trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
                 if trigger in fired:
                     continue

@@ -1,0 +1,28 @@
+"""Resource governance: budgets, deadlines, cancellation, fault injection.
+
+See :mod:`repro.governance.budget` for the design and
+``docs/resource_governance.md`` for the semantics and the partial-answer
+soundness guarantee.
+"""
+
+from .budget import (
+    AtomBudgetExceeded,
+    Budget,
+    BudgetExceeded,
+    Cancelled,
+    DeadlineExceeded,
+    StepBudgetExceeded,
+    TRIP_CODES,
+    trip_exception,
+)
+
+__all__ = [
+    "AtomBudgetExceeded",
+    "Budget",
+    "BudgetExceeded",
+    "Cancelled",
+    "DeadlineExceeded",
+    "StepBudgetExceeded",
+    "TRIP_CODES",
+    "trip_exception",
+]

@@ -1,0 +1,328 @@
+"""The resource governor: one budget object for every expensive procedure.
+
+Every nontrivial procedure in this reproduction is worst-case exponential —
+that is the paper's point (Thms 5.1/5.3/5.7: evaluation is 2ExpTime-hard in
+general, FPT only under bounded treewidth) — so every engine must be
+*interruptible*.  Instead of one ad-hoc cap per module (`max_atoms` here, a
+retry budget there, nothing anywhere for wall-clock time), a single
+:class:`Budget` is threaded through the chase engines, the homomorphism
+search, the UCQ rewriter, exact treewidth, and the finite-controllability
+witness construction.
+
+Design
+------
+
+* A :class:`Budget` carries a wall-clock **deadline**, an **atom budget**
+  (instance size), a **step budget** (governed work units), and a
+  cooperative **cancellation** flag.
+* Engines call :meth:`Budget.check` at well-known *check sites* —
+  ``"trigger-fire"`` before firing a chase trigger, ``"hom-backtrack"`` per
+  candidate fact in the backtracking join, ``"rewrite-step"`` per resolution
+  /factorization candidate, ``"treewidth-branch"`` per elimination-order
+  branch, ``"expansion-node"`` per guarded-chase-forest node,
+  ``"type-table"`` per type-completion trigger, ``"restricted-fire"`` and
+  ``"witness-attempt"`` for the restricted chase and witness retries.
+* A trip raises a subclass of :class:`BudgetExceeded` whose ``code`` is the
+  machine-readable trip reason.  The frame that owns a meaningful partial
+  result catches the exception (or lets a wrapper catch it) and either
+  attaches the partial via :meth:`BudgetExceeded.attach` or converts the
+  trip into a *graceful degradation*: the chase returns a level-wise prefix,
+  ``certain_answers`` returns sound partial answers with ``complete=False``,
+  exact treewidth falls back to the min-fill upper bound.
+* :meth:`Budget.inject` is a **fault-injection hook** for the
+  ``tests/faults/`` suite: the n-th check (optionally at one specific site)
+  raises a chosen exception, proving that a trip at *any* site leaves
+  partial results consistent.
+
+Soundness invariant: every engine arranges its mutations so that state is
+consistent *between* any two checks (e.g. a trigger's head atoms are added
+atomically, with no check in between), so a trip can never tear a result.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Callable
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "AtomBudgetExceeded",
+    "StepBudgetExceeded",
+    "Cancelled",
+    "TRIP_CODES",
+    "trip_exception",
+]
+
+
+class BudgetExceeded(RuntimeError):
+    """Base of the budget-trip hierarchy.
+
+    Attributes
+    ----------
+    code:
+        The machine-readable trip reason (``"deadline"``, ``"atom budget"``,
+        ``"step budget"``, ``"cancelled"``) — also what governed results
+        report as their ``trip``/``reason``.
+    site:
+        The check site that tripped (e.g. ``"trigger-fire"``).
+    partial:
+        The partial result accumulated before the trip, when a frame on the
+        unwind path attached one (a chase prefix, a partial rewriting, ...).
+    stats:
+        The :class:`~repro.datamodel.EvalStats` accumulated so far, when
+        attached.
+    """
+
+    code = "budget"
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        site: str | None = None,
+        partial=None,
+        stats=None,
+    ) -> None:
+        super().__init__(message or self.code)
+        self.site = site
+        self.partial = partial
+        self.stats = stats
+
+    def attach(self, *, partial=None, stats=None) -> "BudgetExceeded":
+        """Fill in partial result / stats while unwinding (first frame wins).
+
+        Intermediate frames closer to the trip know finer-grained state, so
+        only unset attributes are overwritten; returns self for re-raising.
+        """
+        if partial is not None and self.partial is None:
+            self.partial = partial
+        if stats is not None and self.stats is None:
+            self.stats = stats
+        return self
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The wall-clock deadline passed."""
+
+    code = "deadline"
+
+
+class AtomBudgetExceeded(BudgetExceeded):
+    """The governed instance grew past the atom/node budget."""
+
+    code = "atom budget"
+
+
+class StepBudgetExceeded(BudgetExceeded):
+    """The governed step budget (work units) was exhausted."""
+
+    code = "step budget"
+
+
+class Cancelled(BudgetExceeded):
+    """The budget was cooperatively cancelled (or a fault was injected)."""
+
+    code = "cancelled"
+
+
+#: Machine-readable trip reasons, mapped to their exception classes.
+TRIP_CODES: dict[str, type[BudgetExceeded]] = {
+    cls.code: cls
+    for cls in (DeadlineExceeded, AtomBudgetExceeded, StepBudgetExceeded, Cancelled)
+}
+
+
+def trip_exception(code: str, message: str, **kwargs) -> BudgetExceeded:
+    """Build the exception class matching a recorded trip *code*."""
+    return TRIP_CODES.get(code, BudgetExceeded)(message, **kwargs)
+
+
+class Budget:
+    """Deadline + atom budget + step budget + cooperative cancellation.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock seconds from construction; ``None`` disables.
+    max_atoms:
+        Largest instance size a governed engine may report via
+        ``check(..., atoms=n)``; ``None`` disables.
+    max_steps:
+        Total governed work units (checks with ``step=True``); ``None``
+        disables.
+    clock:
+        Injectable monotonic clock (tests pin time without sleeping).
+
+    A single budget may be shared across several cooperating calls (one OMQ
+    evaluation = one chase + one UCQ evaluation); counters and the deadline
+    are global to the object.  :meth:`grace` derives the answer-extraction
+    budget used after a trip, bounding the *total* wall time of a governed
+    ``certain_answers`` call by twice the deadline.
+    """
+
+    __slots__ = (
+        "deadline",
+        "max_atoms",
+        "max_steps",
+        "_clock",
+        "_start",
+        "_expires",
+        "checks",
+        "steps",
+        "site_counts",
+        "_cancel_reason",
+        "_inject_at",
+        "_inject_site",
+        "_inject_exc",
+    )
+
+    def __init__(
+        self,
+        *,
+        deadline: float | None = None,
+        max_atoms: int | None = None,
+        max_steps: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        self.deadline = deadline
+        self.max_atoms = max_atoms
+        self.max_steps = max_steps
+        self._clock = clock
+        self._start = clock()
+        self._expires = None if deadline is None else self._start + deadline
+        self.checks = 0
+        self.steps = 0
+        self.site_counts: Counter[str] = Counter()
+        self._cancel_reason: str | None = None
+        self._inject_at: int | None = None
+        self._inject_site: str | None = None
+        self._inject_exc: BudgetExceeded | type[BudgetExceeded] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None if no deadline)."""
+        if self._expires is None:
+            return None
+        return self._expires - self._clock()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel_reason is not None
+
+    @property
+    def expired(self) -> bool:
+        """True iff the deadline has passed (False with no deadline)."""
+        return self._expires is not None and self._clock() > self._expires
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline}s")
+        if self.max_atoms is not None:
+            parts.append(f"max_atoms={self.max_atoms}")
+        if self.max_steps is not None:
+            parts.append(f"max_steps={self.max_steps}")
+        parts.append(f"checks={self.checks}")
+        return f"Budget<{', '.join(parts)}>"
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Cooperatively cancel: the next check raises :class:`Cancelled`."""
+        self._cancel_reason = reason
+
+    def inject(
+        self,
+        after_n_checks: int,
+        *,
+        site: str | None = None,
+        exc: BudgetExceeded | type[BudgetExceeded] | None = None,
+    ) -> None:
+        """Fault-injection hook: trip the n-th *future* check.
+
+        Counts checks from now (``after_n_checks=1`` trips the very next
+        check); *site* restricts counting to one check site; *exc* is the
+        exception instance or class to raise (:class:`Cancelled` by
+        default).  Used by the ``tests/faults/`` suite to prove every check
+        site leaves partial results consistent.
+        """
+        if after_n_checks < 1:
+            raise ValueError("after_n_checks must be >= 1")
+        base = self.site_counts[site] if site is not None else self.checks
+        self._inject_at = base + after_n_checks
+        self._inject_site = site
+        self._inject_exc = exc
+
+    def grace(self, seconds: float | None = None) -> "Budget":
+        """A fresh budget for answer extraction after this one tripped.
+
+        Grants *seconds* of wall clock (default: the original deadline, so a
+        governed evaluation's total time is at most twice its deadline) with
+        no atom/step budget and no pending injection.  With neither
+        *seconds* nor a deadline the grace budget is unlimited.
+        """
+        return Budget(
+            deadline=seconds if seconds is not None else self.deadline,
+            clock=self._clock,
+        )
+
+    # ------------------------------------------------------------------
+    # The check — the single governor entry point
+    # ------------------------------------------------------------------
+    def check(self, site: str, *, atoms: int | None = None, step: bool = True) -> None:
+        """Governor check; raises a :class:`BudgetExceeded` subclass on a trip.
+
+        *site* names the check site (for injection and telemetry); *atoms*
+        reports the governed structure's current size against ``max_atoms``;
+        ``step=True`` counts one work unit against ``max_steps``.
+        """
+        self.checks += 1
+        self.site_counts[site] += 1
+        if self._inject_at is not None:
+            count = (
+                self.site_counts[site]
+                if self._inject_site == site
+                else self.checks if self._inject_site is None else None
+            )
+            if count is not None and count >= self._inject_at:
+                exc = self._inject_exc
+                self._inject_at = None  # one-shot
+                if exc is None:
+                    raise Cancelled(f"fault injected at {site}", site=site)
+                if isinstance(exc, type):
+                    raise exc(f"fault injected at {site}", site=site)
+                exc.site = exc.site or site
+                raise exc
+        if self._cancel_reason is not None:
+            raise Cancelled(self._cancel_reason, site=site)
+        if self._expires is not None and self._clock() > self._expires:
+            raise DeadlineExceeded(
+                f"deadline of {self.deadline}s exceeded at {site} "
+                f"(elapsed {self.elapsed():.3f}s)",
+                site=site,
+            )
+        if atoms is not None and self.max_atoms is not None and atoms >= self.max_atoms:
+            raise AtomBudgetExceeded(
+                f"atom budget of {self.max_atoms} reached at {site} "
+                f"({atoms} atoms)",
+                site=site,
+            )
+        if step:
+            self.steps += 1
+            if self.max_steps is not None and self.steps > self.max_steps:
+                raise StepBudgetExceeded(
+                    f"step budget of {self.max_steps} exhausted at {site}",
+                    site=site,
+                )

@@ -22,6 +22,7 @@ would genuinely need the automata machinery and raise
 
 from __future__ import annotations
 
+from ..governance import trip_exception
 from .evaluation import certain_answers
 from .omq import OMQ
 
@@ -59,10 +60,13 @@ def _check_comparable(left: OMQ, right: OMQ) -> None:
 def omq_contained_in(sub: OMQ, sup: OMQ, **eval_kwargs) -> bool:
     """``Q1 ⊆ Q2`` for same-ontology, full-data-schema OMQs (exact).
 
-    ``eval_kwargs`` are forwarded to :func:`certain_answers`.  Raises if the
-    evaluation strategy cannot certify completeness on some canonical
-    database — a ⊆-verdict from an incomplete chase portion would be
-    unsound.
+    ``eval_kwargs`` are forwarded to :func:`certain_answers` (including an
+    optional ``budget``).  Raises if the evaluation strategy cannot certify
+    completeness on some canonical database — a ⊆-verdict from an
+    incomplete chase portion would be unsound.  A *positive* per-disjunct
+    verdict survives a budget trip (the head was found among sound partial
+    answers); an inconclusive one re-raises the trip as the matching
+    :class:`~repro.governance.BudgetExceeded` subclass.
     """
     _check_comparable(sub, sup)
     for disjunct in sub.query.disjuncts:
@@ -71,6 +75,13 @@ def omq_contained_in(sub: OMQ, sup: OMQ, **eval_kwargs) -> bool:
         answer = certain_answers(sup, canonical, **eval_kwargs)
         if head in answer.answers:
             continue
+        if answer.trip is not None:
+            raise trip_exception(
+                answer.trip,
+                "containment check inconclusive: the budget tripped before "
+                f"the chase portion for {disjunct} was provably complete",
+                stats=answer.stats,
+            )
         if not answer.complete:
             raise RuntimeError(
                 "containment check inconclusive: the chase portion for "

@@ -31,7 +31,9 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..datamodel import EvalStats, Instance, Term
-from ..queries import evaluate_ucq
+from ..governance import TRIP_CODES as _TRIP_CODES
+from ..governance import Budget, BudgetExceeded
+from ..queries import UCQ, evaluate_ucq, iter_answers
 from ..tgds import all_full, all_linear, is_weakly_acyclic
 from ..chase import (
     chase,
@@ -54,6 +56,12 @@ class OMQAnswer:
     ``answers`` is always sound (a subset of ``Q(D)``); ``complete`` is True
     when it provably equals ``Q(D)``.  ``stats`` accumulates the evaluation
     counters of the chase (when one ran) and the final UCQ evaluation.
+
+    ``trip`` is the three-valued-answer marker of a governed run: None for
+    an ungoverned or untripped evaluation, otherwise the machine-readable
+    budget trip code ("deadline", "atom budget", "step budget",
+    "cancelled").  A set ``trip`` implies ``complete=False`` — the answers
+    are sound positives, the rest is *unknown*, not negative.
     """
 
     answers: set[tuple[Term, ...]]
@@ -61,9 +69,34 @@ class OMQAnswer:
     strategy: str
     detail: str = ""
     stats: EvalStats = field(default_factory=EvalStats)
+    trip: str | None = None
 
     def __contains__(self, candidate: tuple) -> bool:
         return tuple(candidate) in self.answers
+
+
+def _evaluate_partial(
+    query: UCQ,
+    instance: Instance,
+    *,
+    stats: EvalStats,
+    budget: Budget | None,
+) -> tuple[set[tuple[Term, ...]], str | None]:
+    """Evaluate a UCQ, keeping the answers found if the budget trips.
+
+    Returns ``(answers, trip_code_or_None)``.  Safe because every yielded
+    answer of :func:`~repro.queries.iter_answers` is valid on its own.
+    """
+    answers: set[tuple[Term, ...]] = set()
+    trip: str | None = None
+    try:
+        for cq in query.disjuncts:
+            for row in iter_answers(cq, instance, stats=stats, budget=budget):
+                answers.add(row)
+    except BudgetExceeded as exc:
+        trip = exc.code
+        exc.attach(stats=stats)
+    return answers, trip
 
 
 def _restrict_to_database(
@@ -84,6 +117,7 @@ def certain_answers(
     unfold: int | None = None,
     max_nodes: int = 50_000,
     stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> OMQAnswer:
     """Compute ``Q(D)`` (Prop 3.1) with the given or auto-picked strategy.
 
@@ -91,6 +125,13 @@ def certain_answers(
     chase-based strategy runs ("delta" or "naive").  *stats* may be a
     shared :class:`EvalStats`; the returned answer carries it (or a fresh
     one) with the chase and UCQ-evaluation counters accumulated.
+
+    *budget* makes the call **governed**: instead of raising on a deadline
+    or cap, the function returns a *three-valued partial answer* — sound
+    positives in ``answers``, ``complete=False``, and the trip code in
+    ``trip``.  Post-trip answer extraction runs under a grace budget with
+    the same deadline, so a governed call returns within roughly twice the
+    configured deadline.
     """
     omq.validate_database(database)
     tgds = list(omq.tgds)
@@ -108,21 +149,52 @@ def certain_answers(
             strategy = "bounded"
 
     if strategy == "chase":
-        result = chase(database, tgds, strategy=chase_strategy, stats=stats)
-        if not result.terminated:  # pragma: no cover - chase() would raise
-            raise RuntimeError("chase strategy selected but chase did not terminate")
-        answers = _restrict_to_database(
-            evaluate_ucq(omq.query, result.instance, stats=stats), database
+        result = chase(
+            database, tgds, strategy=chase_strategy, stats=stats, budget=budget
         )
+        if not result.terminated and budget is None:  # pragma: no cover
+            raise RuntimeError("chase strategy selected but chase did not terminate")
+        # Post-trip answer extraction runs under a *grace* budget (same
+        # deadline duration, fresh clock), bounding the total wall time of
+        # a governed call by twice the deadline.
+        eval_budget = budget.grace() if result.trip_reason else budget
+        raw, eval_trip = _evaluate_partial(
+            omq.query, result.instance, stats=stats, budget=eval_budget
+        )
+        trip = result.trip_reason or eval_trip
         return OMQAnswer(
-            answers, True, "chase", f"{len(result.instance)} atoms", stats=stats
+            _restrict_to_database(raw, database),
+            trip is None,
+            "chase",
+            f"{len(result.instance)} atoms",
+            stats=stats,
+            trip=trip,
         )
 
     if strategy == "rewrite":
-        rewriting = rewrite_ucq(omq.query, tgds)
-        answers = evaluate_ucq(rewriting, database, stats=stats)
+        trip = None
+        try:
+            rewriting = rewrite_ucq(omq.query, tgds, budget=budget)
+        except BudgetExceeded as exc:
+            # Partial rewritings are sound: each derived CQ's answers over D
+            # are certain answers.  Evaluate what we have under grace.
+            if budget is None or exc.partial is None:
+                raise
+            rewriting = exc.partial
+            trip = exc.code
+            exc.attach(stats=stats)
+        eval_budget = budget.grace() if trip and budget is not None else budget
+        answers, eval_trip = _evaluate_partial(
+            rewriting, database, stats=stats, budget=eval_budget
+        )
+        trip = trip or eval_trip
         return OMQAnswer(
-            answers, True, "rewrite", f"{len(rewriting)} CQs", stats=stats
+            answers,
+            trip is None,
+            "rewrite",
+            f"{len(rewriting)} CQs",
+            stats=stats,
+            trip=trip,
         )
 
     if strategy == "guarded":
@@ -130,18 +202,29 @@ def certain_answers(
             2, omq.query.max_cq_variables()
         )
         expansion = saturated_expansion(
-            database, tgds, unfold=calibration, max_nodes=max_nodes
+            database,
+            tgds,
+            unfold=calibration,
+            max_nodes=max_nodes,
+            stats=stats,
+            budget=budget,
         )
-        answers = _restrict_to_database(
-            evaluate_ucq(omq.query, expansion.instance, stats=stats), database
+        eval_budget = (
+            budget.grace() if expansion.trip_reason and budget is not None
+            else budget
         )
+        raw, eval_trip = _evaluate_partial(
+            omq.query, expansion.instance, stats=stats, budget=eval_budget
+        )
+        trip = expansion.trip_reason or eval_trip
         return OMQAnswer(
-            answers,
-            expansion.provably_exact,
+            _restrict_to_database(raw, database),
+            expansion.provably_exact and trip is None,
             "guarded",
             f"{expansion.nodes} nodes, unfold={calibration}, "
             f"blocked={expansion.blocked}",
             stats=stats,
+            trip=trip,
         )
 
     if strategy == "bounded":
@@ -151,16 +234,22 @@ def certain_answers(
             max_level=level_bound,
             strategy=chase_strategy,
             stats=stats,
+            budget=budget,
         )
-        answers = _restrict_to_database(
-            evaluate_ucq(omq.query, result.instance, stats=stats), database
+        tripped = result.trip_reason in _TRIP_CODES
+        eval_budget = budget.grace() if tripped and budget is not None else budget
+        raw, eval_trip = _evaluate_partial(
+            omq.query, result.instance, stats=stats, budget=eval_budget
         )
+        trip = result.trip_reason if tripped else None
+        trip = trip or eval_trip
         return OMQAnswer(
-            answers,
-            result.terminated,
+            _restrict_to_database(raw, database),
+            result.terminated and trip is None,
             "bounded",
             f"level ≤ {level_bound}, {len(result.instance)} atoms",
             stats=stats,
+            trip=trip,
         )
 
     raise ValueError(f"unknown strategy {strategy!r}")

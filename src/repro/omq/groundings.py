@@ -32,11 +32,12 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Sequence
 
-from ..datamodel import Atom, Instance, Variable, find_homomorphism
+from ..datamodel import Atom, EvalStats, Instance, Variable, find_homomorphism
 from ..queries import CQ, UCQ, dedupe_isomorphic, prune_subsumed, specializations
 from ..tgds import TGD, all_guarded, schema_of
 from ..treewidth import in_cq_k
 from ..chase import saturated_expansion
+from ..governance import Budget
 from .omq import OMQ
 
 __all__ = [
@@ -114,12 +115,16 @@ def sigma_groundings(
     tgds: Sequence[TGD],
     *,
     max_candidates: int = 5_000,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> list[CQ]:
     """All Σ-groundings of the specialization ``(query, v)`` (Def C.3).
 
     Each grounding is returned as a CQ with the same answer variables as
     *query*: the ``V``-part atoms ``q|V`` stay, each [V]-connected
     component is replaced by a guarded full CQ that Σ-entails it.
+    *stats* accumulates the expansion/homomorphism work (E18 reports it);
+    *budget* governs the candidate entailment checks.
     """
     tgds = list(tgds)
     if not all_guarded(tgds):
@@ -150,11 +155,21 @@ def sigma_groundings(
             }
             renamed_atoms = [a.apply(renaming) for a in candidate.atoms]
             expansion = saturated_expansion(
-                Instance(renamed_atoms), tgds, unfold=len(component) + 1
+                Instance(renamed_atoms),
+                tgds,
+                unfold=len(component) + 1,
+                stats=stats,
+                budget=budget,
             )
             fixed = {var: var for var in shared}
             if (
-                find_homomorphism(component, expansion.instance, fixed=fixed)
+                find_homomorphism(
+                    component,
+                    expansion.instance,
+                    fixed=fixed,
+                    stats=stats,
+                    budget=budget,
+                )
                 is not None
             ):
                 head = tuple(
@@ -178,7 +193,12 @@ def sigma_groundings(
 
 
 def omq_ucq_k_approximation(
-    omq: OMQ, k: int, *, max_specializations: int = 2_000
+    omq: OMQ,
+    k: int,
+    *,
+    max_specializations: int = 2_000,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
 ) -> OMQ | None:
     """``Q^a_k`` per Definition C.6 (for guarded, small-schema OMQs).
 
@@ -202,7 +222,9 @@ def omq_ucq_k_approximation(
             count += 1
             if count > max_specializations:
                 break
-            for grounding in sigma_groundings(contraction, v, tgds):
+            for grounding in sigma_groundings(
+                contraction, v, tgds, stats=stats, budget=budget
+            ):
                 if in_cq_k(grounding, k):
                     disjuncts.append(grounding)
     disjuncts = dedupe_isomorphic(disjuncts)

@@ -22,6 +22,9 @@ from ..datamodel import (
 )
 from .cq import CQ, UCQ
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from ..governance import Budget
+
 __all__ = [
     "evaluate_cq",
     "evaluate_ucq",
@@ -33,40 +36,62 @@ __all__ = [
 
 
 def iter_answers(
-    query: CQ, database: Instance, *, stats: EvalStats | None = None
+    query: CQ,
+    database: Instance,
+    *,
+    stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
 ) -> Iterator[tuple[Term, ...]]:
-    """Yield answers to *query* over *database* (possibly with repeats)."""
-    for hom in find_homomorphisms(query.atoms, database, stats=stats):
+    """Yield answers to *query* over *database* (possibly with repeats).
+
+    A governed run may raise :class:`~repro.governance.BudgetExceeded`
+    mid-enumeration; every answer already yielded remains valid.
+    """
+    for hom in find_homomorphisms(
+        query.atoms, database, stats=stats, budget=budget
+    ):
         yield tuple(hom[v] for v in query.head)
 
 
 def evaluate_cq(
-    query: CQ, database: Instance, *, stats: EvalStats | None = None
+    query: CQ,
+    database: Instance,
+    *,
+    stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
 ) -> set[tuple[Term, ...]]:
     """``q(D)`` for a CQ — the set of all answers (Section 2).
 
     For a Boolean query the result is ``{()}`` or ``∅``.
     """
-    return set(iter_answers(query, database, stats=stats))
+    return set(iter_answers(query, database, stats=stats, budget=budget))
 
 
 def evaluate_ucq(
-    query: UCQ, database: Instance, *, stats: EvalStats | None = None
+    query: UCQ,
+    database: Instance,
+    *,
+    stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
 ) -> set[tuple[Term, ...]]:
     """``q(D)`` for a UCQ — the union of the disjuncts' answers."""
     answers: set[tuple[Term, ...]] = set()
     for cq in query.disjuncts:
-        answers |= evaluate_cq(cq, database, stats=stats)
+        answers |= evaluate_cq(cq, database, stats=stats, budget=budget)
     return answers
 
 
 def evaluate(
-    query: CQ | UCQ, database: Instance, *, stats: EvalStats | None = None
+    query: CQ | UCQ,
+    database: Instance,
+    *,
+    stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
 ) -> set[tuple[Term, ...]]:
     """Dispatch on CQ vs UCQ."""
     if isinstance(query, UCQ):
-        return evaluate_ucq(query, database, stats=stats)
-    return evaluate_cq(query, database, stats=stats)
+        return evaluate_ucq(query, database, stats=stats, budget=budget)
+    return evaluate_cq(query, database, stats=stats, budget=budget)
 
 
 def is_answer(

@@ -15,9 +15,11 @@ from .decomposition import (
     subgraph,
 )
 from .exact import (
+    TreewidthEstimate,
     TreewidthLimitError,
     has_treewidth_at_most,
     treewidth_exact,
+    treewidth_governed,
 )
 from .heuristics import (
     decompose_min_fill,
@@ -42,6 +44,7 @@ __all__ = [
     "is_guarded_acyclic",
     "Graph",
     "TreeDecomposition",
+    "TreewidthEstimate",
     "TreewidthLimitError",
     "cq_treewidth",
     "decompose_min_fill",
@@ -58,6 +61,7 @@ __all__ = [
     "paper_treewidth",
     "subgraph",
     "treewidth_exact",
+    "treewidth_governed",
     "treewidth_upper_bound",
     "ucq_treewidth",
 ]

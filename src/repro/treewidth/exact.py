@@ -15,12 +15,20 @@ only need an upper bound should use :mod:`repro.treewidth.heuristics`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Hashable, Mapping
 
+from ..governance import Budget, BudgetExceeded
 from .decomposition import is_forest
 from .heuristics import treewidth_upper_bound
 
-__all__ = ["treewidth_exact", "has_treewidth_at_most", "TreewidthLimitError"]
+__all__ = [
+    "treewidth_exact",
+    "treewidth_governed",
+    "TreewidthEstimate",
+    "has_treewidth_at_most",
+    "TreewidthLimitError",
+]
 
 #: Default maximum vertex count for exact computation.
 DEFAULT_EXACT_LIMIT = 20
@@ -50,14 +58,23 @@ def _effective_degree(
     return len(reached)
 
 
-def has_treewidth_at_most(graph: Mapping, width: int) -> bool:
-    """Decide ``tw(G) ≤ width`` by memoised elimination-order search."""
+def has_treewidth_at_most(
+    graph: Mapping, width: int, *, budget: Budget | None = None
+) -> bool:
+    """Decide ``tw(G) ≤ width`` by memoised elimination-order search.
+
+    A governed run checks *budget* once per search node (the
+    ``"treewidth-branch"`` site) and lets the trip propagate — the caller
+    (:func:`treewidth_governed`) falls back to a heuristic upper bound.
+    """
     vertices = frozenset(graph)
     if len(vertices) <= width + 1:
         return True
     failed: set[frozenset] = set()
 
     def search(remaining: frozenset) -> bool:
+        if budget is not None:
+            budget.check("treewidth-branch")
         if len(remaining) <= width + 1:
             return True
         if remaining in failed:
@@ -85,12 +102,14 @@ def has_treewidth_at_most(graph: Mapping, width: int) -> bool:
 
 
 def treewidth_exact(
-    graph: Mapping, *, limit: int = DEFAULT_EXACT_LIMIT
+    graph: Mapping, *, limit: int = DEFAULT_EXACT_LIMIT, budget: Budget | None = None
 ) -> int:
     """The exact treewidth (standard definition: edgeless graphs have tw 0).
 
     Raises :class:`TreewidthLimitError` for graphs larger than *limit*
-    vertices — use the heuristics for those.
+    vertices — use the heuristics for those.  A governed run raises the
+    budget trip; :func:`treewidth_governed` wraps this with a heuristic
+    fallback instead.
     """
     if not graph:
         return 0
@@ -106,7 +125,45 @@ def treewidth_exact(
     upper = treewidth_upper_bound(graph)
     width = 2  # forests were handled above, so tw ≥ 2 here
     while width < upper:
-        if has_treewidth_at_most(graph, width):
+        if has_treewidth_at_most(graph, width, budget=budget):
             return width
         width += 1
     return upper
+
+
+@dataclass(frozen=True)
+class TreewidthEstimate:
+    """A treewidth value together with how trustworthy it is.
+
+    ``exact=True`` means ``width`` *is* the treewidth; otherwise it is a
+    min-fill upper bound (``tw(G) ≤ width``), with ``method`` naming why the
+    exact search was abandoned ("size limit" or a budget trip code).
+    """
+
+    width: int
+    exact: bool
+    method: str
+
+
+def treewidth_governed(
+    graph: Mapping,
+    *,
+    limit: int = DEFAULT_EXACT_LIMIT,
+    budget: Budget | None = None,
+) -> TreewidthEstimate:
+    """Exact treewidth with graceful degradation to a heuristic bound.
+
+    Never raises on resource exhaustion: a graph past *limit* vertices or a
+    budget trip mid-search yields the min-fill upper bound, flagged
+    ``exact=False`` so callers cannot mistake it for the true width.
+    """
+    try:
+        return TreewidthEstimate(
+            treewidth_exact(graph, limit=limit, budget=budget), True, "exact"
+        )
+    except TreewidthLimitError:
+        return TreewidthEstimate(
+            treewidth_upper_bound(graph), False, "size limit"
+        )
+    except BudgetExceeded as exc:
+        return TreewidthEstimate(treewidth_upper_bound(graph), False, exc.code)

@@ -1,0 +1,220 @@
+"""Budget semantics: deadlines, caps, cancellation, injection, grace.
+
+These tests pin the governor's contract with an injectable clock — no
+sleeping, no flakiness: a deadline trip is triggered by advancing fake
+time, never by the wall clock of the test machine.
+"""
+
+import pytest
+
+from repro.governance import (
+    AtomBudgetExceeded,
+    Budget,
+    BudgetExceeded,
+    Cancelled,
+    DeadlineExceeded,
+    StepBudgetExceeded,
+    TRIP_CODES,
+    trip_exception,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_trips_only_after_deadline(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock)
+        budget.check("trigger-fire")
+        clock.advance(9.0)
+        budget.check("trigger-fire")
+        assert not budget.expired
+        clock.advance(2.0)
+        assert budget.expired
+        with pytest.raises(DeadlineExceeded) as info:
+            budget.check("trigger-fire")
+        assert info.value.code == "deadline"
+        assert info.value.site == "trigger-fire"
+
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock)
+        clock.advance(4.0)
+        assert budget.elapsed() == pytest.approx(4.0)
+        assert budget.remaining() == pytest.approx(6.0)
+
+    def test_no_deadline_never_expires(self):
+        clock = FakeClock()
+        budget = Budget(clock=clock)
+        clock.advance(1e9)
+        assert not budget.expired
+        assert budget.remaining() is None
+        budget.check("anywhere")
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(deadline=-1.0)
+
+
+class TestAtomAndStepBudgets:
+    def test_atom_budget(self):
+        budget = Budget(max_atoms=100)
+        budget.check("trigger-fire", atoms=99)
+        with pytest.raises(AtomBudgetExceeded) as info:
+            budget.check("trigger-fire", atoms=100)
+        assert info.value.code == "atom budget"
+
+    def test_atoms_ignored_without_cap(self):
+        Budget().check("trigger-fire", atoms=10**9)
+
+    def test_step_budget(self):
+        budget = Budget(max_steps=3)
+        for _ in range(3):
+            budget.check("rewrite-step")
+        with pytest.raises(StepBudgetExceeded) as info:
+            budget.check("rewrite-step")
+        assert info.value.code == "step budget"
+
+    def test_non_step_checks_are_free(self):
+        budget = Budget(max_steps=1)
+        for _ in range(10):
+            budget.check("peek", step=False)
+        assert budget.steps == 0
+        assert budget.checks == 10
+
+
+class TestCancellation:
+    def test_cancel_trips_next_check(self):
+        budget = Budget()
+        budget.check("trigger-fire")
+        budget.cancel("user hit ^C")
+        assert budget.cancelled
+        with pytest.raises(Cancelled, match="user hit"):
+            budget.check("trigger-fire")
+
+
+class TestInjection:
+    def test_nth_check_globally(self):
+        budget = Budget()
+        budget.inject(3)
+        budget.check("a")
+        budget.check("b")
+        with pytest.raises(Cancelled):
+            budget.check("c")
+
+    def test_site_filtered(self):
+        budget = Budget()
+        budget.inject(2, site="hom-backtrack")
+        budget.check("trigger-fire")
+        budget.check("hom-backtrack")
+        budget.check("trigger-fire")
+        with pytest.raises(Cancelled) as info:
+            budget.check("hom-backtrack")
+        assert info.value.site == "hom-backtrack"
+
+    def test_counts_from_now_not_from_construction(self):
+        budget = Budget()
+        for _ in range(5):
+            budget.check("warmup")
+        budget.inject(1)
+        with pytest.raises(Cancelled):
+            budget.check("warmup")
+
+    def test_one_shot(self):
+        budget = Budget()
+        budget.inject(1)
+        with pytest.raises(Cancelled):
+            budget.check("a")
+        budget.check("a")  # the injection does not re-fire
+
+    def test_custom_exception_class(self):
+        budget = Budget()
+        budget.inject(1, exc=DeadlineExceeded)
+        with pytest.raises(DeadlineExceeded):
+            budget.check("a")
+
+    def test_custom_exception_instance(self):
+        budget = Budget()
+        exc = AtomBudgetExceeded("boom")
+        budget.inject(1, exc=exc)
+        with pytest.raises(AtomBudgetExceeded) as info:
+            budget.check("somewhere")
+        assert info.value is exc
+        assert info.value.site == "somewhere"
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            Budget().inject(0)
+
+
+class TestGrace:
+    def test_same_deadline_duration_fresh_clock(self):
+        clock = FakeClock()
+        budget = Budget(deadline=5.0, clock=clock)
+        clock.advance(6.0)
+        assert budget.expired
+        fresh = budget.grace()
+        assert not fresh.expired
+        assert fresh.remaining() == pytest.approx(5.0)
+
+    def test_drops_caps_and_injection(self):
+        budget = Budget(max_atoms=1, max_steps=1)
+        budget.inject(1)
+        fresh = budget.grace()
+        fresh.check("a", atoms=10**6)
+        fresh.check("a")  # would exceed max_steps=1 on the original
+
+    def test_explicit_seconds(self):
+        clock = FakeClock()
+        fresh = Budget(deadline=5.0, clock=clock).grace(1.0)
+        assert fresh.remaining() == pytest.approx(1.0)
+
+
+class TestExceptionProtocol:
+    def test_trip_codes_cover_all_subclasses(self):
+        assert set(TRIP_CODES) == {
+            "deadline",
+            "atom budget",
+            "step budget",
+            "cancelled",
+        }
+        for code, cls in TRIP_CODES.items():
+            assert cls.code == code
+            assert issubclass(cls, BudgetExceeded)
+
+    def test_trip_exception_maps_codes(self):
+        exc = trip_exception("deadline", "late")
+        assert isinstance(exc, DeadlineExceeded)
+        assert isinstance(trip_exception("unknown code", "eh"), BudgetExceeded)
+
+    def test_attach_first_frame_wins(self):
+        exc = BudgetExceeded("x")
+        exc.attach(partial="inner", stats="inner-stats")
+        exc.attach(partial="outer", stats="outer-stats")
+        assert exc.partial == "inner"
+        assert exc.stats == "inner-stats"
+
+    def test_attach_fills_gaps(self):
+        exc = BudgetExceeded("x")
+        exc.attach(partial="inner")
+        exc.attach(stats="outer-stats")
+        assert exc.partial == "inner"
+        assert exc.stats == "outer-stats"
+
+    def test_site_counts_telemetry(self):
+        budget = Budget()
+        budget.check("a")
+        budget.check("a")
+        budget.check("b")
+        assert budget.site_counts["a"] == 2
+        assert budget.site_counts["b"] == 1
+        assert budget.checks == 3

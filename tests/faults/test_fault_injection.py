@@ -1,0 +1,296 @@
+"""Fault injection at every governor check site.
+
+Each test sweeps ``Budget.inject`` over a range of check counts at one
+site and asserts the *partial-result consistency* contract: whatever a
+governed procedure hands back (or attaches to the trip exception) after
+being interrupted at an arbitrary check is sound — a chase prefix maps
+homomorphically into the real chase, partial rewritings under-approximate
+the certain answers, the treewidth fallback is a genuine upper bound.
+"""
+
+import time
+
+import pytest
+
+from repro.chase import (
+    chase,
+    ground_saturation,
+    restricted_chase,
+    rewrite_ucq,
+    saturated_expansion,
+)
+from repro.datamodel import (
+    Instance,
+    find_homomorphisms,
+    instance_homomorphism,
+    is_homomorphism,
+)
+from repro.fc import finite_witness
+from repro.governance import Budget, BudgetExceeded, Cancelled
+from repro.omq import OMQ, certain_answers
+from repro.queries import evaluate_ucq, parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgds
+from repro.treewidth import treewidth_exact, treewidth_governed
+
+INJECTION_POINTS = (1, 2, 5, 25)
+
+#: Terminating: the employment ontology over a small database.
+TERMINATING = parse_tgds(
+    [
+        "Emp(x) -> Person(x)",
+        "Mgr(x) -> Emp(x)",
+        "Emp(x) -> WorksFor(x, y)",
+        "WorksFor(x, y) -> Comp(y)",
+    ]
+)
+DB = parse_database("Emp(ada)\nMgr(grace)\nWorksFor(ada, initech)")
+
+#: Non-terminating: every employee reports to a (fresh) manager, forever.
+DIVERGING = parse_tgds(
+    ["Emp(x) -> ReportsTo(x, y)", "ReportsTo(x, y) -> Emp(y)"]
+)
+
+#: Guarded with an infinite chase (for the type table / expansion sites).
+GUARDED = parse_tgds(["R(x, y) -> R(y, z)", "R(x, y) -> T(x)"])
+GUARDED_DB = parse_database("R(a, b)\nR(b, c)")
+
+
+def _fixed_on(database: Instance) -> dict:
+    return {c: c for c in database.dom()}
+
+
+def _maps_into(partial: Instance, reference: Instance, database: Instance) -> bool:
+    """Partial chase soundness: a hom into the reference fixing dom(D)."""
+    return (
+        instance_homomorphism(
+            partial, reference, fixed=_fixed_on(database)
+        )
+        is not None
+    )
+
+
+class TestTriggerFire:
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_prefix_maps_into_full_chase(self, n):
+        reference = chase(DB, TERMINATING).instance
+        budget = Budget()
+        budget.inject(n, site="trigger-fire")
+        result = chase(DB, TERMINATING, budget=budget)
+        if result.terminated:
+            # Fewer than n trigger fires in the whole run: nothing injected.
+            assert budget.site_counts["trigger-fire"] < n
+            return
+        assert result.trip_reason == "cancelled"
+        assert not result.complete
+        assert _maps_into(result.instance, reference, DB)
+        assert DB.atoms() <= result.instance.atoms()
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_prefix_of_diverging_chase_is_sound(self, n):
+        reference = chase(DB, DIVERGING, max_level=n + 4).instance
+        budget = Budget()
+        budget.inject(n, site="trigger-fire")
+        result = chase(DB, DIVERGING, budget=budget)
+        assert result.trip_reason == "cancelled"
+        assert _maps_into(result.instance, reference, DB)
+
+
+class TestRestrictedFire:
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_prefix_maps_into_full_restricted_chase(self, n):
+        reference = restricted_chase(DB, TERMINATING).instance
+        budget = Budget()
+        budget.inject(n, site="restricted-fire")
+        result = restricted_chase(DB, TERMINATING, budget=budget)
+        if result.terminated:
+            assert budget.site_counts["restricted-fire"] < n
+            return
+        assert result.trip_reason == "cancelled"
+        assert _maps_into(result.instance, reference, DB)
+
+
+class TestHomBacktrack:
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_yielded_homs_are_valid(self, n):
+        instance = chase(DB, TERMINATING).instance
+        query = parse_cq("q(x, y) :- Person(x), WorksFor(x, y)")
+        budget = Budget()
+        budget.inject(n, site="hom-backtrack")
+        found = []
+        tripped = False
+        try:
+            for hom in find_homomorphisms(query.atoms, instance, budget=budget):
+                found.append(hom)
+        except Cancelled:
+            tripped = True
+        if not tripped:
+            assert budget.site_counts["hom-backtrack"] < n
+        for hom in found:
+            assert is_homomorphism(hom, query.atoms, instance)
+
+
+class TestRewriteStep:
+    LINEAR = parse_tgds(
+        ["Emp(x) -> WorksFor(x, y)", "WorksFor(x, y) -> Comp(y)"]
+    )
+    QUERY = parse_ucq("q(x) :- WorksFor(x, y), Comp(y)")
+    DATA = parse_database("Emp(ada)\nWorksFor(bob, initech)")
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_partial_rewriting_is_sound(self, n):
+        budget = Budget()
+        budget.inject(n, site="rewrite-step")
+        try:
+            partial = rewrite_ucq(self.QUERY, self.LINEAR, budget=budget)
+        except BudgetExceeded as exc:
+            partial = exc.partial
+            assert partial is not None and len(partial) >= 1
+        else:
+            assert budget.site_counts["rewrite-step"] < n
+        # Sound under-approximation: partial answers ⊆ certain answers.
+        certain = chase(self.DATA, self.LINEAR).instance
+        dom = self.DATA.dom()
+        reference = {
+            t
+            for t in evaluate_ucq(self.QUERY, certain)
+            if all(c in dom for c in t)
+        }
+        assert evaluate_ucq(partial, self.DATA) <= reference
+
+
+class TestTreewidthBranch:
+    #: 3×3 grid: treewidth 3, large enough for a real branch search.
+    GRID = {
+        (i, j): [
+            (i + di, j + dj)
+            for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1))
+            if (i + di, j + dj) in [(a, b) for a in range(3) for b in range(3)]
+        ]
+        for i in range(3)
+        for j in range(3)
+    }
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_fallback_is_an_upper_bound(self, n):
+        exact = treewidth_exact(self.GRID)
+        budget = Budget()
+        budget.inject(n, site="treewidth-branch")
+        estimate = treewidth_governed(self.GRID, budget=budget)
+        if estimate.exact:
+            assert budget.site_counts["treewidth-branch"] < n
+            assert estimate.width == exact
+            return
+        assert estimate.method == "cancelled"
+        assert estimate.width >= exact
+
+    def test_untripped_run_is_exact(self):
+        estimate = treewidth_governed(self.GRID, budget=Budget())
+        assert estimate.exact and estimate.method == "exact"
+        assert estimate.width == treewidth_exact(self.GRID)
+
+
+class TestTypeTable:
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_partial_ground_saturation_is_a_subset(self, n):
+        full = ground_saturation(GUARDED_DB, GUARDED)
+        budget = Budget()
+        budget.inject(n, site="type-table")
+        try:
+            partial = ground_saturation(GUARDED_DB, GUARDED, budget=budget)
+        except BudgetExceeded as exc:
+            partial = exc.partial
+            assert partial is not None
+        # Ground atoms are over dom(D) constants: literally comparable.
+        assert partial.atoms() <= full.atoms()
+        assert GUARDED_DB.atoms() <= partial.atoms()
+
+
+class TestExpansionNode:
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_truncated_expansion_is_sound(self, n):
+        budget = Budget()
+        budget.inject(n, site="expansion-node")
+        result = saturated_expansion(GUARDED_DB, GUARDED, budget=budget)
+        if result.trip_reason is None:
+            assert budget.site_counts["expansion-node"] < n
+            return
+        assert result.truncated and not result.provably_exact
+        assert result.trip_reason == "cancelled"
+        reference = chase(GUARDED_DB, GUARDED, max_level=16).instance
+        assert _maps_into(result.instance, reference, GUARDED_DB)
+
+
+class TestWitnessAttempt:
+    def test_injection_aborts_the_retry_loop(self):
+        budget = Budget()
+        budget.inject(1, site="witness-attempt")
+        with pytest.raises(Cancelled):
+            finite_witness(GUARDED_DB, GUARDED, 1, budget=budget)
+
+
+class TestGovernedCertainAnswers:
+    """ISSUE acceptance: governed evaluation returns, never raises."""
+
+    def _omq(self, tgds, query):
+        return OMQ.with_full_data_schema(list(tgds), parse_ucq(query))
+
+    def test_deadline_returns_partial_within_twice_deadline(self):
+        omq = self._omq(DIVERGING, "q(x) :- Emp(x)")
+        db = parse_database("Emp(alice)")
+        deadline = 0.5
+        start = time.perf_counter()
+        answer = certain_answers(
+            omq, db, strategy="chase", budget=Budget(deadline=deadline)
+        )
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2 * deadline + 0.5  # grace-bounded, plus slack
+        assert not answer.complete
+        assert answer.trip == "deadline"
+        assert ("alice",) in answer.answers  # sound positive survives
+        assert answer.stats.triggers_fired > 0  # stats populated
+
+    def test_atom_budget_returns_partial(self):
+        omq = self._omq(DIVERGING, "q(x) :- Emp(x)")
+        db = parse_database("Emp(alice)")
+        answer = certain_answers(
+            omq, db, strategy="chase", budget=Budget(max_atoms=200)
+        )
+        assert not answer.complete
+        assert answer.trip == "atom budget"
+        assert ("alice",) in answer.answers
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_rewrite_strategy_degrades(self, n):
+        tgds = parse_tgds(["R(x, y) -> R(y, z)"])
+        omq = self._omq(tgds, "q(x) :- R(x, y)")
+        db = parse_database("R(a, b)")
+        budget = Budget()
+        budget.inject(n, site="rewrite-step")
+        answer = certain_answers(omq, db, strategy="rewrite", budget=budget)
+        if answer.trip is None:
+            assert budget.site_counts["rewrite-step"] < n
+            return
+        assert not answer.complete
+        # Sound: whatever was answered is a certain answer of the full OMQ.
+        reference = certain_answers(omq, db, strategy="rewrite")
+        assert answer.answers <= reference.answers
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_guarded_strategy_degrades(self, n):
+        omq = self._omq(GUARDED, "q(x) :- T(x)")
+        budget = Budget()
+        budget.inject(n, site="expansion-node")
+        answer = certain_answers(omq, GUARDED_DB, strategy="guarded", budget=budget)
+        if answer.trip is None:
+            assert budget.site_counts["expansion-node"] < n
+            return
+        assert not answer.complete
+        reference = certain_answers(omq, GUARDED_DB, strategy="guarded")
+        assert answer.answers <= reference.answers
+
+    def test_untripped_budget_changes_nothing(self):
+        omq = self._omq(TERMINATING, "q(x) :- Person(x)")
+        governed = certain_answers(omq, DB, budget=Budget(deadline=60.0))
+        free = certain_answers(omq, DB)
+        assert governed.answers == free.answers
+        assert governed.complete and governed.trip is None

@@ -1,0 +1,174 @@
+"""Differential suite: UCQ rewriting against chase-based evaluation.
+
+Proposition D.2: for linear single-head Σ, the perfect rewriting ``q'``
+satisfies ``q'(D) = q(chase(D, Σ))`` for every database D.  The two sides
+are computed by entirely independent code paths — the piece-rewriting
+fixpoint (:mod:`repro.chase.rewriting`) versus the chase engine plus plain
+UCQ evaluation — so random agreement is strong evidence for both.
+
+Two regimes:
+
+* **weakly acyclic** linear Σ: the chase terminates, both sides are exact,
+  answers must be *equal*;
+* **arbitrary** linear Σ (possibly infinite chase): a level-bounded chase
+  prefix is sound, so its answers must be a *subset* of the rewriting's
+  (which are the exact certain answers); and partial rewritings obtained
+  through a budget trip must under-approximate the full rewriting.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.chase import RewritingLimitError, chase, rewrite_ucq
+from repro.datamodel import Atom, Instance, Variable
+from repro.governance import Budget, BudgetExceeded
+from repro.queries import CQ, UCQ, evaluate_ucq
+from repro.tgds import TGD, is_weakly_acyclic
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+PREDS = [("P", 1), ("Q", 1), ("R", 2), ("S", 2)]
+CONSTANTS = ["a", "b", "c", "d"]
+VARNAMES = ["x", "y", "z"]
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def linear_tgds(draw):
+    """A linear single-head TGD: one body atom, one head atom, at most one
+    existential head variable — exactly the class rewrite_ucq accepts."""
+    body_pred, body_arity = draw(st.sampled_from(PREDS))
+    body_args = tuple(
+        Variable(draw(st.sampled_from(VARNAMES))) for _ in range(body_arity)
+    )
+    body_vars = sorted(set(body_args))
+    pool = list(body_vars)
+    if draw(st.booleans()):
+        pool.append(Variable("e"))
+    head_pred, head_arity = draw(st.sampled_from(PREDS))
+    head_args = tuple(draw(st.sampled_from(pool)) for _ in range(head_arity))
+    return TGD([Atom(body_pred, body_args)], [Atom(head_pred, head_args)])
+
+
+@st.composite
+def ground_atoms(draw):
+    pred, arity = draw(st.sampled_from(PREDS))
+    return Atom(pred, tuple(draw(st.sampled_from(CONSTANTS)) for _ in range(arity)))
+
+
+@st.composite
+def small_databases(draw):
+    return Instance(draw(st.lists(ground_atoms(), min_size=1, max_size=6)))
+
+
+@st.composite
+def small_queries(draw):
+    """A small connected-ish CQ with 0–1 answer variables."""
+    atom_count = draw(st.integers(min_value=1, max_value=2))
+    atoms = []
+    for _ in range(atom_count):
+        pred, arity = draw(st.sampled_from(PREDS))
+        atoms.append(
+            Atom(
+                pred,
+                tuple(
+                    Variable(draw(st.sampled_from(VARNAMES)))
+                    for _ in range(arity)
+                ),
+            )
+        )
+    variables = sorted(
+        {t for a in atoms for t in a.args}, key=lambda v: v.name
+    )
+    head_size = draw(st.integers(min_value=0, max_value=min(1, len(variables))))
+    head = tuple(variables[:head_size])
+    return CQ(head, atoms, name="q")
+
+
+def _rewrite(query, tgds):
+    """The rewriting, or None when it blows past the CQ cap (skip then)."""
+    try:
+        return rewrite_ucq(query, tgds, max_cqs=400)
+    except RewritingLimitError:
+        return None
+
+
+def _certain_via_chase(query, db, tgds, **chase_kwargs):
+    result = chase(db, tgds, **chase_kwargs)
+    dom = db.dom()
+    return {
+        t
+        for t in evaluate_ucq(UCQ.of(query), result.instance)
+        if all(c in dom for c in t)
+    }, result.terminated
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(
+    st.lists(linear_tgds(), min_size=1, max_size=3, unique_by=str),
+    small_databases(),
+    small_queries(),
+)
+def test_weakly_acyclic_rewrite_equals_chase(tgds, db, query):
+    """Terminating chase: rewrite-then-evaluate == chase-then-evaluate."""
+    assume(is_weakly_acyclic(tgds))
+    rewriting = _rewrite(query, tgds)
+    assume(rewriting is not None)
+    chase_answers, terminated = _certain_via_chase(query, db, tgds)
+    assert terminated
+    assert evaluate_ucq(rewriting, db) == chase_answers
+
+
+@SETTINGS
+@given(
+    st.lists(linear_tgds(), min_size=1, max_size=3, unique_by=str),
+    small_databases(),
+    small_queries(),
+)
+def test_bounded_chase_answers_are_subset_of_rewriting(tgds, db, query):
+    """Arbitrary linear Σ: a chase prefix is sound, the rewriting exact, so
+    prefix answers ⊆ rewriting answers — equality once the chase closed."""
+    rewriting = _rewrite(query, tgds)
+    assume(rewriting is not None)
+    rewrite_answers = evaluate_ucq(rewriting, db)
+    chase_answers, terminated = _certain_via_chase(
+        query, db, tgds, max_level=4, safety_cap=20_000
+    )
+    assert chase_answers <= rewrite_answers
+    if terminated:
+        assert chase_answers == rewrite_answers
+
+
+@SETTINGS
+@given(
+    st.lists(linear_tgds(), min_size=1, max_size=3, unique_by=str),
+    small_databases(),
+    small_queries(),
+    st.integers(min_value=1, max_value=12),
+)
+def test_partial_rewriting_underapproximates(tgds, db, query, steps):
+    """A budget-tripped rewriting is sound: its answers never exceed the
+    full rewriting's (and always contain the unrewritten query's)."""
+    full = _rewrite(query, tgds)
+    assume(full is not None)
+    budget = Budget()
+    budget.inject(steps, site="rewrite-step")
+    try:
+        partial = rewrite_ucq(query, tgds, max_cqs=400, budget=budget)
+    except BudgetExceeded as exc:
+        partial = exc.partial
+    assert partial is not None
+    partial_answers = evaluate_ucq(partial, db)
+    assert evaluate_ucq(UCQ.of(query), db) <= partial_answers
+    assert partial_answers <= evaluate_ucq(full, db)
