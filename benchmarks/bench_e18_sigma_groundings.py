@@ -16,6 +16,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 from harness import print_table, stats_columns, timed
 
+from repro.chase import ChaseCache
 from repro.omq import (
     OMQ,
     omq_contained_in,
@@ -56,8 +57,13 @@ def run() -> list[dict]:
         approx, build_seconds = timed(
             omq_ucq_k_approximation, omq, 1, stats=stats
         )
-        sound = approx is None or omq_contained_in(approx, omq)
-        equivalent = approx is not None and omq_contained_in(omq, approx)
+        # One cache per case: both containment directions chase the same
+        # canonical databases under the same Σ.
+        cache = ChaseCache()
+        sound = approx is None or omq_contained_in(approx, omq, cache=cache)
+        equivalent = approx is not None and omq_contained_in(
+            omq, approx, cache=cache
+        )
         assert sound and equivalent == expect_equivalent
         rows.append(
             {

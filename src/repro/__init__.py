@@ -27,12 +27,19 @@ hangs (see ``docs/resource_governance.md``).
 
 Quickstart::
 
-    from repro import parse_database, parse_tgds, parse_ucq, OMQ, certain_answers
+    from repro import Engine, parse_database, parse_tgds, parse_ucq
 
     db = parse_database("Emp(ada), WorksFor(ada, acme)")
     sigma = parse_tgds(["Emp(x) -> Person(x)", "WorksFor(x, y) -> Comp(y)"])
-    Q = OMQ.with_full_data_schema(sigma, parse_ucq("q(x) :- Person(x)"))
-    certain_answers(Q, db).answers   # {('ada',)}
+    engine = Engine(sigma)           # session: chase cache + governance policy
+    engine.certain_answers(parse_ucq("q(x) :- Person(x)"), db).answers
+    # {('ada',)} — repeated calls over the same D hit the chase cache
+
+The free functions remain available for one-shot use
+(``certain_answers(Q, db)``, ``chase(db, sigma)``); ``docs/api.md``
+documents the Engine session, the uniform ``budget=``/``stats=`` kwargs,
+the ``.complete``/``.trip``/``.stats`` result protocol, and
+``parallelism=``.
 """
 
 from .datamodel import (
@@ -59,12 +66,22 @@ from .queries import (
     parse_ucq,
 )
 from .tgds import TGD, parse_tgd, parse_tgds
-from .chase import chase, ground_saturation, linearize, rewrite_ucq, saturated_expansion
+from .chase import (
+    ChaseCache,
+    ChaseResult,
+    chase,
+    extend_chase,
+    ground_saturation,
+    linearize,
+    rewrite_ucq,
+    saturated_expansion,
+)
 from .governance import Budget, BudgetExceeded
 from .treewidth import cq_treewidth, in_cq_k, in_ucq_k, ucq_treewidth
-from .omq import OMQ, certain_answers, evaluate_fpt, is_certain_answer
+from .omq import OMQ, OMQAnswer, certain_answers, evaluate_fpt, is_certain_answer
 from .cqs import CQS, is_uniformly_ucq_k_equivalent, ucq_k_approximation
 from .semantic import in_cq_k_equiv, semantic_treewidth
+from .engine import Engine
 
 __version__ = "0.1.0"
 
@@ -74,10 +91,14 @@ __all__ = [
     "BudgetExceeded",
     "CQ",
     "CQS",
+    "ChaseCache",
+    "ChaseResult",
     "Database",
+    "Engine",
     "Instance",
     "Null",
     "OMQ",
+    "OMQAnswer",
     "Schema",
     "TGD",
     "UCQ",
@@ -89,6 +110,7 @@ __all__ = [
     "evaluate",
     "evaluate_fpt",
     "evaluate_td",
+    "extend_chase",
     "fresh_null",
     "ground_saturation",
     "in_cq_k",

@@ -6,6 +6,7 @@ from .ontologies import (
     inclusion_chain,
     recursive_guarded_ontology,
     reversal_constraints,
+    sharded_ontology,
 )
 from .workloads import (
     chain_database,
@@ -15,6 +16,7 @@ from .workloads import (
     inflated_triangle_cq,
     path_cq,
     random_binary_database,
+    sharded_database,
 )
 
 __all__ = [
@@ -32,4 +34,6 @@ __all__ = [
     "random_binary_database",
     "recursive_guarded_ontology",
     "reversal_constraints",
+    "sharded_database",
+    "sharded_ontology",
 ]

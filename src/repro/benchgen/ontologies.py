@@ -19,6 +19,7 @@ __all__ = [
     "inclusion_chain",
     "recursive_guarded_ontology",
     "reversal_constraints",
+    "sharded_ontology",
 ]
 
 
@@ -70,3 +71,21 @@ def recursive_guarded_ontology() -> list[TGD]:
 def reversal_constraints(preds: tuple[str, ...] = ("E",)) -> list[TGD]:
     """Symmetric-closure constraints ``P(x,y) → Pr(y,x)`` per predicate."""
     return parse_tgds([f"{p}(x, y) -> {p}r(y, x)" for p in preds])
+
+
+def sharded_ontology(shards: int, depth: int) -> list[TGD]:
+    """*shards* independent composition towers of *depth* full TGDs each.
+
+    Shard ``s`` is ``R{s}_{i}(x,y), R{s}_{i}(y,z) → R{s}_{i+1}(x,z)`` for
+    ``i < depth`` — full (no existentials, terminating) and touching only
+    its own predicates, so per level the trigger searches of distinct
+    shards are completely independent.  The designed workload for the
+    parallel chase (experiment E19): with ``parallelism=shards`` every
+    worker gets a genuinely disjoint slice of the level's work.
+    """
+    rules = [
+        f"R{s}_{i}(x, y), R{s}_{i}(y, z) -> R{s}_{i+1}(x, z)"
+        for s in range(shards)
+        for i in range(depth)
+    ]
+    return parse_tgds(rules)

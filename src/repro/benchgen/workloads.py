@@ -29,6 +29,7 @@ __all__ = [
     "random_binary_database",
     "chain_database",
     "employment_database",
+    "sharded_database",
 ]
 
 
@@ -101,6 +102,30 @@ def chain_database(length: int, pred: str = "E") -> Instance:
     return Instance(
         Atom(pred, (f"c{i}", f"c{i+1}")) for i in range(length)
     )
+
+
+def sharded_database(
+    shards: int, n_constants: int, n_atoms_per_shard: int, seed: int = 0
+) -> Instance:
+    """Random ``R{s}_0`` facts per shard — the E19 parallel-chase workload.
+
+    Pairs with :func:`repro.benchgen.ontologies.sharded_ontology`: shard
+    ``s``'s facts only ever trigger shard ``s``'s tower, so the per-level
+    trigger search splits into *shards* independent slices.  Constants are
+    shared across shards (irrelevant for independence — predicates differ).
+    """
+    rng = random.Random(seed)
+    constants = [f"c{i}" for i in range(n_constants)]
+    instance = Instance()
+    for s in range(shards):
+        added = 0
+        while added < n_atoms_per_shard:
+            atom = Atom(
+                f"R{s}_0", (rng.choice(constants), rng.choice(constants))
+            )
+            if instance.add(atom):
+                added += 1
+    return instance
 
 
 def employment_database(n_employees: int, n_companies: int, seed: int = 0) -> Instance:

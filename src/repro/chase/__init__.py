@@ -8,11 +8,13 @@ from .blocked import (
     ground_saturation,
     saturated_expansion,
 )
+from .cache import ChaseCache
 from .engine import (
     ChaseNonterminationError,
     ChaseResult,
     EvalStats,
     chase,
+    extend_chase,
     terminating_chase,
 )
 from .linearization import Linearization, TypeShape, linearize
@@ -26,9 +28,11 @@ from .rewriting import (
 )
 
 __all__ = [
+    "ChaseCache",
     "ChaseNonterminationError",
     "ChaseResult",
     "EvalStats",
+    "extend_chase",
     "Linearization",
     "RewritingLimitError",
     "SaturationResult",

@@ -1,0 +1,207 @@
+"""Cross-call chase memoisation: chase once, query many times.
+
+Repeated ``certain_answers`` calls over the same ``(D, Σ)`` — the shape of
+every CQS containment check, every minimization pass, and every benchmark
+sweep — re-chase from scratch even though ``chase(D, Σ)`` is unique up to
+isomorphism and the query layer only reads it.  A :class:`ChaseCache`
+memoises *terminated* :class:`~repro.chase.engine.ChaseResult`s keyed on
+the database's atom set, the TGD sequence, and the trigger strategy, with
+two levels of reuse:
+
+* **exact hit** — the same atom set again: return the cached result
+  outright (the 10×-class win the E03/E18 benchmarks measure);
+* **incremental extension** — the database *grew*: find the largest cached
+  strict subset under the same Σ, feed only the new atoms through
+  :func:`~repro.chase.engine.extend_chase` (sound because the cached
+  instance is Σ-closed), and cache the extended result too.
+
+Anything else is a miss and runs a fresh chase.  Only fixpoints are
+cached: a result cut short by a level/atom bound or a budget trip depends
+on *how* it was bounded, not just on ``(D, Σ)``, and must never be served
+as the chase — likewise calls carrying explicit ``max_level``/``max_atoms``
+bounds bypass the cache entirely.  Budgets are compatible with caching: a
+governed call that finishes within budget yields the same fixpoint as an
+ungoverned one, and a hit served to a governed call costs zero budget.
+
+Eviction is LRU with a bounded entry count.  The cache is lock-protected
+and may be shared across threads (one :class:`~repro.engine.Engine`
+session serving several callers), though a single chase's own workers
+never touch it — the cache sits strictly above the engine.
+
+Correctness contract (asserted by ``tests/test_chase_cache.py``): a hit is
+the *same object* previously computed; an extension has the same ground
+part, the same certain answers, and an isomorphic instance as the fresh
+chase of the grown database.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Sequence
+
+from ..datamodel import EvalStats, Instance
+from ..governance import Budget
+from ..tgds import TGD
+from .engine import ChaseResult, chase, extend_chase
+
+__all__ = ["ChaseCache"]
+
+#: Default maximum number of cached chase results.
+DEFAULT_MAX_ENTRIES = 128
+
+
+class ChaseCache:
+    """LRU cache of terminated chase results, with incremental extension.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on the number of cached results (LRU eviction beyond it).
+
+    Counters (``hits``, ``extensions``, ``misses``, ``stores``,
+    ``evictions``) are exposed for benchmarks and ``info()``; they count
+    :meth:`chase` outcomes, so one grown-database call increments
+    ``extensions`` and (on store) ``stores``.
+    """
+
+    def __init__(self, *, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, ChaseResult] = OrderedDict()
+        self.hits = 0
+        self.extensions = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # The lookup-or-compute entry point
+    # ------------------------------------------------------------------
+    def chase(
+        self,
+        database: Instance,
+        tgds: Sequence[TGD],
+        *,
+        strategy: str = "delta",
+        stats: EvalStats | None = None,
+        budget: Budget | None = None,
+        parallelism: int | None = 1,
+    ) -> ChaseResult:
+        """``chase(D, Σ)`` through the cache.
+
+        Semantics are identical to :func:`~repro.chase.engine.chase` with
+        no level/atom bounds: exact hits return the memoised result,
+        grown databases extend the best cached subset, and everything else
+        chases fresh.  Only terminated results enter the cache; a budget
+        trip is returned to the caller uncached.
+
+        *stats* accounts only the work this call actually performed — an
+        exact hit contributes nothing to it.
+        """
+        sigma = tuple(tgds)
+        atoms = database.atoms()
+        key = (sigma, strategy, atoms)
+
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            base_key, base = self._best_subset(sigma, strategy, atoms)
+
+        if base is not None:
+            self.extensions += 1
+            result = extend_chase(
+                base,
+                atoms - base_key[2],
+                sigma,
+                strategy=strategy,
+                stats=stats,
+                budget=budget,
+                parallelism=parallelism,
+            )
+        else:
+            self.misses += 1
+            result = chase(
+                database,
+                sigma,
+                strategy=strategy,
+                stats=stats,
+                budget=budget,
+                parallelism=parallelism,
+            )
+
+        if result.terminated:
+            with self._lock:
+                self._store(key, result)
+        return result
+
+    def _best_subset(
+        self, sigma: tuple, strategy: str, atoms: frozenset
+    ) -> tuple[tuple, ChaseResult | None]:
+        """Largest cached strict subset of *atoms* under the same Σ/strategy.
+
+        Caller holds the lock.  Linear in the entry count — fine at the
+        default size; the win of extending from the largest base is that
+        the fewest new triggers need enumerating.
+        """
+        best_key: tuple | None = None
+        best: ChaseResult | None = None
+        for key, result in self._entries.items():
+            if key[0] != sigma or key[1] != strategy:
+                continue
+            cached_atoms = key[2]
+            if cached_atoms < atoms and (
+                best_key is None or len(cached_atoms) > len(best_key[2])
+            ):
+                best_key, best = key, result
+        if best_key is not None:
+            self._entries.move_to_end(best_key)
+            return best_key, best
+        return (sigma, strategy, frozenset()), None
+
+    def _store(self, key: tuple, result: ChaseResult) -> None:
+        """Insert under the lock, evicting the LRU entry past the bound."""
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        self.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe history)."""
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> dict:
+        """Counters + size as a flat dict (for logs and benchmark JSON)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "extensions": self.extensions,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.info()
+        return (
+            f"ChaseCache<{info['entries']}/{info['max_entries']} entries, "
+            f"{info['hits']} hits, {info['extensions']} extensions, "
+            f"{info['misses']} misses>"
+        )

@@ -35,9 +35,30 @@ Two trigger-search strategies compute the same level-wise sequence:
   checks the delta engine against; both produce identical level maps and
   isomorphic instances.
 
-An :class:`~repro.datamodel.EvalStats` object (on ``ChaseResult.stats``)
-counts triggers enumerated/fired/deduped, homomorphism backtracks, and
-index probes, so benchmarks report work done, not just seconds.
+Parallel trigger firing
+-----------------------
+
+Each level's candidate triggers are materialised *before* any firing, so
+the trigger search of a level runs against a frozen instance — an
+embarrassingly parallel unit.  With ``parallelism=N`` (N > 1, or ``None``
+for the CPU count) the TGD list is sharded round-robin across a
+:class:`~concurrent.futures.ThreadPoolExecutor`; each worker enumerates
+its shard's triggers into a private candidate list with a private
+:class:`EvalStats`, and the coordinating thread merges the shards back
+into the *serial enumeration order* (a stable sort on the TGD index — each
+TGD lives in exactly one shard, so within-TGD order is preserved) before
+the usual fired-key dedupe and firing.  Consequences:
+
+* firing, null invention, and level assignment stay on one thread, in the
+  same order the serial engine would use — parallel and serial runs
+  produce identical level maps and isomorphic instances (asserted by
+  ``tests/oracle/test_parallel_determinism.py``);
+* a shared :class:`~repro.governance.Budget` is checked from worker
+  threads; its counters are lock-protected (see
+  :mod:`repro.governance.budget`), and a trip in any worker aborts the
+  level before a single trigger of that level fires;
+* small frontiers fall back to the serial search (``parallel_threshold``),
+  so the pool is only consulted when a level has enough work to shard.
 
 Termination: guaranteed for full TGDs and weakly acyclic sets; otherwise the
 caller must bound levels/atoms (the result records whether a fixpoint was
@@ -50,17 +71,25 @@ atom/step budgets, and cooperative cancellation, checked before every
 trigger firing (``"trigger-fire"``) and per candidate fact of the trigger
 search (``"hom-backtrack"``).  A governed run never raises on a trip — it
 returns the level-wise prefix built so far with ``terminated=False`` and
-``reason`` set to the machine-readable trip code (``result.trip_reason``).
+``reason`` set to the machine-readable trip code (``result.trip``).
 Head atoms of a trigger are added atomically between checks, so the prefix
 is always a consistent chase prefix: every atom has a valid trigger
 derivation from earlier atoms.
+
+Incremental extension: :func:`extend_chase` resumes a *terminated* chase
+after new database atoms arrive, feeding them as the delta frontier and
+reusing the fired-key set recorded on the base result — the machinery the
+cross-call :class:`~repro.chase.cache.ChaseCache` uses to avoid re-chasing
+a grown database from scratch.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..datamodel import (
     Atom,
@@ -79,7 +108,9 @@ __all__ = [
     "ChaseNonterminationError",
     "EvalStats",
     "chase",
+    "extend_chase",
     "terminating_chase",
+    "PARALLEL_MIN_WORK",
 ]
 
 #: Global safety cap: an unbounded chase that exceeds this many atoms raises.
@@ -87,6 +118,11 @@ DEFAULT_SAFETY_CAP = 1_000_000
 
 #: Trigger-search strategies accepted by :func:`chase`.
 STRATEGIES = ("delta", "naive")
+
+#: Minimum per-level work estimate (delta-or-instance size × TGDs with a
+#: body) before the trigger search is sharded across the worker pool; below
+#: it, dispatch overhead would dominate and the level runs serially.
+PARALLEL_MIN_WORK = 64
 
 
 class ChaseNonterminationError(RuntimeError):
@@ -119,6 +155,11 @@ class ChaseResult:
         The trigger-search strategy that produced this result.
     stats:
         Evaluation counters for the run (:class:`EvalStats`).
+    fired_keys:
+        The semi-oblivious (TGD index, frontier image) keys fired so far —
+        what :func:`extend_chase` needs to resume this run incrementally.
+    parallelism:
+        The worker count the run was configured with (1 = serial).
     """
 
     instance: Instance
@@ -130,6 +171,8 @@ class ChaseResult:
     original_dom: frozenset = field(default_factory=frozenset)
     strategy: str = "delta"
     stats: EvalStats = field(default_factory=EvalStats)
+    fired_keys: frozenset = field(default_factory=frozenset)
+    parallelism: int = 1
 
     @property
     def complete(self) -> bool:
@@ -137,9 +180,18 @@ class ChaseResult:
         return self.terminated
 
     @property
-    def trip_reason(self) -> str | None:
-        """The machine-readable stop reason for a cut-short run, else None."""
+    def trip(self) -> str | None:
+        """The machine-readable stop reason for a cut-short run, else None.
+
+        The uniform name shared with :class:`~repro.omq.evaluation.OMQAnswer`;
+        ``trip_reason`` remains as an alias.
+        """
         return None if self.terminated else self.reason
+
+    @property
+    def trip_reason(self) -> str | None:
+        """Alias of :attr:`trip` (the historical spelling)."""
+        return self.trip
 
     def atoms_up_to_level(self, level: int) -> Instance:
         """``chase^ℓ_s(D, Σ)`` — the prefix of atoms with level ≤ *level*."""
@@ -168,13 +220,17 @@ def _fire(
 
 
 def _delta_triggers(
-    tgds: Sequence[TGD],
+    pairs: Sequence[tuple[int, TGD]],
     instance: Instance,
     delta: Instance,
     stats: EvalStats,
     budget: Budget | None = None,
 ) -> Iterator[tuple[int, TGD, dict[Term, Term]]]:
     """Semi-naive trigger search: candidates seeded by the previous delta.
+
+    *pairs* carries each TGD together with its global index (the parallel
+    engine hands each worker a shard of the full list; the index keeps the
+    fired-key space and the merge order global).
 
     A trigger is new at this level iff its body image contains at least one
     delta atom.  For each TGD and each body position, every delta fact that
@@ -187,7 +243,7 @@ def _delta_triggers(
     levels either.
     """
     by_pred = delta.atoms_by_pred()
-    for tgd_index, tgd in enumerate(tgds):
+    for tgd_index, tgd in pairs:
         if not tgd.body:
             continue
         for pivot_index, pivot in enumerate(tgd.body):
@@ -215,7 +271,7 @@ def _delta_triggers(
 
 
 def _naive_triggers(
-    tgds: Sequence[TGD],
+    pairs: Sequence[tuple[int, TGD]],
     instance: Instance,
     stats: EvalStats,
     budget: Budget | None = None,
@@ -226,7 +282,7 @@ def _naive_triggers(
     differential suite compares the delta engine against.  The fired-key
     cache downstream discards the (many) re-enumerated triggers.
     """
-    for tgd_index, tgd in enumerate(tgds):
+    for tgd_index, tgd in pairs:
         if not tgd.body:
             continue
         for hom in find_homomorphisms(tgd.body, instance, stats=stats, budget=budget):
@@ -234,54 +290,105 @@ def _naive_triggers(
             yield tgd_index, tgd, hom
 
 
-def chase(
-    database: Instance,
-    tgds: Sequence[TGD],
-    *,
-    max_level: int | None = None,
-    max_atoms: int | None = None,
-    safety_cap: int = DEFAULT_SAFETY_CAP,
-    strategy: str = "delta",
-    stats: EvalStats | None = None,
-    budget: Budget | None = None,
-) -> ChaseResult:
-    """Run the level-wise oblivious chase of *database* under *tgds*.
+def _resolve_workers(parallelism: int | None) -> int:
+    """Normalise the ``parallelism=`` knob (None → CPU count, must be ≥ 1)."""
+    if parallelism is None:
+        return os.cpu_count() or 1
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1 or None, got {parallelism}")
+    return parallelism
 
-    With no bounds the run continues to a fixpoint (raising
-    :class:`ChaseNonterminationError` past *safety_cap* atoms).  With
-    ``max_level=ℓ`` the result is exactly ``chase^ℓ_s(D, Σ)`` for the
-    level-wise sequence ``s`` (Lemma A.1); ``terminated`` then reports
-    whether the fixpoint happened to be reached within the bound.  A
-    *bounded* run (``max_level`` or ``max_atoms`` given) that trips the
-    safety cap stops with ``reason="atom bound"`` rather than raising.
 
-    *strategy* selects the trigger search: ``"delta"`` (semi-naive, the
-    default) or ``"naive"`` (full re-scan per level, the differential
-    oracle).  Both produce identical level maps and isomorphic instances.
+def _collect_shard(
+    pairs: Sequence[tuple[int, TGD]],
+    instance: Instance,
+    delta: Instance,
+    strategy: str,
+    budget: Budget | None,
+) -> tuple[list[tuple[int, TGD, dict[Term, Term]]], EvalStats]:
+    """Worker body: enumerate one shard's triggers with a private stats."""
+    local = EvalStats()
+    if strategy == "delta":
+        candidates = list(_delta_triggers(pairs, instance, delta, local, budget))
+    else:
+        candidates = list(_naive_triggers(pairs, instance, local, budget))
+    return candidates, local
 
-    *stats* may be a shared :class:`EvalStats` to accumulate counters
-    across runs; a fresh one is created otherwise (see ``result.stats``).
 
-    *budget* governs the run (see :mod:`repro.governance`): deadline, atom
-    and step budgets, cancellation, checked at ``"trigger-fire"`` and
-    ``"hom-backtrack"`` granularity.  A budget trip does **not** raise —
-    the consistent level-wise prefix built so far is returned with
-    ``terminated=False`` and ``reason`` set to the trip code.
+def _parallel_candidates(
+    executor: ThreadPoolExecutor,
+    workers: int,
+    pairs: Sequence[tuple[int, TGD]],
+    instance: Instance,
+    delta: Instance,
+    strategy: str,
+    stats: EvalStats,
+    budget: Budget | None,
+) -> list[tuple[int, TGD, dict[Term, Term]]]:
+    """Shard the level's trigger search across the pool and merge.
+
+    The merge restores the serial enumeration order: shards are built
+    round-robin over TGD indexes, every TGD lives in exactly one shard, and
+    a stable sort on the TGD index therefore reproduces exactly the order
+    the serial search would have produced.  A budget trip in any worker is
+    re-raised *after* all workers have drained (no thread keeps running
+    into the next level), and the level's candidates are discarded — no
+    trigger of an aborted level ever fires, so the instance stays a
+    consistent prefix.
     """
-    if strategy not in STRATEGIES:
-        raise ValueError(
-            f"unknown chase strategy {strategy!r}; expected one of {STRATEGIES}"
-        )
-    tgds = list(tgds)
-    if stats is None:
-        stats = EvalStats()
+    shards = [list(pairs[w::workers]) for w in range(workers)]
+    shards = [shard for shard in shards if shard]
+    futures = [
+        executor.submit(_collect_shard, shard, instance, delta, strategy, budget)
+        for shard in shards
+    ]
+    stats.parallel_levels += 1
+    stats.shards_dispatched += len(shards)
+    merged: list[tuple[int, TGD, dict[Term, Term]]] = []
+    error: BudgetExceeded | None = None
+    for future in futures:
+        try:
+            candidates, local = future.result()
+        except BudgetExceeded as exc:
+            if error is None:
+                error = exc
+            continue
+        stats.merge(local)
+        merged.extend(candidates)
+    if error is not None:
+        raise error
+    merged.sort(key=lambda candidate: candidate[0])
+    return merged
+
+
+def _chase_core(
+    *,
+    tgds: list[TGD],
+    instance: Instance,
+    levels: dict[Atom, int],
+    delta: Instance,
+    fired_keys: set,
+    pending_empty_body: list[TGD],
+    original_dom: frozenset,
+    max_level: int | None,
+    max_atoms: int | None,
+    safety_cap: int,
+    strategy: str,
+    stats: EvalStats,
+    budget: Budget | None,
+    workers: int,
+    parallel_threshold: int,
+) -> ChaseResult:
+    """The shared level loop behind :func:`chase` and :func:`extend_chase`.
+
+    The caller hands over the initial state (instance, level map, delta
+    frontier, fired keys); the core runs levels to a fixpoint or bound and
+    owns the executor lifecycle.
+    """
     run_start = time.perf_counter()
-    instance = database.copy()
-    levels: dict[Atom, int] = {atom: 0 for atom in instance}
-    #: Per-(TGD, frontier-image) fired-trigger cache (semi-oblivious firing).
-    fired_keys: set[tuple] = set()
     fired_count = 0
-    original_dom = frozenset(database.dom())
+    reason = "fixpoint"
+    level = 0
     bounded = max_level is not None or max_atoms is not None or budget is not None
 
     # Frontier ordering per TGD, fixed once: the trigger key is the frontier
@@ -293,11 +400,13 @@ def chase(
     frontiers = [
         tuple(sorted(tgd.frontier(), key=lambda v: v.name)) for tgd in tgds
     ]
+    pairs = [(index, tgd) for index, tgd in enumerate(tgds) if tgd.body]
 
-    delta = instance.copy()  # level-0 delta: the database atoms
-    reason = "fixpoint"
-    level = 0
-    pending_empty_body = [tgd for tgd in tgds if not tgd.body]
+    executor: ThreadPoolExecutor | None = None
+    if workers > 1 and len(pairs) >= 2:
+        executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="chase-shard"
+        )
 
     def emit(head_atoms: list[Atom], atom_level: int, produced: list[Atom]) -> None:
         nonlocal fired_count
@@ -327,13 +436,23 @@ def chase(
             # while the homomorphism search lazily walks the instance's live
             # index sets would mutate them mid-iteration, and the level-wise
             # semantics wants triggers judged against the end-of-previous-
-            # level instance anyway.
-            if strategy == "delta":
+            # level instance anyway.  The frozen instance is also what makes
+            # the sharded search safe: workers only read.
+            frontier_size = len(delta) if strategy == "delta" else len(instance)
+            if (
+                executor is not None
+                and frontier_size * len(pairs) >= parallel_threshold
+            ):
+                candidates = _parallel_candidates(
+                    executor, workers, pairs, instance, delta, strategy,
+                    stats, budget,
+                )
+            elif strategy == "delta":
                 candidates = list(
-                    _delta_triggers(tgds, instance, delta, stats, budget)
+                    _delta_triggers(pairs, instance, delta, stats, budget)
                 )
             else:
-                candidates = list(_naive_triggers(tgds, instance, stats, budget))
+                candidates = list(_naive_triggers(pairs, instance, stats, budget))
 
             for tgd_index, tgd, hom in candidates:
                 key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))
@@ -374,6 +493,9 @@ def chase(
         # complete emit() between budget checks.
         reason = exc.code
         exc.attach(stats=stats)
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     stats.wall_seconds += time.perf_counter() - run_start
     terminated = reason == "fixpoint"
@@ -388,6 +510,153 @@ def chase(
         original_dom=original_dom,
         strategy=strategy,
         stats=stats,
+        fired_keys=frozenset(fired_keys),
+        parallelism=workers,
+    )
+
+
+def chase(
+    database: Instance,
+    tgds: Sequence[TGD],
+    *,
+    max_level: int | None = None,
+    max_atoms: int | None = None,
+    safety_cap: int = DEFAULT_SAFETY_CAP,
+    strategy: str = "delta",
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
+    parallelism: int | None = 1,
+    parallel_threshold: int = PARALLEL_MIN_WORK,
+) -> ChaseResult:
+    """Run the level-wise oblivious chase of *database* under *tgds*.
+
+    With no bounds the run continues to a fixpoint (raising
+    :class:`ChaseNonterminationError` past *safety_cap* atoms).  With
+    ``max_level=ℓ`` the result is exactly ``chase^ℓ_s(D, Σ)`` for the
+    level-wise sequence ``s`` (Lemma A.1); ``terminated`` then reports
+    whether the fixpoint happened to be reached within the bound.  A
+    *bounded* run (``max_level`` or ``max_atoms`` given) that trips the
+    safety cap stops with ``reason="atom bound"`` rather than raising.
+
+    *strategy* selects the trigger search: ``"delta"`` (semi-naive, the
+    default) or ``"naive"`` (full re-scan per level, the differential
+    oracle).  Both produce identical level maps and isomorphic instances.
+
+    *parallelism* shards each level's trigger search across that many
+    worker threads (``None`` → the CPU count, 1 → serial); levels whose
+    estimated work falls below *parallel_threshold* run serially.  Firing
+    stays on the coordinating thread in serial enumeration order, so the
+    result is identical to the serial run's (see the module docstring).
+
+    *stats* may be a shared :class:`EvalStats` to accumulate counters
+    across runs; a fresh one is created otherwise (see ``result.stats``).
+
+    *budget* governs the run (see :mod:`repro.governance`): deadline, atom
+    and step budgets, cancellation, checked at ``"trigger-fire"`` and
+    ``"hom-backtrack"`` granularity.  A budget trip does **not** raise —
+    the consistent level-wise prefix built so far is returned with
+    ``terminated=False`` and ``reason`` set to the trip code.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown chase strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    tgds = list(tgds)
+    if stats is None:
+        stats = EvalStats()
+    instance = database.copy()
+    return _chase_core(
+        tgds=tgds,
+        instance=instance,
+        levels={atom: 0 for atom in instance},
+        delta=instance.copy(),  # level-0 delta: the database atoms
+        fired_keys=set(),
+        pending_empty_body=[tgd for tgd in tgds if not tgd.body],
+        original_dom=frozenset(database.dom()),
+        max_level=max_level,
+        max_atoms=max_atoms,
+        safety_cap=safety_cap,
+        strategy=strategy,
+        stats=stats,
+        budget=budget,
+        workers=_resolve_workers(parallelism),
+        parallel_threshold=parallel_threshold,
+    )
+
+
+def extend_chase(
+    base: ChaseResult,
+    new_atoms: Iterable[Atom],
+    tgds: Sequence[TGD],
+    *,
+    max_level: int | None = None,
+    max_atoms: int | None = None,
+    safety_cap: int = DEFAULT_SAFETY_CAP,
+    strategy: str | None = None,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
+    parallelism: int | None = 1,
+    parallel_threshold: int = PARALLEL_MIN_WORK,
+) -> ChaseResult:
+    """Resume a *terminated* chase after new database atoms arrive.
+
+    ``chase(D ∪ ΔD, Σ)`` is homomorphically equivalent to feeding ``ΔD``
+    as the delta frontier of the finished ``chase(D, Σ)``: the base
+    instance is Σ-closed (every trigger over it is in ``base.fired_keys``),
+    so every genuinely new trigger has a body atom in ``ΔD`` or in atoms
+    derived from it — exactly what the semi-naive search enumerates.  The
+    resulting instance has the same ground part and the same certain
+    answers as the fresh chase, and is isomorphic to it.
+
+    *tgds* must be the **same sequence** (same order) that produced *base*
+    — the fired-key space is indexed by position.  *base* must have
+    ``terminated=True``; extending a prefix would silently miss triggers
+    whose bodies lie wholly in the unexplored part.  Level numbers assigned
+    to extension atoms continue from the base level map (new database
+    atoms enter at level 0); *max_level* bounds the number of extension
+    rounds rather than absolute s-levels.
+
+    The base result is not mutated; with no genuinely new atoms it is
+    returned unchanged.
+    """
+    if not base.terminated:
+        raise ValueError(
+            "extend_chase requires a terminated base result; a prefix cannot "
+            f"be extended soundly (base stopped on {base.reason!r})"
+        )
+    effective = base.strategy if strategy is None else strategy
+    if effective not in STRATEGIES:
+        raise ValueError(
+            f"unknown chase strategy {effective!r}; expected one of {STRATEGIES}"
+        )
+    tgds = list(tgds)
+    if stats is None:
+        stats = EvalStats()
+    instance = base.instance.copy()
+    levels = dict(base.levels)
+    delta = Instance()
+    for atom in new_atoms:
+        if instance.add(atom):
+            levels[atom] = 0
+            delta.add(atom)
+    if not delta:
+        return base
+    return _chase_core(
+        tgds=tgds,
+        instance=instance,
+        levels=levels,
+        delta=delta,
+        fired_keys=set(base.fired_keys),
+        pending_empty_body=[],  # fired (and keyed) by the base run
+        original_dom=frozenset(base.original_dom | delta.dom()),
+        max_level=max_level,
+        max_atoms=max_atoms,
+        safety_cap=safety_cap,
+        strategy=effective,
+        stats=stats,
+        budget=budget,
+        workers=_resolve_workers(parallelism),
+        parallel_threshold=parallel_threshold,
     )
 
 
@@ -412,6 +681,7 @@ def terminating_chase(
     *,
     strategy: str = "delta",
     stats: EvalStats | None = None,
+    parallelism: int | None = 1,
 ) -> ChaseResult:
     """Chase with a termination *proof* demanded up front.
 
@@ -425,4 +695,6 @@ def terminating_chase(
             "terminating_chase requires a full or weakly acyclic TGD set; "
             "use chase(..., max_level=...) or the blocked guarded chase"
         )
-    return chase(database, tgds, strategy=strategy, stats=stats)
+    return chase(
+        database, tgds, strategy=strategy, stats=stats, parallelism=parallelism
+    )

@@ -135,6 +135,7 @@ def restricted_chase(
     ]
     delta = instance.copy()  # round-0 delta: the database atoms
     pending_empty_body = [tgd for tgd in tgds if not tgd.body]
+    pairs = [(index, tgd) for index, tgd in enumerate(tgds) if tgd.body]
 
     try:
         while True:
@@ -173,10 +174,10 @@ def restricted_chase(
             # the chase skip more — never fire a satisfied trigger.
             if strategy == "delta":
                 candidates = list(
-                    _delta_triggers(tgds, instance, delta, stats, budget)
+                    _delta_triggers(pairs, instance, delta, stats, budget)
                 )
             else:
-                candidates = list(_naive_triggers(tgds, instance, stats, budget))
+                candidates = list(_naive_triggers(pairs, instance, stats, budget))
 
             for tgd_index, tgd, hom in candidates:
                 key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))

@@ -10,6 +10,12 @@ Commands
 ``classify``   report the syntactic classes of a TGD file
 ``clique``     solve p-Clique by CQ evaluation (the Thm 4.1 reduction)
 
+The three evaluation commands construct one :class:`repro.Engine` session
+and share its knobs: ``--parallelism N`` shards the chase's per-level
+trigger search across N threads, ``--no-cache`` disables the session chase
+cache (one CLI invocation usually chases once, so the cache matters when a
+command chases repeatedly — e.g. a multi-disjunct certain-answer run).
+
 Databases, queries, and TGDs are given as files (or inline with ``-e``) in
 the textual syntax of :mod:`repro.queries.parser` / :mod:`repro.tgds.parser`:
 
@@ -28,6 +34,7 @@ from pathlib import Path
 
 from .chase import chase
 from .cqs import CQS, is_uniformly_ucq_k_equivalent
+from .engine import Engine
 from .governance import Budget
 from .omq import OMQ, certain_answers
 from .queries import evaluate, parse_database, parse_ucq
@@ -53,6 +60,16 @@ def _budget_from(args: argparse.Namespace) -> Budget | None:
     return Budget(deadline=args.timeout, max_atoms=args.max_atoms)
 
 
+def _engine_from(args: argparse.Namespace, tgds) -> Engine:
+    """One Engine session per CLI invocation, from the shared flags."""
+    return Engine(
+        tgds,
+        budget=_budget_from(args),
+        cache=not args.no_cache,
+        parallelism=args.parallelism,
+    )
+
+
 def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--timeout",
@@ -72,6 +89,22 @@ def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for the chase's per-level trigger search "
+        "(default 1 = serial; results are identical at any setting)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the session chase cache",
+    )
+
+
 def _add_io_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-e",
@@ -85,7 +118,18 @@ def cmd_chase(args: argparse.Namespace) -> int:
     db = parse_database(_read(args.database, args.inline))
     tgds = parse_tgds(_read(args.tgds, args.inline))
     budget = _budget_from(args)
-    result = chase(db, tgds, max_level=args.max_level, budget=budget)
+    if args.max_level is not None:
+        # A level-bounded prefix is not chase(D, Σ) and must not populate
+        # (or be served from) the cache; call the engine function directly.
+        result = chase(
+            db,
+            tgds,
+            max_level=args.max_level,
+            budget=budget,
+            parallelism=args.parallelism,
+        )
+    else:
+        result = _engine_from(args, tgds).chase(db)
     for atom in sorted(result.instance, key=str):
         print(atom)
     print(
@@ -108,9 +152,8 @@ def cmd_certain(args: argparse.Namespace) -> int:
     db = parse_database(_read(args.database, args.inline))
     tgds = parse_tgds(_read(args.tgds, args.inline))
     query = parse_ucq(_read(args.query, args.inline))
-    omq = OMQ.with_full_data_schema(tgds, query)
-    budget = _budget_from(args)
-    answer = certain_answers(omq, db, strategy=args.strategy, budget=budget)
+    engine = _engine_from(args, tgds)
+    answer = engine.certain_answers(query, db, strategy=args.strategy)
     for row in sorted(answer.answers, key=str):
         print(row)
     print(
@@ -132,10 +175,18 @@ def cmd_certain(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     db = parse_database(_read(args.database, args.inline))
     query = parse_ucq(_read(args.query, args.inline))
-    answers = evaluate(query, db)
-    for row in sorted(answers, key=str):
+    engine = _engine_from(args, [])
+    answer = engine.evaluate(query, db)
+    for row in sorted(answer.answers, key=str):
         print(row)
-    print(f"# {len(answers)} answers", file=sys.stderr)
+    print(f"# {len(answer.answers)} answers", file=sys.stderr)
+    if answer.trip is not None:
+        print(
+            f"# BUDGET TRIPPED ({answer.trip}): the answers above are sound, "
+            f"the remainder is unknown [{answer.stats.summary()}]",
+            file=sys.stderr,
+        )
+        return EXIT_BUDGET_TRIP
     return 0
 
 
@@ -191,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("tgds")
     p.add_argument("--max-level", type=int, default=None)
     _add_budget_flags(p)
+    _add_engine_flags(p)
     _add_io_flags(p)
     p.set_defaults(fn=cmd_chase)
 
@@ -201,12 +253,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="auto",
                    choices=["auto", "chase", "rewrite", "guarded", "bounded"])
     _add_budget_flags(p)
+    _add_engine_flags(p)
     _add_io_flags(p)
     p.set_defaults(fn=cmd_certain)
 
     p = sub.add_parser("evaluate", help="closed-world UCQ evaluation")
     p.add_argument("database")
     p.add_argument("query")
+    _add_budget_flags(p)
+    _add_engine_flags(p)
     _add_io_flags(p)
     p.set_defaults(fn=cmd_evaluate)
 

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..governance import trip_exception
+from ..chase import ChaseCache
+from ..datamodel import EvalStats
+from ..governance import Budget, trip_exception
 from ..queries import CQ, UCQ
 from ..tgds import TGD
 from ..omq import OMQ, certain_answers
@@ -30,9 +32,25 @@ __all__ = [
 
 
 def contained_under(
-    sub: UCQ | CQ, sup: UCQ | CQ, tgds: Sequence[TGD], **eval_kwargs
+    sub: UCQ | CQ,
+    sup: UCQ | CQ,
+    tgds: Sequence[TGD],
+    *,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
+    cache: ChaseCache | None = None,
+    parallelism: int | None = 1,
+    **eval_kwargs,
 ) -> bool:
-    """``sub ⊆_Σ sup`` via Prop 4.5 (chase-of-canonical-database test)."""
+    """``sub ⊆_Σ sup`` via Prop 4.5 (chase-of-canonical-database test).
+
+    *stats*, *budget*, *cache*, and *parallelism* follow the uniform
+    evaluation-kwarg protocol and are forwarded to the underlying
+    :func:`~repro.omq.certain_answers` calls (a shared *cache* pays off
+    when the same canonical database is re-chased across containment
+    checks, as minimisation does); further kwargs (``strategy=``,
+    ``level_bound=``, ...) pass through unchanged.
+    """
     sub = sub if isinstance(sub, UCQ) else UCQ.of(sub)
     sup = sup if isinstance(sup, UCQ) else UCQ.of(sup)
     if sub.arity != sup.arity:
@@ -41,7 +59,15 @@ def contained_under(
     for disjunct in sub.disjuncts:
         canonical = disjunct.canonical_database()
         head = tuple(disjunct.head)
-        answer = certain_answers(bridge, canonical, **eval_kwargs)
+        answer = certain_answers(
+            bridge,
+            canonical,
+            stats=stats,
+            budget=budget,
+            cache=cache,
+            parallelism=parallelism,
+            **eval_kwargs,
+        )
         if head in answer.answers:
             continue
         if answer.trip is not None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..chase import ChaseCache
 from ..queries import CQ, proper_contractions
 from ..tgds import TGD
 from .containment import equivalent_under
@@ -64,7 +65,16 @@ def minimize_under_constraints(
     >>> q = parse_cq("q() :- E(x, y), E(y, x)")
     >>> minimize_under_constraints(q, parse_tgds(["E(x, y) -> E(y, x)"]))
     q() :- E(?x, ?y)
+
+    Accepts the uniform evaluation kwargs (``stats=``, ``budget=``,
+    ``cache=``, ``parallelism=``, forwarded to every containment check);
+    unless the caller supplies one, a local
+    :class:`~repro.chase.ChaseCache` is used for the run — every candidate
+    is tested for Σ-equivalence against the *same* current query, whose
+    canonical database would otherwise be re-chased once per candidate.
     """
+    if eval_kwargs.get("cache") is None:
+        eval_kwargs = {**eval_kwargs, "cache": ChaseCache()}
     current = query
     while True:
         smaller = _one_step(current, tgds, **eval_kwargs)

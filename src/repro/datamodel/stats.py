@@ -44,6 +44,11 @@ class EvalStats:
         Head-satisfaction checks performed by the restricted chase.
     nodes_expanded:
         Guarded-chase-forest nodes expanded (blocked chase / filtration).
+    parallel_levels:
+        Chase levels whose trigger search ran sharded across a worker pool
+        (levels below the parallel threshold run serially and do not count).
+    shards_dispatched:
+        TGD shards submitted to the worker pool across all parallel levels.
     level_seconds:
         Chase wall time per level, ``{level: seconds}``.
     wall_seconds:
@@ -58,6 +63,8 @@ class EvalStats:
     homs_found: int = 0
     head_checks: int = 0
     nodes_expanded: int = 0
+    parallel_levels: int = 0
+    shards_dispatched: int = 0
     level_seconds: dict[int, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
@@ -71,6 +78,8 @@ class EvalStats:
         self.homs_found += other.homs_found
         self.head_checks += other.head_checks
         self.nodes_expanded += other.nodes_expanded
+        self.parallel_levels += other.parallel_levels
+        self.shards_dispatched += other.shards_dispatched
         for level, seconds in other.level_seconds.items():
             self.level_seconds[level] = self.level_seconds.get(level, 0.0) + seconds
         self.wall_seconds += other.wall_seconds
@@ -87,6 +96,8 @@ class EvalStats:
             "homs_found": self.homs_found,
             "head_checks": self.head_checks,
             "nodes_expanded": self.nodes_expanded,
+            "parallel_levels": self.parallel_levels,
+            "shards_dispatched": self.shards_dispatched,
             "wall_seconds": self.wall_seconds,
         }
 

@@ -1,0 +1,239 @@
+"""The unified entry point: one :class:`Engine` session per ontology Σ.
+
+The module-level functions (:func:`repro.chase`, :func:`repro.certain_answers`,
+:func:`repro.evaluate`) each take the ontology, the governance knobs, and the
+performance knobs as per-call kwargs — correct, but repetitive, and they
+cannot share work across calls.  An :class:`Engine` fixes Σ and the knobs
+once and exposes the paper's three evaluation problems as methods:
+
+* :meth:`Engine.chase` — materialise ``chase(D, Σ)`` (Section 2);
+* :meth:`Engine.certain_answers` — open-world OMQ evaluation,
+  ``Q(D) = q(chase(D, Σ))`` (Prop 3.1);
+* :meth:`Engine.evaluate` — closed-world (plain) UCQ evaluation ``q(D)``,
+  the CQS side of the paper's comparison.
+
+What the session buys over the free functions:
+
+* a **shared** :class:`~repro.chase.ChaseCache` — repeated calls over the
+  same (or a grown) database reuse the chase instead of re-materialising
+  it (on by default; pass ``cache=False`` to opt out);
+* one **parallelism** setting applied to every chase's per-level trigger
+  search;
+* one **budget policy**: pass a dict (e.g. ``{"deadline": 5.0}``) to mint
+  a *fresh* :class:`~repro.governance.Budget` per call — the usual intent —
+  or a :class:`Budget` instance to share one allowance across all calls.
+
+Results are the same objects the free functions return
+(:class:`~repro.chase.ChaseResult`, :class:`~repro.omq.OMQAnswer`), carrying
+the uniform ``.complete`` / ``.trip`` / ``.stats`` protocol.  Each call gets
+a fresh :class:`~repro.datamodel.EvalStats` unless one is passed in, so
+counters describe *that call's* work (a cache hit reports zero chase work).
+
+Example::
+
+    from repro import Engine, parse_database, parse_tgds, parse_ucq
+
+    engine = Engine(parse_tgds(["Emp(x) -> Person(x)"]), parallelism=4)
+    db = parse_database("Emp(ada)")
+    engine.certain_answers(parse_ucq("q(x) :- Person(x)"), db).answers
+    # {('ada',)} — and the chase is now cached for the next query
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .chase import ChaseCache, ChaseResult, chase as _chase
+from .datamodel import EvalStats, Instance, Term
+from .governance import Budget, BudgetExceeded
+from .omq import OMQ, OMQAnswer, certain_answers as _certain_answers
+from .queries import CQ, UCQ, iter_answers
+from .tgds import TGD
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """An evaluation session over a fixed TGD set Σ.
+
+    Parameters
+    ----------
+    tgds:
+        The ontology Σ, fixed for the session (the chase-cache key space).
+    budget:
+        ``None`` (ungoverned), a :class:`Budget` instance (shared — all
+        calls draw on one allowance), or a mapping of :class:`Budget`
+        constructor kwargs (per-call — each method call mints a fresh
+        budget, so every call gets the full deadline).
+    cache:
+        ``True`` (default) for a private :class:`ChaseCache`, ``False``
+        for none, or an existing cache instance to share across engines.
+    parallelism:
+        Worker threads for each chase's per-level trigger search (1 =
+        serial, ``None`` = CPU count); see :func:`repro.chase.chase`.
+    trigger_strategy:
+        ``"delta"`` (semi-naive, default) or ``"naive"`` — forwarded to
+        every chase the session runs.
+    """
+
+    def __init__(
+        self,
+        tgds: Sequence[TGD],
+        *,
+        budget: Budget | Mapping | None = None,
+        cache: ChaseCache | bool = True,
+        parallelism: int | None = 1,
+        trigger_strategy: str = "delta",
+    ) -> None:
+        self.tgds: tuple[TGD, ...] = tuple(tgds)
+        self._budget_spec = budget
+        if cache is True:
+            self.cache: ChaseCache | None = ChaseCache()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.parallelism = parallelism
+        self.trigger_strategy = trigger_strategy
+
+    # ------------------------------------------------------------------
+    # Knob plumbing
+    # ------------------------------------------------------------------
+    def _budget(self, override: Budget | None) -> Budget | None:
+        """Per-call budget: explicit override > session policy > None."""
+        if override is not None:
+            return override
+        spec = self._budget_spec
+        if spec is None or isinstance(spec, Budget):
+            return spec
+        return Budget(**spec)
+
+    # ------------------------------------------------------------------
+    # The three evaluation problems
+    # ------------------------------------------------------------------
+    def chase(
+        self,
+        database: Instance,
+        *,
+        stats: EvalStats | None = None,
+        budget: Budget | None = None,
+    ) -> ChaseResult:
+        """Materialise ``chase(D, Σ)`` through the session cache.
+
+        Identical semantics to :func:`repro.chase.chase` with the session's
+        strategy/parallelism; a cache hit returns the memoised result and a
+        grown database extends the cached chase incrementally.
+        """
+        if stats is None:
+            stats = EvalStats()
+        budget = self._budget(budget)
+        if self.cache is not None:
+            return self.cache.chase(
+                database,
+                self.tgds,
+                strategy=self.trigger_strategy,
+                stats=stats,
+                budget=budget,
+                parallelism=self.parallelism,
+            )
+        return _chase(
+            database,
+            self.tgds,
+            strategy=self.trigger_strategy,
+            stats=stats,
+            budget=budget,
+            parallelism=self.parallelism,
+        )
+
+    def certain_answers(
+        self,
+        query: OMQ | UCQ | CQ,
+        database: Instance,
+        *,
+        strategy: str = "auto",
+        stats: EvalStats | None = None,
+        budget: Budget | None = None,
+        **kwargs,
+    ) -> OMQAnswer:
+        """Open-world evaluation ``Q(D)`` (Prop 3.1) under the session's Σ.
+
+        *query* may be a full :class:`OMQ` (its TGDs must equal the
+        session's) or a bare (U)CQ, which is paired with the session Σ over
+        the full data schema.  Remaining kwargs (``level_bound=``,
+        ``unfold=``, ...) are forwarded to
+        :func:`repro.omq.certain_answers`.
+        """
+        omq = self._as_omq(query)
+        if stats is None:
+            stats = EvalStats()
+        return _certain_answers(
+            omq,
+            database,
+            strategy=strategy,
+            trigger_strategy=self.trigger_strategy,
+            stats=stats,
+            budget=self._budget(budget),
+            cache=self.cache,
+            parallelism=self.parallelism,
+            **kwargs,
+        )
+
+    def evaluate(
+        self,
+        query: UCQ | CQ,
+        database: Instance,
+        *,
+        stats: EvalStats | None = None,
+        budget: Budget | None = None,
+    ) -> OMQAnswer:
+        """Closed-world evaluation ``q(D)`` — the CQS side of the paper.
+
+        Ignores Σ (closed-world: the database is all there is) but keeps
+        the governed-result protocol: a budget trip yields the answers
+        found so far with ``complete=False`` and the trip code set, like
+        :meth:`certain_answers` does.
+        """
+        if stats is None:
+            stats = EvalStats()
+        budget = self._budget(budget)
+        disjuncts = query.disjuncts if isinstance(query, UCQ) else (query,)
+        answers: set[tuple[Term, ...]] = set()
+        trip: str | None = None
+        try:
+            for cq in disjuncts:
+                for row in iter_answers(cq, database, stats=stats, budget=budget):
+                    answers.add(row)
+        except BudgetExceeded as exc:
+            trip = exc.code
+            exc.attach(stats=stats)
+        return OMQAnswer(
+            answers,
+            trip is None,
+            "closed-world",
+            f"{len(database)} atoms",
+            stats=stats,
+            trip=trip,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _as_omq(self, query: OMQ | UCQ | CQ) -> OMQ:
+        """Pair a bare (U)CQ with the session Σ; validate a full OMQ."""
+        if isinstance(query, OMQ):
+            if tuple(query.tgds) != self.tgds:
+                raise ValueError(
+                    "OMQ carries a different TGD set than this Engine "
+                    "session; build the Engine with the OMQ's TGDs or pass "
+                    "the bare query"
+                )
+            return query
+        ucq = query if isinstance(query, UCQ) else UCQ.of(query)
+        return OMQ.with_full_data_schema(list(self.tgds), ucq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cache = "off" if self.cache is None else f"{len(self.cache)} entries"
+        return (
+            f"Engine<{len(self.tgds)} TGDs, parallelism={self.parallelism}, "
+            f"cache {cache}>"
+        )

@@ -37,10 +37,23 @@ Design
 Soundness invariant: every engine arranges its mutations so that state is
 consistent *between* any two checks (e.g. a trigger's head atoms are added
 atomically, with no check in between), so a trip can never tear a result.
+
+Thread safety
+-------------
+
+A single :class:`Budget` may be shared by the worker threads of the
+parallel chase (``chase(..., parallelism=N)``).  :meth:`Budget.check`,
+:meth:`Budget.cancel`, and :meth:`Budget.inject` take an internal lock, so
+counters (``checks``, ``steps``, ``site_counts``) never lose updates and a
+one-shot injection fires on exactly one thread.  The contract for engines
+stays the same as in the serial case: keep shared state consistent between
+any two checks, and let the first frame that owns a meaningful partial
+result catch the trip.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from typing import Callable
@@ -177,6 +190,7 @@ class Budget:
         "_inject_at",
         "_inject_site",
         "_inject_exc",
+        "_lock",
     )
 
     def __init__(
@@ -202,6 +216,7 @@ class Budget:
         self._inject_at: int | None = None
         self._inject_site: str | None = None
         self._inject_exc: BudgetExceeded | type[BudgetExceeded] | None = None
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -240,8 +255,13 @@ class Budget:
     # Control
     # ------------------------------------------------------------------
     def cancel(self, reason: str = "cancelled by caller") -> None:
-        """Cooperatively cancel: the next check raises :class:`Cancelled`."""
-        self._cancel_reason = reason
+        """Cooperatively cancel: the next check raises :class:`Cancelled`.
+
+        Safe to call from any thread; every thread sharing the budget trips
+        at its next check.
+        """
+        with self._lock:
+            self._cancel_reason = reason
 
     def inject(
         self,
@@ -260,10 +280,11 @@ class Budget:
         """
         if after_n_checks < 1:
             raise ValueError("after_n_checks must be >= 1")
-        base = self.site_counts[site] if site is not None else self.checks
-        self._inject_at = base + after_n_checks
-        self._inject_site = site
-        self._inject_exc = exc
+        with self._lock:
+            base = self.site_counts[site] if site is not None else self.checks
+            self._inject_at = base + after_n_checks
+            self._inject_site = site
+            self._inject_exc = exc
 
     def grace(self, seconds: float | None = None) -> "Budget":
         """A fresh budget for answer extraction after this one tripped.
@@ -287,42 +308,51 @@ class Budget:
         *site* names the check site (for injection and telemetry); *atoms*
         reports the governed structure's current size against ``max_atoms``;
         ``step=True`` counts one work unit against ``max_steps``.
+
+        Thread-safe: counters are updated under an internal lock, so a
+        budget shared by the parallel chase's workers never loses a step
+        and a one-shot injection fires on exactly one thread.
         """
-        self.checks += 1
-        self.site_counts[site] += 1
-        if self._inject_at is not None:
-            count = (
-                self.site_counts[site]
-                if self._inject_site == site
-                else self.checks if self._inject_site is None else None
-            )
-            if count is not None and count >= self._inject_at:
-                exc = self._inject_exc
-                self._inject_at = None  # one-shot
-                if exc is None:
-                    raise Cancelled(f"fault injected at {site}", site=site)
-                if isinstance(exc, type):
-                    raise exc(f"fault injected at {site}", site=site)
-                exc.site = exc.site or site
-                raise exc
-        if self._cancel_reason is not None:
-            raise Cancelled(self._cancel_reason, site=site)
-        if self._expires is not None and self._clock() > self._expires:
-            raise DeadlineExceeded(
-                f"deadline of {self.deadline}s exceeded at {site} "
-                f"(elapsed {self.elapsed():.3f}s)",
-                site=site,
-            )
-        if atoms is not None and self.max_atoms is not None and atoms >= self.max_atoms:
-            raise AtomBudgetExceeded(
-                f"atom budget of {self.max_atoms} reached at {site} "
-                f"({atoms} atoms)",
-                site=site,
-            )
-        if step:
-            self.steps += 1
-            if self.max_steps is not None and self.steps > self.max_steps:
-                raise StepBudgetExceeded(
-                    f"step budget of {self.max_steps} exhausted at {site}",
+        with self._lock:
+            self.checks += 1
+            self.site_counts[site] += 1
+            if self._inject_at is not None:
+                count = (
+                    self.site_counts[site]
+                    if self._inject_site == site
+                    else self.checks if self._inject_site is None else None
+                )
+                if count is not None and count >= self._inject_at:
+                    exc = self._inject_exc
+                    self._inject_at = None  # one-shot
+                    if exc is None:
+                        raise Cancelled(f"fault injected at {site}", site=site)
+                    if isinstance(exc, type):
+                        raise exc(f"fault injected at {site}", site=site)
+                    exc.site = exc.site or site
+                    raise exc
+            if self._cancel_reason is not None:
+                raise Cancelled(self._cancel_reason, site=site)
+            if self._expires is not None and self._clock() > self._expires:
+                raise DeadlineExceeded(
+                    f"deadline of {self.deadline}s exceeded at {site} "
+                    f"(elapsed {self.elapsed():.3f}s)",
                     site=site,
                 )
+            if (
+                atoms is not None
+                and self.max_atoms is not None
+                and atoms >= self.max_atoms
+            ):
+                raise AtomBudgetExceeded(
+                    f"atom budget of {self.max_atoms} reached at {site} "
+                    f"({atoms} atoms)",
+                    site=site,
+                )
+            if step:
+                self.steps += 1
+                if self.max_steps is not None and self.steps > self.max_steps:
+                    raise StepBudgetExceeded(
+                        f"step budget of {self.max_steps} exhausted at {site}",
+                        site=site,
+                    )

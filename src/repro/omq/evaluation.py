@@ -27,6 +27,7 @@ answer set is *provably* all of ``Q(D)``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -36,6 +37,7 @@ from ..governance import Budget, BudgetExceeded
 from ..queries import UCQ, evaluate_ucq, iter_answers
 from ..tgds import all_full, all_linear, is_weakly_acyclic
 from ..chase import (
+    ChaseCache,
     chase,
     ground_saturation,
     rewrite_ucq,
@@ -70,6 +72,11 @@ class OMQAnswer:
     detail: str = ""
     stats: EvalStats = field(default_factory=EvalStats)
     trip: str | None = None
+
+    @property
+    def trip_reason(self) -> str | None:
+        """Alias of :attr:`trip` — the name :class:`ChaseResult` also uses."""
+        return self.trip
 
     def __contains__(self, candidate: tuple) -> bool:
         return tuple(candidate) in self.answers
@@ -112,17 +119,21 @@ def certain_answers(
     database: Instance,
     *,
     strategy: str = "auto",
-    chase_strategy: str = "delta",
+    trigger_strategy: str | None = None,
     level_bound: int = DEFAULT_LEVEL_BOUND,
     unfold: int | None = None,
     max_nodes: int = 50_000,
     stats: EvalStats | None = None,
     budget: Budget | None = None,
+    cache: ChaseCache | None = None,
+    parallelism: int | None = 1,
+    chase_strategy: str | None = None,
 ) -> OMQAnswer:
     """Compute ``Q(D)`` (Prop 3.1) with the given or auto-picked strategy.
 
-    *chase_strategy* is forwarded to :func:`~repro.chase.chase` when a
-    chase-based strategy runs ("delta" or "naive").  *stats* may be a
+    *trigger_strategy* is forwarded to :func:`~repro.chase.chase` when a
+    chase-based strategy runs ("delta" or "naive"); *chase_strategy* is the
+    deprecated spelling of the same knob (see below).  *stats* may be a
     shared :class:`EvalStats`; the returned answer carries it (or a fresh
     one) with the chase and UCQ-evaluation counters accumulated.
 
@@ -132,7 +143,31 @@ def certain_answers(
     ``trip``.  Post-trip answer extraction runs under a grace budget with
     the same deadline, so a governed call returns within roughly twice the
     configured deadline.
+
+    *cache* is an optional :class:`~repro.chase.ChaseCache`: when the
+    "chase" strategy runs, the (unbounded) chase is looked up/stored there,
+    so repeated calls over the same ``(D, Σ)`` skip straight to UCQ
+    evaluation.  The "bounded" strategy never touches the cache (a
+    level-bounded prefix is not the chase).  *parallelism* shards the
+    chase's per-level trigger search across that many worker threads.
+
+    .. deprecated::
+        ``chase_strategy=`` is the pre-Engine spelling of
+        ``trigger_strategy=`` and will be removed one release after the
+        :class:`repro.Engine` API landed; it keeps working (with a
+        :class:`DeprecationWarning`) in the meantime.
     """
+    if chase_strategy is not None:
+        warnings.warn(
+            "chase_strategy= is deprecated; use trigger_strategy= "
+            "(same values: 'delta' or 'naive')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if trigger_strategy is None:
+            trigger_strategy = chase_strategy
+    if trigger_strategy is None:
+        trigger_strategy = "delta"
     omq.validate_database(database)
     tgds = list(omq.tgds)
     if stats is None:
@@ -149,9 +184,24 @@ def certain_answers(
             strategy = "bounded"
 
     if strategy == "chase":
-        result = chase(
-            database, tgds, strategy=chase_strategy, stats=stats, budget=budget
-        )
+        if cache is not None:
+            result = cache.chase(
+                database,
+                tgds,
+                strategy=trigger_strategy,
+                stats=stats,
+                budget=budget,
+                parallelism=parallelism,
+            )
+        else:
+            result = chase(
+                database,
+                tgds,
+                strategy=trigger_strategy,
+                stats=stats,
+                budget=budget,
+                parallelism=parallelism,
+            )
         if not result.terminated and budget is None:  # pragma: no cover
             raise RuntimeError("chase strategy selected but chase did not terminate")
         # Post-trip answer extraction runs under a *grace* budget (same
@@ -228,13 +278,16 @@ def certain_answers(
         )
 
     if strategy == "bounded":
+        # Never cached: a level-bounded prefix depends on the bound, not
+        # just on (D, Σ).
         result = chase(
             database,
             tgds,
             max_level=level_bound,
-            strategy=chase_strategy,
+            strategy=trigger_strategy,
             stats=stats,
             budget=budget,
+            parallelism=parallelism,
         )
         tripped = result.trip_reason in _TRIP_CODES
         eval_budget = budget.grace() if tripped and budget is not None else budget

@@ -95,12 +95,20 @@ def evaluate(
 
 
 def is_answer(
-    query: CQ | UCQ, database: Instance, candidate: Sequence[Term]
+    query: CQ | UCQ,
+    database: Instance,
+    candidate: Sequence[Term],
+    *,
+    stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
 ) -> bool:
     """Decide ``c̄ ∈ q(D)`` — the paper's evaluation problem.
 
     Decides without enumerating all answers: the candidate pins the answer
-    variables before the homomorphism search starts.
+    variables before the homomorphism search starts.  *stats* and *budget*
+    follow the uniform evaluation-kwarg protocol (a governed run raises
+    :class:`~repro.governance.BudgetExceeded` on a trip — a yes/no decision
+    has no sound partial to degrade to).
     """
     candidate = tuple(candidate)
     disjuncts: Iterable[CQ]
@@ -111,13 +119,24 @@ def is_answer(
                 f"candidate arity {len(candidate)} != query arity {cq.arity}"
             )
         fixed = dict(zip(cq.head, candidate))
-        if find_homomorphism(cq.atoms, database, fixed=fixed) is not None:
+        if (
+            find_homomorphism(
+                cq.atoms, database, fixed=fixed, stats=stats, budget=budget
+            )
+            is not None
+        ):
             return True
     return False
 
 
-def holds(query: CQ | UCQ, database: Instance) -> bool:
+def holds(
+    query: CQ | UCQ,
+    database: Instance,
+    *,
+    stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
+) -> bool:
     """``D |= q`` for a Boolean (U)CQ (Section 2)."""
     if query.arity != 0:
         raise ValueError("holds() is for Boolean queries; use is_answer()")
-    return is_answer(query, database, ())
+    return is_answer(query, database, (), stats=stats, budget=budget)

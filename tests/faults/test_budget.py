@@ -218,3 +218,96 @@ class TestExceptionProtocol:
         assert budget.site_counts["a"] == 2
         assert budget.site_counts["b"] == 1
         assert budget.checks == 3
+
+
+class TestThreadSafety:
+    """The parallel chase shares one Budget across worker threads."""
+
+    def run_threads(self, n_threads, fn):
+        import threading
+
+        errors = []
+
+        def wrapped():
+            try:
+                fn()
+            except BudgetExceeded as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=wrapped) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return errors
+
+    def test_steps_are_counted_exactly(self):
+        budget = Budget()
+        per_thread = 500
+
+        def work():
+            for _ in range(per_thread):
+                budget.check("hom-backtrack")
+
+        self.run_threads(8, work)
+        assert budget.checks == 8 * per_thread
+        assert budget.steps == 8 * per_thread
+        assert budget.site_counts["hom-backtrack"] == 8 * per_thread
+
+    def test_step_budget_trips_exactly_past_the_cap(self):
+        budget = Budget(max_steps=1000)
+
+        def work():
+            for _ in range(500):
+                budget.check("trigger-fire")
+
+        errors = self.run_threads(4, work)
+        # 2000 attempted checks against a budget of 1000: at least one
+        # thread trips, and the step counter never loses an update.
+        assert errors
+        assert all(isinstance(e, StepBudgetExceeded) for e in errors)
+        assert budget.steps >= 1000
+
+    def test_one_shot_injection_fires_on_exactly_one_thread(self):
+        budget = Budget()
+        budget.inject(100)
+
+        def work():
+            for _ in range(200):
+                budget.check("expansion-node")
+
+        errors = self.run_threads(8, work)
+        assert len(errors) == 1
+        assert isinstance(errors[0], Cancelled)
+
+    def test_cancel_from_another_thread_trips_all_workers(self):
+        import threading
+
+        budget = Budget()
+        started = threading.Barrier(5)
+
+        def work():
+            started.wait()
+            for _ in range(10_000):
+                budget.check("rewrite-step")
+
+        def canceller():
+            started.wait()
+            budget.cancel("external stop")
+
+        errors = []
+
+        def wrapped():
+            try:
+                work()
+            except BudgetExceeded as exc:
+                errors.append(exc)
+
+        workers = [threading.Thread(target=wrapped) for _ in range(4)]
+        stopper = threading.Thread(target=canceller)
+        for t in workers + [stopper]:
+            t.start()
+        for t in workers + [stopper]:
+            t.join()
+        assert len(errors) == 4
+        assert all(isinstance(e, Cancelled) for e in errors)

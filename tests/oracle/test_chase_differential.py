@@ -150,8 +150,8 @@ E04_QUERY = parse_ucq("q(p0) :- Person(p0), ReportsTo(p0, p1), ReportsTo(p1, p2)
 
 
 class TestBenchmarkWorkloads:
-    def certain(self, omq, db, chase_strategy):
-        return certain_answers(omq, db, chase_strategy=chase_strategy).answers
+    def certain(self, omq, db, trigger_strategy):
+        return certain_answers(omq, db, trigger_strategy=trigger_strategy).answers
 
     def test_e03_workload_same_answers(self):
         ontology = employment_ontology()

@@ -1,0 +1,175 @@
+"""Cache correctness: hit ≡ recompute, extension ≡ fresh chase, no trips.
+
+The :class:`repro.ChaseCache` contract — an exact hit returns the very
+object computed before; a grown database is incrementally extended and the
+extension agrees with a fresh chase of the grown database (same ground
+part, same certain answers, isomorphic instance); bounded runs bypass the
+cache; a budget-tripped run is never stored as if it were the chase.
+"""
+
+import pytest
+
+from repro import ChaseCache, Engine, extend_chase
+from repro.benchgen import (
+    employment_database,
+    employment_ontology,
+    sharded_database,
+    sharded_ontology,
+)
+from repro.chase import chase
+from repro.datamodel import Atom, is_isomorphic
+from repro.governance import Budget
+from repro.omq import OMQ, certain_answers
+from repro.queries import parse_database, parse_ucq
+
+
+@pytest.fixture()
+def workload():
+    tgds = employment_ontology()
+    db = employment_database(30, 3, seed=9)
+    return tgds, db
+
+
+class TestExactHit:
+    def test_hit_is_the_same_object(self, workload):
+        tgds, db = workload
+        cache = ChaseCache()
+        first = cache.chase(db, tgds)
+        second = cache.chase(db, tgds)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_hit_equals_recompute(self, workload):
+        tgds, db = workload
+        cache = ChaseCache()
+        cached = cache.chase(db, tgds)
+        fresh = chase(db, tgds)
+        assert cached.instance.atoms() == fresh.instance.atoms() or is_isomorphic(
+            cached.instance, fresh.instance
+        )
+        assert cached.ground_part().atoms() == fresh.ground_part().atoms()
+
+    def test_strategy_and_sigma_partition_the_key_space(self, workload):
+        tgds, db = workload
+        cache = ChaseCache()
+        delta = cache.chase(db, tgds, strategy="delta")
+        naive = cache.chase(db, tgds, strategy="naive")
+        assert naive is not delta
+        assert cache.misses == 2
+        assert cache.chase(db, tgds[:-1]) is not delta
+        assert cache.misses == 3
+
+    def test_copied_database_still_hits(self, workload):
+        # The key is the atom frozenset, not object identity.
+        tgds, db = workload
+        cache = ChaseCache()
+        first = cache.chase(db, tgds)
+        assert cache.chase(db.copy(), tgds) is first
+
+
+class TestIncrementalExtension:
+    def grown(self, db, extra):
+        grown = db.copy()
+        for atom in extra:
+            grown.add(atom)
+        return grown
+
+    def test_extension_equals_fresh_chase(self, workload):
+        tgds, db = workload
+        extra = [Atom("Emp", ("newcomer",)), Atom("Mgr", ("newboss",))]
+        grown = self.grown(db, extra)
+
+        cache = ChaseCache()
+        cache.chase(db, tgds)
+        extended = cache.chase(grown, tgds)
+        fresh = chase(grown, tgds)
+
+        assert cache.extensions == 1
+        assert extended.terminated and fresh.terminated
+        assert len(extended.instance) == len(fresh.instance)
+        assert extended.ground_part().atoms() == fresh.ground_part().atoms()
+        assert is_isomorphic(extended.instance, fresh.instance)
+
+    def test_extension_same_certain_answers(self, workload):
+        tgds, db = workload
+        omq = OMQ.with_full_data_schema(tgds, parse_ucq("q(x) :- Person(x)"))
+        grown = self.grown(db, [Atom("Emp", ("newcomer",))])
+
+        cache = ChaseCache()
+        cache.chase(db, tgds)
+        with_cache = certain_answers(omq, grown, cache=cache)
+        without = certain_answers(omq, grown)
+        assert with_cache.answers == without.answers
+        assert ("newcomer",) in with_cache.answers
+
+    def test_extension_result_is_cached_too(self, workload):
+        tgds, db = workload
+        grown = self.grown(db, [Atom("Emp", ("newcomer",))])
+        cache = ChaseCache()
+        cache.chase(db, tgds)
+        extended = cache.chase(grown, tgds)
+        assert cache.chase(grown, tgds) is extended
+        assert len(cache) == 2
+
+    def test_extend_chase_requires_terminated_base(self, workload):
+        tgds, db = workload
+        prefix = chase(db, tgds, max_level=1)
+        if prefix.terminated:
+            pytest.skip("workload fixpointed within the bound")
+        with pytest.raises(ValueError):
+            extend_chase(prefix, [Atom("Emp", ("x",))], tgds)
+
+    def test_extend_chase_no_new_atoms_returns_base(self, workload):
+        tgds, db = workload
+        base = chase(db, tgds)
+        assert extend_chase(base, db.atoms(), tgds) is base
+
+
+class TestTripsAndBounds:
+    def test_budget_trip_is_never_cached(self):
+        tgds = sharded_ontology(3, 3)
+        db = sharded_database(3, 12, 30, seed=4)
+        cache = ChaseCache()
+        tripped = cache.chase(db, tgds, budget=Budget(max_steps=50))
+        assert not tripped.terminated
+        assert len(cache) == 0
+
+        # The next (ungoverned) call must recompute the real fixpoint, not
+        # serve the prefix.
+        full = cache.chase(db, tgds)
+        assert full.terminated
+        assert len(full.instance) > len(tripped.instance)
+
+    def test_lru_eviction(self):
+        tgds = employment_ontology()
+        cache = ChaseCache(max_entries=2)
+        # Pairwise incomparable atom sets, so no subset extension kicks in.
+        dbs = [
+            parse_database(f"Emp(solo{i})") for i in range(3)
+        ]
+        for db in dbs:
+            cache.chase(db, tgds)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        cache.chase(dbs[0], tgds)  # evicted → miss again
+        assert cache.misses == 4
+
+
+class TestEngineCaching:
+    def test_repeated_certain_answers_hit(self, workload):
+        tgds, db = workload
+        engine = Engine(tgds)
+        query = parse_ucq("q(x) :- Person(x)")
+        first = engine.certain_answers(query, db)
+        second = engine.certain_answers(query, db)
+        assert first.answers == second.answers
+        assert engine.cache.hits >= 1
+        # The second call's stats must show no chase work (hit served).
+        assert second.stats.triggers_enumerated == 0
+
+    def test_cache_off(self, workload):
+        tgds, db = workload
+        engine = Engine(tgds, cache=False)
+        assert engine.cache is None
+        answer = engine.certain_answers(parse_ucq("q(x) :- Person(x)"), db)
+        assert answer.complete

@@ -84,3 +84,58 @@ class TestCommands:
         )
         assert code == 0
         assert "('a',)" in capsys.readouterr().out
+
+
+class TestEngineFlags:
+    """--parallelism / --no-cache construct one Engine per invocation."""
+
+    def test_chase_parallelism_same_output(self, files, capsys):
+        db, tgds, _ = files
+        assert main(["chase", str(db), str(tgds)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["chase", str(db), str(tgds), "--parallelism", "4"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_certain_parallelism_and_no_cache(self, files, capsys):
+        db, tgds, query = files
+        args = ["certain", str(db), str(tgds), str(query)]
+        assert main(args) == 0
+        baseline = capsys.readouterr().out
+        assert main(args + ["--parallelism", "2", "--no-cache"]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_evaluate_accepts_engine_flags(self, capsys):
+        code = main(
+            ["evaluate", "Emp(ada)", "q(x) :- Emp(x)", "-e",
+             "--parallelism", "2", "--no-cache"]
+        )
+        assert code == 0
+        assert "('ada',)" in capsys.readouterr().out
+
+    def test_trip_exit_status_preserved_with_flags(self, capsys):
+        from repro.cli import EXIT_BUDGET_TRIP
+
+        code = main(
+            [
+                "chase",
+                "E(c0, c1)",
+                "E(x, y) -> E(y, z)",
+                "-e",
+                "--max-atoms",
+                "5",
+                "--parallelism",
+                "2",
+            ]
+        )
+        assert code == EXIT_BUDGET_TRIP
+        err = capsys.readouterr().err
+        assert "BUDGET TRIPPED" in err
+
+    def test_evaluate_trip_exit_status(self, capsys):
+        from repro.cli import EXIT_BUDGET_TRIP
+
+        code = main(
+            ["evaluate", "Emp(a), Emp(b), Emp(c)", "q(x) :- Emp(x)", "-e",
+             "--timeout", "0"]
+        )
+        assert code == EXIT_BUDGET_TRIP

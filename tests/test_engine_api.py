@@ -1,0 +1,201 @@
+"""The unified Engine surface and the uniform kwargs/result protocol.
+
+``repro.Engine`` must agree with the module-level functions it wraps, the
+deprecated ``chase_strategy=`` spelling must keep working (with a
+``DeprecationWarning``), and every evaluation entry point / result type
+must speak the uniform protocol: ``budget=``/``stats=`` kwargs in,
+``.complete`` / ``.trip`` / ``.stats`` out.
+"""
+
+import pytest
+
+from repro import (
+    Budget,
+    ChaseCache,
+    Engine,
+    OMQ,
+    certain_answers,
+    chase,
+    extend_chase,
+)
+from repro.benchgen import employment_database, employment_ontology
+from repro.cqs import (
+    contained_under,
+    equivalent_under,
+    is_minimal_under_constraints,
+    minimize_under_constraints,
+)
+from repro.datamodel import EvalStats, is_isomorphic
+from repro.governance import BudgetExceeded
+from repro.queries import evaluate, holds, is_answer, parse_cq, parse_database, parse_ucq
+from repro.tgds import parse_tgds
+
+
+@pytest.fixture()
+def workload():
+    tgds = employment_ontology()
+    db = employment_database(25, 3, seed=5)
+    return tgds, db
+
+
+QUERY = parse_ucq("q(x) :- Person(x)")
+
+
+class TestEngineParity:
+    def test_chase_matches_free_function(self, workload):
+        tgds, db = workload
+        engine = Engine(tgds)
+        mine = engine.chase(db)
+        free = chase(db, tgds)
+        # Null names are globally fresh per run, so compare up to renaming.
+        assert len(mine.instance) == len(free.instance)
+        assert mine.ground_part().atoms() == free.ground_part().atoms()
+        assert is_isomorphic(mine.instance, free.instance)
+
+    def test_certain_answers_matches_free_function(self, workload):
+        tgds, db = workload
+        engine = Engine(tgds)
+        omq = OMQ.with_full_data_schema(tgds, QUERY)
+        assert engine.certain_answers(QUERY, db).answers == certain_answers(
+            omq, db
+        ).answers
+
+    def test_accepts_full_omq_and_bare_cq(self, workload):
+        tgds, db = workload
+        engine = Engine(tgds)
+        omq = OMQ.with_full_data_schema(list(tgds), QUERY)
+        via_omq = engine.certain_answers(omq, db).answers
+        via_cq = engine.certain_answers(parse_cq("q(x) :- Person(x)"), db).answers
+        assert via_omq == via_cq
+
+    def test_rejects_omq_with_foreign_tgds(self, workload):
+        tgds, db = workload
+        engine = Engine(tgds[:-1])
+        omq = OMQ.with_full_data_schema(list(tgds), QUERY)
+        with pytest.raises(ValueError):
+            engine.certain_answers(omq, db)
+
+    def test_evaluate_is_closed_world(self, workload):
+        tgds, db = workload
+        engine = Engine(tgds)
+        answer = engine.evaluate(QUERY, db)
+        # Closed world: Person holds only where D says so (it never does —
+        # Person is ontology-derived), unlike the open-world reading.
+        assert answer.answers == evaluate(QUERY, db)
+        assert answer.strategy == "closed-world"
+        assert answer.complete and answer.trip is None
+
+
+class TestEngineGovernance:
+    def test_dict_budget_is_per_call(self, workload):
+        tgds, db = workload
+        engine = Engine(tgds, budget={"max_steps": 100_000}, cache=False)
+        first = engine.certain_answers(QUERY, db)
+        second = engine.certain_answers(QUERY, db)
+        # A fresh allowance per call: neither trips.
+        assert first.complete and second.complete
+
+    def test_shared_budget_instance_is_drained(self, workload):
+        tgds, db = workload
+        shared = Budget(max_steps=150)
+        engine = Engine(tgds, budget=shared, cache=False)
+        engine.certain_answers(QUERY, db)
+        answer = engine.certain_answers(QUERY, db)
+        assert answer.trip == "step budget"
+        assert not answer.complete
+
+    def test_evaluate_trip_protocol(self, workload):
+        _, db = workload
+        engine = Engine([], budget={"max_steps": 1})
+        answer = engine.evaluate(parse_ucq("q(x) :- Emp(x)"), db)
+        assert not answer.complete
+        assert answer.trip == "step budget"
+        assert answer.trip_reason == answer.trip
+
+
+class TestDeprecations:
+    def test_chase_strategy_warns_and_agrees(self, workload):
+        tgds, db = workload
+        omq = OMQ.with_full_data_schema(tgds, QUERY)
+        with pytest.warns(DeprecationWarning, match="trigger_strategy"):
+            old = certain_answers(omq, db, chase_strategy="naive")
+        new = certain_answers(omq, db, trigger_strategy="naive")
+        assert old.answers == new.answers
+
+    def test_new_spelling_does_not_warn(self, workload):
+        import warnings
+
+        tgds, db = workload
+        omq = OMQ.with_full_data_schema(tgds, QUERY)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            certain_answers(omq, db, trigger_strategy="delta")
+
+
+class TestUniformKwargs:
+    def test_is_answer_and_holds_take_stats_and_budget(self):
+        db = parse_database("Emp(ada)")
+        stats = EvalStats()
+        assert is_answer(parse_cq("q(x) :- Emp(x)"), db, ("ada",), stats=stats)
+        assert stats.homs_found >= 1
+        assert holds(parse_cq("q() :- Emp(x)"), db, stats=stats)
+        with pytest.raises(BudgetExceeded):
+            is_answer(
+                parse_cq("q(x) :- Emp(x)"),
+                db,
+                ("ada",),
+                budget=Budget(max_steps=0),
+            )
+
+    def test_containment_takes_uniform_kwargs(self):
+        tgds = parse_tgds(["E(x, y) -> E(y, x)"])
+        p = parse_cq("q() :- E(x, y), E(y, x)")
+        q = parse_cq("q() :- E(x, y)")
+        stats = EvalStats()
+        cache = ChaseCache()
+        assert contained_under(p, q, tgds, stats=stats, cache=cache, parallelism=2)
+        assert equivalent_under(p, q, tgds, cache=cache)
+        assert cache.hits >= 1  # the canonical database of q repeats
+
+    def test_minimization_takes_uniform_kwargs(self):
+        tgds = parse_tgds(["E(x, y) -> E(y, x)"])
+        q = parse_cq("q() :- E(x, y), E(y, x)")
+        minimal = minimize_under_constraints(q, tgds, cache=ChaseCache())
+        assert len(minimal.atoms) == 1
+        assert is_minimal_under_constraints(minimal, tgds, parallelism=2)
+
+
+class TestResultProtocol:
+    def test_chase_result_protocol(self, workload):
+        tgds, db = workload
+        done = chase(db, tgds)
+        assert done.complete is True
+        assert done.trip is None and done.trip_reason is None
+        assert isinstance(done.stats, EvalStats)
+        cut = chase(db, tgds, budget=Budget(max_steps=5))
+        assert cut.complete is False
+        assert cut.trip == "step budget" == cut.trip_reason
+
+    def test_omq_answer_protocol(self, workload):
+        tgds, db = workload
+        omq = OMQ.with_full_data_schema(tgds, QUERY)
+        answer = certain_answers(omq, db)
+        assert answer.complete is True
+        assert answer.trip is None and answer.trip_reason is None
+        assert isinstance(answer.stats, EvalStats)
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in (
+            "Engine",
+            "ChaseCache",
+            "ChaseResult",
+            "OMQAnswer",
+            "chase",
+            "extend_chase",
+            "certain_answers",
+            "Budget",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
