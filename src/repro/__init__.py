@@ -45,18 +45,21 @@ the ``.complete``/``.trip``/``.stats`` result protocol, and
 from .datamodel import (
     Atom,
     Database,
+    EvalStats,
     Instance,
+    JoinPlan,
     Null,
     Schema,
     Variable,
+    compile_plan,
     fresh_null,
+    plan_for,
     variables,
 )
 from .queries import (
     CQ,
     UCQ,
     core,
-    evaluate,
     evaluate_td,
     is_answer,
     parse_atom,
@@ -82,6 +85,7 @@ from .omq import OMQ, OMQAnswer, certain_answers, evaluate_fpt, is_certain_answe
 from .cqs import CQS, is_uniformly_ucq_k_equivalent, ucq_k_approximation
 from .semantic import in_cq_k_equiv, semantic_treewidth
 from .engine import Engine
+from .evaluation import evaluate
 
 __version__ = "0.1.0"
 
@@ -95,7 +99,9 @@ __all__ = [
     "ChaseResult",
     "Database",
     "Engine",
+    "EvalStats",
     "Instance",
+    "JoinPlan",
     "Null",
     "OMQ",
     "OMQAnswer",
@@ -105,6 +111,7 @@ __all__ = [
     "__version__",
     "certain_answers",
     "chase",
+    "compile_plan",
     "core",
     "cq_treewidth",
     "evaluate",
@@ -127,6 +134,7 @@ __all__ = [
     "parse_tgd",
     "parse_tgds",
     "parse_ucq",
+    "plan_for",
     "rewrite_ucq",
     "saturated_expansion",
     "semantic_treewidth",

@@ -219,7 +219,11 @@ class TypeTable:
             seen_triggers: set[tuple] = set()
             frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
             for hom in find_homomorphisms(
-                tgd.body, instance, stats=self.stats, budget=self.budget
+                tgd.body,
+                instance,
+                stats=self.stats,
+                budget=self.budget,
+                plan="auto",
             ):
                 self.stats.triggers_enumerated += 1
                 trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
@@ -449,7 +453,7 @@ def saturated_expansion(
                     continue
                 frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
                 for hom in find_homomorphisms(
-                    tgd.body, instance, stats=stats, budget=budget
+                    tgd.body, instance, stats=stats, budget=budget, plan="auto"
                 ):
                     trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
                     if trigger in fired:

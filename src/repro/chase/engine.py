@@ -258,8 +258,18 @@ def _delta_triggers(
                 seed = _unify(pivot, fact)
                 if seed is None:
                     continue
+                # plan="auto": the plan cache keys on the *set* of bound
+                # terms, which is the same for every seed fact of one
+                # (TGD, pivot) pair — and the instance is frozen while a
+                # level's candidates are materialised, so each pair
+                # compiles at most once per level.
                 for hom in find_homomorphisms(
-                    rest, instance, fixed=seed, stats=stats, budget=budget
+                    rest,
+                    instance,
+                    fixed=seed,
+                    stats=stats,
+                    budget=budget,
+                    plan="auto",
                 ):
                     stats.triggers_enumerated += 1
                     if any(a.apply(hom) in delta for a in earlier):
@@ -285,7 +295,9 @@ def _naive_triggers(
     for tgd_index, tgd in pairs:
         if not tgd.body:
             continue
-        for hom in find_homomorphisms(tgd.body, instance, stats=stats, budget=budget):
+        for hom in find_homomorphisms(
+            tgd.body, instance, stats=stats, budget=budget, plan="auto"
+        ):
             stats.triggers_enumerated += 1
             yield tgd_index, tgd, hom
 

@@ -37,7 +37,7 @@ from .cqs import CQS, is_uniformly_ucq_k_equivalent
 from .engine import Engine
 from .governance import Budget
 from .omq import OMQ, certain_answers
-from .queries import evaluate, parse_database, parse_ucq
+from .queries import parse_database, parse_ucq
 from .tgds import classify, is_weakly_acyclic, parse_tgds
 
 __all__ = ["main", "EXIT_BUDGET_TRIP"]
@@ -67,6 +67,7 @@ def _engine_from(args: argparse.Namespace, tgds) -> Engine:
         budget=_budget_from(args),
         cache=not args.no_cache,
         parallelism=args.parallelism,
+        plan=None if getattr(args, "plan", "auto") == "off" else "auto",
     )
 
 
@@ -102,6 +103,14 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the session chase cache",
+    )
+    parser.add_argument(
+        "--plan",
+        default="auto",
+        choices=["auto", "off"],
+        help="join-ordering policy for homomorphism searches: 'auto' "
+        "(default) compiles cached join plans from instance statistics, "
+        "'off' keeps per-node dynamic ordering; answers are identical",
     )
 
 

@@ -15,6 +15,15 @@ from .homomorphisms import (
     is_isomorphic,
 )
 from .instances import Database, Instance
+from .planner import (
+    ADAPTIVE_THRESHOLD,
+    InstanceStats,
+    JoinPlan,
+    compile_plan,
+    estimate_candidates,
+    instance_stats,
+    plan_for,
+)
 from .schema import Schema, SchemaError
 from .stats import EvalStats
 from .terms import (
@@ -29,18 +38,23 @@ from .terms import (
 )
 
 __all__ = [
+    "ADAPTIVE_THRESHOLD",
     "Atom",
     "Database",
     "EvalStats",
     "Instance",
+    "InstanceStats",
+    "JoinPlan",
     "Null",
     "Schema",
     "SchemaError",
     "Term",
     "Variable",
     "all_movable",
+    "compile_plan",
     "count_homomorphisms",
     "default_movable",
+    "estimate_candidates",
     "exists_homomorphism",
     "find_homomorphism",
     "find_homomorphisms",
@@ -48,10 +62,12 @@ __all__ = [
     "homomorphic_image",
     "instance_homomorphism",
     "instance_maps_to",
+    "instance_stats",
     "is_constant",
     "is_homomorphism",
     "is_isomorphic",
     "is_null",
     "is_variable",
+    "plan_for",
     "variables",
 ]

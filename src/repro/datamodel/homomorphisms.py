@@ -10,17 +10,33 @@ caller, different terms are allowed to move:
 * chase-style homs: nulls move, original constants are fixed.
 
 The ``movable`` predicate expresses this uniformly.  The search is a
-backtracking join with dynamic atom selection, driven by the
-(predicate, position, value) indexes of :class:`~repro.datamodel.Instance`.
+backtracking join driven by the (predicate, position, value) indexes of
+:class:`~repro.datamodel.Instance`, with three atom-selection policies
+picked by the ``plan=`` keyword:
+
+* ``plan=None`` (the default) — *dynamic* selection: every search node
+  probes the indexes once per pending atom and joins the most constrained
+  one.  Maximally adaptive, ``O(m)`` probes per node.
+* ``plan="auto"`` — compile (or fetch from the per-instance cache) a
+  :class:`~repro.datamodel.planner.JoinPlan` and follow its static order:
+  one probe per node, with an adaptive fallback to dynamic selection when
+  the planned atom's candidate count exceeds the plan's threshold.
+* ``plan=JoinPlan`` — follow a caller-compiled plan (it must have been
+  compiled for exactly these source atoms).
+
+All three policies enumerate exactly the same homomorphisms (the oracle
+suite asserts it); they differ only in probe count and enumeration order.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Callable, Iterable, Iterator, Mapping
 
 from .atoms import Atom
 from .instances import Instance
 from .stats import EvalStats
+from .planner import JoinPlan, plan_for
 from .terms import Term, is_null, is_variable
 
 if False:  # pragma: no cover - import cycle guard, typing only
@@ -68,6 +84,7 @@ def find_homomorphisms(
     limit: int | None = None,
     stats: EvalStats | None = None,
     budget: "Budget | None" = None,
+    plan: "JoinPlan | str | None" = None,
 ) -> Iterator[dict[Term, Term]]:
     """Enumerate homomorphisms from *source_atoms* into *target*.
 
@@ -87,13 +104,19 @@ def find_homomorphisms(
         Stop after yielding this many homomorphisms.
     stats:
         Optional :class:`~repro.datamodel.EvalStats` accumulating index
-        probes, backtracks, and homomorphisms found.
+        probes, backtracks, plan counters, and homomorphisms found.
     budget:
         Optional :class:`~repro.governance.Budget`, checked once per
         candidate fact considered by the backtracking join (the
         ``"hom-backtrack"`` check site).  A trip raises
         :class:`~repro.governance.BudgetExceeded` mid-enumeration; every
         homomorphism already yielded remains valid.
+    plan:
+        Atom-selection policy: ``None`` for per-node dynamic ordering,
+        ``"auto"`` to compile/fetch a :class:`~repro.datamodel.planner.
+        JoinPlan` from the target's cached statistics, or a pre-compiled
+        plan (validated against the source atoms).  The set of enumerated
+        homomorphisms is identical under every policy.
 
     Yields complete mappings from the terms of the source atoms to
     ``dom(target)``.  The yielded dicts are fresh copies.
@@ -120,8 +143,13 @@ def find_homomorphisms(
         yield dict(base)
         return
 
+    if plan == "auto":
+        plan = plan_for(atoms, target, bound=frozenset(base), stats=stats)
+    elif plan is not None:
+        plan.validate(atoms)
+    plan_rank = plan.rank() if plan is not None else None
+
     yielded = 0
-    remaining = list(atoms)
 
     def match(atom: Atom, fact: Atom, bound: dict[Term, Term]) -> dict[Term, Term] | None:
         """Try to unify *atom* with *fact* given current bindings.
@@ -148,10 +176,29 @@ def find_homomorphisms(
             new[term] = value
         return new
 
-    def pick_atom(pending: list[Atom], bound: dict[Term, Term]) -> int:
-        """Index of the most constrained pending atom (fewest candidates)."""
-        best_index, best_score = 0, None
-        for index, atom in enumerate(pending):
+    def pick_dynamic(
+        pending: list[int],
+        bound: dict[Term, Term],
+        seed: tuple[int, tuple, Iterable[Atom]] | None = None,
+    ) -> tuple[int, Iterable[Atom]]:
+        """Most constrained pending atom, with its (single-probe) candidates.
+
+        Returns ``(position in pending, candidate facts)`` — the candidate
+        list is reused by the caller, so the chosen atom is probed exactly
+        once (historically it was probed here *and* again by the join).
+        *seed* carries an already-probed ``(position, score, candidates)``
+        so the planned-with-fallback path never probes an atom twice.
+        """
+        if seed is None:
+            best_pos, best_score, best_candidates = 0, None, ()
+            probed = -1
+        else:
+            best_pos, best_score, best_candidates = seed
+            probed = best_pos
+        for pos, atom_index in enumerate(pending):
+            if pos == probed:
+                continue
+            atom = atoms[atom_index]
             bound_terms = sum(1 for t in atom.args if t in bound)
             candidates = target.candidates(atom, bound)
             if stats is not None:
@@ -159,22 +206,55 @@ def find_homomorphisms(
             size = len(candidates) if hasattr(candidates, "__len__") else 10**9
             score = (size, -bound_terms)
             if best_score is None or score < best_score:
-                best_index, best_score = index, score
+                best_pos, best_score, best_candidates = pos, score, candidates
                 if size == 0:
                     break
-        return best_index
+        return best_pos, best_candidates
 
-    def search(pending: list[Atom], bound: dict[Term, Term]) -> Iterator[dict[Term, Term]]:
+    def pick_planned(
+        pending: list[int], bound: dict[Term, Term]
+    ) -> tuple[int, Iterable[Atom]]:
+        """The next atom in plan order — one probe, with adaptive fallback.
+
+        When the planned atom's actual candidate count exceeds the plan's
+        threshold (the estimate went stale for this subtree), fall back to
+        dynamic selection for this node — a cheaper pending atom may exist
+        now that more variables are bound.  The fallback reuses the probe
+        already taken, so a planned node never probes more than a dynamic
+        node would.
+        """
+        best_pos = min(range(len(pending)), key=lambda p: plan_rank[pending[p]])
+        atom = atoms[pending[best_pos]]
+        candidates = target.candidates(atom, bound)
+        if stats is not None:
+            stats.index_probes += 1
+        size = len(candidates) if hasattr(candidates, "__len__") else 10**9
+        if (
+            plan.threshold is not None
+            and size > plan.threshold
+            and len(pending) > 1
+        ):
+            if stats is not None:
+                stats.plan_fallbacks += 1
+            bound_terms = sum(1 for t in atom.args if t in bound)
+            return pick_dynamic(
+                pending, bound, ((best_pos, (size, -bound_terms), candidates))
+            )
+        if stats is not None:
+            stats.plan_probes_saved += len(pending) - 1
+        return best_pos, candidates
+
+    pick = pick_dynamic if plan_rank is None else pick_planned
+
+    def search(pending: list[int], bound: dict[Term, Term]) -> Iterator[dict[Term, Term]]:
         nonlocal yielded
         if not pending:
             yield dict(bound)
             return
-        index = pick_atom(pending, bound)
-        atom = pending[index]
-        rest = pending[:index] + pending[index + 1:]
-        if stats is not None:
-            stats.index_probes += 1
-        for fact in target.candidates(atom, bound):
+        pos, candidates = pick(pending, bound)
+        atom = atoms[pending[pos]]
+        rest = pending[:pos] + pending[pos + 1:]
+        for fact in candidates:
             if budget is not None:
                 budget.check("hom-backtrack")
             new = match(atom, fact, bound)
@@ -193,7 +273,7 @@ def find_homomorphisms(
             if limit is not None and yielded >= limit:
                 return
 
-    for hom in search(remaining, dict(base)):
+    for hom in search(list(range(len(atoms))), dict(base)):
         if stats is not None:
             stats.homs_found += 1
         yield hom
@@ -211,6 +291,7 @@ def find_homomorphism(
     injective: bool = False,
     stats: EvalStats | None = None,
     budget: "Budget | None" = None,
+    plan: "JoinPlan | str | None" = None,
 ) -> dict[Term, Term] | None:
     """The first homomorphism found, or None if there is none."""
     for hom in find_homomorphisms(
@@ -222,6 +303,7 @@ def find_homomorphism(
         limit=1,
         stats=stats,
         budget=budget,
+        plan=plan,
     ):
         return hom
     return None
@@ -234,11 +316,21 @@ def exists_homomorphism(
     fixed: Mapping[Term, Term] | None = None,
     movable: Callable[[Term], bool] = default_movable,
     injective: bool = False,
+    stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
+    plan: "JoinPlan | str | None" = None,
 ) -> bool:
     """True iff some homomorphism exists."""
     return (
         find_homomorphism(
-            source_atoms, target, fixed=fixed, movable=movable, injective=injective
+            source_atoms,
+            target,
+            fixed=fixed,
+            movable=movable,
+            injective=injective,
+            stats=stats,
+            budget=budget,
+            plan=plan,
         )
         is not None
     )
@@ -251,9 +343,12 @@ def count_homomorphisms(
     fixed: Mapping[Term, Term] | None = None,
     movable: Callable[[Term], bool] = default_movable,
     injective: bool = False,
+    limit: int | None = None,
     stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
+    plan: "JoinPlan | str | None" = None,
 ) -> int:
-    """The number of homomorphisms (exhaustive enumeration)."""
+    """The number of homomorphisms (exhaustive unless *limit* caps it)."""
     return sum(
         1
         for _ in find_homomorphisms(
@@ -262,7 +357,10 @@ def count_homomorphisms(
             fixed=fixed,
             movable=movable,
             injective=injective,
+            limit=limit,
             stats=stats,
+            budget=budget,
+            plan=plan,
         )
     )
 
@@ -303,13 +401,98 @@ def instance_maps_to(source: Instance, target: Instance) -> bool:
     return instance_homomorphism(source, target) is not None
 
 
+def _occurrence_lists(
+    instance: Instance,
+) -> dict[Term, list[tuple[str, int, tuple[Term, ...]]]]:
+    """Each term's occurrences as ``(pred, position, full argument tuple)``."""
+    occ: dict[Term, list[tuple[str, int, tuple[Term, ...]]]] = {
+        t: [] for t in instance.dom()
+    }
+    for atom in instance:
+        for pos, arg in enumerate(atom.args):
+            occ[arg].append((atom.pred, pos, atom.args))
+    return occ
+
+
+def _refine_round(
+    occ: dict[Term, list[tuple[str, int, tuple[Term, ...]]]],
+    color: dict[Term, int],
+    palette: dict,
+) -> dict[Term, int]:
+    """One colour-refinement step; *palette* maps signatures to colour ids
+    and is shared across instances so equal signatures get equal colours."""
+    new: dict[Term, int] = {}
+    for term, entries in occ.items():
+        sig = (
+            color[term],
+            tuple(sorted(
+                (pred, pos, tuple(color[a] for a in args))
+                for pred, pos, args in entries
+            )),
+        )
+        cid = palette.get(sig)
+        if cid is None:
+            cid = palette[sig] = len(palette)
+        new[term] = cid
+    return new
+
+
+def _refined_colors(
+    left: Instance, right: Instance
+) -> tuple[dict[Term, int], dict[Term, int]] | None:
+    """Stable 1-WL colours of both instances' terms, jointly refined.
+
+    Colours are isomorphism-invariant: any isomorphism must map each term
+    to a term of the same colour.  Returns ``None`` as soon as the colour
+    histograms diverge — a certificate of non-isomorphism.
+    """
+    occ_left, occ_right = _occurrence_lists(left), _occurrence_lists(right)
+    col_left = {t: 0 for t in occ_left}
+    col_right = {t: 0 for t in occ_right}
+    classes = 1
+    for _ in range(max(1, len(col_left))):
+        palette: dict = {}
+        new_left = _refine_round(occ_left, col_left, palette)
+        new_right = _refine_round(occ_right, col_right, palette)
+        if Counter(new_left.values()) != Counter(new_right.values()):
+            return None
+        col_left, col_right = new_left, new_right
+        refined = len(set(col_left.values()))
+        if refined == classes:
+            break
+        classes = refined
+    return col_left, col_right
+
+
 def is_isomorphic(left: Instance, right: Instance) -> bool:
-    """True iff the two instances are isomorphic (via a term bijection)."""
+    """True iff the two instances are isomorphic (via a term bijection).
+
+    Colour refinement (1-WL) runs first: diverging colour histograms
+    refute isomorphism outright, and every term whose colour class is a
+    singleton is pinned to its unique same-coloured partner before the
+    backtracking search — on chase outputs this pins nearly all terms, so
+    the injective search degenerates to a check.  The search itself stays
+    exact: an injective homomorphism between equal-sized instances is
+    automatically onto (injective on terms ⇒ injective on atoms).
+    """
     if len(left) != len(right) or len(left.dom()) != len(right.dom()):
         return False
-    if {a.pred for a in left} != {a.pred for a in right}:
+    colors = _refined_colors(left, right)
+    if colors is None:
         return False
-    for hom in find_homomorphisms(left.atoms(), right, movable=all_movable, injective=True):
-        if homomorphic_image(left.atoms(), hom) == right.atoms():
-            return True
-    return False
+    col_left, col_right = colors
+    by_color: dict[int, list[Term]] = {}
+    for term, c in col_right.items():
+        by_color.setdefault(c, []).append(term)
+    class_size = Counter(col_left.values())
+    fixed = {
+        term: by_color[c][0]
+        for term, c in col_left.items()
+        if class_size[c] == 1
+    }
+    return (
+        find_homomorphism(
+            left.atoms(), right, fixed=fixed, movable=all_movable, injective=True
+        )
+        is not None
+    )

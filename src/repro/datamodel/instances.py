@@ -31,13 +31,20 @@ class Instance:
     ['a', 'b', 'c']
     """
 
-    __slots__ = ("_atoms", "_by_pred", "_by_pred_pos_val", "_dom")
+    __slots__ = ("_atoms", "_by_pred", "_by_pred_pos_val", "_dom", "_version", "_stats_cache")
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
         self._atoms: set[Atom] = set()
         self._by_pred: dict[str, set[Atom]] = defaultdict(set)
         self._by_pred_pos_val: dict[tuple[str, int, Term], set[Atom]] = defaultdict(set)
         self._dom: dict[Term, int] = defaultdict(int)  # value -> occurrence count
+        #: Mutation counter; bumped by add/discard.  The join planner keys
+        #: its cached statistics and compiled plans on it (see
+        #: :mod:`repro.datamodel.planner`), so stale plans die lazily.
+        self._version = 0
+        #: Planner-owned statistics cache (an InstanceStats or None);
+        #: validated against ``_version`` on every access.
+        self._stats_cache = None
         for atom in atoms:
             self.add(atom)
 
@@ -59,6 +66,7 @@ class Instance:
         for pos, value in enumerate(atom.args):
             self._by_pred_pos_val[(atom.pred, pos, value)].add(atom)
             self._dom[value] += 1
+        self._version += 1
         return True
 
     def add_all(self, atoms: Iterable[Atom]) -> int:
@@ -76,11 +84,22 @@ class Instance:
             self._dom[value] -= 1
             if self._dom[value] == 0:
                 del self._dom[value]
+        self._version += 1
         return True
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter — changes whenever an atom is added or removed.
+
+        Cheap cache-invalidation token: the join planner (and anything else
+        caching derived per-instance state) compares versions instead of
+        hashing the atom set.
+        """
+        return self._version
+
     def atoms(self) -> frozenset[Atom]:
         """All atoms as a frozen snapshot."""
         return frozenset(self._atoms)

@@ -40,6 +40,17 @@ class EvalStats:
         indexes (calls to ``Instance.candidates``).
     homs_found:
         Complete homomorphisms yielded by the search.
+    plans_compiled:
+        Join plans compiled by :mod:`repro.datamodel.planner`.
+    plan_cache_hits:
+        Plan-cache lookups answered without recompiling.
+    plan_fallbacks:
+        Planned search nodes that fell back to dynamic atom selection
+        because the planned atom's candidate count exceeded the plan's
+        adaptive threshold.
+    plan_probes_saved:
+        Index probes a planned search node avoided relative to dynamic
+        per-node ordering (pending atoms minus the one planned probe).
     head_checks:
         Head-satisfaction checks performed by the restricted chase.
     nodes_expanded:
@@ -61,6 +72,10 @@ class EvalStats:
     hom_backtracks: int = 0
     index_probes: int = 0
     homs_found: int = 0
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    plan_fallbacks: int = 0
+    plan_probes_saved: int = 0
     head_checks: int = 0
     nodes_expanded: int = 0
     parallel_levels: int = 0
@@ -76,6 +91,10 @@ class EvalStats:
         self.hom_backtracks += other.hom_backtracks
         self.index_probes += other.index_probes
         self.homs_found += other.homs_found
+        self.plans_compiled += other.plans_compiled
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_fallbacks += other.plan_fallbacks
+        self.plan_probes_saved += other.plan_probes_saved
         self.head_checks += other.head_checks
         self.nodes_expanded += other.nodes_expanded
         self.parallel_levels += other.parallel_levels
@@ -94,6 +113,10 @@ class EvalStats:
             "hom_backtracks": self.hom_backtracks,
             "index_probes": self.index_probes,
             "homs_found": self.homs_found,
+            "plans_compiled": self.plans_compiled,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_fallbacks": self.plan_fallbacks,
+            "plan_probes_saved": self.plan_probes_saved,
             "head_checks": self.head_checks,
             "nodes_expanded": self.nodes_expanded,
             "parallel_levels": self.parallel_levels,
@@ -107,5 +130,9 @@ class EvalStats:
             f"triggers {self.triggers_enumerated} enumerated / "
             f"{self.triggers_fired} fired / {self.triggers_deduped} deduped; "
             f"homs {self.homs_found} found, {self.hom_backtracks} backtracks, "
-            f"{self.index_probes} index probes; {self.wall_seconds:.3f}s"
+            f"{self.index_probes} index probes; "
+            f"plans {self.plans_compiled} compiled / "
+            f"{self.plan_cache_hits} cache hits / "
+            f"{self.plan_probes_saved} probes saved; "
+            f"{self.wall_seconds:.3f}s"
         )

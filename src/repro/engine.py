@@ -44,13 +44,17 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 from .chase import ChaseCache, ChaseResult, chase as _chase
-from .datamodel import EvalStats, Instance, Term
-from .governance import Budget, BudgetExceeded
+from .datamodel import EvalStats, Instance, JoinPlan, plan_for
+from .governance import Budget
 from .omq import OMQ, OMQAnswer, certain_answers as _certain_answers
-from .queries import CQ, UCQ, iter_answers
+from .queries import CQ, UCQ
 from .tgds import TGD
 
 __all__ = ["Engine"]
+
+#: Sentinel distinguishing "use the session's plan policy" from an explicit
+#: ``plan=None`` (which forces dynamic per-node ordering).
+_SESSION_DEFAULT = object()
 
 
 class Engine:
@@ -74,6 +78,14 @@ class Engine:
     trigger_strategy:
         ``"delta"`` (semi-naive, default) or ``"naive"`` — forwarded to
         every chase the session runs.
+    plan:
+        The session's join-ordering policy: ``"auto"`` (default) compiles
+        and caches a :class:`~repro.datamodel.JoinPlan` per (query body,
+        instance-stats epoch) — the cache rides on each instance's
+        statistics (see :mod:`repro.datamodel.planner`), so repeated
+        evaluations against an unchanged database skip planning entirely;
+        ``None`` keeps the legacy per-node dynamic ordering.  Either way
+        the answer sets are identical.
     """
 
     def __init__(
@@ -84,6 +96,7 @@ class Engine:
         cache: ChaseCache | bool = True,
         parallelism: int | None = 1,
         trigger_strategy: str = "delta",
+        plan: str | None = "auto",
     ) -> None:
         self.tgds: tuple[TGD, ...] = tuple(tgds)
         self._budget_spec = budget
@@ -95,6 +108,7 @@ class Engine:
             self.cache = cache
         self.parallelism = parallelism
         self.trigger_strategy = trigger_strategy
+        self.plan = plan
 
     # ------------------------------------------------------------------
     # Knob plumbing
@@ -166,6 +180,7 @@ class Engine:
         omq = self._as_omq(query)
         if stats is None:
             stats = EvalStats()
+        kwargs.setdefault("plan", self.plan)
         return _certain_answers(
             omq,
             database,
@@ -183,6 +198,7 @@ class Engine:
         query: UCQ | CQ,
         database: Instance,
         *,
+        plan: "JoinPlan | str | None | object" = _SESSION_DEFAULT,
         stats: EvalStats | None = None,
         budget: Budget | None = None,
     ) -> OMQAnswer:
@@ -191,29 +207,34 @@ class Engine:
         Ignores Σ (closed-world: the database is all there is) but keeps
         the governed-result protocol: a budget trip yields the answers
         found so far with ``complete=False`` and the trip code set, like
-        :meth:`certain_answers` does.
+        :meth:`certain_answers` does.  Delegates to the unified
+        :func:`repro.evaluate` machinery; *plan* defaults to the session
+        policy.
         """
-        if stats is None:
-            stats = EvalStats()
-        budget = self._budget(budget)
-        disjuncts = query.disjuncts if isinstance(query, UCQ) else (query,)
-        answers: set[tuple[Term, ...]] = set()
-        trip: str | None = None
-        try:
-            for cq in disjuncts:
-                for row in iter_answers(cq, database, stats=stats, budget=budget):
-                    answers.add(row)
-        except BudgetExceeded as exc:
-            trip = exc.code
-            exc.attach(stats=stats)
-        return OMQAnswer(
-            answers,
-            trip is None,
-            "closed-world",
-            f"{len(database)} atoms",
+        from .evaluation import closed_world_answer
+
+        if plan is _SESSION_DEFAULT:
+            plan = self.plan
+        return closed_world_answer(
+            query,
+            database,
+            plan=plan,
             stats=stats,
-            trip=trip,
+            budget=self._budget(budget),
         )
+
+    def plan_for(
+        self, query: CQ, database: Instance
+    ) -> JoinPlan:
+        """The session's compiled join plan for one CQ body over *database*.
+
+        Compiled at most once per (query body, instance-stats epoch): the
+        cache lives on the database's statistics object and is dropped
+        when the database mutates.  Handy for inspecting what order
+        :meth:`evaluate` will use, or for pre-compiling before a timed
+        run; pass the result back via ``evaluate(..., plan=plan)``.
+        """
+        return plan_for(query.atoms, database)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -1,0 +1,168 @@
+"""One front door for every evaluation problem in the paper.
+
+The library grew four evaluation entry points, one per query formalism:
+:func:`repro.queries.evaluate` (closed-world (U)CQs, returns a plain set),
+:func:`repro.omq.certain_answers` (open-world OMQs, returns an
+:class:`~repro.omq.OMQAnswer`), :meth:`repro.cqs.CQS.evaluate`
+(closed-world under an integrity-constraint promise), and the
+:class:`~repro.engine.Engine` methods.  They take the same knobs under the
+same names, but a caller had to know which function to reach for.
+
+:func:`evaluate` is the unified surface: it dispatches on the query's type
+and always returns an :class:`~repro.omq.OMQAnswer` — the uniform
+``.answers`` / ``.complete`` / ``.trip`` / ``.stats`` protocol, which also
+behaves as the answer set (iteration, ``len``, ``in``, ``==`` against
+plain sets), so existing call sites that treated the result as a set keep
+working.
+
+========  =====================================  =====================
+query     semantics                              strategy tag
+========  =====================================  =====================
+CQ/UCQ    closed-world ``q(D)`` (Section 2)      ``"closed-world"``
+CQS       closed-world under ``D |= Σ``          ``"cqs"``
+OMQ       open-world certain answers (Prop 3.1)  the chosen strategy
+========  =====================================  =====================
+
+The old entry points remain as thin wrappers over the same machinery; no
+behaviour changed underneath them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .cqs import CQS, PromiseViolation
+from .datamodel import EvalStats, Instance, JoinPlan, Term
+from .governance import Budget, BudgetExceeded
+from .omq import OMQ, OMQAnswer, certain_answers
+from .queries import CQ, UCQ, iter_answers
+
+if False:  # pragma: no cover - import cycle guard, typing only
+    from .chase import ChaseCache
+
+__all__ = ["evaluate", "closed_world_answer"]
+
+
+def closed_world_answer(
+    query: CQ | UCQ,
+    database: Instance,
+    *,
+    plan: "JoinPlan | str | None" = None,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
+    strategy: str = "closed-world",
+) -> OMQAnswer:
+    """Closed-world ``q(D)`` wrapped in the governed-result protocol.
+
+    The workhorse behind :func:`evaluate`'s CQ/UCQ/CQS arms and
+    :meth:`repro.Engine.evaluate`: a budget trip yields the answers found
+    so far with ``complete=False`` and the trip code set, instead of
+    raising.  *plan* follows :func:`~repro.datamodel.find_homomorphisms`
+    (a pre-compiled :class:`~repro.datamodel.JoinPlan` only fits a
+    single-CQ query).
+    """
+    if stats is None:
+        stats = EvalStats()
+    disjuncts: Iterable[CQ]
+    disjuncts = query.disjuncts if isinstance(query, UCQ) else (query,)
+    answers: set[tuple[Term, ...]] = set()
+    trip: str | None = None
+    try:
+        for cq in disjuncts:
+            for row in iter_answers(
+                cq, database, stats=stats, budget=budget, plan=plan
+            ):
+                answers.add(row)
+    except BudgetExceeded as exc:
+        trip = exc.code
+        exc.attach(stats=stats)
+    return OMQAnswer(
+        answers,
+        trip is None,
+        strategy,
+        f"{len(database)} atoms",
+        stats=stats,
+        trip=trip,
+    )
+
+
+def evaluate(
+    query: CQ | UCQ | OMQ | CQS,
+    data: Instance,
+    *,
+    plan: "JoinPlan | str | None" = None,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
+    cache: "ChaseCache | None" = None,
+    **kwargs,
+) -> OMQAnswer:
+    """Evaluate *query* over *data*, whatever the query formalism.
+
+    Parameters
+    ----------
+    plan:
+        Join-ordering policy for the homomorphism searches: ``None``
+        defers to each engine's default (dynamic per-node ordering for
+        closed-world queries, ``"auto"`` for OMQ certain answers, whose
+        final UCQ evaluation runs over a frozen chase instance),
+        ``"auto"`` forces plan compilation, and a pre-compiled
+        :class:`~repro.datamodel.JoinPlan` is accepted for single-CQ
+        queries.  Planning never changes the answer set.
+    stats:
+        Optional shared :class:`~repro.datamodel.EvalStats`; the result
+        carries it (or a fresh one) with the counters accumulated.
+    budget:
+        Optional :class:`~repro.governance.Budget`.  A trip degrades
+        gracefully: sound answers found so far, ``complete=False``, and
+        the trip code in ``result.trip``.
+    cache:
+        Optional :class:`~repro.chase.ChaseCache`, meaningful only for
+        OMQs (the chase is looked up/stored there).  Passing one with a
+        closed-world query raises — nothing would be cached.
+    kwargs:
+        Remaining OMQ knobs (``strategy=``, ``trigger_strategy=``,
+        ``level_bound=``, ``unfold=``, ``parallelism=``, ...) forwarded
+        to :func:`repro.omq.certain_answers`; CQS accepts
+        ``check_promise=``.
+
+    Returns an :class:`~repro.omq.OMQAnswer` in every case.
+    """
+    if isinstance(query, OMQ):
+        if plan is not None:
+            kwargs["plan"] = plan
+        return certain_answers(
+            query, data, stats=stats, budget=budget, cache=cache, **kwargs
+        )
+    if cache is not None:
+        raise ValueError(
+            "cache= only applies to OMQ evaluation (there is no chase to "
+            "cache for a closed-world query)"
+        )
+    if isinstance(query, CQS):
+        check_promise = kwargs.pop("check_promise", True)
+        if kwargs:
+            raise TypeError(
+                f"unexpected keyword arguments for CQS evaluation: "
+                f"{sorted(kwargs)}"
+            )
+        if check_promise and not query.promise_holds(data):
+            raise PromiseViolation(
+                "database violates the integrity constraints; "
+                "CQS evaluation is only defined on Σ-satisfying databases"
+            )
+        return closed_world_answer(
+            query.query, data, plan=plan, stats=stats, budget=budget,
+            strategy="cqs",
+        )
+    if isinstance(query, (CQ, UCQ)):
+        if kwargs:
+            raise TypeError(
+                f"unexpected keyword arguments for closed-world evaluation: "
+                f"{sorted(kwargs)}"
+            )
+        return closed_world_answer(
+            query, data, plan=plan, stats=stats, budget=budget
+        )
+    raise TypeError(
+        f"evaluate() takes a CQ, UCQ, OMQ, or CQS; got {type(query).__name__}"
+    )

@@ -81,6 +81,30 @@ class OMQAnswer:
     def __contains__(self, candidate: tuple) -> bool:
         return tuple(candidate) in self.answers
 
+    def __iter__(self):
+        """Iterate the answer tuples — lets callers treat the result as the
+        answer set (``sorted(result)``, ``set(result)``, comprehension)."""
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __eq__(self, other: object) -> bool:
+        """Answers compare to plain sets (back-compat for old call sites
+        that did ``evaluate(q, D) == {...}``); two OMQAnswers compare on
+        all fields as dataclasses do."""
+        if isinstance(other, (set, frozenset)):
+            return self.answers == other
+        if isinstance(other, OMQAnswer):
+            return (
+                self.answers == other.answers
+                and self.complete == other.complete
+                and self.strategy == other.strategy
+                and self.detail == other.detail
+                and self.trip == other.trip
+            )
+        return NotImplemented
+
 
 def _evaluate_partial(
     query: UCQ,
@@ -88,17 +112,22 @@ def _evaluate_partial(
     *,
     stats: EvalStats,
     budget: Budget | None,
+    plan: str | None = "auto",
 ) -> tuple[set[tuple[Term, ...]], str | None]:
     """Evaluate a UCQ, keeping the answers found if the budget trips.
 
     Returns ``(answers, trip_code_or_None)``.  Safe because every yielded
     answer of :func:`~repro.queries.iter_answers` is valid on its own.
+    The instance is frozen here (the chase/expansion already ran), so
+    ``plan="auto"`` is the default: each disjunct compiles once.
     """
     answers: set[tuple[Term, ...]] = set()
     trip: str | None = None
     try:
         for cq in query.disjuncts:
-            for row in iter_answers(cq, instance, stats=stats, budget=budget):
+            for row in iter_answers(
+                cq, instance, stats=stats, budget=budget, plan=plan
+            ):
                 answers.add(row)
     except BudgetExceeded as exc:
         trip = exc.code
@@ -127,6 +156,7 @@ def certain_answers(
     budget: Budget | None = None,
     cache: ChaseCache | None = None,
     parallelism: int | None = 1,
+    plan: str | None = "auto",
     chase_strategy: str | None = None,
 ) -> OMQAnswer:
     """Compute ``Q(D)`` (Prop 3.1) with the given or auto-picked strategy.
@@ -150,6 +180,11 @@ def certain_answers(
     evaluation.  The "bounded" strategy never touches the cache (a
     level-bounded prefix is not the chase).  *parallelism* shards the
     chase's per-level trigger search across that many worker threads.
+    *plan* selects the join-ordering policy of the final UCQ evaluation
+    (``"auto"``, the default, compiles one
+    :class:`~repro.datamodel.JoinPlan` per disjunct against the
+    materialised instance; ``None`` keeps per-node dynamic ordering); it
+    never changes the answer set.
 
     .. deprecated::
         ``chase_strategy=`` is the pre-Engine spelling of
@@ -209,7 +244,7 @@ def certain_answers(
         # a governed call by twice the deadline.
         eval_budget = budget.grace() if result.trip_reason else budget
         raw, eval_trip = _evaluate_partial(
-            omq.query, result.instance, stats=stats, budget=eval_budget
+            omq.query, result.instance, stats=stats, budget=eval_budget, plan=plan
         )
         trip = result.trip_reason or eval_trip
         return OMQAnswer(
@@ -235,7 +270,7 @@ def certain_answers(
             exc.attach(stats=stats)
         eval_budget = budget.grace() if trip and budget is not None else budget
         answers, eval_trip = _evaluate_partial(
-            rewriting, database, stats=stats, budget=eval_budget
+            rewriting, database, stats=stats, budget=eval_budget, plan=plan
         )
         trip = trip or eval_trip
         return OMQAnswer(
@@ -264,7 +299,7 @@ def certain_answers(
             else budget
         )
         raw, eval_trip = _evaluate_partial(
-            omq.query, expansion.instance, stats=stats, budget=eval_budget
+            omq.query, expansion.instance, stats=stats, budget=eval_budget, plan=plan
         )
         trip = expansion.trip_reason or eval_trip
         return OMQAnswer(
@@ -292,7 +327,7 @@ def certain_answers(
         tripped = result.trip_reason in _TRIP_CODES
         eval_budget = budget.grace() if tripped and budget is not None else budget
         raw, eval_trip = _evaluate_partial(
-            omq.query, result.instance, stats=stats, budget=eval_budget
+            omq.query, result.instance, stats=stats, budget=eval_budget, plan=plan
         )
         trip = result.trip_reason if tripped else None
         trip = trip or eval_trip

@@ -17,14 +17,22 @@ from __future__ import annotations
 from ..datamodel import Term, find_homomorphisms
 from .cq import CQ
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from ..governance import Budget
+
 __all__ = ["core", "is_core", "proper_endomorphism", "retract_once"]
 
 
-def proper_endomorphism(query: CQ) -> dict[Term, Term] | None:
+def proper_endomorphism(
+    query: CQ, *, budget: "Budget | None" = None
+) -> dict[Term, Term] | None:
     """Find an endomorphism of ``q`` (fixing the head) with a smaller image.
 
     Returns a mapping whose atom image is a strict subset of the query's
-    atoms, or None if the query is a core.
+    atoms, or None if the query is a core.  A governed search checks
+    *budget* at the homomorphism engine's ``"hom-backtrack"`` site; a trip
+    raises :class:`~repro.governance.BudgetExceeded` (core computation has
+    no sound partial result — a half-retracted query is not equivalent).
     """
     fixed = {v: v for v in query.head}
     fixed.update({c: c for c in query.constants()})
@@ -38,21 +46,23 @@ def proper_endomorphism(query: CQ) -> dict[Term, Term] | None:
     for skipped in query.atoms:
         sub_target = query.canonical_database()
         sub_target.discard(skipped)
-        for hom in find_homomorphisms(query.atoms, sub_target, fixed=fixed, limit=1):
+        for hom in find_homomorphisms(
+            query.atoms, sub_target, fixed=fixed, limit=1, budget=budget
+        ):
             return hom
     return None
 
 
-def retract_once(query: CQ) -> CQ | None:
+def retract_once(query: CQ, *, budget: "Budget | None" = None) -> CQ | None:
     """One retraction step: the image query, or None if already a core."""
-    hom = proper_endomorphism(query)
+    hom = proper_endomorphism(query, budget=budget)
     if hom is None:
         return None
     image_atoms = {a.apply(hom) for a in query.atoms}
     return CQ(query.head, sorted(image_atoms, key=str), name=query.name)
 
 
-def core(query: CQ) -> CQ:
+def core(query: CQ, *, budget: "Budget | None" = None) -> CQ:
     """The core of *query* (unique up to isomorphism).
 
     >>> from repro.queries import parse_cq
@@ -62,7 +72,7 @@ def core(query: CQ) -> CQ:
     """
     current = query
     while True:
-        smaller = retract_once(current)
+        smaller = retract_once(current, budget=budget)
         if smaller is None:
             return current
         if len(smaller.atoms) >= len(current.atoms) and set(smaller.atoms) == set(
@@ -72,6 +82,6 @@ def core(query: CQ) -> CQ:
         current = smaller
 
 
-def is_core(query: CQ) -> bool:
+def is_core(query: CQ, *, budget: "Budget | None" = None) -> bool:
     """True iff the query has no proper endomorphism."""
-    return proper_endomorphism(query) is None
+    return proper_endomorphism(query, budget=budget) is None

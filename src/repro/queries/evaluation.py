@@ -16,6 +16,7 @@ from typing import Iterable, Iterator, Sequence
 from ..datamodel import (
     EvalStats,
     Instance,
+    JoinPlan,
     Term,
     find_homomorphism,
     find_homomorphisms,
@@ -41,14 +42,18 @@ def iter_answers(
     *,
     stats: EvalStats | None = None,
     budget: "Budget | None" = None,
+    plan: "JoinPlan | str | None" = None,
 ) -> Iterator[tuple[Term, ...]]:
     """Yield answers to *query* over *database* (possibly with repeats).
 
     A governed run may raise :class:`~repro.governance.BudgetExceeded`
-    mid-enumeration; every answer already yielded remains valid.
+    mid-enumeration; every answer already yielded remains valid.  *plan*
+    selects the join-ordering policy (see
+    :func:`~repro.datamodel.find_homomorphisms`); it never changes the
+    answer set.
     """
     for hom in find_homomorphisms(
-        query.atoms, database, stats=stats, budget=budget
+        query.atoms, database, stats=stats, budget=budget, plan=plan
     ):
         yield tuple(hom[v] for v in query.head)
 
@@ -59,12 +64,15 @@ def evaluate_cq(
     *,
     stats: EvalStats | None = None,
     budget: "Budget | None" = None,
+    plan: "JoinPlan | str | None" = None,
 ) -> set[tuple[Term, ...]]:
     """``q(D)`` for a CQ — the set of all answers (Section 2).
 
     For a Boolean query the result is ``{()}`` or ``∅``.
     """
-    return set(iter_answers(query, database, stats=stats, budget=budget))
+    return set(
+        iter_answers(query, database, stats=stats, budget=budget, plan=plan)
+    )
 
 
 def evaluate_ucq(
@@ -73,11 +81,21 @@ def evaluate_ucq(
     *,
     stats: EvalStats | None = None,
     budget: "Budget | None" = None,
+    plan: "str | None" = None,
 ) -> set[tuple[Term, ...]]:
-    """``q(D)`` for a UCQ — the union of the disjuncts' answers."""
+    """``q(D)`` for a UCQ — the union of the disjuncts' answers.
+
+    *plan* must be ``None`` or ``"auto"`` here — a single pre-compiled
+    :class:`~repro.datamodel.JoinPlan` cannot cover several disjunct
+    bodies.
+    """
+    if plan is not None and plan != "auto":
+        raise ValueError("a UCQ takes plan=None or plan='auto', not a JoinPlan")
     answers: set[tuple[Term, ...]] = set()
     for cq in query.disjuncts:
-        answers |= evaluate_cq(cq, database, stats=stats, budget=budget)
+        answers |= evaluate_cq(
+            cq, database, stats=stats, budget=budget, plan=plan
+        )
     return answers
 
 
@@ -87,11 +105,12 @@ def evaluate(
     *,
     stats: EvalStats | None = None,
     budget: "Budget | None" = None,
+    plan: "JoinPlan | str | None" = None,
 ) -> set[tuple[Term, ...]]:
     """Dispatch on CQ vs UCQ."""
     if isinstance(query, UCQ):
-        return evaluate_ucq(query, database, stats=stats, budget=budget)
-    return evaluate_cq(query, database, stats=stats, budget=budget)
+        return evaluate_ucq(query, database, stats=stats, budget=budget, plan=plan)
+    return evaluate_cq(query, database, stats=stats, budget=budget, plan=plan)
 
 
 def is_answer(
@@ -101,6 +120,7 @@ def is_answer(
     *,
     stats: EvalStats | None = None,
     budget: "Budget | None" = None,
+    plan: "str | None" = None,
 ) -> bool:
     """Decide ``c̄ ∈ q(D)`` — the paper's evaluation problem.
 
@@ -121,7 +141,12 @@ def is_answer(
         fixed = dict(zip(cq.head, candidate))
         if (
             find_homomorphism(
-                cq.atoms, database, fixed=fixed, stats=stats, budget=budget
+                cq.atoms,
+                database,
+                fixed=fixed,
+                stats=stats,
+                budget=budget,
+                plan=plan,
             )
             is not None
         ):
@@ -135,8 +160,9 @@ def holds(
     *,
     stats: EvalStats | None = None,
     budget: "Budget | None" = None,
+    plan: "str | None" = None,
 ) -> bool:
     """``D |= q`` for a Boolean (U)CQ (Section 2)."""
     if query.arity != 0:
         raise ValueError("holds() is for Boolean queries; use is_answer()")
-    return is_answer(query, database, (), stats=stats, budget=budget)
+    return is_answer(query, database, (), stats=stats, budget=budget, plan=plan)

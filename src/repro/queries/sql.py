@@ -20,7 +20,8 @@ from __future__ import annotations
 import sqlite3
 from typing import Sequence
 
-from ..datamodel import Instance, Schema, Term, Variable, is_variable
+from ..datamodel import EvalStats, Instance, Schema, Term, Variable, is_variable
+from ..governance import Budget, BudgetExceeded
 from .cq import CQ, UCQ
 
 __all__ = [
@@ -98,15 +99,24 @@ def create_table_statements(schema: Schema) -> list[str]:
 
 
 def load_into_sqlite(
-    database: Instance, connection: sqlite3.Connection | None = None
+    database: Instance,
+    connection: sqlite3.Connection | None = None,
+    *,
+    budget: "Budget | None" = None,
 ) -> sqlite3.Connection:
-    """Materialise an instance into (a fresh in-memory) sqlite database."""
+    """Materialise an instance into (a fresh in-memory) sqlite database.
+
+    A governed load checks *budget* once per predicate (the ``"sql-load"``
+    check site) — a partially loaded connection is never returned.
+    """
     if connection is None:
         connection = sqlite3.connect(":memory:")
     schema = database.schema()
     for statement in create_table_statements(schema):
         connection.execute(statement)
     for pred in sorted(schema.predicates()):
+        if budget is not None:
+            budget.check("sql-load")
         arity = schema.arity_of(pred)
         rows = [
             tuple(str(t) for t in atom.args)
@@ -124,7 +134,11 @@ def load_into_sqlite(
 
 
 def evaluate_via_sqlite(
-    query: CQ | UCQ, database: Instance
+    query: CQ | UCQ,
+    database: Instance,
+    *,
+    stats: EvalStats | None = None,
+    budget: "Budget | None" = None,
 ) -> set[tuple[str, ...]]:
     """Evaluate through sqlite3 — the independent oracle.
 
@@ -132,15 +146,27 @@ def evaluate_via_sqlite(
     against the homomorphism engine after the same stringification.
     Predicates of the query missing from the database yield no rows, as
     CQ semantics requires.
+
+    A governed run checks *budget* once per loaded predicate
+    (``"sql-load"``) and once per executed disjunct (``"sql-disjunct"``).
+    A trip raises :class:`~repro.governance.BudgetExceeded` with the
+    answers of the disjuncts already executed attached as ``partial``
+    (each disjunct's answer set is sound on its own — UCQ semantics is a
+    union).
     """
     disjuncts: Sequence[CQ] = (
         query.disjuncts if isinstance(query, UCQ) else (query,)
     )
     present = database.predicates()
-    connection = load_into_sqlite(database)
+    connection = load_into_sqlite(database, budget=budget)
     try:
         answers: set[tuple[str, ...]] = set()
         for cq in disjuncts:
+            if budget is not None:
+                try:
+                    budget.check("sql-disjunct")
+                except BudgetExceeded as exc:
+                    raise exc.attach(partial=set(answers), stats=stats)
             if not cq.predicates() <= present:
                 continue  # a table is empty-and-absent: no matches
             rows = connection.execute(cq_to_sql(cq)).fetchall()

@@ -23,8 +23,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..datamodel import Atom, Instance
+from ..datamodel import Atom, EvalStats, Instance
 from ..queries import CQ, holds
+
+if False:  # pragma: no cover - import cycle guard, typing only
+    from ..governance import Budget
 from ..tgds import TGD, parse_tgds, satisfies_all
 from ..chase import terminating_chase
 from ..cqs import CQS
@@ -97,9 +100,24 @@ class CliqueReduction:
         """The constructed ``D*``."""
         return self.grohe.d_star
 
-    def decide_by_evaluation(self) -> bool:
-        """``D* |= q`` — the reduction's official decision (Lemma 7.3(2))."""
-        return holds(self.query, self.grohe.d_star)
+    def decide_by_evaluation(
+        self,
+        *,
+        stats: "EvalStats | None" = None,
+        budget: "Budget | None" = None,
+        plan: "str | None" = None,
+    ) -> bool:
+        """``D* |= q`` — the reduction's official decision (Lemma 7.3(2)).
+
+        The Boolean evaluation accepts the engine's uniform knobs:
+        *stats* accumulates search counters, *budget* governs the
+        homomorphism search (a trip raises
+        :class:`~repro.governance.BudgetExceeded` — a Boolean decision has
+        no sound partial answer), *plan* selects the join-ordering policy.
+        """
+        return holds(
+            self.query, self.grohe.d_star, stats=stats, budget=budget, plan=plan
+        )
 
     def decide_by_certificate(self) -> bool:
         """The pinned homomorphism of Lemma H.2(2) (ground-truth variant)."""

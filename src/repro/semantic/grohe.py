@@ -13,6 +13,9 @@ from __future__ import annotations
 from ..queries import CQ, UCQ, core
 from ..treewidth import cq_treewidth, in_cq_k
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from ..governance import Budget
+
 __all__ = [
     "semantic_treewidth",
     "in_cq_k_equiv",
@@ -22,19 +25,25 @@ __all__ = [
 ]
 
 
-def semantic_treewidth(query: CQ) -> int:
+def semantic_treewidth(query: CQ, *, budget: "Budget | None" = None) -> int:
     """The treewidth of the query's core — the least k with ``q ∈ CQ≡_k``.
+
+    Both stages are governed by *budget* when one is passed: the core
+    computation checks at the homomorphism engine's ``"hom-backtrack"``
+    site, the treewidth search at ``"treewidth-branch"``.  A trip raises
+    :class:`~repro.governance.BudgetExceeded` — there is no sound partial
+    answer for a treewidth *number*.
 
     >>> from repro.queries import parse_cq
     >>> semantic_treewidth(parse_cq("q() :- E(x,y), E(y,z), E(z,x), E(x,x)"))
     1
     """
-    return cq_treewidth(core(query))
+    return cq_treewidth(core(query, budget=budget), budget=budget)
 
 
-def in_cq_k_equiv(query: CQ, k: int) -> bool:
+def in_cq_k_equiv(query: CQ, k: int, *, budget: "Budget | None" = None) -> bool:
     """``q ∈ CQ≡_k`` — equivalent to a CQ of treewidth ≤ k ([20])."""
-    return in_cq_k(core(query), k)
+    return in_cq_k(core(query, budget=budget), k, budget=budget)
 
 
 def semantic_treewidth_ucq(query: UCQ) -> int:
@@ -75,7 +84,9 @@ def in_ucq_k_equiv(query: UCQ, k: int) -> bool:
     return semantic_treewidth_ucq(query) <= k
 
 
-def tractable_witness(query: CQ, k: int) -> CQ | None:
+def tractable_witness(
+    query: CQ, k: int, *, budget: "Budget | None" = None
+) -> CQ | None:
     """A treewidth-≤k CQ equivalent to *query*, if one exists (its core)."""
-    witness = core(query)
-    return witness if in_cq_k(witness, k) else None
+    witness = core(query, budget=budget)
+    return witness if in_cq_k(witness, k, budget=budget) else None

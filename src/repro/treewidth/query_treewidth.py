@@ -20,6 +20,9 @@ from ..queries.cq import CQ, UCQ
 from .decomposition import subgraph
 from .exact import DEFAULT_EXACT_LIMIT, treewidth_exact
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from ..governance import Budget
+
 __all__ = [
     "paper_treewidth",
     "cq_treewidth",
@@ -31,14 +34,29 @@ __all__ = [
 ]
 
 
-def paper_treewidth(graph: Mapping, *, limit: int = DEFAULT_EXACT_LIMIT) -> int:
-    """Treewidth with the paper's floor: edgeless (or empty) graphs have tw 1."""
+def paper_treewidth(
+    graph: Mapping,
+    *,
+    limit: int = DEFAULT_EXACT_LIMIT,
+    budget: "Budget | None" = None,
+) -> int:
+    """Treewidth with the paper's floor: edgeless (or empty) graphs have tw 1.
+
+    A governed run forwards *budget* to the exact search (checked at the
+    ``"treewidth-branch"`` site); a trip raises
+    :class:`~repro.governance.BudgetExceeded`.
+    """
     if not graph or not any(graph.values()):
         return 1
-    return max(1, treewidth_exact(graph, limit=limit))
+    return max(1, treewidth_exact(graph, limit=limit, budget=budget))
 
 
-def cq_treewidth(query: CQ, *, limit: int = DEFAULT_EXACT_LIMIT) -> int:
+def cq_treewidth(
+    query: CQ,
+    *,
+    limit: int = DEFAULT_EXACT_LIMIT,
+    budget: "Budget | None" = None,
+) -> int:
     """The paper treewidth of a CQ: ``tw(G^q|ȳ)`` over existential variables.
 
     >>> from repro.queries import parse_cq
@@ -47,24 +65,47 @@ def cq_treewidth(query: CQ, *, limit: int = DEFAULT_EXACT_LIMIT) -> int:
     >>> cq_treewidth(parse_cq("q(x) :- R(x, y), R(y, z)"))
     1
     """
-    return paper_treewidth(query.existential_gaifman_adjacency(), limit=limit)
+    return paper_treewidth(
+        query.existential_gaifman_adjacency(), limit=limit, budget=budget
+    )
 
 
-def ucq_treewidth(query: UCQ, *, limit: int = DEFAULT_EXACT_LIMIT) -> int:
+def ucq_treewidth(
+    query: UCQ,
+    *,
+    limit: int = DEFAULT_EXACT_LIMIT,
+    budget: "Budget | None" = None,
+) -> int:
     """Maximum disjunct treewidth (a UCQ has tw k iff each disjunct ≤ k)."""
-    return max(cq_treewidth(cq, limit=limit) for cq in query.disjuncts)
+    return max(
+        cq_treewidth(cq, limit=limit, budget=budget) for cq in query.disjuncts
+    )
 
 
-def in_cq_k(query: CQ, k: int, *, limit: int = DEFAULT_EXACT_LIMIT) -> bool:
+def in_cq_k(
+    query: CQ,
+    k: int,
+    *,
+    limit: int = DEFAULT_EXACT_LIMIT,
+    budget: "Budget | None" = None,
+) -> bool:
     """``q ∈ CQ_k`` — syntactic treewidth at most k."""
     if k < 1:
         raise ValueError("paper treewidth classes start at k = 1")
-    return cq_treewidth(query, limit=limit) <= k
+    return cq_treewidth(query, limit=limit, budget=budget) <= k
 
 
-def in_ucq_k(query: UCQ, k: int, *, limit: int = DEFAULT_EXACT_LIMIT) -> bool:
+def in_ucq_k(
+    query: UCQ,
+    k: int,
+    *,
+    limit: int = DEFAULT_EXACT_LIMIT,
+    budget: "Budget | None" = None,
+) -> bool:
     """``q ∈ UCQ_k`` — every disjunct in CQ_k."""
-    return all(in_cq_k(cq, k, limit=limit) for cq in query.disjuncts)
+    return all(
+        in_cq_k(cq, k, limit=limit, budget=budget) for cq in query.disjuncts
+    )
 
 
 def instance_treewidth(

@@ -1,0 +1,148 @@
+"""Fault injection for the governor's newest check sites.
+
+The SQL oracle (``"sql-load"``, ``"sql-disjunct"``), the semantic-treewidth
+pipeline (``"hom-backtrack"`` in the core computation, ``"treewidth-branch"``
+in the exact search), and the p-Clique reduction's evaluation decision all
+accept ``budget=`` now; these tests sweep injections over their check sites
+and assert the partial-result contract: set-valued procedures attach a
+sound subset, number/Boolean-valued procedures raise cleanly (no partial
+answer exists for them) and leave no corrupted state behind.
+"""
+
+import pytest
+
+from repro.governance import Budget, BudgetExceeded
+from repro.queries import parse_cq, parse_database, parse_ucq
+from repro.queries.sql import evaluate_via_sqlite, load_into_sqlite
+from repro.reductions import clique_via_cq
+from repro.reductions.grids import clique_graph
+from repro.semantic import in_cq_k_equiv, semantic_treewidth
+from repro.datamodel import EvalStats
+
+INJECTION_POINTS = (1, 2, 3)
+
+DB = parse_database(
+    "E(a, b)\nE(b, c)\nE(c, a)\nE(c, d)\nP(a)\nP(b)\nQ(d)"
+)
+UCQ3 = parse_ucq(
+    [
+        "q(x) :- E(x, y), P(x)",
+        "q(x) :- E(x, y), E(y, z)",
+        "q(x) :- Q(x)",
+    ]
+)
+
+#: Its own core (odd cycle), semantic treewidth 2.
+TRIANGLE = parse_cq("q() :- E(x, y), E(y, z), E(z, x)")
+#: Retracts to a single atom — the core search has real work to do.
+RETRACTABLE = parse_cq("q() :- E(x, y), E(u, v), E(s, t)")
+
+
+def _grid_query() -> "object":
+    """A 3×3 grid with one predicate per edge: its own core, treewidth 3.
+
+    Distinct predicates stop the grid from retracting (a single-relation
+    bipartite grid folds onto one edge), so the exact treewidth search has
+    to branch — which is what exercises the ``"treewidth-branch"`` site.
+    """
+    edges, n = [], 0
+    for i in range(3):
+        for j in range(3):
+            for a, b in (((i, j), (i + 1, j)), ((i, j), (i, j + 1))):
+                if b[0] < 3 and b[1] < 3:
+                    edges.append(f"E{n}(v{a[0]}{a[1]}, v{b[0]}{b[1]})")
+                    n += 1
+    return parse_cq("q() :- " + ", ".join(edges))
+
+
+GRID = _grid_query()
+
+
+class TestSqlSites:
+    def test_ungoverned_matches_roomy_budget(self):
+        assert evaluate_via_sqlite(UCQ3, DB) == evaluate_via_sqlite(
+            UCQ3, DB, budget=Budget()
+        )
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_disjunct_trip_attaches_sound_partial(self, n):
+        full = evaluate_via_sqlite(UCQ3, DB)
+        budget = Budget()
+        budget.inject(n, site="sql-disjunct")
+        stats = EvalStats()
+        with pytest.raises(BudgetExceeded) as info:
+            evaluate_via_sqlite(UCQ3, DB, budget=budget, stats=stats)
+        assert info.value.partial is not None
+        assert info.value.partial <= full
+        # n-1 disjuncts ran to completion before the trip.
+        assert info.value.stats is stats
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_load_trip_raises_before_any_execution(self, n):
+        budget = Budget()
+        budget.inject(n, site="sql-load")
+        with pytest.raises(BudgetExceeded) as info:
+            evaluate_via_sqlite(UCQ3, DB, budget=budget)
+        # A partially loaded connection is never used for answers.
+        assert info.value.partial is None
+
+    def test_load_site_counts_per_predicate(self):
+        budget = Budget()
+        connection = load_into_sqlite(DB, budget=budget)
+        connection.close()
+        assert budget.site_counts["sql-load"] == len(DB.predicates())
+
+
+class TestSemanticSites:
+    def test_governed_equals_ungoverned(self):
+        assert semantic_treewidth(TRIANGLE, budget=Budget()) == (
+            semantic_treewidth(TRIANGLE)
+        )
+        assert in_cq_k_equiv(RETRACTABLE, 1, budget=Budget()) == (
+            in_cq_k_equiv(RETRACTABLE, 1)
+        )
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_core_search_trip(self, n):
+        budget = Budget()
+        budget.inject(n, site="hom-backtrack")
+        with pytest.raises(BudgetExceeded):
+            semantic_treewidth(RETRACTABLE, budget=budget)
+        # The query object is unchanged — nothing half-retracted escapes.
+        assert len(RETRACTABLE.atoms) == 3
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_treewidth_branch_trip(self, n):
+        budget = Budget()
+        budget.inject(n, site="treewidth-branch")
+        with pytest.raises(BudgetExceeded):
+            semantic_treewidth(GRID, budget=budget)
+
+    def test_trip_is_transient(self):
+        budget = Budget()
+        budget.inject(1, site="treewidth-branch")
+        with pytest.raises(BudgetExceeded):
+            semantic_treewidth(GRID, budget=budget)
+        # A fresh budget computes the true value afterwards.
+        assert semantic_treewidth(GRID, budget=Budget()) == 3
+
+
+class TestCliqueDecision:
+    def test_knobs_do_not_change_the_decision(self):
+        reduction = clique_via_cq(clique_graph(4), 3)
+        plain = reduction.decide_by_evaluation()
+        stats = EvalStats()
+        assert reduction.decide_by_evaluation(
+            stats=stats, budget=Budget(), plan="auto"
+        ) == plain
+        assert stats.index_probes > 0
+
+    @pytest.mark.parametrize("n", INJECTION_POINTS)
+    def test_evaluation_trip(self, n):
+        reduction = clique_via_cq(clique_graph(4), 3)
+        budget = Budget()
+        budget.inject(n, site="hom-backtrack")
+        with pytest.raises(BudgetExceeded):
+            reduction.decide_by_evaluation(budget=budget)
+        # The reduction object stays usable after a trip.
+        assert reduction.decide_by_evaluation() == reduction.ground_truth()

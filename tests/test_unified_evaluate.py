@@ -1,0 +1,129 @@
+"""The unified ``repro.evaluate`` surface and the OMQAnswer set protocol.
+
+One front door for all four query formalisms (CQ, UCQ, OMQ, CQS): always
+an :class:`~repro.omq.OMQAnswer`, always the same ``plan=``/``stats=``/
+``budget=``/``cache=`` knobs, and the result behaves as its answer set so
+pre-redesign call sites (``== {...}``, iteration, ``in``) keep working.
+"""
+
+import pytest
+
+from repro import (
+    CQS,
+    Engine,
+    OMQAnswer,
+    evaluate,
+    parse_cq,
+    parse_database,
+    parse_tgds,
+    parse_ucq,
+)
+from repro.chase import ChaseCache
+from repro.cqs import PromiseViolation
+from repro.datamodel import EvalStats
+from repro.governance import Budget
+from repro.omq import OMQ
+
+DB = parse_database("E(a, b), E(b, c), P(a)")
+TGDS = parse_tgds(["E(x, y) -> R(y, x)"])
+
+
+class TestDispatch:
+    def test_cq_closed_world(self):
+        result = evaluate(parse_cq("q(x) :- E(x, y)"), DB)
+        assert isinstance(result, OMQAnswer)
+        assert result.strategy == "closed-world"
+        assert result.complete
+        assert result.answers == {("a",), ("b",)}
+
+    def test_ucq_closed_world(self):
+        ucq = parse_ucq(["q(x) :- P(x)", "q(x) :- E(y, x)"])
+        assert evaluate(ucq, DB) == {("a",), ("b",), ("c",)}
+
+    def test_omq_open_world(self):
+        omq = OMQ.with_full_data_schema(list(TGDS), parse_ucq("q(x) :- R(x, y)"))
+        result = evaluate(omq, parse_database("E(a, b), E(b, c)"))
+        assert result.answers == {("b",), ("c",)}
+        assert result.complete
+
+    def test_cqs_checks_the_promise(self):
+        spec = CQS(parse_tgds(["E(x, y) -> E(y, x)"]), parse_ucq("q(x) :- E(x, y)"))
+        with pytest.raises(PromiseViolation):
+            evaluate(spec, DB)
+        symmetric = parse_database("E(a, b), E(b, a)")
+        result = evaluate(spec, symmetric)
+        assert result.strategy == "cqs"
+        assert result.answers == {("a",), ("b",)}
+
+    def test_cqs_promise_check_can_be_skipped(self):
+        spec = CQS(parse_tgds(["E(x, y) -> E(y, x)"]), parse_ucq("q(x) :- E(x, y)"))
+        result = evaluate(spec, DB, check_promise=False)
+        assert result.answers == {("a",), ("b",)}
+
+    def test_rejects_unknown_query_types(self):
+        with pytest.raises(TypeError):
+            evaluate("q(x) :- E(x, y)", DB)
+
+    def test_rejects_omq_kwargs_on_closed_world_queries(self):
+        with pytest.raises(TypeError):
+            evaluate(parse_cq("q(x) :- E(x, y)"), DB, level_bound=3)
+
+    def test_rejects_cache_on_closed_world_queries(self):
+        with pytest.raises(ValueError):
+            evaluate(parse_cq("q(x) :- E(x, y)"), DB, cache=ChaseCache())
+
+
+class TestKnobs:
+    def test_plan_parity(self):
+        query = parse_cq("q(x, z) :- E(x, y), E(y, z)")
+        assert evaluate(query, DB, plan="auto") == evaluate(query, DB, plan=None)
+
+    def test_stats_are_carried(self):
+        stats = EvalStats()
+        result = evaluate(parse_cq("q(x) :- E(x, y)"), DB, stats=stats)
+        assert result.stats is stats
+        assert stats.index_probes > 0
+
+    def test_budget_trip_degrades_gracefully(self):
+        budget = Budget()
+        budget.inject(1, site="hom-backtrack")
+        result = evaluate(parse_cq("q(x) :- E(x, y)"), DB, budget=budget)
+        assert not result.complete
+        assert result.trip == "cancelled"
+        assert result.answers <= {("a",), ("b",)}
+
+
+class TestSetProtocol:
+    def test_equality_against_plain_sets(self):
+        result = evaluate(parse_cq("q(x) :- P(x)"), DB)
+        assert result == {("a",)}
+        assert {("a",)} == result.answers
+
+    def test_iteration_len_membership(self):
+        result = evaluate(parse_cq("q(x) :- E(x, y)"), DB)
+        assert sorted(result) == [("a",), ("b",)]
+        assert len(result) == 2
+        assert ("a",) in result
+        assert ("c",) not in result
+
+    def test_two_answers_compare_fieldwise(self):
+        query = parse_cq("q(x) :- P(x)")
+        assert evaluate(query, DB) == evaluate(query, DB)
+
+
+class TestEngineIntegration:
+    def test_engine_evaluate_uses_the_session_plan(self):
+        engine = Engine(list(TGDS), plan="auto")
+        result = engine.evaluate(parse_ucq("q(x) :- E(x, y)"), DB)
+        assert result == {("a",), ("b",)}
+        assert result.strategy == "closed-world"
+
+    def test_engine_plan_for_is_cached_per_state(self):
+        engine = Engine([])
+        query = parse_cq("q(x, z) :- E(x, y), E(y, z)")
+        db = parse_database("E(a, b), E(b, c)")
+        plan = engine.plan_for(query, db)
+        assert engine.plan_for(query, db) is plan
+        assert engine.evaluate(query, db, plan=plan) == {("a", "c")}
+        db.add(next(iter(parse_database("E(c, d)"))))
+        assert engine.plan_for(query, db) is not plan
