@@ -23,7 +23,10 @@ stand on:
 Every expensive engine is governed: pass ``budget=Budget(deadline=...,
 max_atoms=..., max_steps=...)`` to ``chase``/``certain_answers``/
 ``rewrite_ucq`` and friends to get sound partial results instead of
-hangs (see ``docs/resource_governance.md``).
+hangs (see ``docs/resource_governance.md``).  Tripped chase-based runs
+additionally carry a resumable :class:`ChaseCheckpoint` — continue them
+with :func:`resume_chase`, :meth:`Engine.resume`, or the CLI's
+``--resume`` (serialization via :mod:`repro.datamodel.io`).
 
 Quickstart::
 
@@ -72,14 +75,16 @@ from .tgds import TGD, parse_tgd, parse_tgds
 from .chase import (
     ChaseCache,
     ChaseResult,
+    ChaseWorkerError,
     chase,
     extend_chase,
     ground_saturation,
     linearize,
+    resume_chase,
     rewrite_ucq,
     saturated_expansion,
 )
-from .governance import Budget, BudgetExceeded
+from .governance import Budget, BudgetExceeded, ChaseCheckpoint, CheckpointError
 from .treewidth import cq_treewidth, in_cq_k, in_ucq_k, ucq_treewidth
 from .omq import OMQ, OMQAnswer, certain_answers, evaluate_fpt, is_certain_answer
 from .cqs import CQS, is_uniformly_ucq_k_equivalent, ucq_k_approximation
@@ -96,7 +101,10 @@ __all__ = [
     "CQ",
     "CQS",
     "ChaseCache",
+    "ChaseCheckpoint",
     "ChaseResult",
+    "ChaseWorkerError",
+    "CheckpointError",
     "Database",
     "Engine",
     "EvalStats",
@@ -135,6 +143,7 @@ __all__ = [
     "parse_tgds",
     "parse_ucq",
     "plan_for",
+    "resume_chase",
     "rewrite_ucq",
     "saturated_expansion",
     "semantic_treewidth",

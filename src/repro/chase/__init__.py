@@ -12,13 +12,19 @@ from .cache import ChaseCache
 from .engine import (
     ChaseNonterminationError,
     ChaseResult,
+    ChaseWorkerError,
     EvalStats,
     chase,
     extend_chase,
+    resume_chase,
     terminating_chase,
 )
 from .linearization import Linearization, TypeShape, linearize
-from .restricted import RestrictedChaseResult, restricted_chase
+from .restricted import (
+    RestrictedChaseResult,
+    restricted_chase,
+    resume_restricted_chase,
+)
 from .unraveling import guarded_unravel, k_unravel
 from .rewriting import (
     RewritingLimitError,
@@ -31,8 +37,11 @@ __all__ = [
     "ChaseCache",
     "ChaseNonterminationError",
     "ChaseResult",
+    "ChaseWorkerError",
     "EvalStats",
     "extend_chase",
+    "resume_chase",
+    "resume_restricted_chase",
     "Linearization",
     "RewritingLimitError",
     "SaturationResult",

@@ -302,7 +302,12 @@ def ground_saturation(
     :class:`~repro.governance.BudgetExceeded` with the sound-but-possibly-
     incomplete ground part attached as ``exc.partial`` — exactness is this
     function's contract, so it cannot degrade silently; callers wanting a
-    partial ``D⁺`` catch the trip and take the attachment.
+    partial ``D⁺`` catch the trip and take the attachment.  The (partially
+    completed) type table is attached as ``exc.table``: the table keeps
+    interrupted configurations queued, so re-calling with ``table=exc.table``
+    and a fresh *budget* resumes the completed closure work instead of
+    recomputing it.  Passing both *table* and *budget* rebinds the table's
+    governor to the new budget — the idiom of exactly that retry.
 
     >>> from repro.queries import parse_database
     >>> from repro.tgds import parse_tgds
@@ -314,6 +319,9 @@ def ground_saturation(
     tgds = list(tgds)
     if table is None:
         table = TypeTable(tgds, stats=stats, budget=budget)
+    elif budget is not None:
+        # Resuming a previously tripped table under a fresh budget.
+        table.budget = budget
     ground = database.copy()
 
     # Empty-body TGDs seed the ground part once (their heads are fresh
@@ -341,7 +349,9 @@ def ground_saturation(
     except BudgetExceeded as exc:
         # Every atom already in `ground` is sound (it occurs in the chase);
         # only completeness is lost.  D⁺-exactness is this function's
-        # contract, so raise — with the sound partial attached.
+        # contract, so raise — with the sound partial attached, and the
+        # table (its interrupted configuration still queued) for resuming.
+        exc.table = table
         raise exc.attach(partial=ground, stats=table.stats)
     return ground
 

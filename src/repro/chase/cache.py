@@ -23,6 +23,16 @@ bounds bypass the cache entirely.  Budgets are compatible with caching: a
 governed call that finishes within budget yields the same fixpoint as an
 ungoverned one, and a hit served to a governed call costs zero budget.
 
+A third tier recovers work from *trips*: an incomplete result's
+:class:`~repro.governance.ChaseCheckpoint` is kept in a side table keyed
+like the entries, and the next call for the same ``(D, Σ, strategy)``
+resumes it (``null_policy="fresh"`` — other computations may have invented
+nulls in between, so the replay is isomorphic rather than bit-identical)
+instead of starting over.  A resume that reaches the fixpoint promotes the
+result into the main table and drops the checkpoint; one that trips again
+replaces the checkpoint with the further-along one, so repeated governed
+calls make monotone progress toward the fixpoint.
+
 Eviction is LRU with a bounded entry count.  The cache is lock-protected
 and may be shared across threads (one :class:`~repro.engine.Engine`
 session serving several callers), though a single chase's own workers
@@ -42,8 +52,9 @@ from typing import Sequence
 
 from ..datamodel import EvalStats, Instance
 from ..governance import Budget
+from ..governance.checkpoint import ChaseCheckpoint
 from ..tgds import TGD
-from .engine import ChaseResult, chase, extend_chase
+from .engine import ChaseResult, chase, extend_chase, resume_chase
 
 __all__ = ["ChaseCache"]
 
@@ -60,7 +71,8 @@ class ChaseCache:
         Bound on the number of cached results (LRU eviction beyond it).
 
     Counters (``hits``, ``extensions``, ``misses``, ``stores``,
-    ``evictions``) are exposed for benchmarks and ``info()``; they count
+    ``evictions``, plus ``resumes``/``checkpoint_stores`` for the
+    checkpoint tier) are exposed for benchmarks and ``info()``; they count
     :meth:`chase` outcomes, so one grown-database call increments
     ``extensions`` and (on store) ``stores``.
     """
@@ -71,11 +83,15 @@ class ChaseCache:
         self.max_entries = max_entries
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, ChaseResult] = OrderedDict()
+        #: Checkpoints of tripped runs, awaiting a resume (same key space).
+        self._checkpoints: OrderedDict[tuple, ChaseCheckpoint] = OrderedDict()
         self.hits = 0
         self.extensions = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.resumes = 0
+        self.checkpoint_stores = 0
 
     # ------------------------------------------------------------------
     # The lookup-or-compute entry point
@@ -111,9 +127,27 @@ class ChaseCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return cached
-            base_key, base = self._best_subset(sigma, strategy, atoms)
+            pending = self._checkpoints.pop(key, None)
+            base_key, base = (
+                (None, None)
+                if pending is not None
+                else self._best_subset(sigma, strategy, atoms)
+            )
 
-        if base is not None:
+        if pending is not None:
+            # A previous governed call tripped on this very (D, Σ, strategy):
+            # pick up where it stopped.  "fresh" null policy — the global
+            # counter may have moved on, so the continuation is isomorphic
+            # to (not bit-identical with) an uninterrupted run, which is all
+            # the cache contract promises.
+            self.resumes += 1
+            result = resume_chase(
+                pending,
+                budget=budget,
+                stats=stats,
+                null_policy="fresh",
+            )
+        elif base is not None:
             self.extensions += 1
             result = extend_chase(
                 base,
@@ -138,6 +172,14 @@ class ChaseCache:
         if result.terminated:
             with self._lock:
                 self._store(key, result)
+        elif result.checkpoint is not None:
+            with self._lock:
+                self._checkpoints[key] = result.checkpoint
+                self._checkpoints.move_to_end(key)
+                self.checkpoint_stores += 1
+                while len(self._checkpoints) > self.max_entries:
+                    self._checkpoints.popitem(last=False)
+                    self.evictions += 1
         return result
 
     def _best_subset(
@@ -184,18 +226,22 @@ class ChaseCache:
         """Drop every entry (counters are kept — they describe history)."""
         with self._lock:
             self._entries.clear()
+            self._checkpoints.clear()
 
     def info(self) -> dict:
         """Counters + size as a flat dict (for logs and benchmark JSON)."""
         with self._lock:
             return {
                 "entries": len(self._entries),
+                "checkpoints": len(self._checkpoints),
                 "max_entries": self.max_entries,
                 "hits": self.hits,
                 "extensions": self.extensions,
                 "misses": self.misses,
                 "stores": self.stores,
                 "evictions": self.evictions,
+                "resumes": self.resumes,
+                "checkpoint_stores": self.checkpoint_stores,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

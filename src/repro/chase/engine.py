@@ -81,6 +81,34 @@ after new database atoms arrive, feeding them as the delta frontier and
 reusing the fired-key set recorded on the base result — the machinery the
 cross-call :class:`~repro.chase.cache.ChaseCache` uses to avoid re-chasing
 a grown database from scratch.
+
+Checkpoint/resume
+-----------------
+
+Any *incomplete* run — budget trip, level/atom bound — now carries a
+:class:`~repro.governance.ChaseCheckpoint` on ``result.checkpoint``; a
+budget trip additionally snapshots on the exception's unwind path.
+Checkpoints are taken at level boundaries: a mid-level trip rolls the
+tripped level's partial work back (head atoms, fired keys, the null
+counter), so the snapshot is exactly the state the run had entering the
+level.  :func:`resume_chase` rebuilds the loop state from a checkpoint —
+instance atoms re-inserted in checkpoint order so index iteration order is
+reproduced — and re-enters :func:`_chase_core` at the recorded level.  With
+``null_policy="exact"`` (the default) the global null counter is pinned to
+the checkpoint's value, which makes ``resume(trip(run))`` bit-identical to
+the uninterrupted run — at any trip point, any ``parallelism``, and across
+process boundaries via the JSON codec in :mod:`repro.datamodel.io`
+(``tests/chaos/`` sweeps exactly this).  ``chase(...,
+checkpoint_every=k)`` additionally snapshots every *k* completed levels
+(``on_checkpoint=`` receives each one — the CLI's crash-survivable
+``--checkpoint-dir``).
+
+Worker-failure recovery: a parallel worker shard that dies from a
+*non-budget* exception is retried once on the coordinator thread
+(``stats.worker_retries``); if the retry dies too, the level aborts with
+:class:`ChaseWorkerError` whose ``.checkpoint`` is the consistent
+pre-level snapshot — a crashed worker never costs more than one level of
+progress.
 """
 
 from __future__ import annotations
@@ -89,7 +117,7 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..datamodel import (
     Atom,
@@ -99,16 +127,22 @@ from ..datamodel import (
     Variable,
     find_homomorphisms,
     fresh_null,
+    null_counter_value,
+    set_null_counter,
+    term_sort_key,
 )
 from ..governance import Budget, BudgetExceeded
+from ..governance.checkpoint import ChaseCheckpoint, CheckpointError
 from ..tgds import TGD, all_full, is_weakly_acyclic
 
 __all__ = [
     "ChaseResult",
     "ChaseNonterminationError",
+    "ChaseWorkerError",
     "EvalStats",
     "chase",
     "extend_chase",
+    "resume_chase",
     "terminating_chase",
     "PARALLEL_MIN_WORK",
 ]
@@ -127,6 +161,22 @@ PARALLEL_MIN_WORK = 64
 
 class ChaseNonterminationError(RuntimeError):
     """An unbounded chase exceeded its safety cap without reaching a fixpoint."""
+
+
+class ChaseWorkerError(RuntimeError):
+    """A parallel-chase worker died twice from a non-budget exception.
+
+    The first death is retried once on the coordinator thread; only a
+    second failure aborts the level and raises this.  ``checkpoint`` holds
+    the consistent pre-level :class:`~repro.governance.ChaseCheckpoint`
+    (no trigger of the aborted level fired), so the caller can repair the
+    environment and :func:`resume_chase` without losing completed levels.
+    ``__cause__`` is the underlying worker exception.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.checkpoint: ChaseCheckpoint | None = None
 
 
 @dataclass
@@ -160,6 +210,10 @@ class ChaseResult:
         what :func:`extend_chase` needs to resume this run incrementally.
     parallelism:
         The worker count the run was configured with (1 = serial).
+    checkpoint:
+        A :class:`~repro.governance.ChaseCheckpoint` for every incomplete
+        run (budget trip or level/atom bound), ``None`` on a fixpoint —
+        hand it to :func:`resume_chase` to continue with a fresh budget.
     """
 
     instance: Instance
@@ -173,6 +227,7 @@ class ChaseResult:
     stats: EvalStats = field(default_factory=EvalStats)
     fired_keys: frozenset = field(default_factory=frozenset)
     parallelism: int = 1
+    checkpoint: ChaseCheckpoint | None = None
 
     @property
     def complete(self) -> bool:
@@ -217,6 +272,49 @@ def _fire(
     for z in sorted(tgd.existential_variables(), key=lambda v: v.name):
         assignment[z] = fresh_null(z.name)
     return [atom.apply(assignment) for atom in tgd.head]
+
+
+def _atom_sort_key(atom: Atom) -> tuple:
+    """Canonical (hash-independent) total order over atoms.
+
+    Database atoms enter the level map in this order, so the order is a
+    function of the database's *content* — not of the backing set's
+    iteration order, which varies with ``PYTHONHASHSEED``.
+    """
+    return (atom.pred, tuple(term_sort_key(t) for t in atom.args))
+
+
+def _body_orders(tgds: Sequence[TGD]) -> list[tuple[Variable, ...]]:
+    """Per-TGD body-variable order (by name) for canonical candidate keys."""
+    return [
+        tuple(sorted(tgd.body_variables(), key=lambda v: v.name)) for tgd in tgds
+    ]
+
+
+def _candidate_sort(
+    candidates: list[tuple[int, TGD, dict[Term, Term]]],
+    body_orders: Sequence[tuple[Variable, ...]],
+) -> None:
+    """Sort a level's trigger candidates into canonical firing order.
+
+    The trigger search enumerates candidates by walking set-backed indexes,
+    so its order is deterministic within a process but varies across
+    interpreters (hash randomization).  Firing order decides which null
+    ident each head atom receives and which body image assigns a trigger's
+    level, so the engine sorts by the full body image under a
+    content-based term order before firing.  This is what makes chase
+    results — and checkpoint resume — bit-identical across process
+    boundaries regardless of ``PYTHONHASHSEED``.
+    """
+    candidates.sort(
+        key=lambda candidate: (
+            candidate[0],
+            tuple(
+                term_sort_key(candidate[2][v])
+                for v in body_orders[candidate[0]]
+            ),
+        )
+    )
 
 
 def _delta_triggers(
@@ -339,14 +437,23 @@ def _parallel_candidates(
 ) -> list[tuple[int, TGD, dict[Term, Term]]]:
     """Shard the level's trigger search across the pool and merge.
 
-    The merge restores the serial enumeration order: shards are built
-    round-robin over TGD indexes, every TGD lives in exactly one shard, and
-    a stable sort on the TGD index therefore reproduces exactly the order
-    the serial search would have produced.  A budget trip in any worker is
+    The merge order is irrelevant: the caller sorts the level's candidates
+    into canonical firing order (:func:`_candidate_sort`), which is how
+    parallel, serial, and resumed runs all fire identically — shards are
+    built round-robin over TGD indexes purely to balance work.  A budget
+    trip in any worker is
     re-raised *after* all workers have drained (no thread keeps running
     into the next level), and the level's candidates are discarded — no
     trigger of an aborted level ever fires, so the instance stays a
     consistent prefix.
+
+    A worker that dies from a **non-budget** exception is retried once,
+    inline on the coordinator (the search only reads frozen state, so a
+    transient failure — OOM pressure, a chaos-injected crash — is safely
+    re-runnable); ``stats.worker_retries`` counts these.  A second failure
+    aborts the level with :class:`ChaseWorkerError` — budget trips from
+    other shards take precedence, since they carry graceful-degradation
+    semantics.
     """
     shards = [list(pairs[w::workers]) for w in range(workers)]
     shards = [shard for shard in shards if shard]
@@ -357,19 +464,39 @@ def _parallel_candidates(
     stats.parallel_levels += 1
     stats.shards_dispatched += len(shards)
     merged: list[tuple[int, TGD, dict[Term, Term]]] = []
-    error: BudgetExceeded | None = None
-    for future in futures:
+    budget_error: BudgetExceeded | None = None
+    worker_error: ChaseWorkerError | None = None
+    for future, shard in zip(futures, shards):
         try:
             candidates, local = future.result()
         except BudgetExceeded as exc:
-            if error is None:
-                error = exc
+            if budget_error is None:
+                budget_error = exc
             continue
+        except Exception as exc:
+            stats.worker_retries += 1
+            try:
+                candidates, local = _collect_shard(
+                    shard, instance, delta, strategy, budget
+                )
+            except BudgetExceeded as retry_exc:
+                if budget_error is None:
+                    budget_error = retry_exc
+                continue
+            except Exception as retry_exc:
+                if worker_error is None:
+                    worker_error = ChaseWorkerError(
+                        f"chase worker shard of {len(shard)} TGD(s) failed "
+                        f"twice: {exc!r}, then {retry_exc!r}"
+                    )
+                    worker_error.__cause__ = retry_exc
+                continue
         stats.merge(local)
         merged.extend(candidates)
-    if error is not None:
-        raise error
-    merged.sort(key=lambda candidate: candidate[0])
+    if budget_error is not None:
+        raise budget_error
+    if worker_error is not None:
+        raise worker_error
     return merged
 
 
@@ -379,6 +506,7 @@ def _chase_core(
     instance: Instance,
     levels: dict[Atom, int],
     delta: Instance,
+    delta_order: Sequence[Atom],
     fired_keys: set,
     pending_empty_body: list[TGD],
     original_dom: frozenset,
@@ -390,17 +518,32 @@ def _chase_core(
     budget: Budget | None,
     workers: int,
     parallel_threshold: int,
+    start_level: int = 0,
+    fired_start: int = 0,
+    checkpoint_every: int | None = None,
+    on_checkpoint: Callable[[ChaseCheckpoint], None] | None = None,
 ) -> ChaseResult:
-    """The shared level loop behind :func:`chase` and :func:`extend_chase`.
+    """The shared level loop behind :func:`chase`, :func:`extend_chase`,
+    and :func:`resume_chase`.
 
     The caller hands over the initial state (instance, level map, delta
     frontier, fired keys); the core runs levels to a fixpoint or bound and
-    owns the executor lifecycle.
+    owns the executor lifecycle.  Invariants the checkpoint layer leans on:
+
+    * ``levels`` and ``instance`` receive atoms in lockstep, so the atoms
+      produced in the current level are exactly the *tail* of the level
+      map's insertion order — a mid-level trip rolls them back by slicing;
+    * *delta_order* records the production order of the current frontier
+      (``delta`` is the same atoms as an indexed Instance); checkpoints
+      store the order so a resume rebuilds identical index iteration
+      order;
+    * ``start_level``/``fired_start`` let a resumed run keep absolute level
+      numbers and the cumulative fired count.
     """
     run_start = time.perf_counter()
-    fired_count = 0
+    fired_count = fired_start
     reason = "fixpoint"
-    level = 0
+    level = start_level
     bounded = max_level is not None or max_atoms is not None or budget is not None
 
     # Frontier ordering per TGD, fixed once: the trigger key is the frontier
@@ -412,12 +555,62 @@ def _chase_core(
     frontiers = [
         tuple(sorted(tgd.frontier(), key=lambda v: v.name)) for tgd in tgds
     ]
+    body_orders = _body_orders(tgds)
     pairs = [(index, tgd) for index, tgd in enumerate(tgds) if tgd.body]
 
     executor: ThreadPoolExecutor | None = None
     if workers > 1 and len(pairs) >= 2:
         executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="chase-shard"
+        )
+
+    config = {
+        "max_level": max_level,
+        "max_atoms": max_atoms,
+        "safety_cap": safety_cap,
+        "parallelism": workers,
+        "parallel_threshold": parallel_threshold,
+    }
+
+    def snapshot(
+        *,
+        next_level: int,
+        delta_atoms: Sequence[Atom],
+        empty_pending: bool,
+        fired_at: int,
+        nulls_at: int,
+        stats_at: EvalStats,
+        undo_produced: Sequence[Atom] = (),
+        undo_keys: Sequence = (),
+        trip: str | None = None,
+    ) -> ChaseCheckpoint:
+        """A level-boundary checkpoint from the live loop state.
+
+        *undo_produced*/*undo_keys* roll back a partially executed level:
+        its atoms are the tail of the level map's insertion order, so
+        slicing them off reconstructs the state at the level's entry
+        without mutating the live run.
+        """
+        items = list(levels.items())
+        if undo_produced:
+            items = items[: len(items) - len(undo_produced)]
+        return ChaseCheckpoint(
+            kind="chase",
+            strategy=strategy,
+            tgds=tuple(tgds),
+            atoms=tuple(atom for atom, _ in items),
+            levels=tuple(atom_level for _, atom_level in items),
+            delta_atoms=tuple(delta_atoms),
+            fired_keys=frozenset(fired_keys.difference(undo_keys)),
+            empty_body_pending=empty_pending,
+            original_dom=original_dom,
+            next_level=next_level,
+            fired=fired_at,
+            null_counter=nulls_at,
+            db_size=sum(1 for _, atom_level in items if atom_level == 0),
+            stats=stats_at,
+            trip=trip,
+            config=dict(config),
         )
 
     def emit(head_atoms: list[Atom], atom_level: int, produced: list[Atom]) -> None:
@@ -429,14 +622,40 @@ def _chase_core(
                 levels[atom] = atom_level
                 produced.append(atom)
 
+    final_checkpoint: ChaseCheckpoint | None = None
+    # Per-level rollback marks, maintained only when a mid-level abort is
+    # possible (budget trip or worker failure); ungoverned serial runs pay
+    # nothing.
+    track_marks = budget is not None or executor is not None
+    produced: list[Atom] = []
+    level_keys: list = []
+    null_mark = null_counter_value()
+    stats_mark: EvalStats | None = None
+    fired_mark = fired_count
+    empty_mark = bool(pending_empty_body)
+
     try:
         while True:
             level += 1
             if max_level is not None and level > max_level:
                 reason = "level bound"
+                final_checkpoint = snapshot(
+                    next_level=level,
+                    delta_atoms=delta_order,
+                    empty_pending=bool(pending_empty_body),
+                    fired_at=fired_count,
+                    nulls_at=null_counter_value(),
+                    stats_at=stats.copy(),
+                )
                 break
             level_start = time.perf_counter()
-            produced: list[Atom] = []
+            produced = []
+            level_keys = []
+            empty_mark = bool(pending_empty_body)
+            if track_marks:
+                null_mark = null_counter_value()
+                stats_mark = stats.copy()
+                fired_mark = fired_count
 
             if pending_empty_body:
                 # Empty-body TGDs fire exactly once, at level 1.
@@ -465,6 +684,7 @@ def _chase_core(
                 )
             else:
                 candidates = list(_naive_triggers(pairs, instance, stats, budget))
+            _candidate_sort(candidates, body_orders)
 
             for tgd_index, tgd, hom in candidates:
                 key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))
@@ -477,6 +697,7 @@ def _chase_core(
                     # of every fired trigger are present).
                     budget.check("trigger-fire", atoms=len(instance))
                 fired_keys.add(key)
+                level_keys.append(key)
                 body_level = max(levels[a.apply(hom)] for a in tgd.body)
                 emit(_fire(tgd, hom), body_level + 1, produced)
 
@@ -484,8 +705,17 @@ def _chase_core(
             if not produced:
                 break
             delta = Instance(produced)
+            delta_order = produced
             if max_atoms is not None and len(instance) >= max_atoms:
                 reason = "atom bound"
+                final_checkpoint = snapshot(
+                    next_level=level + 1,
+                    delta_atoms=delta_order,
+                    empty_pending=False,
+                    fired_at=fired_count,
+                    nulls_at=null_counter_value(),
+                    stats_at=stats.copy(),
+                )
                 break
             if len(instance) > safety_cap:
                 if bounded:
@@ -493,18 +723,71 @@ def _chase_core(
                     # bound instead of raising, so callers get a usable
                     # prefix.
                     reason = "atom bound"
+                    final_checkpoint = snapshot(
+                        next_level=level + 1,
+                        delta_atoms=delta_order,
+                        empty_pending=False,
+                        fired_at=fired_count,
+                        nulls_at=null_counter_value(),
+                        stats_at=stats.copy(),
+                    )
                     break
                 raise ChaseNonterminationError(
                     f"chase exceeded {safety_cap} atoms without reaching a "
                     "fixpoint; bound it with max_level/max_atoms or check "
                     "termination with is_weakly_acyclic()"
                 )
+            if (
+                checkpoint_every is not None
+                and (level - start_level) % checkpoint_every == 0
+            ):
+                # Periodic snapshot of a *completed* level: delivered to the
+                # callback (the CLI persists it); the final result carries a
+                # checkpoint only when the run is cut short.
+                periodic = snapshot(
+                    next_level=level + 1,
+                    delta_atoms=delta_order,
+                    empty_pending=False,
+                    fired_at=fired_count,
+                    nulls_at=null_counter_value(),
+                    stats_at=stats.copy(),
+                )
+                if on_checkpoint is not None:
+                    on_checkpoint(periodic)
     except BudgetExceeded as exc:
         # Graceful degradation: report the trip instead of raising.  The
         # instance is consistent — head atoms are only ever added by a
-        # complete emit() between budget checks.
+        # complete emit() between budget checks — and the checkpoint rolls
+        # the tripped level back to its entry state, so resuming replays
+        # exactly what the uninterrupted run would have done.
         reason = exc.code
+        final_checkpoint = snapshot(
+            next_level=level,
+            delta_atoms=delta_order,
+            empty_pending=empty_mark,
+            fired_at=fired_mark,
+            nulls_at=null_mark,
+            stats_at=stats_mark if stats_mark is not None else stats.copy(),
+            undo_produced=produced,
+            undo_keys=level_keys,
+            trip=exc.code,
+        )
         exc.attach(stats=stats)
+        exc.checkpoint = final_checkpoint
+    except ChaseWorkerError as exc:
+        # A worker died twice: abort the level but hand the caller a
+        # consistent pre-level checkpoint (no trigger of this level fired).
+        exc.checkpoint = snapshot(
+            next_level=level,
+            delta_atoms=delta_order,
+            empty_pending=empty_mark,
+            fired_at=fired_mark,
+            nulls_at=null_mark,
+            stats_at=stats_mark if stats_mark is not None else stats.copy(),
+            undo_produced=produced,
+            undo_keys=level_keys,
+        )
+        raise
     finally:
         if executor is not None:
             executor.shutdown(wait=True)
@@ -524,6 +807,7 @@ def _chase_core(
         stats=stats,
         fired_keys=frozenset(fired_keys),
         parallelism=workers,
+        checkpoint=final_checkpoint,
     )
 
 
@@ -539,6 +823,8 @@ def chase(
     budget: Budget | None = None,
     parallelism: int | None = 1,
     parallel_threshold: int = PARALLEL_MIN_WORK,
+    checkpoint_every: int | None = None,
+    on_checkpoint: Callable[[ChaseCheckpoint], None] | None = None,
 ) -> ChaseResult:
     """Run the level-wise oblivious chase of *database* under *tgds*.
 
@@ -567,21 +853,37 @@ def chase(
     and step budgets, cancellation, checked at ``"trigger-fire"`` and
     ``"hom-backtrack"`` granularity.  A budget trip does **not** raise —
     the consistent level-wise prefix built so far is returned with
-    ``terminated=False`` and ``reason`` set to the trip code.
+    ``terminated=False``, ``reason`` set to the trip code, and
+    ``result.checkpoint`` holding a resumable
+    :class:`~repro.governance.ChaseCheckpoint`.
+
+    *checkpoint_every* additionally snapshots after every *k* completed
+    levels; each snapshot is handed to *on_checkpoint* (e.g. to persist it
+    so a crashed process can :func:`resume_chase` later).
     """
     if strategy not in STRATEGIES:
         raise ValueError(
             f"unknown chase strategy {strategy!r}; expected one of {STRATEGIES}"
         )
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     tgds = list(tgds)
     if stats is None:
         stats = EvalStats()
-    instance = database.copy()
+    # One ordered view feeds the instance, the level map, and the level-0
+    # delta: checkpoints record this insertion order, and a resumed run
+    # rebuilds from it — identical insertion history means identical index
+    # iteration order, which bit-identical replay depends on.  Sorting
+    # canonically (rather than taking the set's iteration order) makes the
+    # order a function of the database's content, so fresh runs agree
+    # across interpreters with different ``PYTHONHASHSEED`` values.
+    ordered = sorted(database, key=_atom_sort_key)
     return _chase_core(
         tgds=tgds,
-        instance=instance,
-        levels={atom: 0 for atom in instance},
-        delta=instance.copy(),  # level-0 delta: the database atoms
+        instance=Instance(ordered),
+        levels={atom: 0 for atom in ordered},
+        delta=Instance(ordered),  # level-0 delta: the database atoms
+        delta_order=ordered,
         fired_keys=set(),
         pending_empty_body=[tgd for tgd in tgds if not tgd.body],
         original_dom=frozenset(database.dom()),
@@ -593,6 +895,8 @@ def chase(
         budget=budget,
         workers=_resolve_workers(parallelism),
         parallel_threshold=parallel_threshold,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
     )
 
 
@@ -609,6 +913,7 @@ def extend_chase(
     budget: Budget | None = None,
     parallelism: int | None = 1,
     parallel_threshold: int = PARALLEL_MIN_WORK,
+    on_incomplete: str = "raise",
 ) -> ChaseResult:
     """Resume a *terminated* chase after new database atoms arrive.
 
@@ -622,19 +927,22 @@ def extend_chase(
 
     *tgds* must be the **same sequence** (same order) that produced *base*
     — the fired-key space is indexed by position.  *base* must have
-    ``terminated=True``; extending a prefix would silently miss triggers
-    whose bodies lie wholly in the unexplored part.  Level numbers assigned
-    to extension atoms continue from the base level map (new database
-    atoms enter at level 0); *max_level* bounds the number of extension
-    rounds rather than absolute s-levels.
+    ``terminated=True``: extending a prefix with the delta machinery would
+    silently miss triggers whose bodies lie wholly in the unexplored part.
+    *on_incomplete* selects what to do with a non-fixpoint base:
+    ``"raise"`` (the default) raises ``ValueError``; ``"restart"`` falls
+    back to a sound fresh chase of the base's *database* atoms (level 0)
+    plus *new_atoms* — correct, just not incremental.  Level numbers
+    assigned to extension atoms continue from the base level map (new
+    database atoms enter at level 0); *max_level* bounds the number of
+    extension rounds rather than absolute s-levels.
 
     The base result is not mutated; with no genuinely new atoms it is
-    returned unchanged.
+    returned unchanged (when the base terminated).
     """
-    if not base.terminated:
+    if on_incomplete not in ("raise", "restart"):
         raise ValueError(
-            "extend_chase requires a terminated base result; a prefix cannot "
-            f"be extended soundly (base stopped on {base.reason!r})"
+            f"on_incomplete must be 'raise' or 'restart', got {on_incomplete!r}"
         )
     effective = base.strategy if strategy is None else strategy
     if effective not in STRATEGIES:
@@ -644,13 +952,51 @@ def extend_chase(
     tgds = list(tgds)
     if stats is None:
         stats = EvalStats()
-    instance = base.instance.copy()
+    if not base.terminated:
+        if on_incomplete == "raise":
+            raise ValueError(
+                "extend_chase requires a terminated base result; a prefix "
+                f"cannot be extended soundly (base stopped on {base.reason!r}). "
+                "Pass on_incomplete='restart' to re-chase the database plus "
+                "the new atoms from scratch, or resume_chase(base.checkpoint) "
+                "to finish the base first."
+            )
+        # Sound fallback: re-chase the original database (the level-0 atoms
+        # of the base) together with the new atoms.  Derived atoms of the
+        # prefix are NOT carried over — they are re-derived, so no trigger
+        # over the unexplored part is missed.
+        restart_db = Instance(
+            atom for atom, atom_level in base.levels.items() if atom_level == 0
+        )
+        for atom in new_atoms:
+            restart_db.add(atom)
+        return chase(
+            restart_db,
+            tgds,
+            max_level=max_level,
+            max_atoms=max_atoms,
+            safety_cap=safety_cap,
+            strategy=effective,
+            stats=stats,
+            budget=budget,
+            parallelism=parallelism,
+            parallel_threshold=parallel_threshold,
+        )
+    # Rebuild from the level map's insertion order (instance and level map
+    # share it), keeping checkpoint/replay order reproducible.
+    ordered = list(base.levels)
+    instance = Instance(ordered)
     levels = dict(base.levels)
     delta = Instance()
-    for atom in new_atoms:
+    delta_order: list[Atom] = []
+    # Canonical order for the new atoms: the extension's firing order (and
+    # hence its null idents) must not depend on the caller's iteration
+    # order over a set-backed collection.
+    for atom in sorted(new_atoms, key=_atom_sort_key):
         if instance.add(atom):
             levels[atom] = 0
             delta.add(atom)
+            delta_order.append(atom)
     if not delta:
         return base
     return _chase_core(
@@ -658,6 +1004,7 @@ def extend_chase(
         instance=instance,
         levels=levels,
         delta=delta,
+        delta_order=delta_order,
         fired_keys=set(base.fired_keys),
         pending_empty_body=[],  # fired (and keyed) by the base run
         original_dom=frozenset(base.original_dom | delta.dom()),
@@ -669,6 +1016,116 @@ def extend_chase(
         budget=budget,
         workers=_resolve_workers(parallelism),
         parallel_threshold=parallel_threshold,
+    )
+
+
+#: Sentinel for resume_chase knobs: "keep the checkpointed value".
+_UNSET = object()
+
+
+def resume_chase(
+    checkpoint: ChaseCheckpoint,
+    *,
+    budget: Budget | None = None,
+    stats: EvalStats | None = None,
+    null_policy: str = "exact",
+    max_level: int | None = _UNSET,  # type: ignore[assignment]
+    max_atoms: int | None = _UNSET,  # type: ignore[assignment]
+    safety_cap: int = _UNSET,  # type: ignore[assignment]
+    parallelism: int | None = _UNSET,  # type: ignore[assignment]
+    parallel_threshold: int = _UNSET,  # type: ignore[assignment]
+    checkpoint_every: int | None = None,
+    on_checkpoint: Callable[[ChaseCheckpoint], None] | None = None,
+) -> ChaseResult:
+    """Continue a chase from a :class:`~repro.governance.ChaseCheckpoint`.
+
+    Rebuilds the level-loop state exactly as the checkpoint recorded it —
+    instance atoms re-inserted in checkpoint order (reproducing index
+    iteration order), the delta frontier in production order, the
+    fired-key set, the cumulative fired count — and re-enters the level
+    loop at ``checkpoint.next_level``.
+
+    *null_policy* controls the global null counter:
+
+    * ``"exact"`` (the default) pins the counter to the checkpoint's value,
+      so replayed firings invent **identical** nulls and
+      ``resume(trip(run))`` is bit-identical to the uninterrupted run.
+      Use when the resumed result must match an oracle (tests, differential
+      runs, cross-process handoff of a single logical computation).
+    * ``"fresh"`` only *advances* the counter to at least the checkpoint's
+      value, never backwards — safe when other computations have invented
+      nulls in this process since the checkpoint was taken (the
+      :class:`~repro.chase.ChaseCache` uses this).  The result is
+      isomorphic rather than identical.
+
+    Bound knobs (*max_level*, *max_atoms*, *safety_cap*, *parallelism*,
+    *parallel_threshold*) default to the values the checkpointed run was
+    configured with (carried in ``checkpoint.config``); pass explicit
+    values to override — e.g. a higher *max_level* to push past a
+    level-bound stop.  *budget* is **not** inherited: a resumed run gets
+    whatever fresh budget you pass (or none).
+    """
+    if checkpoint.kind != "chase":
+        raise CheckpointError(
+            f"resume_chase got a {checkpoint.kind!r} checkpoint; "
+            "use checkpoint.resume() to dispatch on kind"
+        )
+    if checkpoint.levels is None:
+        raise CheckpointError(
+            "chase checkpoint is missing its level map; it cannot be resumed"
+        )
+    if null_policy not in ("exact", "fresh"):
+        raise ValueError(
+            f"null_policy must be 'exact' or 'fresh', got {null_policy!r}"
+        )
+    set_null_counter(
+        checkpoint.null_counter, advance_only=(null_policy == "fresh")
+    )
+    config = checkpoint.config
+    if max_level is _UNSET:
+        max_level = config.get("max_level")
+    if max_atoms is _UNSET:
+        max_atoms = config.get("max_atoms")
+    if safety_cap is _UNSET:
+        safety_cap = config.get("safety_cap", DEFAULT_SAFETY_CAP)
+    if parallelism is _UNSET:
+        parallelism = config.get("parallelism", 1)
+    if parallel_threshold is _UNSET:
+        parallel_threshold = config.get("parallel_threshold", PARALLEL_MIN_WORK)
+    tgds = list(checkpoint.tgds)
+    if stats is None:
+        stats = checkpoint.stats.copy()
+    # Insertion order is the checkpoint's atom order — the same order the
+    # original run built, so the rebuilt indexes iterate identically.
+    ordered = list(checkpoint.atoms)
+    instance = Instance(ordered)
+    levels = dict(zip(ordered, checkpoint.levels))
+    delta_order = list(checkpoint.delta_atoms)
+    return _chase_core(
+        tgds=tgds,
+        instance=instance,
+        levels=levels,
+        delta=Instance(delta_order),
+        delta_order=delta_order,
+        fired_keys=set(checkpoint.fired_keys),
+        pending_empty_body=(
+            [tgd for tgd in tgds if not tgd.body]
+            if checkpoint.empty_body_pending
+            else []
+        ),
+        original_dom=checkpoint.original_dom,
+        max_level=max_level,
+        max_atoms=max_atoms,
+        safety_cap=safety_cap,
+        strategy=checkpoint.strategy,
+        stats=stats,
+        budget=budget,
+        workers=_resolve_workers(parallelism),
+        parallel_threshold=parallel_threshold,
+        start_level=checkpoint.next_level - 1,
+        fired_start=checkpoint.fired,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
     )
 
 

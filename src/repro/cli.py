@@ -16,6 +16,14 @@ trigger search across N threads, ``--no-cache`` disables the session chase
 cache (one CLI invocation usually chases once, so the cache matters when a
 command chases repeatedly — e.g. a multi-disjunct certain-answer run).
 
+Checkpoint/resume: ``chase`` and ``certain`` accept ``--checkpoint-dir
+DIR``.  A run cut short by ``--timeout``/``--max-atoms`` (exit status 3)
+then leaves a resumable ``*.checkpoint.json`` in DIR; ``chase``
+additionally snapshots every ``--checkpoint-every K`` completed levels, so
+even a crashed process leaves a recent checkpoint behind.  Re-run the same
+command with ``--resume DIR/<file>.checkpoint.json`` (and a fresh budget)
+to continue where the previous run stopped instead of starting over.
+
 Databases, queries, and TGDs are given as files (or inline with ``-e``) in
 the textual syntax of :mod:`repro.queries.parser` / :mod:`repro.tgds.parser`:
 
@@ -32,10 +40,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from .chase import chase
+from .chase import chase, resume_chase
 from .cqs import CQS, is_uniformly_ucq_k_equivalent
+from .datamodel.io import load_checkpoint, save_checkpoint
 from .engine import Engine
 from .governance import Budget
+from .governance.checkpoint import validate_tgds
 from .omq import OMQ, certain_answers
 from .queries import parse_database, parse_ucq
 from .tgds import classify, is_weakly_acyclic, parse_tgds
@@ -114,6 +124,34 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checkpoint_flags(
+    parser: argparse.ArgumentParser, *, periodic: bool = False
+) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for resumable checkpoints: a budget trip (exit "
+        f"status {EXIT_BUDGET_TRIP}) writes one there, ready for --resume",
+    )
+    if periodic:
+        parser.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            metavar="K",
+            help="with --checkpoint-dir: also snapshot every K completed "
+            "chase levels, so a crash loses at most K levels of work",
+        )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT",
+        help="continue from a checkpoint file written by a previous run "
+        "(the TGDS argument must be the same ontology)",
+    )
+
+
 def _add_io_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-e",
@@ -123,19 +161,49 @@ def _add_io_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _checkpoint_sink(args: argparse.Namespace, name: str):
+    """(path, on_checkpoint callback) for --checkpoint-dir, or (None, None)."""
+    if getattr(args, "checkpoint_dir", None) is None:
+        return None, None
+    path = Path(args.checkpoint_dir) / f"{name}.checkpoint.json"
+
+    def on_checkpoint(ck, _path=path):
+        save_checkpoint(ck, _path)
+
+    return path, on_checkpoint
+
+
 def cmd_chase(args: argparse.Namespace) -> int:
     db = parse_database(_read(args.database, args.inline))
     tgds = parse_tgds(_read(args.tgds, args.inline))
     budget = _budget_from(args)
-    if args.max_level is not None:
+    ckpt_path, on_checkpoint = _checkpoint_sink(args, "chase")
+    checkpoint_every = args.checkpoint_every if on_checkpoint else None
+    if args.resume is not None:
+        checkpoint = load_checkpoint(args.resume)
+        validate_tgds(checkpoint, tgds)
+        kwargs = {"parallelism": args.parallelism}
+        if args.max_level is not None:
+            kwargs["max_level"] = args.max_level
+        result = resume_chase(
+            checkpoint,
+            budget=budget,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+            **kwargs,
+        )
+    elif args.max_level is not None or on_checkpoint is not None:
         # A level-bounded prefix is not chase(D, Σ) and must not populate
-        # (or be served from) the cache; call the engine function directly.
+        # (or be served from) the cache; and the cache layer does not
+        # thread periodic snapshots — call the engine function directly.
         result = chase(
             db,
             tgds,
             max_level=args.max_level,
             budget=budget,
             parallelism=args.parallelism,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
         )
     else:
         result = _engine_from(args, tgds).chase(db)
@@ -147,6 +215,13 @@ def cmd_chase(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     if budget is not None and result.trip_reason in ("deadline", "atom budget"):
+        if ckpt_path is not None and result.checkpoint is not None:
+            save_checkpoint(result.checkpoint, ckpt_path)
+            print(
+                f"# checkpoint written to {ckpt_path}; re-run with "
+                f"--resume {ckpt_path} and a fresh budget to continue",
+                file=sys.stderr,
+            )
         print(
             f"# BUDGET TRIPPED ({result.trip_reason}): the atoms above are a "
             "sound chase prefix, not the full chase "
@@ -162,7 +237,12 @@ def cmd_certain(args: argparse.Namespace) -> int:
     tgds = parse_tgds(_read(args.tgds, args.inline))
     query = parse_ucq(_read(args.query, args.inline))
     engine = _engine_from(args, tgds)
-    answer = engine.certain_answers(query, db, strategy=args.strategy)
+    ckpt_path, _ = _checkpoint_sink(args, "certain")
+    if args.resume is not None:
+        checkpoint = load_checkpoint(args.resume)
+        answer = engine.resume(checkpoint, query=query, database=db)
+    else:
+        answer = engine.certain_answers(query, db, strategy=args.strategy)
     for row in sorted(answer.answers, key=str):
         print(row)
     print(
@@ -171,6 +251,13 @@ def cmd_certain(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     if answer.trip is not None:
+        if ckpt_path is not None and answer.checkpoint is not None:
+            save_checkpoint(answer.checkpoint, ckpt_path)
+            print(
+                f"# checkpoint written to {ckpt_path}; re-run with "
+                f"--resume {ckpt_path} and a fresh budget to continue",
+                file=sys.stderr,
+            )
         print(
             f"# BUDGET TRIPPED ({answer.trip}): the answers above are sound "
             "certain answers, the remainder is unknown "
@@ -252,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-level", type=int, default=None)
     _add_budget_flags(p)
     _add_engine_flags(p)
+    _add_checkpoint_flags(p, periodic=True)
     _add_io_flags(p)
     p.set_defaults(fn=cmd_chase)
 
@@ -263,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "chase", "rewrite", "guarded", "bounded"])
     _add_budget_flags(p)
     _add_engine_flags(p)
+    _add_checkpoint_flags(p)
     _add_io_flags(p)
     p.set_defaults(fn=cmd_certain)
 

@@ -34,6 +34,9 @@ from .terms import (
     is_constant,
     is_null,
     is_variable,
+    null_counter_value,
+    set_null_counter,
+    term_sort_key,
     variables,
 )
 
@@ -68,6 +71,9 @@ __all__ = [
     "is_isomorphic",
     "is_null",
     "is_variable",
+    "null_counter_value",
     "plan_for",
+    "set_null_counter",
+    "term_sort_key",
     "variables",
 ]

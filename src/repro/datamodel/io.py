@@ -1,6 +1,6 @@
-"""Loading and saving databases.
+"""Loading and saving databases — and chase checkpoints.
 
-Two interchange formats:
+Two database interchange formats:
 
 * the **facts format** (``.facts`` / ``.txt``): one ground atom per line in
   the parser syntax — ``R(a, b)`` — with ``#`` comments; round-trips
@@ -11,20 +11,49 @@ Two interchange formats:
 
 All values are read as strings (integers opt-in via ``coerce_ints``), which
 keeps loading loss-free and deterministic.
+
+Plus one **checkpoint format**: a
+:class:`~repro.governance.ChaseCheckpoint` as a single JSON document
+(:func:`save_checkpoint` / :func:`load_checkpoint`).  Terms are encoded as
+tagged objects — ``{"__null__": 7, "hint": "z"}`` for labelled nulls,
+``{"__var__": "x"}`` for variables, ``{"__tuple__": [...]}`` for tuple
+constants, scalars as themselves — so null *identity* and level structure
+survive the round trip exactly (``tests/oracle/test_checkpoint_roundtrip.py``
+holds resumes from a round-tripped checkpoint to bit-identical results).
+Atom order within the document is significant and preserved: the engines
+rebuild instances in checkpoint order to reproduce index iteration order.
 """
 
 from __future__ import annotations
 
 import csv
+import json
+import os
+import tempfile
 from pathlib import Path
+from typing import TYPE_CHECKING
+
 from .atoms import Atom
 from .instances import Instance
+from .stats import EvalStats
+from .terms import Null, Term, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..governance.checkpoint import ChaseCheckpoint
 
 __all__ = [
     "load_facts",
     "save_facts",
     "load_csv_directory",
     "save_csv_directory",
+    "encode_term",
+    "decode_term",
+    "encode_atom",
+    "decode_atom",
+    "checkpoint_to_json_dict",
+    "checkpoint_from_json_dict",
+    "save_checkpoint",
+    "load_checkpoint",
 ]
 
 _INT = str.isdigit
@@ -92,3 +121,232 @@ def save_csv_directory(instance: Instance, directory: str | Path) -> None:
         with (directory / f"{pred}.csv").open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerows(rows)
+
+
+# ----------------------------------------------------------------------
+# Term / atom / TGD codecs (the checkpoint wire format)
+# ----------------------------------------------------------------------
+def encode_term(term: Term):
+    """A term as a pure-JSON value; inverse of :func:`decode_term`.
+
+    Nulls keep their integer identity (``{"__null__": ident, "hint": h}``)
+    — a resumed chase must see the *same* nulls, not isomorphic copies.
+    """
+    if isinstance(term, Null):
+        payload = {"__null__": term.ident}
+        if term.hint:
+            payload["hint"] = term.hint
+        return payload
+    if isinstance(term, Variable):
+        return {"__var__": term.name}
+    if isinstance(term, tuple):
+        return {"__tuple__": [encode_term(t) for t in term]}
+    if isinstance(term, bool) or term is None or isinstance(term, (str, int, float)):
+        return term
+    raise TypeError(
+        f"cannot serialize term {term!r} of type {type(term).__name__}; "
+        "checkpointable instances hold strings, numbers, tuples, "
+        "variables, and nulls"
+    )
+
+
+def decode_term(payload) -> Term:
+    """Inverse of :func:`encode_term`."""
+    if isinstance(payload, dict):
+        if "__null__" in payload:
+            return Null(payload["__null__"], payload.get("hint", ""))
+        if "__var__" in payload:
+            return Variable(payload["__var__"])
+        if "__tuple__" in payload:
+            return tuple(decode_term(t) for t in payload["__tuple__"])
+        raise ValueError(f"unknown term tag in {payload!r}")
+    return payload
+
+
+def encode_atom(atom: Atom) -> list:
+    """``R(a, _:z7)`` → ``["R", [a, {"__null__": 7, ...}]]``."""
+    return [atom.pred, [encode_term(t) for t in atom.args]]
+
+
+def decode_atom(payload) -> Atom:
+    """Inverse of :func:`encode_atom`."""
+    pred, args = payload
+    return Atom(pred, tuple(decode_term(t) for t in args))
+
+
+def _encode_tgd(tgd) -> dict:
+    payload = {
+        "body": [encode_atom(a) for a in tgd.body],
+        "head": [encode_atom(a) for a in tgd.head],
+    }
+    if tgd.name:
+        payload["name"] = tgd.name
+    return payload
+
+
+def _decode_tgd(payload):
+    from ..tgds.tgd import TGD
+
+    return TGD(
+        [decode_atom(a) for a in payload["body"]],
+        [decode_atom(a) for a in payload["head"]],
+        name=payload.get("name", ""),
+    )
+
+
+def _encode_fired_key(key) -> list:
+    index, image = key
+    return [index, [encode_term(t) for t in image]]
+
+
+def _decode_fired_key(payload) -> tuple:
+    index, image = payload
+    return (index, tuple(decode_term(t) for t in image))
+
+
+def _encode_stats(stats: EvalStats) -> dict:
+    payload = {
+        name: getattr(stats, name)
+        for name in stats.__dataclass_fields__
+        if name != "level_seconds"
+    }
+    payload["level_seconds"] = {
+        str(level): seconds for level, seconds in stats.level_seconds.items()
+    }
+    return payload
+
+
+def _decode_stats(payload: dict) -> EvalStats:
+    stats = EvalStats()
+    for name in stats.__dataclass_fields__:
+        if name == "level_seconds":
+            continue
+        if name in payload:
+            setattr(stats, name, payload[name])
+    stats.level_seconds = {
+        int(level): seconds
+        for level, seconds in payload.get("level_seconds", {}).items()
+    }
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Checkpoint documents
+# ----------------------------------------------------------------------
+#: Document marker; load refuses files without it.
+_CHECKPOINT_FORMAT = "repro-chase-checkpoint"
+
+
+def checkpoint_to_json_dict(checkpoint: "ChaseCheckpoint") -> dict:
+    """A :class:`~repro.governance.ChaseCheckpoint` as a pure-JSON dict.
+
+    Atom lists keep their (significant) order; set-valued fields
+    (``fired_keys``, ``original_dom``) are emitted sorted by their string
+    form so the document bytes are reproducible across hash seeds.
+    """
+    return {
+        "format": _CHECKPOINT_FORMAT,
+        "version": checkpoint.version,
+        "kind": checkpoint.kind,
+        "strategy": checkpoint.strategy,
+        "tgds": [_encode_tgd(t) for t in checkpoint.tgds],
+        "atoms": [encode_atom(a) for a in checkpoint.atoms],
+        "levels": None
+        if checkpoint.levels is None
+        else list(checkpoint.levels),
+        "delta_atoms": [encode_atom(a) for a in checkpoint.delta_atoms],
+        "fired_keys": sorted(
+            (_encode_fired_key(k) for k in checkpoint.fired_keys),
+            key=lambda enc: (enc[0], str(enc[1])),
+        ),
+        "empty_body_pending": checkpoint.empty_body_pending,
+        "original_dom": sorted(
+            (encode_term(t) for t in checkpoint.original_dom),
+            key=str,
+        ),
+        "next_level": checkpoint.next_level,
+        "fired": checkpoint.fired,
+        "null_counter": checkpoint.null_counter,
+        "db_size": checkpoint.db_size,
+        "stats": _encode_stats(checkpoint.stats),
+        "trip": checkpoint.trip,
+        "config": dict(checkpoint.config),
+    }
+
+
+def checkpoint_from_json_dict(payload: dict) -> "ChaseCheckpoint":
+    """Inverse of :func:`checkpoint_to_json_dict` (with format validation)."""
+    from ..governance.checkpoint import (
+        CHECKPOINT_FORMAT_VERSION,
+        ChaseCheckpoint,
+        CheckpointError,
+    )
+
+    if payload.get("format") != _CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a chase checkpoint document (format={payload.get('format')!r})"
+        )
+    version = payload.get("version", 0)
+    if version > CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format version {version} is newer than this "
+            f"library understands ({CHECKPOINT_FORMAT_VERSION})"
+        )
+    levels = payload["levels"]
+    return ChaseCheckpoint(
+        kind=payload["kind"],
+        strategy=payload["strategy"],
+        tgds=tuple(_decode_tgd(t) for t in payload["tgds"]),
+        atoms=tuple(decode_atom(a) for a in payload["atoms"]),
+        levels=None if levels is None else tuple(levels),
+        delta_atoms=tuple(decode_atom(a) for a in payload["delta_atoms"]),
+        fired_keys=frozenset(
+            _decode_fired_key(k) for k in payload["fired_keys"]
+        ),
+        empty_body_pending=payload["empty_body_pending"],
+        original_dom=frozenset(
+            decode_term(t) for t in payload["original_dom"]
+        ),
+        next_level=payload["next_level"],
+        fired=payload["fired"],
+        null_counter=payload["null_counter"],
+        db_size=payload["db_size"],
+        stats=_decode_stats(payload["stats"]),
+        trip=payload["trip"],
+        config=dict(payload.get("config", {})),
+        version=version,
+    )
+
+
+def save_checkpoint(checkpoint: "ChaseCheckpoint", path: str | Path) -> Path:
+    """Write a checkpoint as JSON, atomically (write-temp-then-rename).
+
+    The atomic replace means a crash mid-write never leaves a truncated
+    checkpoint where a previous good one stood — the robustness property
+    the CLI's ``--checkpoint-dir`` periodic snapshots rely on.  Returns
+    the final path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = checkpoint_to_json_dict(checkpoint)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: str | Path) -> "ChaseCheckpoint":
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    return checkpoint_from_json_dict(payload)

@@ -60,6 +60,10 @@ class EvalStats:
         (levels below the parallel threshold run serially and do not count).
     shards_dispatched:
         TGD shards submitted to the worker pool across all parallel levels.
+    worker_retries:
+        Parallel-chase worker shards that died from a non-budget exception
+        and were retried on the coordinator thread (see
+        :func:`repro.chase.chase` and ``ChaseWorkerError``).
     level_seconds:
         Chase wall time per level, ``{level: seconds}``.
     wall_seconds:
@@ -80,8 +84,21 @@ class EvalStats:
     nodes_expanded: int = 0
     parallel_levels: int = 0
     shards_dispatched: int = 0
+    worker_retries: int = 0
     level_seconds: dict[int, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
+
+    def copy(self) -> "EvalStats":
+        """An independent snapshot (checkpoints record stats-at-level-start)."""
+        snapshot = EvalStats(
+            **{
+                name: getattr(self, name)
+                for name in self.__dataclass_fields__
+                if name != "level_seconds"
+            }
+        )
+        snapshot.level_seconds = dict(self.level_seconds)
+        return snapshot
 
     def merge(self, other: "EvalStats") -> "EvalStats":
         """Accumulate *other* into self (level times: sum per level)."""
@@ -99,6 +116,7 @@ class EvalStats:
         self.nodes_expanded += other.nodes_expanded
         self.parallel_levels += other.parallel_levels
         self.shards_dispatched += other.shards_dispatched
+        self.worker_retries += other.worker_retries
         for level, seconds in other.level_seconds.items():
             self.level_seconds[level] = self.level_seconds.get(level, 0.0) + seconds
         self.wall_seconds += other.wall_seconds
@@ -121,6 +139,7 @@ class EvalStats:
             "nodes_expanded": self.nodes_expanded,
             "parallel_levels": self.parallel_levels,
             "shards_dispatched": self.shards_dispatched,
+            "worker_retries": self.worker_retries,
             "wall_seconds": self.wall_seconds,
         }
 

@@ -20,7 +20,6 @@ which keeps databases cheap to build in examples and benchmarks.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from typing import Any, Iterable
 
@@ -33,6 +32,9 @@ __all__ = [
     "is_null",
     "is_constant",
     "fresh_null",
+    "null_counter_value",
+    "set_null_counter",
+    "term_sort_key",
 ]
 
 #: Type alias for documentation purposes: a term is any hashable value.
@@ -116,15 +118,49 @@ class Null:
         return self.ident < other.ident
 
 
-_null_counter = itertools.count(1)
+#: Next ident :func:`fresh_null` will hand out.  A plain int (not an
+#: ``itertools.count``) so checkpoint/resume can record and restore it —
+#: bit-identical chase replay needs the resumed run to invent the *same*
+#: null idents the uninterrupted run would have.
+_null_counter = 1
 _null_lock = threading.Lock()
 
 
 def fresh_null(hint: str = "") -> Null:
     """Create a globally fresh labelled null."""
+    global _null_counter
     with _null_lock:
-        ident = next(_null_counter)
+        ident = _null_counter
+        _null_counter += 1
     return Null(ident, hint)
+
+
+def null_counter_value() -> int:
+    """The ident the *next* :func:`fresh_null` call will use."""
+    with _null_lock:
+        return _null_counter
+
+
+def set_null_counter(value: int, *, advance_only: bool = False) -> int:
+    """Set the global null counter; returns the previous value.
+
+    The checkpoint/resume layer uses this in two modes:
+
+    * ``advance_only=False`` (default) pins the counter exactly — resuming a
+      tripped chase then replays the very same null idents the uninterrupted
+      run would have produced (the chaos harness's bit-identity oracle);
+    * ``advance_only=True`` only ever moves the counter forward
+      (``max(current, value)``) — safe for resuming a checkpoint inside a
+      long-lived session where other computations invented nulls in the
+      meantime and ident collisions must be avoided.
+    """
+    global _null_counter
+    if value < 1:
+        raise ValueError("null counter must be >= 1")
+    with _null_lock:
+        previous = _null_counter
+        _null_counter = max(previous, value) if advance_only else value
+        return previous
 
 
 def variables(names: str | Iterable[str]) -> tuple[Variable, ...]:
@@ -155,3 +191,24 @@ def is_constant(term: Term) -> bool:
     Nulls count as constants: they are domain elements of instances.
     """
     return not isinstance(term, Variable)
+
+
+def term_sort_key(term: Term) -> tuple:
+    """A hash-independent total-order key over arbitrary terms.
+
+    The chase engines sort database atoms and trigger candidates with this
+    key so that firing order — and therefore null assignment and level
+    numbering — is a function of *content* rather than of set iteration
+    order.  That is what makes a resumed checkpoint bit-identical to the
+    uninterrupted run even in a different process with a different
+    ``PYTHONHASHSEED`` (plain-``str`` hashing is randomized per interpreter,
+    and ``Instance`` is set-backed).
+
+    The particular order is arbitrary; it only has to be deterministic and
+    total across the mixed term kinds (plain constants, nulls, variables).
+    """
+    if isinstance(term, Null):
+        return (2, term.hint, term.ident)
+    if isinstance(term, Variable):
+        return (3, term.name, 0)
+    return (0, type(term).__name__, repr(term))

@@ -46,6 +46,7 @@ from typing import Iterable, Mapping, Sequence
 from .chase import ChaseCache, ChaseResult, chase as _chase
 from .datamodel import EvalStats, Instance, JoinPlan, plan_for
 from .governance import Budget
+from .governance.checkpoint import ChaseCheckpoint, validate_tgds
 from .omq import OMQ, OMQAnswer, certain_answers as _certain_answers
 from .queries import CQ, UCQ
 from .tgds import TGD
@@ -221,6 +222,74 @@ class Engine:
             plan=plan,
             stats=stats,
             budget=self._budget(budget),
+        )
+
+    def resume(
+        self,
+        source,
+        *,
+        query: OMQ | UCQ | CQ | None = None,
+        database: Instance | None = None,
+        stats: EvalStats | None = None,
+        budget: Budget | None = None,
+        **kwargs,
+    ):
+        """Continue a tripped computation from its checkpoint.
+
+        *source* is anything carrying a
+        :class:`~repro.governance.ChaseCheckpoint` — an
+        :class:`~repro.omq.OMQAnswer`, a :class:`~repro.chase.ChaseResult`,
+        or the checkpoint itself (e.g. loaded from the CLI's
+        ``--checkpoint-dir``).  The checkpoint must belong to this
+        session's ontology (same TGDs, same order).
+
+        Without *query*, the underlying chase is resumed and the
+        (restricted-)chase result returned.  With *query* (and optionally
+        *database* — defaults to the checkpoint's recorded database
+        atoms), the full open-world evaluation re-runs from the checkpoint:
+        the materialisation picks up at the recorded level, then the UCQ is
+        evaluated, returning a fresh :class:`~repro.omq.OMQAnswer` (which
+        again carries a checkpoint if the new budget also trips).
+
+        The per-call *budget* defaults to the session policy — a session
+        built with a budget dict mints a fresh allowance for the resumed
+        leg, the natural "try again with another five seconds" loop::
+
+            answer = engine.certain_answers(q, db)
+            while not answer.complete and answer.checkpoint is not None:
+                answer = engine.resume(answer, query=q, database=db)
+        """
+        checkpoint = (
+            source
+            if isinstance(source, ChaseCheckpoint)
+            else getattr(source, "checkpoint", None)
+        )
+        if checkpoint is None:
+            raise ValueError(
+                "nothing to resume: the result carries no checkpoint "
+                "(complete results have checkpoint=None)"
+            )
+        validate_tgds(checkpoint, self.tgds)
+        budget = self._budget(budget)
+        if query is None:
+            return checkpoint.resume(
+                budget=budget, stats=stats, null_policy="fresh", **kwargs
+            )
+        omq = self._as_omq(query)
+        if database is None:
+            database = Instance(checkpoint.database_atoms())
+        if stats is None:
+            stats = EvalStats()
+        kwargs.setdefault("plan", self.plan)
+        return _certain_answers(
+            omq,
+            database,
+            stats=stats,
+            budget=budget,
+            cache=self.cache,
+            parallelism=self.parallelism,
+            resume_from=checkpoint,
+            **kwargs,
         )
 
     def plan_for(

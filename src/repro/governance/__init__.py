@@ -1,8 +1,10 @@
-"""Resource governance: budgets, deadlines, cancellation, fault injection.
+"""Resource governance: budgets, deadlines, cancellation, fault injection,
+and checkpoint/resume for governed computations.
 
-See :mod:`repro.governance.budget` for the design and
-``docs/resource_governance.md`` for the semantics and the partial-answer
-soundness guarantee.
+See :mod:`repro.governance.budget` for the design,
+:mod:`repro.governance.checkpoint` for the trip → checkpoint → resume
+layer, and ``docs/resource_governance.md`` for the semantics and the
+partial-answer soundness guarantee.
 """
 
 from .budget import (
@@ -10,9 +12,11 @@ from .budget import (
     Budget,
     BudgetExceeded,
     Cancelled,
+    CHECK_SITES,
     DeadlineExceeded,
     StepBudgetExceeded,
     TRIP_CODES,
+    UnregisteredCheckSiteWarning,
     trip_exception,
 )
 
@@ -20,9 +24,37 @@ __all__ = [
     "AtomBudgetExceeded",
     "Budget",
     "BudgetExceeded",
+    "CHECK_SITES",
+    "CHECKPOINT_FORMAT_VERSION",
     "Cancelled",
+    "ChaseCheckpoint",
+    "CheckpointError",
     "DeadlineExceeded",
     "StepBudgetExceeded",
     "TRIP_CODES",
+    "UnregisteredCheckSiteWarning",
     "trip_exception",
 ]
+
+#: Names served lazily from .checkpoint (PEP 562): the checkpoint module
+#: needs the datamodel, and the datamodel's homomorphism search imports
+#: this package — importing .checkpoint eagerly would close the cycle
+#: while repro.datamodel is still initialising.
+_LAZY = {
+    "ChaseCheckpoint": "checkpoint",
+    "CheckpointError": "checkpoint",
+    "CHECKPOINT_FORMAT_VERSION": "checkpoint",
+    "validate_tgds": "checkpoint",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value

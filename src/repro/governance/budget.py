@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import Counter
 from typing import Callable
 
@@ -67,6 +68,8 @@ __all__ = [
     "Cancelled",
     "TRIP_CODES",
     "trip_exception",
+    "CHECK_SITES",
+    "UnregisteredCheckSiteWarning",
 ]
 
 
@@ -87,6 +90,10 @@ class BudgetExceeded(RuntimeError):
     stats:
         The :class:`~repro.datamodel.EvalStats` accumulated so far, when
         attached.
+    checkpoint:
+        A resumable :class:`~repro.governance.ChaseCheckpoint`, when the
+        tripped engine supports checkpointing (the chase engines set it on
+        the unwind path; ``None`` elsewhere).
     """
 
     code = "budget"
@@ -103,6 +110,7 @@ class BudgetExceeded(RuntimeError):
         self.site = site
         self.partial = partial
         self.stats = stats
+        self.checkpoint = None
 
     def attach(self, *, partial=None, stats=None) -> "BudgetExceeded":
         """Fill in partial result / stats while unwinding (first frame wins).
@@ -153,6 +161,53 @@ def trip_exception(code: str, message: str, **kwargs) -> BudgetExceeded:
     return TRIP_CODES.get(code, BudgetExceeded)(message, **kwargs)
 
 
+#: The registry of governed check sites: every ``Budget.check(site, ...)``
+#: call in ``src/`` must use one of these names.  The registry is what the
+#: chaos harness (``tests/chaos/``) sweeps — a new check site cannot ship
+#: without appearing here (a lint test greps the source tree), and appearing
+#: here means the chaos driver injects trips at it.  Keys are the site
+#: names; values describe what one check covers.
+CHECK_SITES: dict[str, str] = {
+    "trigger-fire": "oblivious chase: before each semi-oblivious trigger firing",
+    "restricted-fire": "restricted chase: before each head-checked firing",
+    "hom-backtrack": "homomorphism search: per candidate fact considered",
+    "rewrite-step": "UCQ rewriting: per resolution/factorization candidate",
+    "treewidth-branch": "exact treewidth: per elimination-order search node",
+    "type-table": "blocked chase: per type-completion trigger",
+    "expansion-node": "guarded expansion / FC witness: per forest node",
+    "witness-attempt": "finite-controllability witness: per retry",
+    "sql-load": "SQLite backend: per relation loaded",
+    "sql-disjunct": "SQLite backend: per UCQ disjunct executed",
+}
+
+
+class UnregisteredCheckSiteWarning(RuntimeWarning):
+    """A ``Budget.check`` call used a site name missing from CHECK_SITES.
+
+    Raised (as a warning, once per site per process) so a new governed call
+    site cannot silently dodge the chaos-injection sweep; register the site
+    in :data:`CHECK_SITES` and give it a scenario in ``tests/chaos/``.
+    """
+
+
+#: Unregistered sites already warned about (warn once per process).
+_warned_sites: set[str] = set()
+_warned_lock = threading.Lock()
+
+
+def _warn_unregistered(site: str) -> None:
+    with _warned_lock:
+        if site in _warned_sites:
+            return
+        _warned_sites.add(site)
+    warnings.warn(
+        f"Budget.check called with unregistered site {site!r}; add it to "
+        "repro.governance.CHECK_SITES and cover it in tests/chaos/",
+        UnregisteredCheckSiteWarning,
+        stacklevel=3,
+    )
+
+
 class Budget:
     """Deadline + atom budget + step budget + cooperative cancellation.
 
@@ -190,6 +245,7 @@ class Budget:
         "_inject_at",
         "_inject_site",
         "_inject_exc",
+        "_inject_repeats",
         "_lock",
     )
 
@@ -215,7 +271,8 @@ class Budget:
         self._cancel_reason: str | None = None
         self._inject_at: int | None = None
         self._inject_site: str | None = None
-        self._inject_exc: BudgetExceeded | type[BudgetExceeded] | None = None
+        self._inject_exc: BaseException | type[BaseException] | None = None
+        self._inject_repeats: int = 1
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -268,23 +325,33 @@ class Budget:
         after_n_checks: int,
         *,
         site: str | None = None,
-        exc: BudgetExceeded | type[BudgetExceeded] | None = None,
+        exc: BaseException | type[BaseException] | None = None,
+        repeats: int = 1,
     ) -> None:
         """Fault-injection hook: trip the n-th *future* check.
 
         Counts checks from now (``after_n_checks=1`` trips the very next
         check); *site* restricts counting to one check site; *exc* is the
         exception instance or class to raise (:class:`Cancelled` by
-        default).  Used by the ``tests/faults/`` suite to prove every check
-        site leaves partial results consistent.
+        default).  *exc* need not be a :class:`BudgetExceeded` — the chaos
+        harness injects plain ``RuntimeError`` to simulate a parallel-chase
+        worker crashing (a non-budget failure the coordinator must recover
+        from).  *repeats* re-arms the injection that many times total, each
+        firing on the next matching check — how the harness kills a worker,
+        then kills its retry too.  Used by ``tests/faults/`` and
+        ``tests/chaos/`` to prove every check site leaves partial results
+        consistent and resumable.
         """
         if after_n_checks < 1:
             raise ValueError("after_n_checks must be >= 1")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
         with self._lock:
             base = self.site_counts[site] if site is not None else self.checks
             self._inject_at = base + after_n_checks
             self._inject_site = site
             self._inject_exc = exc
+            self._inject_repeats = repeats
 
     def grace(self, seconds: float | None = None) -> "Budget":
         """A fresh budget for answer extraction after this one tripped.
@@ -313,6 +380,8 @@ class Budget:
         budget shared by the parallel chase's workers never loses a step
         and a one-shot injection fires on exactly one thread.
         """
+        if site not in CHECK_SITES and site not in _warned_sites:
+            _warn_unregistered(site)
         with self._lock:
             self.checks += 1
             self.site_counts[site] += 1
@@ -324,12 +393,20 @@ class Budget:
                 )
                 if count is not None and count >= self._inject_at:
                     exc = self._inject_exc
-                    self._inject_at = None  # one-shot
+                    self._inject_repeats -= 1
+                    if self._inject_repeats > 0:
+                        # Re-arm: the next matching check fires again.
+                        self._inject_at = count + 1
+                    else:
+                        self._inject_at = None  # injections exhausted
                     if exc is None:
                         raise Cancelled(f"fault injected at {site}", site=site)
                     if isinstance(exc, type):
-                        raise exc(f"fault injected at {site}", site=site)
-                    exc.site = exc.site or site
+                        if issubclass(exc, BudgetExceeded):
+                            raise exc(f"fault injected at {site}", site=site)
+                        raise exc(f"fault injected at {site}")
+                    if isinstance(exc, BudgetExceeded):
+                        exc.site = exc.site or site
                     raise exc
             if self._cancel_reason is not None:
                 raise Cancelled(self._cancel_reason, site=site)

@@ -34,6 +34,7 @@ from typing import Sequence
 from ..datamodel import EvalStats, Instance, Term
 from ..governance import TRIP_CODES as _TRIP_CODES
 from ..governance import Budget, BudgetExceeded
+from ..governance.checkpoint import ChaseCheckpoint, validate_tgds
 from ..queries import UCQ, evaluate_ucq, iter_answers
 from ..tgds import all_full, all_linear, is_weakly_acyclic
 from ..chase import (
@@ -64,6 +65,12 @@ class OMQAnswer:
     budget trip code ("deadline", "atom budget", "step budget",
     "cancelled").  A set ``trip`` implies ``complete=False`` — the answers
     are sound positives, the rest is *unknown*, not negative.
+
+    ``checkpoint`` carries the tripped chase's resumable
+    :class:`~repro.governance.ChaseCheckpoint` when the strategy that ran
+    supports one (chase/bounded); ``Engine.resume(answer)`` or
+    ``certain_answers(..., resume_from=answer.checkpoint)`` continues the
+    materialisation instead of re-chasing from scratch.
     """
 
     answers: set[tuple[Term, ...]]
@@ -72,6 +79,7 @@ class OMQAnswer:
     detail: str = ""
     stats: EvalStats = field(default_factory=EvalStats)
     trip: str | None = None
+    checkpoint: "ChaseCheckpoint | None" = None
 
     @property
     def trip_reason(self) -> str | None:
@@ -158,6 +166,7 @@ def certain_answers(
     parallelism: int | None = 1,
     plan: str | None = "auto",
     chase_strategy: str | None = None,
+    resume_from: ChaseCheckpoint | None = None,
 ) -> OMQAnswer:
     """Compute ``Q(D)`` (Prop 3.1) with the given or auto-picked strategy.
 
@@ -180,6 +189,11 @@ def certain_answers(
     evaluation.  The "bounded" strategy never touches the cache (a
     level-bounded prefix is not the chase).  *parallelism* shards the
     chase's per-level trigger search across that many worker threads.
+    *resume_from* continues a previously tripped chase-based evaluation
+    from its :class:`~repro.governance.ChaseCheckpoint`
+    (``answer.checkpoint``) instead of re-chasing from scratch; the
+    checkpoint must belong to the same ontology, and the checkpointed
+    bounds (e.g. the bounded strategy's level bound) are honoured.
     *plan* selects the join-ordering policy of the final UCQ evaluation
     (``"auto"``, the default, compiles one
     :class:`~repro.datamodel.JoinPlan` per disjunct against the
@@ -207,6 +221,38 @@ def certain_answers(
     tgds = list(omq.tgds)
     if stats is None:
         stats = EvalStats()
+
+    if resume_from is not None:
+        # Continue a tripped chase-based materialisation exactly where it
+        # stopped; the checkpoint carries the run's own bounds, so a
+        # bounded-strategy checkpoint resumes as a bounded run.
+        from ..chase import resume_chase
+
+        validate_tgds(resume_from, tgds)
+        result = resume_chase(
+            resume_from, budget=budget, stats=stats, null_policy="fresh"
+        )
+        label = (
+            "bounded"
+            if resume_from.config.get("max_level") is not None
+            else "chase"
+        )
+        tripped = result.trip_reason in _TRIP_CODES
+        eval_budget = budget.grace() if tripped and budget is not None else budget
+        raw, eval_trip = _evaluate_partial(
+            omq.query, result.instance, stats=stats, budget=eval_budget, plan=plan
+        )
+        trip = (result.trip_reason if tripped else None) or eval_trip
+        return OMQAnswer(
+            _restrict_to_database(raw, database),
+            result.terminated and trip is None,
+            label,
+            f"resumed at level {resume_from.next_level}, "
+            f"{len(result.instance)} atoms",
+            stats=stats,
+            trip=trip,
+            checkpoint=result.checkpoint,
+        )
 
     if strategy == "auto":
         if not tgds or all_full(tgds) or is_weakly_acyclic(tgds):
@@ -254,6 +300,7 @@ def certain_answers(
             f"{len(result.instance)} atoms",
             stats=stats,
             trip=trip,
+            checkpoint=result.checkpoint,
         )
 
     if strategy == "rewrite":
@@ -338,6 +385,7 @@ def certain_answers(
             f"level ≤ {level_bound}, {len(result.instance)} atoms",
             stats=stats,
             trip=trip,
+            checkpoint=result.checkpoint,
         )
 
     raise ValueError(f"unknown strategy {strategy!r}")

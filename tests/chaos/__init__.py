@@ -1,0 +1,1 @@
+"""Chaos-injection harness: trip every governed check site, resume, compare."""

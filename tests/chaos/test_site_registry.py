@@ -1,0 +1,72 @@
+"""The CHECK_SITES registry is the single source of truth for governor sites.
+
+Two invariants, both enforced by grepping the source tree:
+
+* every ``budget.check("<site>", ...)`` literal in ``src/`` names a
+  registered site (an unregistered one would warn at runtime — the lint
+  catches it at test time, before any governed code path runs);
+* every registered site actually occurs in ``src/`` (no dead registry
+  entries) and is exercised by the chaos sweep (no ungoverned-by-chaos
+  sites).
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from pathlib import Path
+
+from repro import Budget
+from repro.governance import CHECK_SITES, UnregisteredCheckSiteWarning
+
+from tests.chaos.test_chaos_sweep import SWEPT_SITES
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: ``<anything>.check("site", ...)`` — the governor's only entry point.
+CHECK_CALL = re.compile(r"\.check\(\s*\n?\s*\"([a-z0-9-]+)\"")
+
+
+def _sites_in_source() -> dict[str, list[str]]:
+    sites: dict[str, list[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for site in CHECK_CALL.findall(path.read_text()):
+            sites.setdefault(site, []).append(str(path.relative_to(SRC)))
+    return sites
+
+
+def test_every_source_site_is_registered():
+    unregistered = {
+        site: files
+        for site, files in _sites_in_source().items()
+        if site not in CHECK_SITES
+    }
+    assert not unregistered, (
+        f"unregistered check sites in src/: {unregistered} — add them to "
+        "repro.governance.CHECK_SITES (with a docstring entry) or fix the typo"
+    )
+
+
+def test_every_registered_site_occurs_in_source():
+    dead = set(CHECK_SITES) - set(_sites_in_source())
+    assert not dead, f"registered sites with no check() call in src/: {dead}"
+
+
+def test_chaos_sweep_covers_the_whole_registry():
+    assert SWEPT_SITES == set(CHECK_SITES), (
+        "the chaos sweep and the registry disagree — a new governed site "
+        "must be added to tests/chaos/test_chaos_sweep.py (and SWEPT_SITES)"
+    )
+
+
+def test_unregistered_site_warns_once():
+    budget = Budget()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        budget.check("chaos-registry-bogus-site")
+        budget.check("chaos-registry-bogus-site")
+    relevant = [
+        w for w in caught if issubclass(w.category, UnregisteredCheckSiteWarning)
+    ]
+    assert len(relevant) == 1, "unregistered site should warn exactly once"
+    assert "chaos-registry-bogus-site" in str(relevant[0].message)

@@ -1,0 +1,203 @@
+"""Checkpoint serialization oracle: the JSON wire format loses nothing.
+
+The determinism guarantee (resume ≡ uninterrupted) only survives a process
+boundary if the wire format preserves *identity*, not just isomorphy: null
+idents, the levels-map insertion order that drives candidate enumeration,
+the fired-key set, and the global null counter.  These tests pin each of
+those down, including under ``PYTHONHASHSEED`` variation — set iteration
+order must never leak into the bytes or the resumed run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import Budget, CheckpointError, parse_database, parse_tgds
+from repro.chase import chase, restricted_chase, resume_chase
+from repro.datamodel import Null, set_null_counter
+from repro.datamodel.io import (
+    checkpoint_from_json_dict,
+    checkpoint_to_json_dict,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+DB = "R(a, b), R(b, c), R(c, d)"
+TGDS = [
+    "R(x, y) -> P(x, w)",
+    "P(x, w) -> Q(w, v)",
+    "R(x, y), R(y, z) -> R(x, z)",
+]
+
+
+def _tripped_checkpoint(*, steps=6):
+    set_null_counter(500)
+    budget = Budget()
+    budget.inject(steps, site="trigger-fire")
+    result = chase(parse_database(DB), parse_tgds(TGDS), budget=budget)
+    assert result.checkpoint is not None
+    return result.checkpoint
+
+
+def test_json_roundtrip_preserves_every_field():
+    ckpt = _tripped_checkpoint()
+    back = checkpoint_from_json_dict(
+        json.loads(json.dumps(checkpoint_to_json_dict(ckpt)))
+    )
+    assert back.kind == ckpt.kind
+    assert back.strategy == ckpt.strategy
+    assert back.tgds == ckpt.tgds
+    # Atom tuples compare by value, and Null values compare by ident — so
+    # this asserts the exact null identities AND the insertion order that
+    # seeds the resumed run's index iteration.
+    assert back.atoms == ckpt.atoms
+    assert back.levels == ckpt.levels
+    assert back.delta_atoms == ckpt.delta_atoms
+    assert back.fired_keys == ckpt.fired_keys
+    assert back.empty_body_pending == ckpt.empty_body_pending
+    assert back.original_dom == ckpt.original_dom
+    assert back.next_level == ckpt.next_level
+    assert back.fired == ckpt.fired
+    assert back.null_counter == ckpt.null_counter
+    assert back.db_size == ckpt.db_size
+    assert back.trip == ckpt.trip
+    assert back.config == ckpt.config
+    assert back.version == ckpt.version
+
+
+def test_roundtrip_preserves_null_identity():
+    ckpt = _tripped_checkpoint()
+    nulls = [t for atom in ckpt.atoms for t in atom.args if isinstance(t, Null)]
+    assert nulls, "scenario should have invented nulls before the trip"
+    back = checkpoint_from_json_dict(checkpoint_to_json_dict(ckpt))
+    back_nulls = [
+        t for atom in back.atoms for t in atom.args if isinstance(t, Null)
+    ]
+    assert [str(n) for n in back_nulls] == [str(n) for n in nulls]
+
+
+def _wire_bytes(ckpt) -> str:
+    """The serialized form minus ``stats`` — the only history-dependent
+    field (wall-clock buckets; plan-cache counters depend on what ran
+    earlier in the process).  Everything that feeds the resumed run must
+    serialize to identical bytes."""
+    payload = checkpoint_to_json_dict(ckpt)
+    payload.pop("stats")
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_serialized_bytes_are_deterministic():
+    assert _wire_bytes(_tripped_checkpoint()) == _wire_bytes(_tripped_checkpoint())
+
+
+def test_save_load_file(tmp_path: Path):
+    ckpt = _tripped_checkpoint()
+    path = save_checkpoint(ckpt, tmp_path / "run.checkpoint.json")
+    assert path.exists()
+    back = load_checkpoint(path)
+    assert back.atoms == ckpt.atoms
+    assert back.fired_keys == ckpt.fired_keys
+    resumed = resume_chase(back, budget=Budget())
+    set_null_counter(500)
+    oracle = chase(parse_database(DB), parse_tgds(TGDS))
+    assert sorted(map(str, resumed.instance)) == sorted(map(str, oracle.instance))
+    assert {str(a): l for a, l in resumed.levels.items()} == {
+        str(a): l for a, l in oracle.levels.items()
+    }
+
+
+def test_restricted_checkpoint_roundtrips():
+    set_null_counter(500)
+    budget = Budget()
+    budget.inject(3, site="restricted-fire")
+    result = restricted_chase(parse_database(DB), parse_tgds(TGDS), budget=budget)
+    ckpt = result.checkpoint
+    assert ckpt is not None and ckpt.kind == "restricted"
+    back = checkpoint_from_json_dict(
+        json.loads(json.dumps(checkpoint_to_json_dict(ckpt)))
+    )
+    assert back.kind == "restricted"
+    assert back.levels is None  # the restricted chase has no level map
+    assert back.atoms == ckpt.atoms  # the explicit insertion order
+    resumed = back.resume(budget=Budget())
+    set_null_counter(500)
+    oracle = restricted_chase(parse_database(DB), parse_tgds(TGDS))
+    assert sorted(map(str, resumed.instance)) == sorted(map(str, oracle.instance))
+
+
+def test_wrong_format_and_future_version_are_rejected():
+    payload = checkpoint_to_json_dict(_tripped_checkpoint())
+    bad = dict(payload, format="not-a-checkpoint")
+    with pytest.raises(CheckpointError):
+        checkpoint_from_json_dict(bad)
+    future = dict(payload, version=payload["version"] + 999)
+    with pytest.raises(CheckpointError):
+        checkpoint_from_json_dict(future)
+
+
+# ----------------------------------------------------------------------
+# Hash-seed invariance: the bytes and the resumed run are identical in
+# fresh interpreters with different PYTHONHASHSEED values.
+# ----------------------------------------------------------------------
+_SUBPROCESS_SCRIPT = r"""
+import json, sys
+from repro import Budget
+from repro.chase import chase, resume_chase
+from repro.datamodel import set_null_counter
+from repro.datamodel.io import checkpoint_to_json_dict, checkpoint_from_json_dict
+from repro.queries import parse_database
+from repro.tgds import parse_tgds
+
+DB = "R(a, b), R(b, c), R(c, d)"
+TGDS = [
+    "R(x, y) -> P(x, w)",
+    "P(x, w) -> Q(w, v)",
+    "R(x, y), R(y, z) -> R(x, z)",
+]
+
+set_null_counter(500)
+budget = Budget()
+budget.inject(6, site="trigger-fire")
+tripped = chase(parse_database(DB), parse_tgds(TGDS), budget=budget)
+payload = checkpoint_to_json_dict(tripped.checkpoint)
+wire = json.dumps(payload, sort_keys=True)
+resumed = resume_chase(checkpoint_from_json_dict(json.loads(wire)), budget=Budget())
+payload.pop("stats")  # wall-clock buckets are not byte-deterministic
+stable = json.dumps(payload, sort_keys=True)
+set_null_counter(500)
+oracle = chase(parse_database(DB), parse_tgds(TGDS))
+print(json.dumps({
+    "wire": stable,
+    "resumed": sorted(str(a) for a in resumed.instance),
+    "oracle": sorted(str(a) for a in oracle.instance),
+}, sort_keys=True))
+"""
+
+
+@pytest.mark.parametrize("hashseed", ["0", "1", "31337"])
+def test_hashseed_invariance(hashseed):
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["resumed"] == payload["oracle"]
+    if not hasattr(test_hashseed_invariance, "_first"):
+        test_hashseed_invariance._first = proc.stdout
+    else:
+        # Bit-identical across interpreters with different hash seeds:
+        # no set-iteration order leaks into the bytes or the result.
+        assert proc.stdout == test_hashseed_invariance._first

@@ -125,6 +125,138 @@ class TestIncrementalExtension:
         assert extend_chase(base, db.atoms(), tgds) is base
 
 
+class TestExtendIncompleteBase:
+    """``extend_chase`` on a non-fixpoint base: the delta machinery would
+    silently miss triggers whose bodies lie wholly in the unexplored part,
+    so the default refuses and ``on_incomplete="restart"`` re-chases."""
+
+    def prefix(self, db, tgds):
+        prefix = chase(db, tgds, max_level=1)
+        if prefix.terminated:
+            pytest.skip("workload fixpointed within the bound")
+        return prefix
+
+    def test_default_raises_with_guidance(self, workload):
+        tgds, db = workload
+        prefix = self.prefix(db, tgds)
+        with pytest.raises(ValueError, match="terminated base"):
+            extend_chase(prefix, [Atom("Emp", ("x",))], tgds)
+        with pytest.raises(ValueError, match="restart"):
+            extend_chase(prefix, [Atom("Emp", ("x",))], tgds)
+
+    def test_restart_equals_fresh_chase_of_grown_db(self, workload):
+        tgds, db = workload
+        prefix = self.prefix(db, tgds)
+        extra = [Atom("Emp", ("newcomer",)), Atom("Mgr", ("newboss",))]
+        restarted = extend_chase(prefix, extra, tgds, on_incomplete="restart")
+        grown = db.copy()
+        for atom in extra:
+            grown.add(atom)
+        fresh = chase(grown, tgds)
+        assert restarted.terminated and fresh.terminated
+        assert restarted.ground_part().atoms() == fresh.ground_part().atoms()
+        assert is_isomorphic(restarted.instance, fresh.instance)
+
+    def test_restart_does_not_carry_derived_prefix_atoms(self, workload):
+        # The restart must rebuild from the level-0 atoms only: a derived
+        # atom of the prefix re-enters as *derived*, not as database.
+        tgds, db = workload
+        prefix = self.prefix(db, tgds)
+        restarted = extend_chase(
+            prefix, [Atom("Emp", ("newcomer",))], tgds, on_incomplete="restart"
+        )
+        assert {a for a, l in restarted.levels.items() if l == 0} == (
+            {a for a, l in prefix.levels.items() if l == 0}
+            | {Atom("Emp", ("newcomer",))}
+        )
+
+    def test_invalid_mode_rejected(self, workload):
+        tgds, db = workload
+        base = chase(db, tgds)
+        with pytest.raises(ValueError, match="on_incomplete"):
+            extend_chase(
+                base, [Atom("Emp", ("x",))], tgds, on_incomplete="ignore"
+            )
+
+
+class TestCheckpointTier:
+    """Tripped runs leave a checkpoint in the cache's side table, and the
+    next call for the same key resumes it instead of starting over.
+
+    The workload's chase costs ~76 governor checks for level 1 and ~126
+    for level 2, so a 150-step budget reliably trips *inside* level 2 —
+    the checkpoint holds the completed level 1 — and a resume (or an
+    ungoverned call) finishes from there.
+    """
+
+    TRIP_STEPS = 150
+
+    def tripped_workload(self):
+        tgds = sharded_ontology(2, 2)
+        db = sharded_database(2, 5, 8, seed=4)
+        return tgds, db
+
+    def test_trip_stores_checkpoint_not_entry(self):
+        tgds, db = self.tripped_workload()
+        cache = ChaseCache()
+        tripped = cache.chase(db, tgds, budget=Budget(max_steps=self.TRIP_STEPS))
+        assert not tripped.terminated
+        assert len(cache) == 0  # __len__ counts real entries only
+        info = cache.info()
+        assert info["checkpoints"] == 1
+        assert info["checkpoint_stores"] == 1
+
+    def test_next_call_resumes_and_promotes(self):
+        tgds, db = self.tripped_workload()
+        cache = ChaseCache()
+        cache.chase(db, tgds, budget=Budget(max_steps=self.TRIP_STEPS))
+        finished = cache.chase(db, tgds)
+        assert finished.terminated
+        info = cache.info()
+        assert info["resumes"] == 1
+        assert info["checkpoints"] == 0  # promoted into the entry table
+        assert info["entries"] == 1
+        # ... and the promoted entry now serves exact hits.
+        assert cache.chase(db, tgds) is finished
+        assert cache.hits == 1
+
+    def test_resumed_fixpoint_equals_fresh_chase(self):
+        tgds, db = self.tripped_workload()
+        cache = ChaseCache()
+        cache.chase(db, tgds, budget=Budget(max_steps=self.TRIP_STEPS))
+        resumed = cache.chase(db, tgds)
+        fresh = chase(db, tgds)
+        assert resumed.ground_part().atoms() == fresh.ground_part().atoms()
+        assert is_isomorphic(resumed.instance, fresh.instance)
+
+    def test_repeated_trips_make_monotone_progress(self):
+        tgds, db = self.tripped_workload()
+        cache = ChaseCache()
+        sizes = []
+        for _ in range(10):
+            result = cache.chase(
+                db, tgds, budget=Budget(max_steps=self.TRIP_STEPS)
+            )
+            sizes.append(len(result.instance))
+            if result.terminated:
+                break
+        assert result.terminated, "repeated governed calls should converge"
+        assert sizes == sorted(sizes)
+        assert cache.info()["resumes"] >= 1
+
+    def test_clear_drops_checkpoints(self):
+        tgds, db = self.tripped_workload()
+        cache = ChaseCache()
+        cache.chase(db, tgds, budget=Budget(max_steps=self.TRIP_STEPS))
+        assert cache.info()["checkpoints"] == 1
+        cache.clear()
+        assert cache.info()["checkpoints"] == 0
+        # With the checkpoint gone this is a plain miss, not a resume.
+        full = cache.chase(db, tgds)
+        assert full.terminated
+        assert cache.info()["resumes"] == 0
+
+
 class TestTripsAndBounds:
     def test_budget_trip_is_never_cached(self):
         tgds = sharded_ontology(3, 3)
