@@ -89,6 +89,7 @@ from .treewidth import cq_treewidth, in_cq_k, in_ucq_k, ucq_treewidth
 from .omq import OMQ, OMQAnswer, certain_answers, evaluate_fpt, is_certain_answer
 from .cqs import CQS, is_uniformly_ucq_k_equivalent, ucq_k_approximation
 from .semantic import in_cq_k_equiv, semantic_treewidth
+from .datalog import DatalogProgram, DatalogRule, compile_program, saturate
 from .engine import Engine
 from .evaluation import evaluate
 
@@ -106,6 +107,8 @@ __all__ = [
     "ChaseWorkerError",
     "CheckpointError",
     "Database",
+    "DatalogProgram",
+    "DatalogRule",
     "Engine",
     "EvalStats",
     "Instance",
@@ -120,6 +123,7 @@ __all__ = [
     "certain_answers",
     "chase",
     "compile_plan",
+    "compile_program",
     "core",
     "cq_treewidth",
     "evaluate",
@@ -145,6 +149,7 @@ __all__ = [
     "plan_for",
     "resume_chase",
     "rewrite_ucq",
+    "saturate",
     "saturated_expansion",
     "semantic_treewidth",
     "ucq_k_approximation",

@@ -85,6 +85,8 @@ class ChaseCache:
         self._entries: OrderedDict[tuple, ChaseResult] = OrderedDict()
         #: Checkpoints of tripped runs, awaiting a resume (same key space).
         self._checkpoints: OrderedDict[tuple, ChaseCheckpoint] = OrderedDict()
+        #: Backend materialisations: (Σ, backend tag, atoms) -> Instance.
+        self._materialisations: OrderedDict[tuple, Instance] = OrderedDict()
         self.hits = 0
         self.extensions = 0
         self.misses = 0
@@ -92,6 +94,8 @@ class ChaseCache:
         self.evictions = 0
         self.resumes = 0
         self.checkpoint_stores = 0
+        self.materialisation_hits = 0
+        self.materialisation_stores = 0
 
     # ------------------------------------------------------------------
     # The lookup-or-compute entry point
@@ -216,6 +220,45 @@ class ChaseCache:
             self.evictions += 1
 
     # ------------------------------------------------------------------
+    # Backend materialisations — the non-chase engines' side tier
+    # ------------------------------------------------------------------
+    def materialise(
+        self,
+        database: Instance,
+        tgds: Sequence[TGD],
+        *,
+        backend: str,
+        compute,
+    ) -> Instance:
+        """Lookup-or-compute a backend's materialised instance.
+
+        The key space mirrors :meth:`chase` — ``(Σ, tag, atoms)`` — with
+        the trigger strategy replaced by a ``backend:`` tag, so a datalog
+        saturation and a SQL pushdown of the same ``(D, Σ)`` each get
+        their own slot while sharing the cache's LRU budget.  *compute*
+        is a zero-argument callable returning the completed
+        :class:`~repro.datamodel.Instance`; if it raises (e.g. a budget
+        trip), nothing is stored — only fixpoints are cacheable, exactly
+        as for chase results.
+        """
+        key = (tuple(tgds), f"backend:{backend}", database.atoms())
+        with self._lock:
+            cached = self._materialisations.get(key)
+            if cached is not None:
+                self._materialisations.move_to_end(key)
+                self.materialisation_hits += 1
+                return cached
+        result = compute()
+        with self._lock:
+            self._materialisations[key] = result
+            self._materialisations.move_to_end(key)
+            self.materialisation_stores += 1
+            while len(self._materialisations) > self.max_entries:
+                self._materialisations.popitem(last=False)
+                self.evictions += 1
+        return result
+
+    # ------------------------------------------------------------------
     # Introspection / maintenance
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -227,6 +270,7 @@ class ChaseCache:
         with self._lock:
             self._entries.clear()
             self._checkpoints.clear()
+            self._materialisations.clear()
 
     def info(self) -> dict:
         """Counters + size as a flat dict (for logs and benchmark JSON)."""
@@ -242,6 +286,9 @@ class ChaseCache:
                 "evictions": self.evictions,
                 "resumes": self.resumes,
                 "checkpoint_stores": self.checkpoint_stores,
+                "materialisations": len(self._materialisations),
+                "materialisation_hits": self.materialisation_hits,
+                "materialisation_stores": self.materialisation_stores,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

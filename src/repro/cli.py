@@ -78,6 +78,7 @@ def _engine_from(args: argparse.Namespace, tgds) -> Engine:
         cache=not args.no_cache,
         parallelism=args.parallelism,
         plan=None if getattr(args, "plan", "auto") == "off" else "auto",
+        backend=getattr(args, "backend", "chase"),
     )
 
 
@@ -121,6 +122,15 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="join-ordering policy for homomorphism searches: 'auto' "
         "(default) compiles cached join plans from instance statistics, "
         "'off' keeps per-node dynamic ordering; answers are identical",
+    )
+    parser.add_argument(
+        "--backend",
+        default="chase",
+        choices=["chase", "datalog", "sql", "auto"],
+        help="evaluation backend: 'chase' (default, every fragment), "
+        "'datalog' (semi-naive saturation; full or guarded Σ), 'sql' "
+        "(SQLite pushdown; linear single-head or full Σ), or 'auto' "
+        "(fragment-aware, never unsound)",
     )
 
 
@@ -242,7 +252,13 @@ def cmd_certain(args: argparse.Namespace) -> int:
         checkpoint = load_checkpoint(args.resume)
         answer = engine.resume(checkpoint, query=query, database=db)
     else:
-        answer = engine.certain_answers(query, db, strategy=args.strategy)
+        from .datalog import BackendUnsupported
+
+        try:
+            answer = engine.certain_answers(query, db, strategy=args.strategy)
+        except BackendUnsupported as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     for row in sorted(answer.answers, key=str):
         print(row)
     print(

@@ -1,0 +1,50 @@
+"""Semi-naive Datalog saturation and the non-chase evaluation backends.
+
+The compiler/saturation core (:func:`compile_program`, :func:`saturate`)
+depends only on the datamodel, the TGD layer, and governance, so it can
+be used standalone.  The OMQ-level backends (:mod:`repro.datalog.backend`
+— Datalog saturation and SQLite pushdown behind
+``repro.evaluate(..., backend=)``) pull in the chase and OMQ layers and
+are therefore exposed lazily (PEP 562), keeping ``import repro.datalog``
+light and cycle-free.
+"""
+
+from __future__ import annotations
+
+from .program import DatalogProgram, DatalogRule, compile_program, stratify
+from .saturation import SaturationRun, saturate
+
+__all__ = [
+    "DatalogProgram",
+    "DatalogRule",
+    "SaturationRun",
+    "compile_program",
+    "saturate",
+    "stratify",
+    # Lazily exposed from .backend:
+    "BACKENDS",
+    "BackendUnsupported",
+    "choose_backend",
+    "datalog_certain_answers",
+    "sql_certain_answers",
+]
+
+_BACKEND_NAMES = {
+    "BACKENDS",
+    "BackendUnsupported",
+    "choose_backend",
+    "datalog_certain_answers",
+    "sql_certain_answers",
+}
+
+
+def __getattr__(name: str):
+    if name in _BACKEND_NAMES:
+        from . import backend
+
+        return getattr(backend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -64,6 +64,15 @@ class EvalStats:
         Parallel-chase worker shards that died from a non-budget exception
         and were retried on the coordinator thread (see
         :func:`repro.chase.chase` and ``ChaseWorkerError``).
+    datalog_rounds:
+        Delta rounds run by the Datalog saturation engine (per stratum;
+        the final empty-delta round counts — it is the fixpoint proof).
+    datalog_facts:
+        Facts the Datalog saturation engine derived (new atoms only,
+        over all strata).
+    sql_statements:
+        Saturation statements the SQLite pushdown backend executed
+        (recursive CTE queries plus per-round ``INSERT ... SELECT``s).
     level_seconds:
         Chase wall time per level, ``{level: seconds}``.
     wall_seconds:
@@ -85,6 +94,9 @@ class EvalStats:
     parallel_levels: int = 0
     shards_dispatched: int = 0
     worker_retries: int = 0
+    datalog_rounds: int = 0
+    datalog_facts: int = 0
+    sql_statements: int = 0
     level_seconds: dict[int, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
@@ -117,6 +129,9 @@ class EvalStats:
         self.parallel_levels += other.parallel_levels
         self.shards_dispatched += other.shards_dispatched
         self.worker_retries += other.worker_retries
+        self.datalog_rounds += other.datalog_rounds
+        self.datalog_facts += other.datalog_facts
+        self.sql_statements += other.sql_statements
         for level, seconds in other.level_seconds.items():
             self.level_seconds[level] = self.level_seconds.get(level, 0.0) + seconds
         self.wall_seconds += other.wall_seconds
@@ -140,6 +155,9 @@ class EvalStats:
             "parallel_levels": self.parallel_levels,
             "shards_dispatched": self.shards_dispatched,
             "worker_retries": self.worker_retries,
+            "datalog_rounds": self.datalog_rounds,
+            "datalog_facts": self.datalog_facts,
+            "sql_statements": self.sql_statements,
             "wall_seconds": self.wall_seconds,
         }
 

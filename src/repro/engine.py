@@ -87,6 +87,11 @@ class Engine:
         evaluations against an unchanged database skip planning entirely;
         ``None`` keeps the legacy per-node dynamic ordering.  Either way
         the answer sets are identical.
+    backend:
+        The session's evaluation backend for :meth:`certain_answers`:
+        ``"chase"`` (default), ``"datalog"``, ``"sql"``, or ``"auto"``
+        (fragment-aware) — see :func:`repro.evaluate`.  Overridable per
+        call via ``certain_answers(..., backend=)``.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class Engine:
         parallelism: int | None = 1,
         trigger_strategy: str = "delta",
         plan: str | None = "auto",
+        backend: str = "chase",
     ) -> None:
         self.tgds: tuple[TGD, ...] = tuple(tgds)
         self._budget_spec = budget
@@ -110,6 +116,12 @@ class Engine:
         self.parallelism = parallelism
         self.trigger_strategy = trigger_strategy
         self.plan = plan
+        if backend not in ("chase", "datalog", "sql", "auto"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                "'chase', 'datalog', 'sql', 'auto'"
+            )
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Knob plumbing
@@ -168,19 +180,36 @@ class Engine:
         strategy: str = "auto",
         stats: EvalStats | None = None,
         budget: Budget | None = None,
+        backend: str | None = None,
         **kwargs,
     ) -> OMQAnswer:
         """Open-world evaluation ``Q(D)`` (Prop 3.1) under the session's Σ.
 
         *query* may be a full :class:`OMQ` (its TGDs must equal the
         session's) or a bare (U)CQ, which is paired with the session Σ over
-        the full data schema.  Remaining kwargs (``level_bound=``,
-        ``unfold=``, ...) are forwarded to
+        the full data schema.  *backend* overrides the session's backend
+        for this call (``"chase"``/``"datalog"``/``"sql"``/``"auto"``);
+        *strategy* only applies to the chase backend.  Remaining kwargs
+        (``level_bound=``, ``unfold=``, ...) are forwarded to
         :func:`repro.omq.certain_answers`.
         """
         omq = self._as_omq(query)
         if stats is None:
             stats = EvalStats()
+        backend = backend if backend is not None else self.backend
+        if backend != "chase":
+            from .evaluation import _backend_certain_answers
+
+            return _backend_certain_answers(
+                omq,
+                database,
+                backend,
+                plan=self.plan,
+                stats=stats,
+                budget=self._budget(budget),
+                cache=self.cache,
+                **kwargs,
+            )
         kwargs.setdefault("plan", self.plan)
         return _certain_answers(
             omq,
@@ -202,6 +231,7 @@ class Engine:
         plan: "JoinPlan | str | None | object" = _SESSION_DEFAULT,
         stats: EvalStats | None = None,
         budget: Budget | None = None,
+        backend: str | None = None,
     ) -> OMQAnswer:
         """Closed-world evaluation ``q(D)`` — the CQS side of the paper.
 
@@ -210,12 +240,19 @@ class Engine:
         found so far with ``complete=False`` and the trip code set, like
         :meth:`certain_answers` does.  Delegates to the unified
         :func:`repro.evaluate` machinery; *plan* defaults to the session
-        policy.
+        policy.  *backend* defaults to the session backend; ``"sql"``
+        runs the joins in sqlite3 (same answers, different engine), every
+        other backend uses the in-memory homomorphism search.
         """
-        from .evaluation import closed_world_answer
+        from .evaluation import _closed_world_sql, closed_world_answer
 
         if plan is _SESSION_DEFAULT:
             plan = self.plan
+        backend = backend if backend is not None else self.backend
+        if backend == "sql":
+            return _closed_world_sql(
+                query, database, stats=stats, budget=self._budget(budget)
+            )
         return closed_world_answer(
             query,
             database,

@@ -25,6 +25,28 @@ OMQ       open-world certain answers (Prop 3.1)  the chosen strategy
 
 The old entry points remain as thin wrappers over the same machinery; no
 behaviour changed underneath them.
+
+Backends
+--------
+
+``evaluate(..., backend=)`` selects the evaluation engine:
+
+=============  ========================================================
+``"chase"``    (default) the in-memory chase strategies of
+               :func:`repro.omq.certain_answers` — every fragment
+``"datalog"``  semi-naive Datalog saturation (full Σ exact; guarded Σ
+               via the blocked-chase hybrid) — :mod:`repro.datalog`
+``"sql"``      SQLite pushdown (linear single-head Σ via the perfect
+               rewriting; full Σ via in-database saturation)
+``"auto"``     fragment-aware choice, never unsound: full → datalog,
+               linear single-head → sql, everything else → chase
+=============  ========================================================
+
+An explicit backend outside its sound fragment raises
+:class:`repro.datalog.BackendUnsupported`.  For closed-world (U)CQ/CQS
+queries the backend picks the *join engine* (``"sql"`` runs sqlite3;
+the others run the in-memory homomorphism search) — the answer sets are
+identical, which ``tests/oracle/test_backend_differential.py`` sweeps.
 """
 
 from __future__ import annotations
@@ -36,6 +58,7 @@ from .datamodel import EvalStats, Instance, JoinPlan, Term
 from .governance import Budget, BudgetExceeded
 from .omq import OMQ, OMQAnswer, certain_answers
 from .queries import CQ, UCQ, iter_answers
+from .queries.sql import evaluate_via_sqlite
 
 if False:  # pragma: no cover - import cycle guard, typing only
     from .chase import ChaseCache
@@ -86,10 +109,90 @@ def closed_world_answer(
     )
 
 
+def _closed_world_sql(
+    query: CQ | UCQ,
+    database: Instance,
+    *,
+    stats: EvalStats | None = None,
+    budget: Budget | None = None,
+    strategy: str = "closed-world",
+) -> OMQAnswer:
+    """Closed-world ``q(D)`` through sqlite3, governed like the rest."""
+    if stats is None:
+        stats = EvalStats()
+    trip: str | None = None
+    try:
+        answers = evaluate_via_sqlite(query, database, stats=stats, budget=budget)
+    except BudgetExceeded as exc:
+        answers = exc.partial if exc.partial is not None else set()
+        trip = exc.code
+        exc.attach(stats=stats)
+    return OMQAnswer(
+        answers,
+        trip is None,
+        strategy,
+        f"sqlite3, {len(database)} atoms",
+        stats=stats,
+        trip=trip,
+    )
+
+
+def _backend_certain_answers(
+    query: OMQ,
+    data: Instance,
+    backend: str,
+    *,
+    plan,
+    stats,
+    budget,
+    cache,
+    **kwargs,
+) -> OMQAnswer:
+    """Route an OMQ to the datalog / SQL backend (or auto-pick one)."""
+    from .datalog.backend import (
+        choose_backend,
+        datalog_certain_answers,
+        sql_certain_answers,
+    )
+
+    if backend == "auto":
+        backend = choose_backend(query.tgds)
+        if backend == "chase":
+            if plan is not None:
+                kwargs["plan"] = plan
+            return certain_answers(
+                query, data, stats=stats, budget=budget, cache=cache, **kwargs
+            )
+    if backend == "datalog":
+        allowed = {"unfold", "max_nodes"}
+        extra = set(kwargs) - allowed
+        if extra:
+            raise TypeError(
+                f"unexpected keyword arguments for the datalog backend: "
+                f"{sorted(extra)}"
+            )
+        if plan is not None:
+            kwargs["plan"] = plan
+        return datalog_certain_answers(
+            query, data, stats=stats, budget=budget, cache=cache, **kwargs
+        )
+    if backend == "sql":
+        if kwargs:
+            raise TypeError(
+                f"unexpected keyword arguments for the sql backend: "
+                f"{sorted(kwargs)}"
+            )
+        return sql_certain_answers(
+            query, data, stats=stats, budget=budget, cache=cache
+        )
+    raise ValueError(f"unknown backend {backend!r}")  # pragma: no cover
+
+
 def evaluate(
     query: CQ | UCQ | OMQ | CQS,
     data: Instance,
     *,
+    backend: str = "chase",
     plan: "JoinPlan | str | None" = None,
     stats: EvalStats | None = None,
     budget: Budget | None = None,
@@ -100,6 +203,12 @@ def evaluate(
 
     Parameters
     ----------
+    backend:
+        ``"chase"`` (default — the strategies of
+        :func:`repro.omq.certain_answers`), ``"datalog"``, ``"sql"``, or
+        ``"auto"`` (fragment-aware, never unsound).  See the module
+        docstring's table; an explicit backend outside its sound fragment
+        raises :class:`repro.datalog.BackendUnsupported`.
     plan:
         Join-ordering policy for the homomorphism searches: ``None``
         defers to each engine's default (dynamic per-node ordering for
@@ -127,7 +236,23 @@ def evaluate(
 
     Returns an :class:`~repro.omq.OMQAnswer` in every case.
     """
+    if backend not in ("chase", "datalog", "sql", "auto"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            "'chase', 'datalog', 'sql', 'auto'"
+        )
     if isinstance(query, OMQ):
+        if backend != "chase":
+            return _backend_certain_answers(
+                query,
+                data,
+                backend,
+                plan=plan,
+                stats=stats,
+                budget=budget,
+                cache=cache,
+                **kwargs,
+            )
         if plan is not None:
             kwargs["plan"] = plan
         return certain_answers(
@@ -150,6 +275,10 @@ def evaluate(
                 "database violates the integrity constraints; "
                 "CQS evaluation is only defined on Σ-satisfying databases"
             )
+        if backend == "sql":
+            return _closed_world_sql(
+                query.query, data, stats=stats, budget=budget, strategy="cqs"
+            )
         return closed_world_answer(
             query.query, data, plan=plan, stats=stats, budget=budget,
             strategy="cqs",
@@ -160,6 +289,11 @@ def evaluate(
                 f"unexpected keyword arguments for closed-world evaluation: "
                 f"{sorted(kwargs)}"
             )
+        if backend == "sql":
+            # Closed-world: Σ plays no role, so "sql" means "run the joins
+            # in sqlite3" — same answers, different engine (the
+            # differential suite's oracle pairing).
+            return _closed_world_sql(query, data, stats=stats, budget=budget)
         return closed_world_answer(
             query, data, plan=plan, stats=stats, budget=budget
         )

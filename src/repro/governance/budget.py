@@ -178,6 +178,8 @@ CHECK_SITES: dict[str, str] = {
     "witness-attempt": "finite-controllability witness: per retry",
     "sql-load": "SQLite backend: per relation loaded",
     "sql-disjunct": "SQLite backend: per UCQ disjunct executed",
+    "datalog-stratum": "Datalog saturation: per delta round within a stratum",
+    "sql-pushdown": "SQLite pushdown: per saturation statement executed",
 }
 
 

@@ -46,6 +46,8 @@ SWEPT_SITES = {
     "witness-attempt",
     "sql-load",
     "sql-disjunct",
+    "datalog-stratum",
+    "sql-pushdown",
 }
 
 TRIP_KINDS = sorted(TRIP_CODES.items())  # [(code, exc_cls), ...]
@@ -444,3 +446,91 @@ def test_sql_sweep(seed, site):
                 assert exc.partial is not None
                 assert exc.partial <= oracle
             assert evaluate_via_sqlite(query, db) == oracle
+
+
+# ======================================================================
+# Backend sites: datalog saturation and SQL pushdown degrade gracefully
+# ======================================================================
+#: Full Σ with a recursive stratum (transitive closure) so both the
+#: semi-naive rounds and the SQL saturation loop check repeatedly.
+BACKEND_TGDS = [
+    "E(x, y) -> P(x, y)",
+    "P(x, y), P(y, z) -> P(x, z)",
+]
+BACKEND_DB = "E(a, b), E(b, c), E(c, d)"
+BACKEND_QUERY = "q(x, y) :- P(x, y)"
+
+
+def _backend_scenario():
+    from repro.omq import OMQ
+
+    db = parse_database(BACKEND_DB)
+    tgds = parse_tgds(BACKEND_TGDS)
+    omq = OMQ.with_full_data_schema(tgds, parse_ucq(BACKEND_QUERY))
+    return db, tgds, omq
+
+
+@pytest.mark.parametrize("seed", driver.seeds())
+@pytest.mark.parametrize(
+    "site,backend",
+    [("datalog-stratum", "datalog"), ("sql-pushdown", "sql")],
+)
+def test_backend_site_sweep(seed, site, backend):
+    """A trip mid-saturation yields a sound partial OMQAnswer, not garbage.
+
+    Both backends catch the trip, evaluate the query over the sound
+    prefix under a grace budget, and return ``complete=False`` with the
+    trip code — the same graceful-degradation contract as the chase.
+    """
+    from repro.evaluation import evaluate
+
+    db, tgds, omq = _backend_scenario()
+    oracle = evaluate(omq, db, backend=backend)
+    assert oracle.complete
+    oracle_answers = set(oracle.answers)
+
+    budget = Budget()
+    evaluate(omq, db, backend=backend, budget=budget)
+    count = budget.site_counts[site]
+    assert count >= 2, f"scenario exercises {site} only {count} times"
+    rng = random.Random(seed)
+    for code, exc_cls in TRIP_KINDS:
+        for ordinal in driver.injection_ordinals(rng, count, k=1):
+            budget = Budget()
+            budget.inject(ordinal, site=site, exc=exc_cls)
+            result = evaluate(omq, db, backend=backend, budget=budget)
+            context = f"site={site} kind={code} ordinal={ordinal} seed={seed}"
+            assert not result.complete, context
+            assert result.trip == code, context
+            assert set(result.answers) <= oracle_answers, context
+            # Clean re-run is deterministic and exact.
+            rerun = evaluate(omq, db, backend=backend)
+            assert rerun.complete and set(rerun.answers) == oracle_answers
+
+
+@pytest.mark.parametrize("seed", driver.seeds())
+def test_datalog_stratum_partial_is_sound(seed):
+    """At the saturation layer the trip raises with a sound partial:
+    every atom collected before the trip is in the least model, and the
+    input database is never lost (rounds land atomically between checks).
+    """
+    from repro.datalog import compile_program, saturate
+
+    db, tgds, _ = _backend_scenario()
+    program = compile_program(tgds)
+    oracle = saturate(db, program).instance.atoms()
+
+    budget = Budget()
+    saturate(db, program, budget=budget)
+    count = budget.site_counts["datalog-stratum"]
+    rng = random.Random(seed)
+    for code, exc_cls in TRIP_KINDS:
+        for ordinal in driver.injection_ordinals(rng, count, k=1):
+            budget = Budget()
+            budget.inject(ordinal, site="datalog-stratum", exc=exc_cls)
+            with pytest.raises(BudgetExceeded) as excinfo:
+                saturate(db, program, budget=budget)
+            exc = excinfo.value
+            assert exc.code == code
+            assert exc.partial is not None
+            assert db.atoms() <= exc.partial.atoms() <= oracle

@@ -1,0 +1,249 @@
+"""Property-based tests for the datalog and SQL backends (hypothesis).
+
+Four invariants the backend layer rests on:
+
+* **stratification is a topological order** — a rule's body predicates
+  live in the same or an earlier stratum than its head, every rule lands
+  in exactly one stratum, and mutually recursive predicates share one;
+* **semi-naive equals naive** — the delta-driven saturation derives
+  exactly the least model the re-enumerate-everything oracle does;
+* **compiled SQL is well-formed** — every statement the compiler emits
+  (query translation, table creation, saturation pushdown) round-trips
+  through ``sqlite3.complete_statement``;
+* **``backend="auto"`` is never unsound** — for arbitrary Σ (in
+  particular non-linear Σ, where a naive "always push to SQL" would be
+  wrong), the auto-chosen backend supports the fragment.
+"""
+
+import sqlite3
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.datalog import compile_program, saturate
+from repro.datalog.backend import _supports, choose_backend
+from repro.datamodel import Atom, Database, Variable
+from repro.queries import CQ, parse_cq
+from repro.queries.sql import (
+    create_table_statements,
+    cq_to_sql,
+    recursive_saturation_sql,
+    rule_to_insert_sql,
+)
+from repro.tgds import TGD
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+PREDS = [("P", 1), ("Q", 1), ("R", 2), ("S", 2)]
+CONSTANTS = ["a", "b", "c", "d"]
+VARNAMES = ["x", "y", "z"]
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def full_tgds(draw):
+    """A full (existential-free) guarded TGD."""
+    guard_pred, guard_arity = draw(st.sampled_from(PREDS))
+    guard_args = tuple(
+        Variable(draw(st.sampled_from(VARNAMES))) for _ in range(guard_arity)
+    )
+    body = [Atom(guard_pred, guard_args)]
+    body_vars = sorted(set(guard_args), key=str)
+    if draw(st.booleans()):
+        side_pred, side_arity = draw(st.sampled_from(PREDS))
+        body.append(
+            Atom(side_pred, tuple(draw(st.sampled_from(body_vars)) for _ in range(side_arity)))
+        )
+    head = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        head_pred, head_arity = draw(st.sampled_from(PREDS))
+        head.append(
+            Atom(head_pred, tuple(draw(st.sampled_from(body_vars)) for _ in range(head_arity)))
+        )
+    return TGD(body, head)
+
+
+@st.composite
+def arbitrary_tgds(draw):
+    """A TGD that may be guarded or not, full or existential."""
+    body = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        pred, arity = draw(st.sampled_from(PREDS))
+        body.append(
+            Atom(pred, tuple(Variable(draw(st.sampled_from(VARNAMES))) for _ in range(arity)))
+        )
+    body_vars = sorted({v for a in body for v in a.variables()}, key=str)
+    pool = list(body_vars)
+    if draw(st.booleans()):
+        pool.append(Variable("e"))
+    head = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        pred, arity = draw(st.sampled_from(PREDS))
+        head.append(
+            Atom(pred, tuple(draw(st.sampled_from(pool)) for _ in range(arity)))
+        )
+    return TGD(body, head)
+
+
+@st.composite
+def ground_atoms(draw):
+    pred, arity = draw(st.sampled_from(PREDS))
+    return Atom(pred, tuple(draw(st.sampled_from(CONSTANTS)) for _ in range(arity)))
+
+
+@st.composite
+def small_databases(draw):
+    return Database(draw(st.lists(ground_atoms(), min_size=1, max_size=6)))
+
+
+@st.composite
+def random_cqs(draw):
+    body = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        pred, arity = draw(st.sampled_from(PREDS))
+        body.append(
+            Atom(pred, tuple(Variable(draw(st.sampled_from(VARNAMES))) for _ in range(arity)))
+        )
+    seen = sorted({v for a in body for v in a.variables()}, key=str)
+    k = draw(st.integers(min_value=0, max_value=min(2, len(seen))))
+    return CQ(tuple(seen[:k]), body)
+
+
+# ---------------------------------------------------------------------------
+# Stratification is a topological order
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(st.lists(full_tgds(), min_size=1, max_size=4, unique_by=str))
+def test_stratification_is_topological(tgds):
+    program = compile_program(tgds)
+    # Every rule index appears in exactly one stratum.
+    flat = [i for stratum in program.strata for i in stratum]
+    assert sorted(flat) == list(range(len(program.rules)))
+    # A body predicate's stratum never exceeds the head's: dependencies
+    # are saturated no later than their dependents.
+    for rule in program.rules:
+        head_stratum = program.stratum_of(rule.head.pred)
+        for atom in rule.body:
+            if atom.pred in program.idb:
+                assert program.stratum_of(atom.pred) <= head_stratum, (
+                    program.strata, rule,
+                )
+
+
+@SETTINGS
+@given(st.lists(full_tgds(), min_size=1, max_size=4, unique_by=str))
+def test_mutual_recursion_shares_a_stratum(tgds):
+    """If p's rules read q and q's rules read p, they are one SCC."""
+    program = compile_program(tgds)
+    reads = {}
+    for rule in program.rules:
+        reads.setdefault(rule.head.pred, set()).update(
+            a.pred for a in rule.body if a.pred in program.idb
+        )
+    for p, deps in reads.items():
+        for q in deps:
+            if p in reads.get(q, set()):
+                assert program.stratum_of(p) == program.stratum_of(q), (p, q)
+
+
+# ---------------------------------------------------------------------------
+# Semi-naive == naive
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(
+    st.lists(full_tgds(), min_size=1, max_size=3, unique_by=str),
+    small_databases(),
+)
+def test_seminaive_equals_naive(tgds, db):
+    program = compile_program(tgds)
+    seminaive = saturate(db, program, strategy="seminaive")
+    naive = saturate(db, program, strategy="naive")
+    assert seminaive.instance.atoms() == naive.instance.atoms()
+
+
+# ---------------------------------------------------------------------------
+# Compiled SQL round-trips through sqlite3.complete_statement
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(random_cqs())
+def test_cq_sql_is_complete_statement(q):
+    assert sqlite3.complete_statement(cq_to_sql(q) + ";")
+
+
+@SETTINGS
+@given(st.lists(full_tgds(), min_size=1, max_size=3, unique_by=str))
+def test_pushdown_statements_are_complete(tgds):
+    program = compile_program(tgds)
+    for stmt in create_table_statements(program.schema(), unique=True):
+        assert sqlite3.complete_statement(stmt + ";"), stmt
+    for rule in program.rules:
+        assert sqlite3.complete_statement(rule_to_insert_sql(rule) + ";")
+    statements = recursive_saturation_sql(program)
+    if statements is not None:
+        for stmt in statements:
+            assert sqlite3.complete_statement(stmt + ";"), stmt
+
+
+def test_pushdown_cte_example_parses_and_runs():
+    """The tagged WITH RECURSIVE encoding executes on a real connection."""
+    program = compile_program(
+        [TGD([Atom("R", (Variable("x"), Variable("y")))],
+             [Atom("P", (Variable("x"),))])]
+    )
+    statements = recursive_saturation_sql(program)
+    assert statements is not None
+    conn = sqlite3.connect(":memory:")
+    for stmt in create_table_statements(program.schema(), unique=True):
+        conn.execute(stmt)
+    conn.execute("INSERT INTO \"R\" VALUES ('a', 'b')")
+    for stmt in statements:
+        conn.execute(stmt)
+    assert conn.execute('SELECT * FROM "P"').fetchall() == [("a",)]
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# backend="auto" is never unsound
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(st.lists(arbitrary_tgds(), min_size=0, max_size=4, unique_by=str))
+def test_auto_backend_is_sound(tgds):
+    chosen = choose_backend(tgds)
+    assert chosen in ("chase", "datalog", "sql")
+    # "chase" handles every fragment; a non-chase choice must be inside
+    # the fragment that backend is exact on.
+    if chosen != "chase":
+        assert _supports(chosen, list(tgds)), (chosen, tgds)
+
+
+@SETTINGS
+@given(st.lists(arbitrary_tgds(), min_size=1, max_size=4, unique_by=str))
+def test_sql_never_chosen_for_nonlinear_existential_sigma(tgds):
+    """The crux: auto must not push non-linear Σ with existentials to SQL.
+
+    The SQL backend is only exact for full Σ (saturation) or linear
+    single-head Σ (perfect rewriting); anything else silently dropping
+    certain answers would be an unsoundness, not a performance bug.
+    """
+    from repro.tgds import classify
+
+    labels = classify(list(tgds))
+    if "FULL" not in labels and not (
+        "L" in labels and all(len(t.head) == 1 for t in tgds)
+    ):
+        assert choose_backend(tgds) != "sql", labels
+        assert not _supports("sql", list(tgds))
