@@ -33,30 +33,46 @@ result into the main table and drops the checkpoint; one that trips again
 replaces the checkpoint with the further-along one, so repeated governed
 calls make monotone progress toward the fixpoint.
 
-Eviction is LRU with a bounded entry count.  The cache is lock-protected
-and may be shared across threads (one :class:`~repro.engine.Engine`
-session serving several callers), though a single chase's own workers
-never touch it — the cache sits strictly above the engine.
+Eviction is LRU with a bounded entry count.  With a ``spill_dir``, an
+evicted fixpoint is not discarded: it is demoted to a **spill checkpoint**
+on disk (the same JSON wire format as trip checkpoints, with an empty
+delta frontier), and the next request for that key resumes it — one empty
+trigger-search pass over the rebuilt instance instead of a cold re-chase.
+This is the multi-tenant service's eviction/spill layer: hot entries stay
+in memory, cold ones cost a re-load, nothing costs a full recomputation.
+
+The cache is lock-protected and may be shared across threads **and
+tenants** (one :class:`~repro.serve.QueryService` serving many sessions);
+a single chase's own workers never touch it — the cache sits strictly
+above the engine.  Pass ``tenant=`` (or use :meth:`ChaseCache.scoped`,
+which threads it for you) to attribute hits/misses/extensions/resumes to
+a tenant in :meth:`info`; sharing is deliberately cross-tenant — two
+tenants with the same ontology share one materialisation — while the
+accounting stays per-tenant.
 
 Correctness contract (asserted by ``tests/test_chase_cache.py``): a hit is
 the *same object* previously computed; an extension has the same ground
 part, the same certain answers, and an isomorphic instance as the fresh
-chase of the grown database.
+chase of the grown database; a spill-resume is a terminated result with
+the same ground part and certain answers as the evicted entry.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
-from collections import OrderedDict
+from collections import Counter, OrderedDict
+from pathlib import Path
 from typing import Sequence
 
 from ..datamodel import EvalStats, Instance
+from ..datamodel.terms import null_counter_value
 from ..governance import Budget
 from ..governance.checkpoint import ChaseCheckpoint
 from ..tgds import TGD
 from .engine import ChaseResult, chase, extend_chase, resume_chase
 
-__all__ = ["ChaseCache"]
+__all__ = ["ChaseCache", "TenantCacheView"]
 
 #: Default maximum number of cached chase results.
 DEFAULT_MAX_ENTRIES = 128
@@ -69,24 +85,43 @@ class ChaseCache:
     ----------
     max_entries:
         Bound on the number of cached results (LRU eviction beyond it).
+    spill_dir:
+        Optional directory for the evict-to-checkpoint spill tier: an
+        evicted fixpoint is written there as a resumable checkpoint JSON
+        and reloaded (one cheap fixpoint-verification pass) on the next
+        request for its key, instead of re-chasing from scratch.
 
     Counters (``hits``, ``extensions``, ``misses``, ``stores``,
     ``evictions``, plus ``resumes``/``checkpoint_stores`` for the
-    checkpoint tier) are exposed for benchmarks and ``info()``; they count
-    :meth:`chase` outcomes, so one grown-database call increments
-    ``extensions`` and (on store) ``stores``.
+    checkpoint tier and ``spills``/``spill_hits`` for the spill tier) are
+    exposed for benchmarks and ``info()``; they count :meth:`chase`
+    outcomes, so one grown-database call increments ``extensions`` and (on
+    store) ``stores``.  With ``tenant=`` the same outcomes are *also*
+    recorded per tenant (``info()["tenants"]``).
     """
 
-    def __init__(self, *, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+    def __init__(
+        self,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        spill_dir: "str | Path | None" = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
+        self.spill_dir = None if spill_dir is None else Path(spill_dir)
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, ChaseResult] = OrderedDict()
         #: Checkpoints of tripped runs, awaiting a resume (same key space).
         self._checkpoints: OrderedDict[tuple, ChaseCheckpoint] = OrderedDict()
         #: Backend materialisations: (Σ, backend tag, atoms) -> Instance.
         self._materialisations: OrderedDict[tuple, Instance] = OrderedDict()
+        #: Spilled fixpoints: key -> checkpoint file under spill_dir.
+        self._spilled: dict[tuple, Path] = {}
+        #: Per-tenant outcome counters (only populated when tenant= given).
+        self._tenants: dict[str, Counter] = {}
         self.hits = 0
         self.extensions = 0
         self.misses = 0
@@ -96,6 +131,8 @@ class ChaseCache:
         self.checkpoint_stores = 0
         self.materialisation_hits = 0
         self.materialisation_stores = 0
+        self.spills = 0
+        self.spill_hits = 0
 
     # ------------------------------------------------------------------
     # The lookup-or-compute entry point
@@ -109,17 +146,21 @@ class ChaseCache:
         stats: EvalStats | None = None,
         budget: Budget | None = None,
         parallelism: int | None = 1,
+        tenant: str | None = None,
     ) -> ChaseResult:
         """``chase(D, Σ)`` through the cache.
 
         Semantics are identical to :func:`~repro.chase.engine.chase` with
         no level/atom bounds: exact hits return the memoised result,
-        grown databases extend the best cached subset, and everything else
-        chases fresh.  Only terminated results enter the cache; a budget
-        trip is returned to the caller uncached.
+        spilled fixpoints are resumed from disk, grown databases extend
+        the best cached subset, and everything else chases fresh.  Only
+        terminated results enter the cache; a budget trip parks its
+        checkpoint for the next call instead.
 
         *stats* accounts only the work this call actually performed — an
-        exact hit contributes nothing to it.
+        exact hit contributes nothing to it.  *tenant* attributes the
+        outcome to a tenant in :meth:`info` (the entries themselves are
+        shared across tenants — same ontology, same materialisation).
         """
         sigma = tuple(tgds)
         atoms = database.atoms()
@@ -130,13 +171,41 @@ class ChaseCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                self._account(tenant, "hits")
                 return cached
             pending = self._checkpoints.pop(key, None)
+            spilled = None if pending is not None else self._spilled.pop(key, None)
             base_key, base = (
                 (None, None)
-                if pending is not None
+                if pending is not None or spilled is not None
                 else self._best_subset(sigma, strategy, atoms)
             )
+
+        if pending is None and spilled is not None:
+            # The fixpoint was evicted to disk: reload and resume.  The
+            # resume re-enters the level loop with an empty delta frontier,
+            # so it costs one empty trigger-search pass (plus the reload),
+            # not a re-materialisation.
+            try:
+                pending = ChaseCheckpoint.load(spilled)
+            except Exception:
+                pending = None  # corrupt/vanished spill file: plain miss
+            finally:
+                try:
+                    spilled.unlink(missing_ok=True)
+                except OSError:
+                    pass
+            if pending is not None:
+                with self._lock:
+                    self.spill_hits += 1
+                    self._account(tenant, "spill_hits")
+                result = resume_chase(
+                    pending, budget=budget, stats=stats, null_policy="fresh"
+                )
+                if result.terminated:
+                    with self._lock:
+                        self._store(key, result)
+                return result
 
         if pending is not None:
             # A previous governed call tripped on this very (D, Σ, strategy):
@@ -144,7 +213,9 @@ class ChaseCache:
             # counter may have moved on, so the continuation is isomorphic
             # to (not bit-identical with) an uninterrupted run, which is all
             # the cache contract promises.
-            self.resumes += 1
+            with self._lock:
+                self.resumes += 1
+                self._account(tenant, "resumes")
             result = resume_chase(
                 pending,
                 budget=budget,
@@ -152,7 +223,9 @@ class ChaseCache:
                 null_policy="fresh",
             )
         elif base is not None:
-            self.extensions += 1
+            with self._lock:
+                self.extensions += 1
+                self._account(tenant, "extensions")
             result = extend_chase(
                 base,
                 atoms - base_key[2],
@@ -163,7 +236,9 @@ class ChaseCache:
                 parallelism=parallelism,
             )
         else:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
+                self._account(tenant, "misses")
             result = chase(
                 database,
                 sigma,
@@ -181,10 +256,26 @@ class ChaseCache:
                 self._checkpoints[key] = result.checkpoint
                 self._checkpoints.move_to_end(key)
                 self.checkpoint_stores += 1
+                self._account(tenant, "checkpoint_stores")
                 while len(self._checkpoints) > self.max_entries:
                     self._checkpoints.popitem(last=False)
                     self.evictions += 1
         return result
+
+    def scoped(self, tenant: str) -> "TenantCacheView":
+        """A view of this cache that attributes every outcome to *tenant*.
+
+        The view shares entries with (and is as thread-safe as) the
+        underlying cache; it only threads ``tenant=`` so the service layer
+        can hand one shared cache to per-tenant :class:`~repro.Engine`
+        sessions without re-plumbing accounting through every call site.
+        """
+        return TenantCacheView(self, tenant)
+
+    def _account(self, tenant: str | None, outcome: str) -> None:
+        """Record *outcome* for *tenant* (caller holds the lock)."""
+        if tenant is not None:
+            self._tenants.setdefault(tenant, Counter())[outcome] += 1
 
     def _best_subset(
         self, sigma: tuple, strategy: str, atoms: frozenset
@@ -211,13 +302,76 @@ class ChaseCache:
         return (sigma, strategy, frozenset()), None
 
     def _store(self, key: tuple, result: ChaseResult) -> None:
-        """Insert under the lock, evicting the LRU entry past the bound."""
+        """Insert under the lock, evicting the LRU entry past the bound.
+
+        With a spill directory, evicted fixpoints are demoted to resumable
+        checkpoints on disk instead of being discarded.
+        """
         self._entries[key] = result
         self._entries.move_to_end(key)
         self.stores += 1
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            old_key, old_result = self._entries.popitem(last=False)
             self.evictions += 1
+            if self.spill_dir is not None:
+                self._spill(old_key, old_result)
+
+    def _spill(self, key: tuple, result: ChaseResult) -> None:
+        """Demote an evicted fixpoint to a checkpoint file (lock held).
+
+        Serialization failures are swallowed: the spill tier is an
+        optimisation — losing it degrades the next request for this key to
+        a plain miss, never to an error.
+        """
+        try:
+            checkpoint = self._fixpoint_checkpoint(key, result)
+            path = self.spill_dir / f"{self._digest(key)}.spill.json"
+            checkpoint.save(path)
+        except Exception:
+            return
+        self._spilled[key] = path
+        self.spills += 1
+
+    @staticmethod
+    def _digest(key: tuple) -> str:
+        """A stable filename for a cache key (Σ, strategy, atom set)."""
+        sigma, strategy, atoms = key
+        payload = "\n".join(
+            [strategy]
+            + [str(tgd) for tgd in sigma]
+            + sorted(str(atom) for atom in atoms)
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    @staticmethod
+    def _fixpoint_checkpoint(key: tuple, result: ChaseResult) -> ChaseCheckpoint:
+        """A resumable snapshot of a *terminated* chase result.
+
+        The delta frontier is empty and ``next_level`` is past the last
+        materialised level, so resuming re-enters the level loop, finds
+        nothing to fire, and terminates — re-deriving the fixpoint for the
+        cost of rebuilding the instance plus one empty search pass.
+        """
+        sigma, strategy, _ = key
+        ordered = list(result.levels.items())
+        return ChaseCheckpoint(
+            kind="chase",
+            strategy=strategy,
+            tgds=sigma,
+            atoms=tuple(atom for atom, _ in ordered),
+            levels=tuple(level for _, level in ordered),
+            delta_atoms=(),
+            fired_keys=result.fired_keys,
+            empty_body_pending=False,
+            original_dom=result.original_dom,
+            next_level=result.max_level + 1,
+            fired=result.fired,
+            null_counter=null_counter_value(),
+            db_size=sum(1 for _, level in ordered if level == 0),
+            stats=result.stats.copy(),
+            trip=None,
+            config={"parallelism": result.parallelism},
+        )
 
     # ------------------------------------------------------------------
     # Backend materialisations — the non-chase engines' side tier
@@ -229,6 +383,7 @@ class ChaseCache:
         *,
         backend: str,
         compute,
+        tenant: str | None = None,
     ) -> Instance:
         """Lookup-or-compute a backend's materialised instance.
 
@@ -247,12 +402,14 @@ class ChaseCache:
             if cached is not None:
                 self._materialisations.move_to_end(key)
                 self.materialisation_hits += 1
+                self._account(tenant, "materialisation_hits")
                 return cached
         result = compute()
         with self._lock:
             self._materialisations[key] = result
             self._materialisations.move_to_end(key)
             self.materialisation_stores += 1
+            self._account(tenant, "materialisation_stores")
             while len(self._materialisations) > self.max_entries:
                 self._materialisations.popitem(last=False)
                 self.evictions += 1
@@ -271,9 +428,21 @@ class ChaseCache:
             self._entries.clear()
             self._checkpoints.clear()
             self._materialisations.clear()
+            spilled = list(self._spilled.values())
+            self._spilled.clear()
+        for path in spilled:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def info(self) -> dict:
-        """Counters + size as a flat dict (for logs and benchmark JSON)."""
+        """Counters + size as a flat dict (for logs and benchmark JSON).
+
+        ``tenants`` maps each tenant label seen via ``tenant=`` /
+        :meth:`scoped` to its own outcome counts — the per-tenant
+        accounting over the shared entry space.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -289,6 +458,13 @@ class ChaseCache:
                 "materialisations": len(self._materialisations),
                 "materialisation_hits": self.materialisation_hits,
                 "materialisation_stores": self.materialisation_stores,
+                "spilled": len(self._spilled),
+                "spills": self.spills,
+                "spill_hits": self.spill_hits,
+                "tenants": {
+                    tenant: dict(counts)
+                    for tenant, counts in sorted(self._tenants.items())
+                },
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -298,3 +474,44 @@ class ChaseCache:
             f"{info['hits']} hits, {info['extensions']} extensions, "
             f"{info['misses']} misses>"
         )
+
+
+class TenantCacheView:
+    """A tenant-labelled facade over a shared :class:`ChaseCache`.
+
+    Quacks like the cache everywhere the evaluation stack touches one
+    (:meth:`chase`, :meth:`materialise`, ``len``, :meth:`info`), forwarding
+    each call with ``tenant=`` set, so per-tenant accounting needs no
+    plumbing through :class:`~repro.Engine` or ``certain_answers``.
+    Entries are shared across all views of one cache — that is the point:
+    cross-tenant reuse with per-tenant attribution.
+    """
+
+    __slots__ = ("base", "tenant")
+
+    def __init__(self, base: ChaseCache, tenant: str) -> None:
+        self.base = base
+        self.tenant = tenant
+
+    def chase(self, database, tgds, **kwargs) -> ChaseResult:
+        kwargs.setdefault("tenant", self.tenant)
+        return self.base.chase(database, tgds, **kwargs)
+
+    def materialise(self, database, tgds, **kwargs) -> Instance:
+        kwargs.setdefault("tenant", self.tenant)
+        return self.base.materialise(database, tgds, **kwargs)
+
+    def scoped(self, tenant: str) -> "TenantCacheView":
+        return TenantCacheView(self.base, tenant)
+
+    def clear(self) -> None:
+        self.base.clear()
+
+    def info(self) -> dict:
+        return self.base.info()
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TenantCacheView<{self.tenant!r} over {self.base!r}>"

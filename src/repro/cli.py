@@ -9,6 +9,8 @@ Commands
 ``rewrite``    UCQ_k rewriting of a CQS (the Thm 5.10 meta problem)
 ``classify``   report the syntactic classes of a TGD file
 ``clique``     solve p-Clique by CQ evaluation (the Thm 4.1 reduction)
+``serve``      multi-tenant async query service on a TCP socket
+``load``       seeded load storm against an in-process service
 
 The three evaluation commands construct one :class:`repro.Engine` session
 and share its knobs: ``--parallelism N`` shards the chase's per-level
@@ -341,6 +343,80 @@ def cmd_clique(args: argparse.Namespace) -> int:
     return 0 if decided == truth else 2
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the JSON-lines TCP front door until interrupted."""
+    import asyncio
+
+    from .serve import QueryService, ServiceConfig, serve_tcp
+
+    config = ServiceConfig(
+        deadline=args.deadline,
+        max_workers=args.workers,
+        soft_queue=args.soft_queue,
+        hard_queue=args.hard_queue,
+        cache_spill_dir=args.spill_dir,
+        parallelism=args.parallelism,
+    )
+    tenants = []
+    for spec in args.tenant:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise SystemExit(f"--tenant expects NAME=TGDS_FILE, got {spec!r}")
+        tenants.append((name, parse_tgds(Path(path).read_text())))
+
+    async def run() -> None:
+        async with QueryService(config) as svc:
+            for name, tgds in tenants:
+                svc.register(name, tgds)
+            server = await serve_tcp(svc, args.host, args.port)
+            print(
+                f"repro serve: {len(tenants)} tenant(s) on "
+                f"{args.host}:{args.port} (deadline {config.deadline}s)",
+                flush=True,
+            )
+            async with server:
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """The load-generator client: storm, assert invariants, emit JSON."""
+    import json
+
+    from .serve import ServiceConfig, run_load
+
+    config = ServiceConfig(
+        deadline=args.deadline,
+        max_workers=args.workers,
+        soft_queue=args.soft_queue,
+        hard_queue=args.hard_queue,
+    )
+    report = run_load(
+        args.requests,
+        seed=args.seed,
+        config=config,
+        adversarial_fraction=args.adversarial,
+        ramp=args.ramp,
+    )
+    payload = report.as_dict()
+    if args.out is not None:
+        Path(args.out).write_text(json.dumps(payload, indent=2, default=str))
+    print(
+        json.dumps(
+            {k: payload[k] for k in ("requests", "outcomes", "latency",
+                                     "answers_per_second", "hung", "ok")},
+            indent=2,
+            default=str,
+        )
+    )
+    return 0 if report.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -397,6 +473,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probability", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_clique)
+
+    p = sub.add_parser(
+        "serve", help="multi-tenant async query service (JSON-lines TCP)"
+    )
+    p.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=TGDS_FILE",
+        help="register a tenant with the ontology in TGDS_FILE (repeatable)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--deadline", type=float, default=2.0,
+                   help="per-request wall clock (seconds)")
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--soft-queue", type=int, default=32,
+                   help="queue depth at which requests shed with degraded answers")
+    p.add_argument("--hard-queue", type=int, default=64,
+                   help="queue depth at which requests are rejected")
+    p.add_argument("--spill-dir", default=None,
+                   help="directory for the cache's evict-to-checkpoint spill tier")
+    p.add_argument("--parallelism", type=int, default=1)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "load", help="seeded load storm + soundness harness (in-process)"
+    )
+    p.add_argument("--requests", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=1.0)
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--soft-queue", type=int, default=32)
+    p.add_argument("--hard-queue", type=int, default=64)
+    p.add_argument("--adversarial", type=float, default=0.1,
+                   help="fraction of adversarially expensive requests")
+    p.add_argument("--ramp", type=float, default=2.0,
+                   help="stagger client starts over this many seconds")
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="write the full LoadReport to this file")
+    p.set_defaults(fn=cmd_load)
 
     return parser
 

@@ -25,9 +25,14 @@ What the session buys over the free functions:
 
 Results are the same objects the free functions return
 (:class:`~repro.chase.ChaseResult`, :class:`~repro.omq.OMQAnswer`), carrying
-the uniform ``.complete`` / ``.trip`` / ``.stats`` protocol.  Each call gets
-a fresh :class:`~repro.datamodel.EvalStats` unless one is passed in, so
-counters describe *that call's* work (a cache hit reports zero chase work).
+the uniform ``.complete`` / ``.trip`` / ``.stats`` protocol.  Every call
+runs on its **own** :class:`~repro.datamodel.EvalStats` — never on a shared
+one — so concurrent ``evaluate()`` calls from multiple threads or asyncio
+tasks cannot race on counter increments.  At call end the private object is
+merged, under a lock, into the session aggregate (:meth:`Engine.session_stats`)
+and into any caller-provided ``stats=`` object; the returned result's
+``.stats`` is the private per-call object and describes *that call's* work
+(a cache hit reports zero chase work).
 
 Example::
 
@@ -41,6 +46,7 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping, Sequence
 
 from .chase import ChaseCache, ChaseResult, chase as _chase
@@ -122,6 +128,8 @@ class Engine:
                 "'chase', 'datalog', 'sql', 'auto'"
             )
         self.backend = backend
+        self._stats_lock = threading.Lock()
+        self._session_stats = EvalStats()
 
     # ------------------------------------------------------------------
     # Knob plumbing
@@ -134,6 +142,28 @@ class Engine:
         if spec is None or isinstance(spec, Budget):
             return spec
         return Budget(**spec)
+
+    def _record(self, local: EvalStats, caller: EvalStats | None) -> None:
+        """Fold one call's private stats into the shared accumulators.
+
+        The workers only ever mutate *local* (theirs alone), so the lock
+        here is the sole synchronisation concurrent calls need: session
+        aggregate and any caller-supplied object are merged atomically.
+        """
+        with self._stats_lock:
+            self._session_stats.merge(local)
+            if caller is not None and caller is not local:
+                caller.merge(local)
+
+    def session_stats(self) -> EvalStats:
+        """A snapshot of the work done by every call on this session.
+
+        Accumulated under a lock as calls finish, so it is safe to read
+        while other threads are mid-evaluation (in-flight calls are not
+        yet included — a call contributes when it returns).
+        """
+        with self._stats_lock:
+            return self._session_stats.copy()
 
     # ------------------------------------------------------------------
     # The three evaluation problems
@@ -151,26 +181,28 @@ class Engine:
         strategy/parallelism; a cache hit returns the memoised result and a
         grown database extends the cached chase incrementally.
         """
-        if stats is None:
-            stats = EvalStats()
+        local = EvalStats()
         budget = self._budget(budget)
-        if self.cache is not None:
-            return self.cache.chase(
+        try:
+            if self.cache is not None:
+                return self.cache.chase(
+                    database,
+                    self.tgds,
+                    strategy=self.trigger_strategy,
+                    stats=local,
+                    budget=budget,
+                    parallelism=self.parallelism,
+                )
+            return _chase(
                 database,
                 self.tgds,
                 strategy=self.trigger_strategy,
-                stats=stats,
+                stats=local,
                 budget=budget,
                 parallelism=self.parallelism,
             )
-        return _chase(
-            database,
-            self.tgds,
-            strategy=self.trigger_strategy,
-            stats=stats,
-            budget=budget,
-            parallelism=self.parallelism,
-        )
+        finally:
+            self._record(local, stats)
 
     def certain_answers(
         self,
@@ -194,34 +226,36 @@ class Engine:
         :func:`repro.omq.certain_answers`.
         """
         omq = self._as_omq(query)
-        if stats is None:
-            stats = EvalStats()
+        local = EvalStats()
         backend = backend if backend is not None else self.backend
-        if backend != "chase":
-            from .evaluation import _backend_certain_answers
+        try:
+            if backend != "chase":
+                from .evaluation import _backend_certain_answers
 
-            return _backend_certain_answers(
+                return _backend_certain_answers(
+                    omq,
+                    database,
+                    backend,
+                    plan=self.plan,
+                    stats=local,
+                    budget=self._budget(budget),
+                    cache=self.cache,
+                    **kwargs,
+                )
+            kwargs.setdefault("plan", self.plan)
+            return _certain_answers(
                 omq,
                 database,
-                backend,
-                plan=self.plan,
-                stats=stats,
+                strategy=strategy,
+                trigger_strategy=self.trigger_strategy,
+                stats=local,
                 budget=self._budget(budget),
                 cache=self.cache,
+                parallelism=self.parallelism,
                 **kwargs,
             )
-        kwargs.setdefault("plan", self.plan)
-        return _certain_answers(
-            omq,
-            database,
-            strategy=strategy,
-            trigger_strategy=self.trigger_strategy,
-            stats=stats,
-            budget=self._budget(budget),
-            cache=self.cache,
-            parallelism=self.parallelism,
-            **kwargs,
-        )
+        finally:
+            self._record(local, stats)
 
     def evaluate(
         self,
@@ -249,17 +283,21 @@ class Engine:
         if plan is _SESSION_DEFAULT:
             plan = self.plan
         backend = backend if backend is not None else self.backend
-        if backend == "sql":
-            return _closed_world_sql(
-                query, database, stats=stats, budget=self._budget(budget)
+        local = EvalStats()
+        try:
+            if backend == "sql":
+                return _closed_world_sql(
+                    query, database, stats=local, budget=self._budget(budget)
+                )
+            return closed_world_answer(
+                query,
+                database,
+                plan=plan,
+                stats=local,
+                budget=self._budget(budget),
             )
-        return closed_world_answer(
-            query,
-            database,
-            plan=plan,
-            stats=stats,
-            budget=self._budget(budget),
-        )
+        finally:
+            self._record(local, stats)
 
     def resume(
         self,
@@ -308,26 +346,28 @@ class Engine:
             )
         validate_tgds(checkpoint, self.tgds)
         budget = self._budget(budget)
-        if query is None:
-            return checkpoint.resume(
-                budget=budget, stats=stats, null_policy="fresh", **kwargs
+        local = EvalStats()
+        try:
+            if query is None:
+                return checkpoint.resume(
+                    budget=budget, stats=local, null_policy="fresh", **kwargs
+                )
+            omq = self._as_omq(query)
+            if database is None:
+                database = Instance(checkpoint.database_atoms())
+            kwargs.setdefault("plan", self.plan)
+            return _certain_answers(
+                omq,
+                database,
+                stats=local,
+                budget=budget,
+                cache=self.cache,
+                parallelism=self.parallelism,
+                resume_from=checkpoint,
+                **kwargs,
             )
-        omq = self._as_omq(query)
-        if database is None:
-            database = Instance(checkpoint.database_atoms())
-        if stats is None:
-            stats = EvalStats()
-        kwargs.setdefault("plan", self.plan)
-        return _certain_answers(
-            omq,
-            database,
-            stats=stats,
-            budget=budget,
-            cache=self.cache,
-            parallelism=self.parallelism,
-            resume_from=checkpoint,
-            **kwargs,
-        )
+        finally:
+            self._record(local, stats)
 
     def plan_for(
         self, query: CQ, database: Instance

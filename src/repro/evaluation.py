@@ -63,7 +63,29 @@ from .queries.sql import evaluate_via_sqlite
 if False:  # pragma: no cover - import cycle guard, typing only
     from .chase import ChaseCache
 
-__all__ = ["evaluate", "closed_world_answer"]
+__all__ = ["evaluate", "closed_world_answer", "query_kind"]
+
+
+def query_kind(query) -> str:
+    """The formalism tag :func:`evaluate` would dispatch *query* under.
+
+    One of ``"cq"``, ``"ucq"``, ``"omq"``, ``"cqs"`` — the service layer
+    and telemetry use this to label requests without replicating the
+    ``isinstance`` ladder.  Raises :class:`TypeError` for anything
+    :func:`evaluate` would reject.
+    """
+    if isinstance(query, OMQ):
+        return "omq"
+    if isinstance(query, CQS):
+        return "cqs"
+    if isinstance(query, UCQ):
+        return "ucq"
+    if isinstance(query, CQ):
+        return "cq"
+    raise TypeError(
+        f"not an evaluable query: {type(query).__name__} "
+        "(expected CQ, UCQ, OMQ, or CQS)"
+    )
 
 
 def closed_world_answer(

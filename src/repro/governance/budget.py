@@ -180,6 +180,8 @@ CHECK_SITES: dict[str, str] = {
     "sql-disjunct": "SQLite backend: per UCQ disjunct executed",
     "datalog-stratum": "Datalog saturation: per delta round within a stratum",
     "sql-pushdown": "SQLite pushdown: per saturation statement executed",
+    "serve-admission": "async service: per request offered to admission control",
+    "serve-dispatch": "async service: per request handed to an evaluation worker",
 }
 
 
@@ -225,12 +227,23 @@ class Budget:
         disables.
     clock:
         Injectable monotonic clock (tests pin time without sleeping).
+    hard:
+        When True, this budget's deadline is a **hard cap** inherited by
+        every budget derived from it: :meth:`child` budgets and
+        :meth:`grace` budgets can never outlive it.  This is the service
+        layer's deadline-inheritance contract — a request admitted with a
+        2 s deadline cannot spend 4 s via a grace extension.  The default
+        (False) preserves the original documented behaviour: a root
+        budget's :meth:`grace` grants a fresh allowance, bounding a
+        governed call's total wall time by *twice* the deadline.
 
     A single budget may be shared across several cooperating calls (one OMQ
     evaluation = one chase + one UCQ evaluation); counters and the deadline
     are global to the object.  :meth:`grace` derives the answer-extraction
     budget used after a trip, bounding the *total* wall time of a governed
-    ``certain_answers`` call by twice the deadline.
+    ``certain_answers`` call by twice the deadline (or by the inherited
+    hard cap, when one exists).  :meth:`child` derives a sub-budget that
+    can never exceed the parent's remaining allowance.
     """
 
     __slots__ = (
@@ -240,6 +253,7 @@ class Budget:
         "_clock",
         "_start",
         "_expires",
+        "_hard_expires",
         "checks",
         "steps",
         "site_counts",
@@ -258,6 +272,7 @@ class Budget:
         max_atoms: int | None = None,
         max_steps: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        hard: bool = False,
     ) -> None:
         if deadline is not None and deadline < 0:
             raise ValueError("deadline must be >= 0")
@@ -267,6 +282,7 @@ class Budget:
         self._clock = clock
         self._start = clock()
         self._expires = None if deadline is None else self._start + deadline
+        self._hard_expires = self._expires if hard else None
         self.checks = 0
         self.steps = 0
         self.site_counts: Counter[str] = Counter()
@@ -355,6 +371,65 @@ class Budget:
             self._inject_exc = exc
             self._inject_repeats = repeats
 
+    def child(
+        self,
+        *,
+        deadline: float | None = None,
+        max_atoms: int | None = None,
+        max_steps: int | None = None,
+        fresh_clock: bool = False,
+    ) -> "Budget":
+        """A derived budget clamped to this budget's remaining allowance.
+
+        Callers used to hand-compute remaining deadlines (and grace budgets
+        could exceed a parent's wall-clock cap entirely); ``child`` is the
+        one place that arithmetic lives now:
+
+        * the child's deadline is ``min(deadline, self.remaining())`` (and
+          never beyond an inherited hard cap — see the ``hard`` constructor
+          flag);
+        * ``max_atoms`` is clamped to the parent's ``max_atoms``;
+        * ``max_steps`` is clamped to the parent's *unspent* step
+          allowance.
+
+        *fresh_clock* is the grace variant (see :meth:`grace`): the
+        parent's own — possibly already expired — deadline does not bind,
+        only the lineage's hard cap does.  The child propagates the hard
+        cap to its own descendants, so a request-level deadline clamps
+        every budget derived anywhere below it.  Pending fault injections
+        and cancellation are *not* inherited.
+        """
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        now = self._clock()
+        caps = []
+        if deadline is not None:
+            caps.append(now + deadline)
+        if self._hard_expires is not None:
+            caps.append(self._hard_expires)
+        if not fresh_clock and self._expires is not None:
+            caps.append(self._expires)
+        expires = min(caps) if caps else None
+        if max_atoms is not None and self.max_atoms is not None:
+            max_atoms = min(max_atoms, self.max_atoms)
+        elif max_atoms is None:
+            max_atoms = self.max_atoms
+        remaining_steps = (
+            None if self.max_steps is None else max(0, self.max_steps - self.steps)
+        )
+        if max_steps is not None and remaining_steps is not None:
+            max_steps = min(max_steps, remaining_steps)
+        elif max_steps is None:
+            max_steps = remaining_steps
+        derived = Budget(
+            deadline=None if expires is None else max(0.0, expires - now),
+            max_atoms=max_atoms,
+            max_steps=max_steps,
+            clock=self._clock,
+        )
+        derived._hard_expires = self._hard_expires
+        return derived
+
     def grace(self, seconds: float | None = None) -> "Budget":
         """A fresh budget for answer extraction after this one tripped.
 
@@ -362,11 +437,20 @@ class Budget:
         governed evaluation's total time is at most twice its deadline) with
         no atom/step budget and no pending injection.  With neither
         *seconds* nor a deadline the grace budget is unlimited.
+
+        Implemented as :meth:`child` with a fresh clock: when the budget
+        descends from a **hard** deadline (the async service's per-request
+        budgets), the grace allowance is clamped so the total wall time
+        never exceeds the inherited cap — ``certain_answers``' post-trip
+        answer extraction cannot blow a request's deadline contract.
         """
-        return Budget(
-            deadline=seconds if seconds is not None else self.deadline,
-            clock=self._clock,
-        )
+        limit = seconds if seconds is not None else self.deadline
+        derived = self.child(deadline=limit, fresh_clock=True)
+        # Grace is answer extraction only: atom/step caps tripped the main
+        # leg and must not re-trip the extraction of sound partials.
+        derived.max_atoms = None
+        derived.max_steps = None
+        return derived
 
     # ------------------------------------------------------------------
     # The check — the single governor entry point

@@ -285,9 +285,11 @@ def certain_answers(
             )
         if not result.terminated and budget is None:  # pragma: no cover
             raise RuntimeError("chase strategy selected but chase did not terminate")
-        # Post-trip answer extraction runs under a *grace* budget (same
-        # deadline duration, fresh clock), bounding the total wall time of
-        # a governed call by twice the deadline.
+        # Post-trip answer extraction runs under a *grace* budget — derived
+        # via Budget.child, so it is clamped to any inherited hard deadline
+        # (a service request's cap) and otherwise grants the same deadline
+        # on a fresh clock, bounding the total wall time of a governed call
+        # by twice the deadline.
         eval_budget = budget.grace() if result.trip_reason else budget
         raw, eval_trip = _evaluate_partial(
             omq.query, result.instance, stats=stats, budget=eval_budget, plan=plan

@@ -1,0 +1,62 @@
+"""Multi-tenant async query service over :class:`repro.Engine`.
+
+The production front door the ROADMAP's north star asks for: admission
+control with treewidth-informed cost estimates, weighted-fair dispatch
+across tenants, a three-tier overload response (queue → shed with a
+sound degraded answer → reject with Retry-After), per-(tenant, backend)
+circuit breakers, a watchdog with cooperative cancel and checkpoint-kill
+fallback, and structured per-request telemetry.  See ``docs/serving.md``
+for the state machines and guarantees.
+
+Quick start::
+
+    import asyncio
+    from repro import OMQ, parse_database, parse_tgds, parse_ucq
+    from repro.serve import QueryService, ServiceConfig
+
+    async def main():
+        tgds = parse_tgds(["Emp(x) -> Person(x)"])
+        async with QueryService(ServiceConfig(deadline=1.0)) as svc:
+            svc.register("acme", tgds)
+            omq = OMQ.with_full_data_schema(  # open-world certain answers
+                tgds, parse_ucq("q(x) :- Person(x)")
+            )
+            resp = await svc.submit("acme", omq, parse_database("Emp(ada)"))
+            print(resp.status, sorted(resp.answers))  # ok [('ada',)]
+
+    asyncio.run(main())
+
+Query semantics follow :func:`repro.evaluate`'s dispatch: an
+:class:`~repro.OMQ` is answered open-world under the tenant's ontology,
+a bare CQ/UCQ closed-world, a :class:`~repro.CQS` closed-world under the
+integrity-constraint promise.
+"""
+
+from .breaker import BreakerBoard, CircuitBreaker
+from .loadgen import LoadReport, run_load
+from .net import serve_tcp, request_tcp
+from .service import (
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ServiceConfig,
+    estimate_cost,
+)
+from .telemetry import RequestRecord, Telemetry, percentile
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "LoadReport",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "RequestRecord",
+    "ServiceConfig",
+    "Telemetry",
+    "estimate_cost",
+    "percentile",
+    "request_tcp",
+    "run_load",
+    "serve_tcp",
+]

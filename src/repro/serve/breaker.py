@@ -1,0 +1,202 @@
+"""Per-(tenant, backend) circuit breakers for the query service.
+
+A backend that keeps tripping its budget (or erroring outright) for one
+tenant's workload is a bad bet for that tenant's *next* request: the
+paper's efficiency frontier says hardness is a property of the
+(ontology, query-shape) pair, so consecutive failures are predictive, not
+noise.  The breaker encodes the classic three-state machine:
+
+``closed``
+    Normal operation.  Failures increment a consecutive counter; hitting
+    ``threshold`` opens the breaker.  Any success resets the counter.
+``open``
+    Requests are refused (``allow()`` is False) until ``cooldown``
+    seconds pass, at which point the next ``allow()`` admits exactly one
+    **probe** and moves to half-open.
+``half-open``
+    One probe in flight.  Probe success closes the breaker; probe
+    failure re-opens it and restarts the cooldown clock.
+
+What counts as a failure is the *caller's* choice (the service counts
+budget trips and backend exceptions; a complete answer is a success).
+The chase backend is deliberately never put behind a breaker by the
+service — it is the always-sound fallback every reroute lands on, so
+breaking it would leave nowhere to go.
+
+Thread-safety: a :class:`BreakerBoard` is locked; individual breakers
+are only mutated through the board.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One breaker: consecutive-failure threshold, cooldown, single probe."""
+
+    __slots__ = (
+        "threshold",
+        "cooldown",
+        "_clock",
+        "state",
+        "failures",
+        "opened_at",
+        "probe_inflight",
+        "opens",
+    )
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 2.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at: float | None = None
+        self.probe_inflight = False
+        self.opens = 0  # lifetime count of closed/half-open -> open trips
+
+    # -- queries -------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request use this backend right now?
+
+        In the open state this is also the half-open transition: the
+        first call after the cooldown admits one probe and flips the
+        state, subsequent calls are refused until the probe reports.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self.opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self.probe_inflight = True
+                return True
+            return False
+        # half-open: only the single probe is in flight
+        if not self.probe_inflight:
+            self.probe_inflight = True
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker would admit a probe (0 if it would now)."""
+        if self.state != OPEN or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self._clock() - self.opened_at))
+
+    # -- transitions ---------------------------------------------------
+    def record(self, ok: bool) -> None:
+        if ok:
+            self.state = CLOSED
+            self.failures = 0
+            self.probe_inflight = False
+            self.opened_at = None
+            return
+        if self.state == HALF_OPEN:
+            self._open()
+            return
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.opened_at = self._clock()
+        self.failures = 0
+        self.probe_inflight = False
+        self.opens += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker<{self.state}, failures={self.failures}>"
+
+
+class BreakerBoard:
+    """All of a service's breakers, keyed ``(tenant, backend)``.
+
+    Breakers are created lazily on first touch; *exempt* backends (the
+    service passes ``{"chase"}``) always allow and never record — they
+    are the sound fallback path and must stay reachable.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 2.0,
+        *,
+        exempt: frozenset[str] = frozenset({"chase"}),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.exempt = frozenset(exempt)
+        self._clock = clock
+        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, tenant: str, backend: str) -> CircuitBreaker:
+        key = (tenant, backend)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.threshold, self.cooldown, clock=self._clock
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def allow(self, tenant: str, backend: str) -> bool:
+        if backend in self.exempt:
+            return True
+        with self._lock:
+            return self._get(tenant, backend).allow()
+
+    def retry_after(self, tenant: str, backend: str) -> float:
+        if backend in self.exempt:
+            return 0.0
+        with self._lock:
+            return self._get(tenant, backend).retry_after()
+
+    def record(self, tenant: str, backend: str, ok: bool) -> None:
+        if backend in self.exempt:
+            return
+        with self._lock:
+            self._get(tenant, backend).record(ok)
+
+    def state(self, tenant: str, backend: str) -> str:
+        if backend in self.exempt:
+            return CLOSED
+        with self._lock:
+            breaker = self._breakers.get((tenant, backend))
+            return breaker.state if breaker is not None else CLOSED
+
+    def snapshot(self) -> dict[str, dict[str, str]]:
+        """``{tenant: {backend: state}}`` for the healthz endpoint."""
+        with self._lock:
+            out: dict[str, dict[str, str]] = {}
+            for (tenant, backend), breaker in self._breakers.items():
+                out.setdefault(tenant, {})[backend] = breaker.state
+            return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            open_count = sum(
+                1 for b in self._breakers.values() if b.state != CLOSED
+            )
+        return f"BreakerBoard<{len(self._breakers)} breakers, {open_count} not closed>"

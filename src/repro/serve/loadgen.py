@@ -1,0 +1,376 @@
+"""Seeded load generator + soundness harness for the query service.
+
+Simulates a mixed-tenant fleet: thousands of concurrent clients firing
+CQ/UCQ/OMQ/CQS requests (a configurable fraction adversarially
+expensive — high-treewidth cliques, deep-chase chains) at an in-process
+:class:`~repro.serve.QueryService`, with bounded retries that honour the
+service's ``Retry-After`` hints.
+
+Every template's full answer set is computed **once, ungoverned** before
+the storm — the oracle.  The harness then asserts, per response:
+
+* **soundness** — the returned answers are a subset of the oracle,
+  whatever the outcome tier (ok, degraded, shed);
+* **completeness honesty** — a response claiming ``complete=True``
+  equals the oracle exactly;
+* **no hangs** — every client coroutine resolves within a hard bound
+  (the service's no-hang invariant, observed from outside).
+
+The result is a :class:`LoadReport` with p50/p99 latency over answered
+requests, answers-per-second, per-outcome counts, and the violation
+list (empty, or the run failed) — the payload of ``BENCH_service.json``.
+
+Determinism: all randomness flows from one ``random.Random(seed)`` and
+every per-request choice is drawn *before* the async phase starts, so
+two runs with one seed issue the identical request sequence (completion
+order still varies with scheduling — only assertions, not fingerprints,
+depend on it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..chase.engine import chase as _run_chase
+from ..benchgen import (
+    chain_database,
+    clique_cq,
+    employment_database,
+    employment_ontology,
+    inclusion_chain,
+    inflated_triangle_cq,
+    path_cq,
+    random_binary_database,
+    sharded_database,
+    sharded_ontology,
+)
+from ..cqs import CQS
+from ..evaluation import evaluate as _evaluate
+from ..omq import OMQ
+from ..queries import parse_ucq
+from .service import QueryService, ServiceConfig
+from .telemetry import percentile
+
+__all__ = ["LoadReport", "run_load", "build_workload"]
+
+
+@dataclass
+class _Template:
+    """One (tenant, query, database) workload shape, with its oracle."""
+
+    name: str
+    tenant: str
+    query: object
+    database: object
+    adversarial: bool = False
+    oracle: frozenset | None = None
+
+
+@dataclass
+class LoadReport:
+    """What one load run produced; ``ok`` iff all invariants held."""
+
+    requests: int
+    seed: int
+    deadline: float
+    duration: float
+    outcomes: dict = field(default_factory=dict)
+    retries_used: int = 0
+    unsound: list = field(default_factory=list)
+    dishonest: list = field(default_factory=list)
+    hung: int = 0
+    p50: float = 0.0
+    p99: float = 0.0
+    answered: int = 0
+    answers_total: int = 0
+    answers_per_second: float = 0.0
+    healthz: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsound and not self.dishonest and self.hung == 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "seed": self.seed,
+            "deadline": self.deadline,
+            "duration": self.duration,
+            "outcomes": self.outcomes,
+            "retries_used": self.retries_used,
+            "unsound": self.unsound,
+            "dishonest": self.dishonest,
+            "hung": self.hung,
+            "latency": {"p50": self.p50, "p99": self.p99},
+            "answered": self.answered,
+            "answers_total": self.answers_total,
+            "answers_per_second": self.answers_per_second,
+            "ok": self.ok,
+            "healthz": self.healthz,
+        }
+
+
+def build_workload(seed: int = 0) -> tuple[dict, list[_Template]]:
+    """The tenant registry and query templates (oracles not yet filled).
+
+    Three tenants with distinct ontologies and weights; normal templates
+    are small mixed-kind queries, adversarial ones are high-treewidth
+    closed-world cliques and deep-chase open-world chains.
+    """
+    rng = random.Random(seed)
+    tenants = {
+        "acme": {"tgds": employment_ontology(), "weight": 2},
+        "globex": {"tgds": inclusion_chain(5), "weight": 1},
+        "initech": {"tgds": sharded_ontology(2, 2), "weight": 1},
+    }
+    emp_db = employment_database(24, 4, seed=seed)
+    chain_db = chain_database(12, pred="R0")
+    rand_db = random_binary_database(18, 90, seed=seed)
+    # initech's CQS promise (D |= Σ) needs a Σ-closed database: saturate
+    # the raw shard facts once, here, outside any budget.
+    shard_raw = sharded_database(2, 8, 6, seed=seed)
+    shard_db = _run_chase(shard_raw, tenants["initech"]["tgds"]).instance
+    acme_tgds = tenants["acme"]["tgds"]
+    globex_tgds = tenants["globex"]["tgds"]
+    initech_tgds = tenants["initech"]["tgds"]
+    templates = [
+        _Template(
+            "acme-omq-person",
+            "acme",
+            OMQ.with_full_data_schema(
+                acme_tgds, parse_ucq("q(x) :- Person(x)")
+            ),
+            emp_db,
+        ),
+        _Template(
+            "acme-omq-mgr",
+            "acme",
+            OMQ.with_full_data_schema(
+                acme_tgds,
+                parse_ucq(["q(x) :- Mgr(x)", "q(x) :- ReportsTo(y, x)"]),
+            ),
+            emp_db,
+        ),
+        _Template(
+            "acme-cq-worksfor",
+            "acme",
+            parse_ucq("q(x, y) :- WorksFor(x, y)").disjuncts[0],
+            emp_db,
+        ),
+        _Template(
+            "globex-omq-chain",
+            "globex",
+            OMQ.with_full_data_schema(
+                globex_tgds, parse_ucq("q(x) :- R3(x, y)")
+            ),
+            chain_db,
+        ),
+        _Template(
+            "globex-ucq",
+            "globex",
+            parse_ucq(["q(x) :- R0(x, y)", "q(x) :- R0(y, x)"]),
+            chain_db,
+        ),
+        _Template(
+            "initech-cqs",
+            "initech",
+            CQS(initech_tgds, parse_ucq("q(x, y) :- R0_1(x, y)")),
+            shard_db,
+        ),
+        _Template(
+            "initech-ucq-path",
+            "initech",
+            path_cq(3, pred="R0_0", boolean=False),
+            shard_db,
+        ),
+    ]
+    adversarial = [
+        _Template(
+            "adv-clique4",
+            "initech",
+            clique_cq(4, pred="E"),
+            rand_db,
+            adversarial=True,
+        ),
+        _Template(
+            # ~5s ungoverned on one core: reliably blows a 1s deadline,
+            # but the one-time oracle stays affordable.
+            "adv-triangle-inflated",
+            "initech",
+            inflated_triangle_cq(3, pred="E"),
+            random_binary_database(14, 60, seed=seed),
+            adversarial=True,
+        ),
+        _Template(
+            "adv-omq-deepchain",
+            "globex",
+            OMQ.with_full_data_schema(
+                globex_tgds, parse_ucq("q(x) :- R5(x, y)")
+            ),
+            chain_database(60, pred="R0"),
+            adversarial=True,
+        ),
+    ]
+    del rng  # reserved for future template sampling
+    return tenants, templates + adversarial
+
+
+def _fill_oracles(templates: list[_Template]) -> None:
+    """Ungoverned ground truth per template — computed once, reused."""
+    for template in templates:
+        answer = _evaluate(template.query, template.database)
+        assert answer.complete, f"oracle for {template.name} incomplete"
+        template.oracle = frozenset(answer.answers)
+
+
+async def _client(
+    svc: QueryService,
+    template: _Template,
+    *,
+    delay: float,
+    backend: str | None,
+    retries: int,
+    report: LoadReport,
+    latencies: list,
+    lock: asyncio.Lock,
+) -> None:
+    if delay > 0:
+        await asyncio.sleep(delay)
+    attempts = 0
+    while True:
+        resp = await svc.submit(
+            template.tenant, template.query, template.database, backend=backend
+        )
+        attempts += 1
+        if resp.status == "rejected" and attempts <= retries:
+            await asyncio.sleep(min(resp.retry_after or 0.05, 0.5))
+            async with lock:
+                report.retries_used += 1
+            continue
+        break
+    async with lock:
+        report.outcomes[resp.status] = report.outcomes.get(resp.status, 0) + 1
+        if resp.answered:
+            report.answered += 1
+            report.answers_total += len(resp.answers)
+            latencies.append(resp.latency)
+        if template.oracle is not None and resp.answered:
+            if not resp.answers <= template.oracle:
+                report.unsound.append(
+                    {
+                        "template": template.name,
+                        "request": resp.request_id,
+                        "extra": sorted(
+                            map(str, resp.answers - template.oracle)
+                        )[:5],
+                    }
+                )
+            if resp.complete and resp.answers != template.oracle:
+                report.dishonest.append(
+                    {"template": template.name, "request": resp.request_id}
+                )
+
+
+async def _run_async(
+    requests: int,
+    seed: int,
+    config: ServiceConfig,
+    adversarial_fraction: float,
+    ramp: float,
+    retries: int,
+) -> LoadReport:
+    tenants, templates = build_workload(seed)
+    _fill_oracles(templates)
+    normal = [t for t in templates if not t.adversarial]
+    adversarial = [t for t in templates if t.adversarial]
+    rng = random.Random(seed)
+    # Draw the whole request schedule up front: deterministic regardless
+    # of task interleaving.
+    schedule = []
+    for _ in range(requests):
+        pool = (
+            adversarial
+            if adversarial and rng.random() < adversarial_fraction
+            else normal
+        )
+        template = rng.choice(pool)
+        schedule.append(
+            (
+                template,
+                rng.uniform(0.0, ramp),
+                rng.choice(("auto", "auto", "auto", "chase", None)),
+            )
+        )
+    report = LoadReport(
+        requests=requests,
+        seed=seed,
+        deadline=config.deadline,
+        duration=0.0,
+    )
+    latencies: list[float] = []  # collected under the lock
+    lock = asyncio.Lock()
+    async with QueryService(config) as svc:
+        for name, spec in tenants.items():
+            svc.register(name, spec["tgds"], weight=spec["weight"])
+        started = time.monotonic()
+        per_client_bound = ramp + (retries + 1) * (
+            config.deadline + 2 * config.watchdog_grace + 1.5
+        )
+        tasks = [
+            asyncio.create_task(
+                _client(
+                    svc,
+                    template,
+                    delay=delay,
+                    backend=backend,
+                    retries=retries,
+                    report=report,
+                    latencies=latencies,
+                    lock=lock,
+                )
+            )
+            for template, delay, backend in schedule
+        ]
+        done, pending = await asyncio.wait(tasks, timeout=per_client_bound)
+        report.hung = len(pending)
+        for task in pending:
+            task.cancel()
+        for task in done:
+            exc = task.exception()
+            if exc is not None:  # client-side crash counts as a hang-class bug
+                report.hung += 1
+                report.unsound.append({"client_error": repr(exc)})
+        report.duration = time.monotonic() - started
+        report.healthz = await svc.healthz()
+    report.p50 = percentile(latencies, 50.0)
+    report.p99 = percentile(latencies, 99.0)
+    report.answers_per_second = (
+        report.answers_total / report.duration if report.duration > 0 else 0.0
+    )
+    return report
+
+
+def run_load(
+    requests: int = 1000,
+    *,
+    seed: int = 0,
+    config: ServiceConfig | None = None,
+    adversarial_fraction: float = 0.1,
+    ramp: float = 2.0,
+    retries: int = 2,
+) -> LoadReport:
+    """Run the seeded load storm and return its :class:`LoadReport`.
+
+    Safe to call from sync code (spins its own event loop).  *ramp*
+    staggers client start times over that many seconds — sustained
+    pressure rather than one spike; *retries* bounds per-client retry
+    attempts after rejections.
+    """
+    if config is None:
+        config = ServiceConfig(deadline=1.0)
+    return asyncio.run(
+        _run_async(requests, seed, config, adversarial_fraction, ramp, retries)
+    )

@@ -1,0 +1,136 @@
+"""JSON-lines TCP transport for the query service (stdlib only).
+
+One connection, many requests: each line is a JSON object, each response
+a JSON line back — the simplest wire format that still exercises every
+service path from a real client.  Request fields::
+
+    {"tenant": "acme",                  # required (except op=healthz)
+     "query": "q(x) :- Person(x)",      # UCQ text (required for op=query)
+     "kind": "ucq",                     # "cq" | "ucq" | "omq" | "cqs"
+     "database": ["Emp(ada)"],          # atom list (op=query)
+     "backend": "auto",                 # optional
+     "deadline": 1.5,                   # optional per-request override
+     "op": "query"}                     # "query" (default) | "healthz"
+
+``kind`` picks the semantics: ``omq`` pairs the query with the tenant's
+ontology (open-world certain answers), ``cqs`` evaluates closed-world
+under the tenant Σ as integrity constraints, ``cq``/``ucq`` evaluate
+closed-world.  The response is ``QueryResponse.as_dict()`` plus the
+request's ``id`` echoed back; parse errors come back as
+``{"status": "error", "detail": ...}`` — the connection never dies from
+a bad request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..omq import OMQ
+from ..cqs import CQS
+from ..queries import parse_cq, parse_database, parse_ucq
+from .service import QueryService
+
+__all__ = ["serve_tcp", "request_tcp"]
+
+
+def _parse_request(service: QueryService, payload: dict):
+    """(tenant, query, database, backend, deadline) from one wire object."""
+    tenant = payload["tenant"]
+    kind = payload.get("kind", "ucq")
+    entry = service._tenants.get(tenant)
+    if entry is None:
+        raise KeyError(f"unknown tenant {tenant!r}")
+    text = payload["query"]
+    if kind == "cq":
+        query = parse_cq(text)
+    elif kind == "ucq":
+        query = parse_ucq(text)
+    elif kind == "omq":
+        query = OMQ.with_full_data_schema(list(entry.tgds), parse_ucq(text))
+    elif kind == "cqs":
+        query = CQS(list(entry.tgds), parse_ucq(text))
+    else:
+        raise ValueError(f"unknown query kind {kind!r}")
+    database = parse_database(", ".join(payload.get("database", [])))
+    return (
+        tenant,
+        query,
+        database,
+        payload.get("backend"),
+        payload.get("deadline"),
+    )
+
+
+async def _handle(service: QueryService, reader, writer) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if payload.get("op") == "healthz":
+                    body = await service.healthz()
+                else:
+                    tenant, query, db, backend, deadline = _parse_request(
+                        service, payload
+                    )
+                    resp = await service.submit(
+                        tenant,
+                        query,
+                        db,
+                        backend=backend,
+                        deadline=deadline,
+                    )
+                    body = resp.as_dict()
+                if "id" in payload:
+                    body["id"] = payload["id"]
+            except Exception as exc:
+                body = {
+                    "status": "error",
+                    "detail": f"{type(exc).__name__}: {exc}",
+                }
+            writer.write(json.dumps(body).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def serve_tcp(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8765
+):
+    """Expose *service* (already started) on a TCP socket.
+
+    Returns the :class:`asyncio.Server`; close it to stop accepting.
+    """
+    return await asyncio.start_server(
+        lambda r, w: _handle(service, r, w), host, port
+    )
+
+
+async def request_tcp(
+    payload: dict, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
+) -> dict:
+    """One request/response round-trip — the client half, for the CLI."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass

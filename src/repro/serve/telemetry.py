@@ -1,0 +1,190 @@
+"""Structured per-request telemetry for the query service.
+
+Every request the service finishes — served, degraded, shed, rejected,
+errored, or killed — lands here as one :class:`RequestRecord` carrying
+the evaluation counters (:class:`~repro.datamodel.EvalStats`) of that
+request alone (the Engine's per-call stats replumbing guarantees no
+cross-request bleed).  The collector keeps:
+
+* per-(tenant, outcome) counters — the tenant-isolation story in numbers;
+* a bounded ring of recent records (``keep`` most recent) for debugging;
+* a latency reservoir per outcome class for p50/p99;
+* gauges the service pushes (queue depth, in-flight, workers).
+
+:meth:`Telemetry.healthz` renders the whole thing as one JSON-ready
+snapshot — the service's ``/healthz`` answer and the load harness's
+scrape surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["RequestRecord", "Telemetry", "percentile"]
+
+#: Terminal outcomes a request can reach.  ``ok`` is a complete answer;
+#: ``degraded`` is a sound partial (budget trip or load shed); ``rejected``
+#: is a clean refusal (queue full / circuit open) with a Retry-After hint;
+#: ``error`` is a backend/evaluator exception; ``killed`` is a watchdog
+#: abandon.  Everything except ``ok`` is an incomplete-but-never-unsound
+#: response.
+OUTCOMES = ("ok", "degraded", "rejected", "error", "killed")
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-th percentile (0..100) by linear interpolation; 0.0 if empty."""
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    frac = rank - low
+    return data[low] * (1.0 - frac) + data[high] * frac
+
+
+@dataclass
+class RequestRecord:
+    """One finished request, as the telemetry layer remembers it."""
+
+    request_id: str
+    tenant: str
+    kind: str  # "cq" | "ucq" | "omq" | "cqs"
+    backend: str  # the backend that actually ran ("" if none did)
+    outcome: str  # one of OUTCOMES
+    complete: bool
+    trip: str | None = None
+    answers: int = 0
+    latency: float = 0.0  # submit -> response, seconds
+    queue_wait: float = 0.0  # submit -> dispatch, seconds
+    retry_after: float | None = None
+    resumable: bool = False
+    detail: str = ""
+    stats: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "backend": self.backend,
+            "outcome": self.outcome,
+            "complete": self.complete,
+            "trip": self.trip,
+            "answers": self.answers,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "retry_after": self.retry_after,
+            "resumable": self.resumable,
+            "detail": self.detail,
+            "stats": self.stats,
+        }
+
+
+class Telemetry:
+    """Lock-protected collector of :class:`RequestRecord`."""
+
+    def __init__(
+        self, *, keep: int = 256, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self._recent: deque[RequestRecord] = deque(maxlen=keep)
+        self._outcomes: Counter[str] = Counter()
+        self._tenants: dict[str, Counter] = {}
+        self._latencies: dict[str, list[float]] = {}
+        self._answers = 0
+        self._gauges: dict[str, float] = {}
+
+    # -- ingest --------------------------------------------------------
+    def record(self, rec: RequestRecord) -> None:
+        with self._lock:
+            self._recent.append(rec)
+            self._outcomes[rec.outcome] += 1
+            self._tenants.setdefault(rec.tenant, Counter())[rec.outcome] += 1
+            self._latencies.setdefault(rec.outcome, []).append(rec.latency)
+            self._answers += rec.answers
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (queue depth, in-flight, ...)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    # -- views ---------------------------------------------------------
+    def total(self, outcome: str | None = None) -> int:
+        with self._lock:
+            if outcome is None:
+                return sum(self._outcomes.values())
+            return self._outcomes.get(outcome, 0)
+
+    def recent(self, n: int | None = None) -> list[RequestRecord]:
+        with self._lock:
+            records = list(self._recent)
+        return records if n is None else records[-n:]
+
+    def latency_percentiles(
+        self, outcomes: tuple[str, ...] = ("ok", "degraded")
+    ) -> dict[str, float]:
+        """p50/p95/p99 over the *answered* outcomes (default: ok+degraded)."""
+        with self._lock:
+            values = [
+                v
+                for outcome in outcomes
+                for v in self._latencies.get(outcome, ())
+            ]
+        return {
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+            "count": len(values),
+        }
+
+    def healthz(self) -> dict:
+        """The JSON-ready status snapshot (the ``/healthz`` body)."""
+        with self._lock:
+            total = sum(self._outcomes.values())
+            answered = self._outcomes.get("ok", 0) + self._outcomes.get(
+                "degraded", 0
+            )
+            uptime = self._clock() - self._started
+            snapshot = {
+                "status": "ok",
+                "uptime_seconds": uptime,
+                "requests": {
+                    "total": total,
+                    **{o: self._outcomes.get(o, 0) for o in OUTCOMES},
+                },
+                "answers_total": self._answers,
+                "answers_per_second": (
+                    self._answers / uptime if uptime > 0 else 0.0
+                ),
+                "tenants": {
+                    t: dict(c) for t, c in sorted(self._tenants.items())
+                },
+                "gauges": dict(self._gauges),
+            }
+            values = [
+                v
+                for outcome in ("ok", "degraded")
+                for v in self._latencies.get(outcome, ())
+            ]
+        snapshot["latency"] = {
+            "p50": percentile(values, 50.0),
+            "p99": percentile(values, 99.0),
+        }
+        rejected = snapshot["requests"]["rejected"]
+        if total and answered / total < 0.5:
+            snapshot["status"] = "overloaded"
+        elif rejected and rejected / max(total, 1) > 0.25:
+            snapshot["status"] = "shedding"
+        return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Telemetry<{self.total()} requests>"

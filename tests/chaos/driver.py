@@ -225,3 +225,95 @@ def assert_restricted_resume_matches(result, oracle_fp, *, context):
         resumed = resume_restricted_chase(ckpt, budget=Budget())
         fp = restricted_fingerprint(resumed)
         assert fp == oracle_fp, f"{context} [{label}]: resumed ≠ oracle"
+
+
+# ----------------------------------------------------------------------
+# Service-path chaos: faults injected through repro.serve
+# ----------------------------------------------------------------------
+#: Check sites the service hits per request (each exactly once on the
+#: normal path, so the only valid injection ordinal is 1).
+SERVE_SITES = ("serve-admission", "serve-dispatch")
+
+
+def service_scenario():
+    """The tenant ontology, query, database, and oracle the service sweeps.
+
+    Open-world OMQ over the chase scenario's ontology — certain answers
+    are the sound/complete reference every degraded response must be a
+    subset of.
+    """
+    from repro.omq import OMQ, certain_answers
+    from repro.queries import parse_ucq
+
+    db, tgds = chase_scenario()
+    omq = OMQ.with_full_data_schema(list(tgds), parse_ucq("q(x) :- S(x)"))
+    pin_nulls()
+    oracle = certain_answers(omq, db)
+    assert oracle.complete
+    return tgds, omq, db, frozenset(oracle.answers)
+
+
+def run_service_request(
+    *,
+    inject_site=None,
+    inject_exc=None,
+    evaluator=None,
+    deadline=5.0,
+    config=None,
+):
+    """One request through a fresh :class:`~repro.serve.QueryService`.
+
+    ``inject_site``/``inject_exc`` arm :meth:`Budget.inject` on the
+    request budget (the service-layer sites fire once each, so the
+    ordinal is always 1); *evaluator* replaces the worker's evaluation
+    (worker-death / runaway simulation).  Returns ``(response, oracle)``.
+    """
+    import asyncio
+
+    from repro.serve import QueryService, ServiceConfig
+
+    tgds, omq, db, oracle = service_scenario()
+    cfg = config or ServiceConfig(
+        deadline=deadline, watchdog_interval=0.02, watchdog_grace=0.3
+    )
+
+    async def go():
+        async with QueryService(cfg) as svc:
+            svc.register("chaos", tgds)
+            if inject_site is not None:
+
+                def factory(request_deadline):
+                    budget = Budget(deadline=request_deadline, hard=True)
+                    budget.inject(1, site=inject_site, exc=inject_exc)
+                    return budget
+
+                svc.budget_factory = factory
+            pin_nulls()
+            return await svc.submit(
+                "chaos", omq, db, _evaluator=evaluator
+            )
+
+    return asyncio.run(go()), oracle
+
+
+def assert_clean_service_outcome(resp, oracle, *, context):
+    """The service-path invariant: complete, sound-degraded, or clean
+    rejection/kill — never a hang (the caller returned) and never an
+    unsound answer."""
+    assert resp.status in (
+        "ok",
+        "degraded",
+        "rejected",
+        "error",
+        "killed",
+    ), f"{context}: unknown status {resp.status!r}"
+    if resp.status == "ok":
+        assert resp.complete, f"{context}: ok response must be complete"
+        assert frozenset(resp.answers) == oracle, f"{context}: ok ≠ oracle"
+    elif resp.status == "degraded":
+        assert frozenset(resp.answers) <= oracle, f"{context}: unsound partial"
+    else:
+        assert not resp.answers, f"{context}: {resp.status} carried answers"
+        assert (
+            resp.retry_after is not None or resp.status == "error"
+        ), f"{context}: rejection without backoff hint"

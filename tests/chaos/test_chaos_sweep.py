@@ -48,6 +48,8 @@ SWEPT_SITES = {
     "sql-disjunct",
     "datalog-stratum",
     "sql-pushdown",
+    "serve-admission",
+    "serve-dispatch",
 }
 
 TRIP_KINDS = sorted(TRIP_CODES.items())  # [(code, exc_cls), ...]
@@ -534,3 +536,25 @@ def test_datalog_stratum_partial_is_sound(seed):
             assert exc.code == code
             assert exc.partial is not None
             assert db.atoms() <= exc.partial.atoms() <= oracle
+
+
+# ======================================================================
+# Service sites: trips at admission/dispatch become clean rejections
+# ======================================================================
+@pytest.mark.parametrize("site", driver.SERVE_SITES)
+@pytest.mark.parametrize("seed", driver.seeds())
+def test_serve_site_sweep(seed, site):
+    """A budget trip at either service check site never reaches a worker:
+    the client gets a clean rejection with a backoff hint, and a clean
+    re-run of the same request still produces the exact oracle."""
+    del seed  # the service sites fire once per request: ordinal is fixed
+    for code, exc_cls in TRIP_KINDS:
+        resp, oracle = driver.run_service_request(
+            inject_site=site, inject_exc=exc_cls
+        )
+        context = f"site={site} kind={code}"
+        assert resp.status == "rejected", context
+        driver.assert_clean_service_outcome(resp, oracle, context=context)
+    # Uninjected request: the service recovers fully on the next call.
+    resp, oracle = driver.run_service_request()
+    assert resp.status == "ok" and frozenset(resp.answers) == oracle

@@ -1,0 +1,113 @@
+"""Chaos through the service path: faults injected *mid-request*.
+
+The sweep module (``test_chaos_sweep.py``) injects at the service-layer
+check sites; this module injects faults into the worker itself — death
+(an evaluator that raises), budget trips in the middle of a real chase,
+and runaways the watchdog must stop.  The invariant is the service
+contract from :func:`driver.assert_clean_service_outcome`: every client
+gets a complete answer, a sound degraded answer, or a clean rejection —
+never a hang, never an unsound answer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.governance import BudgetExceeded
+
+from . import driver
+
+
+# ----------------------------------------------------------------------
+# Worker death: the evaluator raises mid-request
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("exc_cls", [RuntimeError, MemoryError, OSError])
+def test_worker_death_is_a_clean_error(exc_cls):
+    def dying_evaluator(req, engine, budget):
+        raise exc_cls("worker died mid-request")
+
+    resp, oracle = driver.run_service_request(evaluator=dying_evaluator)
+    assert resp.status == "error"
+    assert not resp.answers
+    driver.assert_clean_service_outcome(
+        resp, oracle, context=f"worker-death[{exc_cls.__name__}]"
+    )
+
+
+def test_worker_death_then_healthy_retry():
+    """After a dead worker, the same service scenario answers cleanly —
+    one request's death never poisons the service."""
+
+    def dying_evaluator(req, engine, budget):
+        raise RuntimeError("boom")
+
+    resp, oracle = driver.run_service_request(evaluator=dying_evaluator)
+    assert resp.status == "error"
+    retry, oracle = driver.run_service_request()
+    assert retry.status == "ok"
+    assert frozenset(retry.answers) == oracle
+
+
+# ----------------------------------------------------------------------
+# Budget trips mid-request, inside the real chase
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", driver.seeds())
+@pytest.mark.parametrize("site", driver.CHASE_SITES)
+def test_mid_chase_trip_degrades_soundly(seed, site):
+    """Arm a seeded injection on the *evaluation* budget, then run the
+    real evaluation: the trip surfaces as a sound degraded answer (or a
+    clean rejection if nothing landed before the trip)."""
+    rng = random.Random(seed)
+    ordinal = rng.randint(1, 5)
+
+    def tripping_evaluator(req, engine, budget):
+        budget.inject(ordinal, site=site)
+        return engine.certain_answers(
+            req.query, req.database, budget=budget, backend="chase"
+        )
+
+    resp, oracle = driver.run_service_request(evaluator=tripping_evaluator)
+    context = f"mid-chase[{site}@{ordinal} seed={seed}]"
+    driver.assert_clean_service_outcome(resp, oracle, context=context)
+    assert resp.status in ("degraded", "rejected", "error"), context
+    if resp.status == "degraded":
+        assert resp.trip is not None, context
+
+
+def test_mid_chase_budget_exceeded_escape_is_an_error():
+    """An evaluator that lets BudgetExceeded escape (instead of folding it
+    into a degraded answer) still resolves cleanly for the client."""
+
+    def leaky_evaluator(req, engine, budget):
+        raise BudgetExceeded("deadline", site="trigger-fire")
+
+    resp, oracle = driver.run_service_request(evaluator=leaky_evaluator)
+    assert resp.status == "error"
+    driver.assert_clean_service_outcome(resp, oracle, context="leaky-trip")
+
+
+# ----------------------------------------------------------------------
+# Runaways: the watchdog's job
+# ----------------------------------------------------------------------
+def test_uncooperative_runaway_is_killed_not_hung():
+    """An evaluator that ignores its budget entirely is abandoned by the
+    watchdog: the client sees a terminal response, never a hang."""
+    import time as _time
+
+    def runaway(req, engine, budget):
+        deadline = _time.monotonic() + 30.0
+        while _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        raise AssertionError("unreachable: watchdog should have abandoned us")
+
+    from repro.serve import ServiceConfig
+
+    cfg = ServiceConfig(
+        deadline=0.4, watchdog_interval=0.02, watchdog_grace=0.2
+    )
+    resp, oracle = driver.run_service_request(evaluator=runaway, config=cfg)
+    driver.assert_clean_service_outcome(resp, oracle, context="runaway")
+    assert resp.status in ("killed", "error", "rejected")
+    assert not resp.answers

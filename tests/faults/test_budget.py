@@ -311,3 +311,100 @@ class TestThreadSafety:
             t.join()
         assert len(errors) == 4
         assert all(isinstance(e, Cancelled) for e in errors)
+
+
+# ----------------------------------------------------------------------
+# child(): the one place derived-budget clamping arithmetic lives
+# ----------------------------------------------------------------------
+class TestChild:
+    def test_deadline_clamped_to_parent_remaining(self):
+        clock = FakeClock()
+        parent = Budget(deadline=10.0, clock=clock)
+        clock.advance(6.0)
+        child = parent.child(deadline=30.0)  # asks for more than is left
+        assert child.remaining() == pytest.approx(4.0)
+        # A tighter request than the remainder is taken at face value.
+        assert parent.child(deadline=1.0).remaining() == pytest.approx(1.0)
+
+    def test_unbounded_parent_passes_request_through(self):
+        clock = FakeClock()
+        parent = Budget(clock=clock)
+        child = parent.child(deadline=2.5, max_atoms=7, max_steps=4)
+        assert child.remaining() == pytest.approx(2.5)
+        assert child.max_atoms == 7 and child.max_steps == 4
+        # No deadline requested, none inherited.
+        assert parent.child().remaining() is None
+
+    def test_max_atoms_clamped(self):
+        parent = Budget(max_atoms=10)
+        assert parent.child(max_atoms=50).max_atoms == 10
+        assert parent.child(max_atoms=3).max_atoms == 3
+        assert parent.child().max_atoms == 10
+
+    def test_max_steps_clamped_to_unspent(self):
+        parent = Budget(max_steps=10)
+        for _ in range(4):
+            parent.check("trigger-fire")
+        child = parent.child(max_steps=100)
+        assert child.max_steps == 6  # 10 cap - 4 spent
+        assert parent.child(max_steps=2).max_steps == 2
+        assert parent.child().max_steps == 6
+
+    def test_child_trips_at_its_own_caps(self):
+        parent = Budget(max_steps=10)
+        child = parent.child(max_steps=2)
+        child.check("trigger-fire")
+        child.check("trigger-fire")
+        with pytest.raises(StepBudgetExceeded):
+            child.check("trigger-fire")
+        # The child's spend is its own; the parent is untouched.
+        parent.check("trigger-fire")
+
+    def test_hard_cap_binds_fresh_clock_children(self):
+        """fresh_clock ignores the parent's (soft) deadline but can never
+        escape the lineage's hard cap — the deadline-inheritance rule the
+        service's grace path relies on."""
+        clock = FakeClock()
+        root = Budget(deadline=10.0, clock=clock, hard=True)
+        clock.advance(8.0)
+        graced = root.child(deadline=30.0, fresh_clock=True)
+        assert graced.remaining() == pytest.approx(2.0)
+        # A soft root does not bind a fresh-clock child at all.
+        soft = Budget(deadline=10.0, clock=clock)
+        assert soft.child(
+            deadline=30.0, fresh_clock=True
+        ).remaining() == pytest.approx(30.0)
+
+    def test_hard_cap_propagates_to_grandchildren(self):
+        clock = FakeClock()
+        root = Budget(deadline=10.0, clock=clock, hard=True)
+        clock.advance(5.0)
+        mid = root.child(deadline=100.0)
+        clock.advance(3.0)
+        grand = mid.child(deadline=100.0, fresh_clock=True)
+        assert grand.remaining() == pytest.approx(2.0)
+
+    def test_injection_and_cancellation_not_inherited(self):
+        parent = Budget()
+        parent.inject(1, site="trigger-fire")
+        child = parent.child()
+        child.check("trigger-fire")  # no injected trip on the child
+        parent.cancel("stop")
+        fresh = Budget()
+        fresh.cancel("stop")
+        with pytest.raises(Cancelled):
+            fresh.check("trigger-fire")
+        child.check("trigger-fire")  # parent cancel does not cascade
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Budget().child(deadline=-1.0)
+
+    def test_grace_clamped_under_hard_lineage(self):
+        """grace() after a trip cannot exceed the request's hard cap."""
+        clock = FakeClock()
+        root = Budget(deadline=1.0, clock=clock, hard=True)
+        clock.advance(0.9)
+        g = root.grace(10.0)
+        assert g.remaining() == pytest.approx(0.1)
+        assert g.max_atoms is None and g.max_steps is None

@@ -1,0 +1,186 @@
+"""Circuit-breaker tests — the acceptance criterion's dedicated module.
+
+Unit level: the three-state machine (closed / open / half-open) under a
+fake clock, the single-probe discipline, and the board's exemption of the
+chase fallback.  Service level: a backend that keeps tripping budgets
+opens its breaker (explicit requests fail fast with Retry-After, ``auto``
+reroutes to the sound chase fallback), and a successful half-open probe
+after the cooldown closes it again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import OMQ, parse_database, parse_tgds, parse_ucq
+from repro.omq.evaluation import OMQAnswer
+from repro.serve import QueryService, ServiceConfig
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+
+TGDS = parse_tgds(["Emp(x) -> Person(x)"])
+DB = parse_database("Emp(ada)")
+OMQ_PERSON = OMQ.with_full_data_schema(list(TGDS), parse_ucq("q(x) :- Person(x)"))
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker unit behaviour
+# ----------------------------------------------------------------------
+def test_breaker_opens_after_consecutive_failures():
+    clock = FakeClock()
+    b = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+    assert b.state == "closed" and b.allow()
+    b.record(False)
+    b.record(False)
+    assert b.state == "closed" and b.allow()  # below threshold
+    b.record(False)
+    assert b.state == "open" and b.opens == 1
+    assert not b.allow()
+    assert b.retry_after() == pytest.approx(5.0)
+    clock.advance(2.0)
+    assert b.retry_after() == pytest.approx(3.0)
+
+
+def test_breaker_success_resets_consecutive_counter():
+    b = CircuitBreaker(threshold=2, cooldown=1.0, clock=FakeClock())
+    b.record(False)
+    b.record(True)  # success wipes the streak
+    b.record(False)
+    assert b.state == "closed"
+    b.record(False)
+    assert b.state == "open"
+
+
+def test_breaker_half_open_single_probe_then_close():
+    clock = FakeClock()
+    b = CircuitBreaker(threshold=1, cooldown=2.0, clock=clock)
+    b.record(False)
+    assert b.state == "open" and not b.allow()
+    clock.advance(2.0)
+    assert b.allow()  # the probe
+    assert b.state == "half-open"
+    assert not b.allow()  # only one probe in flight
+    b.record(True)
+    assert b.state == "closed" and b.allow()
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    clock = FakeClock()
+    b = CircuitBreaker(threshold=1, cooldown=2.0, clock=clock)
+    b.record(False)
+    clock.advance(2.0)
+    assert b.allow()
+    b.record(False)  # probe failed
+    assert b.state == "open" and b.opens == 2
+    assert not b.allow()  # cooldown restarted
+    clock.advance(2.0)
+    assert b.allow()
+
+
+def test_breaker_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=-1.0)
+
+
+# ----------------------------------------------------------------------
+# BreakerBoard
+# ----------------------------------------------------------------------
+def test_board_exempts_chase_and_isolates_keys():
+    clock = FakeClock()
+    board = BreakerBoard(threshold=1, cooldown=5.0, clock=clock)
+    # Chase is the sound fallback: always allowed, failures never recorded.
+    board.record("acme", "chase", ok=False)
+    assert board.allow("acme", "chase")
+    assert board.state("acme", "chase") == "closed"
+    # Each (tenant, backend) pair is an independent breaker.
+    board.record("acme", "datalog", ok=False)
+    assert board.state("acme", "datalog") == "open"
+    assert not board.allow("acme", "datalog")
+    assert board.allow("acme", "sql")
+    assert board.allow("globex", "datalog")
+    snap = board.snapshot()
+    assert snap["acme"]["datalog"] == "open"
+
+
+# ----------------------------------------------------------------------
+# Service integration: open on trips, reroute auto, recover via probe
+# ----------------------------------------------------------------------
+def test_service_breaker_opens_and_recovers():
+    """Consecutive budget trips on an explicit backend open its breaker;
+    while open, explicit requests fail fast and ``auto`` reroutes to the
+    chase; after the cooldown one successful probe restores the backend."""
+    tripping = {"on": True}
+
+    def evaluator(req, engine, budget):
+        if tripping["on"]:
+            return OMQAnswer(
+                answers=set(),
+                complete=False,
+                strategy="test",
+                trip="step budget",
+            )
+        return OMQAnswer(
+            answers={("ada",)}, complete=True, strategy="test"
+        )
+
+    async def go():
+        cfg = ServiceConfig(
+            deadline=2.0,
+            breaker_threshold=2,
+            breaker_cooldown=0.2,
+            watchdog_interval=0.02,
+            watchdog_grace=0.3,
+        )
+        async with QueryService(cfg) as svc:
+            svc.register("t", TGDS)
+            # Two consecutive trips hit the threshold.
+            for _ in range(2):
+                resp = await svc.submit(
+                    "t", OMQ_PERSON, DB, backend="datalog", _evaluator=evaluator
+                )
+                assert resp.status == "degraded" and resp.trip is not None
+            assert svc.breakers.state("t", "datalog") == "open"
+
+            # Explicit requests for the broken backend fail fast.
+            resp = await svc.submit(
+                "t", OMQ_PERSON, DB, backend="datalog", _evaluator=evaluator
+            )
+            assert resp.status == "rejected"
+            assert "circuit open" in resp.detail
+            assert resp.retry_after is not None and resp.retry_after > 0
+
+            # auto requests reroute to the sound chase fallback and the
+            # real evaluation still answers completely.
+            resp = await svc.submit("t", OMQ_PERSON, DB, backend="auto")
+            assert resp.status == "ok" and resp.complete
+            assert resp.backend == "chase"
+
+            # After the cooldown the next explicit request is the
+            # half-open probe; it succeeds and closes the breaker.
+            tripping["on"] = False
+            await asyncio.sleep(0.25)
+            resp = await svc.submit(
+                "t", OMQ_PERSON, DB, backend="datalog", _evaluator=evaluator
+            )
+            assert resp.status == "ok"
+            assert svc.breakers.state("t", "datalog") == "closed"
+            resp = await svc.submit(
+                "t", OMQ_PERSON, DB, backend="datalog", _evaluator=evaluator
+            )
+            assert resp.status == "ok"
+
+    asyncio.run(go())

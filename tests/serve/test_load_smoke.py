@@ -1,0 +1,72 @@
+"""Seeded load-test smoke: a reduced run of the full load harness.
+
+The benchmark (``benchmarks/bench_e23_service.py``) drives >= 1000
+concurrent clients; CI and local test runs use this smoke at a fixed
+seed and reduced count so the invariants — zero unsound answers, zero
+dishonest completeness claims, zero hung clients, p99 within the
+deadline-plus-grace envelope — are exercised on every run in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.serve import ServiceConfig
+from repro.serve.loadgen import build_workload, run_load
+
+SEED = 7
+REQUESTS = 80
+
+
+def test_load_smoke_invariants():
+    cfg = ServiceConfig(
+        deadline=1.0,
+        max_workers=8,
+        soft_queue=48,
+        hard_queue=96,
+        watchdog_interval=0.05,
+        watchdog_grace=0.5,
+    )
+    report = run_load(
+        REQUESTS,
+        seed=SEED,
+        config=cfg,
+        adversarial_fraction=0.1,
+        ramp=1.0,
+        retries=2,
+    )
+    # The hard invariants: soundness, honesty, liveness.
+    assert not report.unsound, f"unsound degraded answers: {report.unsound}"
+    assert not report.dishonest, f"dishonest completions: {report.dishonest}"
+    assert report.hung == 0, "a client never got a response"
+    assert report.ok, report.as_dict()
+    # Every request resolved to a known outcome.
+    assert sum(report.outcomes.values()) >= REQUESTS
+    # Latency envelope: p99 within deadline + watchdog grace + slack.
+    assert report.p99 <= cfg.deadline + cfg.watchdog_grace + 1.0
+    assert report.p50 <= report.p99
+    # The service answered real work (not 100% shed).
+    assert report.answered > REQUESTS // 2
+    assert report.answers_per_second > 0
+
+
+def test_load_report_is_serialisable_and_seeded():
+    report = run_load(30, seed=3, ramp=0.5, retries=1)
+    d = report.as_dict()
+    assert d["seed"] == 3
+    assert d["requests"] == 30
+    assert set(d["outcomes"]) <= {
+        "ok",
+        "degraded",
+        "rejected",
+        "error",
+        "killed",
+    }
+    assert "healthz" in d and d["healthz"]["requests"]
+
+
+def test_build_workload_is_deterministic():
+    tenants_a, templates_a = build_workload(11)
+    tenants_b, templates_b = build_workload(11)
+    assert set(tenants_a) == set(tenants_b) == {"acme", "globex", "initech"}
+    assert [t.name for t in templates_a] == [t.name for t in templates_b]
+    assert any(t.adversarial for t in templates_a)
+    assert sum(1 for t in templates_a if not t.adversarial) >= 5

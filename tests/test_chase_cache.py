@@ -305,3 +305,164 @@ class TestEngineCaching:
         assert engine.cache is None
         answer = engine.certain_answers(parse_ucq("q(x) :- Person(x)"), db)
         assert answer.complete
+
+
+# ----------------------------------------------------------------------
+# Concurrency, spill tier, per-tenant accounting (service-era additions)
+# ----------------------------------------------------------------------
+FULL_TGDS_TEXT = ["E(x, y) -> P(x)", "P(x) -> Q(x)", "E(x, y), E(y, z) -> E(x, z)"]
+
+
+def _full_tgds():
+    from repro import parse_tgds
+
+    return parse_tgds(FULL_TGDS_TEXT)
+
+
+def _distinct_dbs(n):
+    """n databases over pairwise-distinct constants (distinct cache keys)."""
+    return [
+        parse_database(f"E(a{i}, b{i}), E(b{i}, c{i})") for i in range(n)
+    ]
+
+
+class TestConcurrentAccess:
+    def test_mixed_hit_miss_evict_under_threads(self):
+        """8 threads hammer a 4-entry cache with 12 distinct keys: every
+        returned result is a correct full chase, the LRU bound holds
+        throughout, and the counters reconcile with the access count."""
+        import threading
+
+        tgds = _full_tgds()
+        dbs = _distinct_dbs(12)
+        oracles = [
+            sorted(str(a) for a in chase(db, tgds).instance) for db in dbs
+        ]
+        cache = ChaseCache(max_entries=4)
+        errors = []
+        accesses_per_thread = 30
+
+        def worker(seed):
+            import random
+
+            rng = random.Random(seed)
+            for _ in range(accesses_per_thread):
+                i = rng.randrange(len(dbs))
+                result = cache.chase(dbs[i], tgds)
+                got = sorted(str(a) for a in result.instance)
+                if not result.terminated:
+                    errors.append(f"db{i}: not terminated")
+                elif got != oracles[i]:
+                    errors.append(f"db{i}: stale or wrong entry")
+                if len(cache) > 4:
+                    errors.append("LRU bound violated")
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:5]
+        info = cache.info()
+        assert info["entries"] <= 4
+        assert info["evictions"] > 0  # 12 keys through 4 slots
+        assert info["hits"] > 0
+        assert info["misses"] >= len(dbs)
+        total = 8 * accesses_per_thread
+        served = info["hits"] + info["misses"] + info["extensions"] + info["spill_hits"]
+        assert served == total
+
+    def test_concurrent_access_through_scoped_views(self):
+        """Tenant views over one shared cache stay consistent under
+        concurrent load and attribute outcomes to the right tenant."""
+        import threading
+
+        tgds = _full_tgds()
+        dbs = _distinct_dbs(4)
+        oracles = [
+            sorted(str(a) for a in chase(db, tgds).instance) for db in dbs
+        ]
+        cache = ChaseCache(max_entries=16)
+        views = [cache.scoped(name) for name in ("acme", "globex", "initech")]
+        errors = []
+
+        def worker(view, seed):
+            import random
+
+            rng = random.Random(seed)
+            for _ in range(25):
+                i = rng.randrange(len(dbs))
+                result = view.chase(dbs[i], tgds)
+                if sorted(str(a) for a in result.instance) != oracles[i]:
+                    errors.append("wrong result via view")
+
+        threads = [
+            threading.Thread(target=worker, args=(v, s))
+            for s, v in enumerate(views * 2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:5]
+        info = cache.info()
+        # Entries are shared (4 keys, not 4 per tenant) ...
+        assert info["entries"] == 4 and info["misses"] == 4
+        # ... while outcomes are attributed per tenant.
+        assert set(info["tenants"]) == {"acme", "globex", "initech"}
+        per_tenant = sum(
+            sum(c.values()) for c in info["tenants"].values()
+        )
+        assert per_tenant == 6 * 25
+
+
+class TestSpillTier:
+    def test_eviction_spills_and_spill_hit_restores(self, tmp_path):
+        """With a spill_dir, LRU eviction writes the fixpoint checkpoint
+        to disk; a later request for that key resumes from the spill file
+        instead of re-chasing from scratch."""
+        tgds = _full_tgds()
+        dbs = _distinct_dbs(4)
+        cache = ChaseCache(max_entries=2, spill_dir=tmp_path)
+        oracle0 = sorted(str(a) for a in chase(dbs[0], tgds).instance)
+        for db in dbs:  # fills 2 slots, evicting (and spilling) the rest
+            cache.chase(db, tgds)
+        info = cache.info()
+        assert info["evictions"] >= 2 and info["spills"] >= 2
+        assert info["spilled"] >= 2
+        assert list(tmp_path.glob("*.spill.json")), "no spill files on disk"
+        # dbs[0] was evicted first: this access must come from the spill.
+        result = cache.chase(dbs[0], tgds)
+        assert sorted(str(a) for a in result.instance) == oracle0
+        assert cache.info()["spill_hits"] >= 1
+
+    def test_no_spill_dir_means_plain_eviction(self):
+        tgds = _full_tgds()
+        dbs = _distinct_dbs(3)
+        cache = ChaseCache(max_entries=2)
+        for db in dbs:
+            cache.chase(db, tgds)
+        info = cache.info()
+        assert info["evictions"] >= 1 and info["spills"] == 0
+
+
+class TestTenantViews:
+    def test_scoped_view_shares_entries_and_splits_accounting(self):
+        tgds = _full_tgds()
+        db = _distinct_dbs(1)[0]
+        cache = ChaseCache(max_entries=8)
+        a = cache.scoped("a")
+        b = cache.scoped("b")
+        first = a.chase(db, tgds)
+        second = b.chase(db, tgds)
+        assert first is second  # cross-tenant sharing: the same object
+        info = cache.info()
+        assert info["tenants"]["a"]["misses"] == 1
+        assert info["tenants"]["b"]["hits"] == 1
+
+    def test_view_rescopes_and_delegates(self):
+        cache = ChaseCache(max_entries=8)
+        view = cache.scoped("a").scoped("c")
+        assert view.tenant == "c"
+        assert len(view) == 0
+        assert view.info()["entries"] == 0
