@@ -4,16 +4,18 @@ Claim: a budget-tripped chase is not lost work — the level-boundary
 `ChaseCheckpoint` it carries resumes (even after a JSON round-trip, i.e.
 from another process) in the time the *remaining* levels cost, while a
 restart pays for the whole chase again.
-Measured: on a join-chain workload (``R_i(x,y), S(y,z) → R_{i+1}(x,z)``
-with ``S`` a cycle — uniform level costs with real two-atom joins, so
-"75% done" means 75% of the work, and the work dwarfs the checkpoint's
-instance-rebuild overhead), wall time of a full restart vs a resume from
+Measured: on a join-chain workload (``R_i(x,y), S(y,z), T(y,u) →
+R_{i+1}(x,z)`` with ``S`` a cycle and ``T`` a FANOUT-wide side relation —
+uniform level costs with real three-atom joins whose fan-out makes
+trigger *search*, the cost resume skips, dominate the per-atom instance
+rebuild resume must repay), wall time of a full restart vs a resume from
 a checkpoint taken at ~75% of the firings — the resume leg includes
-deserializing the checkpoint from its wire bytes — plus the checkpoint's
-serialized size.  A final existential rule keeps null replay in the
-measured path, and bit-identical final instances are asserted throughout
-(the resumed run replays the very same nulls).  Results are dumped to
-``BENCH_resume.json`` in the repo root for the CI trajectory.
+deserializing the checkpoint from its wire bytes, and both legs run
+governed (a fresh ``Budget()``), since a production re-run after a trip
+would be governed too.  A final existential rule keeps null replay in
+the measured path, and bit-identical final instances are asserted
+throughout (the resumed run replays the very same nulls).  Results are
+dumped to ``BENCH_resume.json`` in the repo root for the CI trajectory.
 """
 
 import json
@@ -33,6 +35,12 @@ from repro.tgds import parse_tgds
 #: R_i fact against the S cycle, firing exactly one R_{i+1} per fact, so
 #: level costs are uniform and the trip fraction equals the work fraction.
 SIZES = ((12, 40, 75), (18, 50, 110), (24, 50, 150))
+#: T tuples per cycle node.  All FANOUT candidates of an R_i fact share
+#: one frontier image, so only one fires — the fan-out multiplies the
+#: *search* cost per firing (what a resume skips) without growing the
+#: instance (what a resume must rebuild), the regime of any workload
+#: whose joins do real work.
+FANOUT = 8
 TRIP_FRACTION = 0.75
 NULL_BASE = 10_000
 REPEATS = 3
@@ -41,13 +49,21 @@ JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_resume.json"
 
 def _workload(depth: int, cycle: int, n_facts: int):
     tgds = parse_tgds(
-        [f"R{i}(x, y), S(y, z) -> R{i+1}(x, z)" for i in range(depth)]
+        [
+            f"R{i}(x, y), S(y, z), T(y, u) -> R{i+1}(x, z)"
+            for i in range(depth)
+        ]
         # One existential at the end of the chain: the resumed leg must
         # also replay null invention bit-identically.
         + [f"R{depth}(x, y) -> W(x, w)"]
     )
     db = Instance(
         [Atom("S", (f"c{j}", f"c{(j + 1) % cycle}")) for j in range(cycle)]
+        + [
+            Atom("T", (f"c{j}", f"t{j}_{m}"))
+            for j in range(cycle)
+            for m in range(FANOUT)
+        ]
         + [Atom("R0", (f"a{i}", f"c{i % cycle}")) for i in range(n_facts)]
     )
     return db, tgds
@@ -86,8 +102,10 @@ def run(sizes=SIZES) -> list[dict]:
         db, tgds = _workload(depth, cycle, n_facts)
 
         def _restart(db=db, tgds=tgds):
+            # Governed like the resume leg (a re-run after a trip would
+            # be), so neither side gets a free ride on check overhead.
             set_null_counter(NULL_BASE)
-            return chase(db, tgds)
+            return chase(db, tgds, budget=Budget())
 
         full, restart_s = _best_of(REPEATS, _restart)
         wire = _tripped_wire(db, tgds, full.fired)
@@ -138,14 +156,17 @@ def run(sizes=SIZES) -> list[dict]:
             {
                 "experiment": "E21 checkpoint/resume vs restart",
                 "workload": (
-                    "join chain R_i(x,y), S(y,z) -> R_{i+1}(x,z) over an "
-                    "S-cycle, existential tail rule"
+                    "join chain R_i(x,y), S(y,z), T(y,u) -> R_{i+1}(x,z) "
+                    f"over an S-cycle with a {FANOUT}-wide T fan-out, "
+                    "existential tail rule"
                 ),
                 "trip_fraction": TRIP_FRACTION,
+                "fanout": FANOUT,
                 "note": (
                     "resume timing includes json.loads + checkpoint "
                     "rebuild, i.e. the full resume-in-another-process "
-                    "path; restart is the uninterrupted chase"
+                    "path; restart is the uninterrupted chase; both "
+                    "legs run under a fresh Budget()"
                 ),
                 "rows": json_rows,
             },
@@ -161,7 +182,7 @@ def test_e21_restart(benchmark):
 
     def _restart():
         set_null_counter(NULL_BASE)
-        return chase(db, tgds)
+        return chase(db, tgds, budget=Budget())
 
     benchmark(_restart)
 

@@ -85,6 +85,7 @@ from .chase import (
     saturated_expansion,
 )
 from .governance import Budget, BudgetExceeded, ChaseCheckpoint, CheckpointError
+from .options import EvalOptions, Parallelism, ProcessPool, ThreadPool
 from .treewidth import cq_treewidth, in_cq_k, in_ucq_k, ucq_treewidth
 from .omq import OMQ, OMQAnswer, certain_answers, evaluate_fpt, is_certain_answer
 from .cqs import CQS, is_uniformly_ucq_k_equivalent, ucq_k_approximation
@@ -110,14 +111,18 @@ __all__ = [
     "DatalogProgram",
     "DatalogRule",
     "Engine",
+    "EvalOptions",
     "EvalStats",
     "Instance",
     "JoinPlan",
     "Null",
     "OMQ",
     "OMQAnswer",
+    "Parallelism",
+    "ProcessPool",
     "Schema",
     "TGD",
+    "ThreadPool",
     "UCQ",
     "__version__",
     "certain_answers",

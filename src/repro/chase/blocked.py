@@ -151,16 +151,45 @@ class TypeTable:
         self.budget = budget
         #: canonical key -> set of atoms over canonical elements (growing).
         self.table: dict[tuple, set[Atom]] = {}
+        #: Monotone growth counter: bumped whenever any table entry gains
+        #: an atom (or a new entry appears).  ``closure()`` is a pure
+        #: function of (elements, atoms, table state), so callers may skip
+        #: a re-query whose inputs and version both match a previous call.
+        self.version = 0
         #: child key -> parent keys that import from it.
         self._parents: dict[tuple, set[tuple]] = {}
         self._worklist: list[tuple] = []
         self._queued: set[tuple] = set()
+        #: key -> triggers already fired there (persistent across
+        #: reprocesses: a configuration's atoms only grow, so a fired
+        #: trigger never needs to fire again — its import effects are
+        #: replayed through ``_links`` instead).
+        self._seen: dict[tuple, set[tuple]] = {}
+        #: key -> [(child key, from_canonical, shared elements)] — the
+        #: import edges established by fired triggers, replayed cheaply
+        #: when a child entry grows.
+        self._links: dict[tuple, list[tuple]] = {}
+        self._linkset: dict[tuple, set] = {}
+        #: key -> entry size at the last trigger enumeration; unchanged
+        #: size means enumeration would find exactly the seen triggers.
+        self._enumerated_at: dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def closure(self, elements: Iterable[Term], atoms: Iterable[Atom]) -> set[Atom]:
         """The completed type, expressed over the caller's own elements."""
+        return self._closure(elements, atoms)[1]
+
+    def _closure(
+        self, elements: Iterable[Term], atoms: Iterable[Atom]
+    ) -> tuple[tuple, set[Atom]]:
+        """closure() plus the canonical table key the bag resolved to.
+
+        The key lets callers (``ground_saturation``) watch the bag's table
+        entry for growth and skip re-querying an unchanged bag without
+        paying :func:`canonical_config` again.
+        """
         elements = list(dict.fromkeys(elements))
         atoms = set(atoms)
         for atom in atoms:
@@ -169,7 +198,7 @@ class TypeTable:
         key, to_canonical, from_canonical = canonical_config(elements, atoms)
         self._ensure(key, atoms, to_canonical)
         self._run()
-        return {a.apply(from_canonical) for a in self.table[key]}
+        return key, {a.apply(from_canonical) for a in self.table[key]}
 
     # ------------------------------------------------------------------
     # Worklist machinery
@@ -182,12 +211,14 @@ class TypeTable:
             canonical = {a.apply(to_canonical) for a in local_atoms}
             if not canonical <= self.table[key]:
                 self.table[key] |= canonical
+                self.version += 1
                 self._enqueue(key)
                 for parent in self._parents.get(key, ()):
                     self._enqueue(parent)
             return
         canonical = {a.apply(to_canonical) for a in local_atoms}
         self.table[key] = set(canonical)
+        self.version += 1
         self._enqueue(key)
 
     def _enqueue(self, key: tuple) -> None:
@@ -210,35 +241,66 @@ class TypeTable:
 
     def _process(self, key: tuple) -> None:
         atoms = self.table[key]
+        grew = False
+        # Replay recorded imports first — the cheap part of re-firing a
+        # trigger whose child configuration has grown since.
+        for child_key, from_canonical, shared in self._links.get(key, ()):
+            entry = self.table.get(child_key)
+            if not entry:
+                continue
+            for child_atom in list(entry):
+                local = child_atom.apply(from_canonical)
+                if set(local.args) <= shared and local not in atoms:
+                    atoms.add(local)
+                    grew = True
+        if grew:
+            self.version += 1
+        # Re-enumerate triggers only when the configuration gained atoms
+        # since the last enumeration: an unchanged atom set would yield
+        # exactly the already-seen triggers again.
+        if len(atoms) != self._enumerated_at.get(key):
+            grew = self._enumerate(key, atoms) or grew
+        if grew:
+            self._enqueue(key)
+            for parent in self._parents.get(key, ()):
+                self._enqueue(parent)
+
+    def _enumerate(self, key: tuple, atoms: set[Atom]) -> bool:
+        # Size recorded at entry: growth during enumeration (head atoms,
+        # imports) re-triggers enumeration on the next _process pass.
+        self._enumerated_at[key] = len(atoms)
         instance = Instance(atoms)
         elements = {t for a in atoms for t in a.args}
+        seen_triggers = self._seen.setdefault(key, set())
         grew = False
         for tgd_index, tgd in enumerate(self.tgds):
             if not tgd.body:
                 continue
-            seen_triggers: set[tuple] = set()
             frontier_order = sorted(tgd.frontier(), key=lambda v: v.name)
             for hom in find_homomorphisms(
                 tgd.body,
                 instance,
                 stats=self.stats,
                 budget=self.budget,
-                plan="auto",
+                # Dynamic ordering: configurations are tiny (a handful of
+                # atoms), so compiling plans per instance version costs
+                # more than it saves.
+                plan=None,
             ):
                 self.stats.triggers_enumerated += 1
                 trigger = (tgd_index, tuple(hom[v] for v in frontier_order))
                 if trigger in seen_triggers:
                     self.stats.triggers_deduped += 1
                     continue
-                seen_triggers.add(trigger)
                 if self.budget is not None:
+                    # Checked before the trigger is marked seen: a trip
+                    # must leave it unfired AND unseen, or a resumed table
+                    # would skip it forever.
                     self.budget.check("type-table")
+                seen_triggers.add(trigger)
                 self.stats.triggers_fired += 1
                 grew |= self._apply(key, atoms, elements, tgd, hom)
-        if grew:
-            self._enqueue(key)
-            for parent in self._parents.get(key, ()):
-                self._enqueue(parent)
+        return grew
 
     def _apply(
         self,
@@ -263,6 +325,8 @@ class TypeTable:
 
         child_elements = {t for a in head_atoms for t in a.args}
         if not (child_elements - elements):
+            if grew:
+                self.version += 1
             return grew
 
         inherited = {
@@ -276,12 +340,24 @@ class TypeTable:
         self._parents.setdefault(child_key, set()).add(key)
 
         shared = child_elements & elements
+        # Record the import edge so later child growth replays it without
+        # re-firing the trigger (distinct triggers can reach the same child
+        # under different mappings, hence the marker dedupe).
+        marker = (child_key, frozenset(from_canonical.items()), frozenset(shared))
+        markers = self._linkset.setdefault(key, set())
+        if marker not in markers:
+            markers.add(marker)
+            self._links.setdefault(key, []).append(
+                (child_key, from_canonical, shared)
+            )
         # list(): the child may be this very configuration (self-loop).
         for child_atom in list(self.table[child_key]):
             local = child_atom.apply(from_canonical)
             if set(local.args) <= shared and local not in atoms:
                 atoms.add(local)
                 grew = True
+        if grew:
+            self.version += 1
         return grew
 
 
@@ -335,17 +411,51 @@ def ground_saturation(
                 ground.add(atom)
 
     try:
+        # bag -> (local atoms after the fold, canonical key, entry size).
+        # closure(bag, local) is exactly the bag's table entry mapped back,
+        # so a bag whose local atoms are unchanged and whose entry has not
+        # grown since its last fold contributes nothing new and is skipped
+        # — the fixpoint rounds then only pay for bags that changed.  The
+        # loop also watches table.version: a round that grew the table (a
+        # recompute may enlarge entries of bags already folded earlier in
+        # the same round) gets a follow-up round even when no ground atom
+        # appeared, so a late entry growth is never left unfolded.
+        folded: dict[frozenset, tuple[frozenset, tuple, int]] = {}
         changed = True
         while changed:
             changed = False
+            round_version = table.version
+            by_elem: dict[Term, list[Atom]] = {}
+            for atom in ground:
+                for term in set(atom.args):
+                    by_elem.setdefault(term, []).append(atom)
             bags = {frozenset(atom.args) for atom in ground}
             for bag in sorted(bags, key=lambda b: sorted(map(repr, b))):
-                local = [a for a in ground if set(a.args) <= bag]
-                closure = table.closure(tuple(sorted(bag, key=repr)), local)
+                local = frozenset(
+                    a
+                    for term in bag
+                    for a in by_elem[term]
+                    if set(a.args) <= bag
+                )
+                cached = folded.get(bag)
+                if cached is not None and cached[0] == local:
+                    entry = table.table.get(cached[1])
+                    if entry is not None and len(entry) == cached[2]:
+                        continue
+                key, closure = table._closure(
+                    tuple(sorted(bag, key=repr)), local
+                )
+                folded[bag] = (
+                    local | frozenset(closure),
+                    key,
+                    len(table.table[key]),
+                )
                 for atom in closure:
                     if atom not in ground:
                         ground.add(atom)
                         changed = True
+            if table.version != round_version:
+                changed = True
     except BudgetExceeded as exc:
         # Every atom already in `ground` is sound (it occurs in the chase);
         # only completeness is lost.  D⁺-exactness is this function's

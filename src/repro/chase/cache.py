@@ -67,6 +67,7 @@ from typing import Sequence
 
 from ..datamodel import EvalStats, Instance
 from ..datamodel.terms import null_counter_value
+from ..options import Parallelism
 from ..governance import Budget
 from ..governance.checkpoint import ChaseCheckpoint
 from ..tgds import TGD
@@ -145,7 +146,7 @@ class ChaseCache:
         strategy: str = "delta",
         stats: EvalStats | None = None,
         budget: Budget | None = None,
-        parallelism: int | None = 1,
+        parallelism: "Parallelism" = None,
         tenant: str | None = None,
     ) -> ChaseResult:
         """``chase(D, Σ)`` through the cache.
@@ -370,7 +371,12 @@ class ChaseCache:
             db_size=sum(1 for _, level in ordered if level == 0),
             stats=result.stats.copy(),
             trip=None,
-            config={"parallelism": result.parallelism},
+            config={
+                "parallelism": {
+                    "kind": result.parallelism_kind,
+                    "workers": result.parallelism,
+                }
+            },
         )
 
     # ------------------------------------------------------------------

@@ -40,23 +40,36 @@ Parallel trigger firing
 
 Each level's candidate triggers are materialised *before* any firing, so
 the trigger search of a level runs against a frozen instance — an
-embarrassingly parallel unit.  With ``parallelism=N`` (N > 1, or ``None``
-for the CPU count) the TGD list is sharded round-robin across a
-:class:`~concurrent.futures.ThreadPoolExecutor`; each worker enumerates
-its shard's triggers into a private candidate list with a private
-:class:`EvalStats`, and the coordinating thread merges the shards back
-into the *serial enumeration order* (a stable sort on the TGD index — each
-TGD lives in exactly one shard, so within-TGD order is preserved) before
-the usual fired-key dedupe and firing.  Consequences:
+embarrassingly parallel unit.  ``parallelism=`` takes a marker from
+:mod:`repro.options`: with :class:`~repro.options.ProcessPool` (the CLI
+default for ``--parallelism N > 1``) the TGD list is sharded round-robin
+across long-lived worker *processes* that hold interned replicas of the
+instance — each level ships only the intern-pool delta and the new atoms
+as ``[pred_id, [term_id, …]]`` buffers over the :mod:`repro.datamodel.io`
+codec, and workers return compact candidate buffers; with
+:class:`~repro.options.ThreadPool` the same sharding runs on a
+:class:`~concurrent.futures.ThreadPoolExecutor` in-process.  Either way
+each worker enumerates its shard's triggers into a private candidate list
+with private :class:`EvalStats`, and the coordinator merges the shards
+back into the *serial enumeration order* (a stable sort on the TGD index —
+each TGD lives in exactly one shard, so within-TGD order is preserved)
+before the usual fired-key dedupe and firing.  Consequences:
 
-* firing, null invention, and level assignment stay on one thread, in the
-  same order the serial engine would use — parallel and serial runs
-  produce identical level maps and isomorphic instances (asserted by
-  ``tests/oracle/test_parallel_determinism.py``);
+* firing, null invention, and level assignment stay on the coordinator,
+  in the same order the serial engine would use — parallel and serial
+  runs produce *bit-identical* instances, level maps, and counters
+  (asserted by ``tests/oracle/test_parallel_determinism.py`` and
+  ``tests/oracle/test_process_parallelism.py``);
 * a shared :class:`~repro.governance.Budget` is checked from worker
-  threads; its counters are lock-protected (see
-  :mod:`repro.governance.budget`), and a trip in any worker aborts the
-  level before a single trigger of that level fires;
+  threads (its counters are lock-protected, see
+  :mod:`repro.governance.budget`); process workers instead count site
+  checks locally and the coordinator *replays* the counts via
+  ``Budget.check_batch`` in shard order, so trips and injected faults
+  land deterministically there too — either way a trip aborts the level
+  before a single trigger of that level fires;
+* a process worker that dies outright is respawned transparently at the
+  next level, its shard's outcome folded into the retry-once policy
+  below;
 * small frontiers fall back to the serial search (``parallel_threshold``),
   so the pool is only consulted when a level has enough work to shard.
 
@@ -113,12 +126,12 @@ progress.
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from ..options import Parallelism, resolve_parallelism
 from ..datamodel import (
     Atom,
     EvalStats,
@@ -131,6 +144,7 @@ from ..datamodel import (
     set_null_counter,
     term_sort_key,
 )
+from ..datamodel.joins import compile_bodies, delta_triggers_interned
 from ..governance import Budget, BudgetExceeded
 from ..governance.checkpoint import ChaseCheckpoint, CheckpointError
 from ..tgds import TGD, all_full, is_weakly_acyclic
@@ -210,6 +224,8 @@ class ChaseResult:
         what :func:`extend_chase` needs to resume this run incrementally.
     parallelism:
         The worker count the run was configured with (1 = serial).
+    parallelism_kind:
+        How the workers ran: ``"serial"``, ``"thread"``, or ``"process"``.
     checkpoint:
         A :class:`~repro.governance.ChaseCheckpoint` for every incomplete
         run (budget trip or level/atom bound), ``None`` on a fixpoint —
@@ -227,6 +243,7 @@ class ChaseResult:
     stats: EvalStats = field(default_factory=EvalStats)
     fired_keys: frozenset = field(default_factory=frozenset)
     parallelism: int = 1
+    parallelism_kind: str = "serial"
     checkpoint: ChaseCheckpoint | None = None
 
     @property
@@ -292,8 +309,8 @@ def _body_orders(tgds: Sequence[TGD]) -> list[tuple[Variable, ...]]:
 
 
 def _candidate_sort(
-    candidates: list[tuple[int, TGD, dict[Term, Term]]],
-    body_orders: Sequence[tuple[Variable, ...]],
+    candidates: list[tuple[int, tuple[int, ...]]],
+    pool,
 ) -> None:
     """Sort a level's trigger candidates into canonical firing order.
 
@@ -305,14 +322,24 @@ def _candidate_sort(
     content-based term order before firing.  This is what makes chase
     results — and checkpoint resume — bit-identical across process
     boundaries regardless of ``PYTHONHASHSEED``.
+
+    Candidates are ``(tgd_index, ids)`` with the body image as term ids in
+    canonical body-variable order (see :mod:`repro.datamodel.joins`), so
+    the sort key is the image mapped through *pool* into the content-based
+    term order.
     """
+    # One key computation per distinct term, then integer ranks: the sort
+    # compares small int tuples instead of nested term_sort_key tuples
+    # (whose repr() building would be the sort's cost).  Ranks respect the
+    # content-based order, so the result is the same sort.
+    term_of = pool.term_of
+    distinct = {tid for _, ids in candidates for tid in ids}
+    ranked = sorted(distinct, key=lambda tid: term_sort_key(term_of(tid)))
+    rank = {tid: r for r, tid in enumerate(ranked)}.__getitem__
     candidates.sort(
         key=lambda candidate: (
             candidate[0],
-            tuple(
-                term_sort_key(candidate[2][v])
-                for v in body_orders[candidate[0]]
-            ),
+            tuple(map(rank, candidate[1])),
         )
     )
 
@@ -323,7 +350,7 @@ def _delta_triggers(
     delta: Instance,
     stats: EvalStats,
     budget: Budget | None = None,
-) -> Iterator[tuple[int, TGD, dict[Term, Term]]]:
+) -> Iterator[tuple[int, tuple[int, ...]]]:
     """Semi-naive trigger search: candidates seeded by the previous delta.
 
     *pairs* carries each TGD together with its global index (the parallel
@@ -339,11 +366,27 @@ def _delta_triggers(
     trigger is enumerated twice within a level; and since a delta atom
     belongs to exactly one level, no trigger is enumerated twice across
     levels either.
+
+    When instance and delta share an intern pool (the engine arranges
+    this), the search runs over dense int ids straight out of the columnar
+    store (:func:`repro.datamodel.joins.delta_triggers_interned`) — same
+    triggers, same counters, same budget-check sites, a fraction of the
+    per-fact cost.  The generic Term-level path below remains the fallback
+    (and the executable specification); both yield ``(tgd_index, ids)``
+    candidates with the body image interned into *instance*'s pool in
+    canonical body-variable order.
     """
+    if instance.pool is delta.pool:
+        yield from delta_triggers_interned(
+            pairs, compile_bodies(pairs), instance, delta, stats, budget
+        )
+        return
+    intern = instance.pool.intern
     by_pred = delta.atoms_by_pred()
     for tgd_index, tgd in pairs:
         if not tgd.body:
             continue
+        order = tuple(sorted(tgd.body_variables(), key=lambda v: v.name))
         for pivot_index, pivot in enumerate(tgd.body):
             facts = by_pred.get(pivot.pred)
             if not facts:
@@ -375,7 +418,7 @@ def _delta_triggers(
                         # will produce) this very trigger; count and skip.
                         stats.triggers_deduped += 1
                         continue
-                    yield tgd_index, tgd, hom
+                    yield tgd_index, tuple(intern(hom[v]) for v in order)
 
 
 def _naive_triggers(
@@ -383,30 +426,44 @@ def _naive_triggers(
     instance: Instance,
     stats: EvalStats,
     budget: Budget | None = None,
-) -> Iterator[tuple[int, TGD, dict[Term, Term]]]:
+) -> Iterator[tuple[int, tuple[int, ...]]]:
     """Naive trigger search: all body homomorphisms into the full instance.
 
     Deliberately does no delta bookkeeping — this is the oracle the
     differential suite compares the delta engine against.  The fired-key
-    cache downstream discards the (many) re-enumerated triggers.
+    cache downstream discards the (many) re-enumerated triggers.  Yields
+    the same ``(tgd_index, ids)`` candidate shape as the delta search.
     """
+    intern = instance.pool.intern
     for tgd_index, tgd in pairs:
         if not tgd.body:
             continue
+        order = tuple(sorted(tgd.body_variables(), key=lambda v: v.name))
         for hom in find_homomorphisms(
             tgd.body, instance, stats=stats, budget=budget, plan="auto"
         ):
             stats.triggers_enumerated += 1
-            yield tgd_index, tgd, hom
+            yield tgd_index, tuple(intern(hom[v]) for v in order)
 
 
-def _resolve_workers(parallelism: int | None) -> int:
-    """Normalise the ``parallelism=`` knob (None → CPU count, must be ≥ 1)."""
-    if parallelism is None:
-        return os.cpu_count() or 1
-    if parallelism < 1:
-        raise ValueError(f"parallelism must be >= 1 or None, got {parallelism}")
-    return parallelism
+def _parallelism_from_config(value) -> tuple[str, int]:
+    """The checkpointed ``config["parallelism"]`` entry back to (kind, workers).
+
+    Format-2 checkpoints store ``{"kind": ..., "workers": ...}``; the io
+    decoder shims format-1 ints into the same shape, but synthetic configs
+    (and very old in-memory checkpoints) may still carry a bare int, which
+    keeps its historical thread meaning — no deprecation warning here,
+    because nobody *typed* that int in the current release.
+    """
+    if isinstance(value, Mapping):
+        kind = value.get("kind", "serial")
+        workers = value.get("workers", 1)
+        if kind not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown parallelism kind {kind!r} in checkpoint")
+        return (kind, workers) if workers > 1 else ("serial", 1)
+    if value is None or value == 1:
+        return ("serial", 1)
+    return ("thread", int(value))
 
 
 def _collect_shard(
@@ -415,7 +472,7 @@ def _collect_shard(
     delta: Instance,
     strategy: str,
     budget: Budget | None,
-) -> tuple[list[tuple[int, TGD, dict[Term, Term]]], EvalStats]:
+) -> tuple[list[tuple[int, tuple[int, ...]]], EvalStats]:
     """Worker body: enumerate one shard's triggers with a private stats."""
     local = EvalStats()
     if strategy == "delta":
@@ -434,7 +491,7 @@ def _parallel_candidates(
     strategy: str,
     stats: EvalStats,
     budget: Budget | None,
-) -> list[tuple[int, TGD, dict[Term, Term]]]:
+) -> list[tuple[int, tuple[int, ...]]]:
     """Shard the level's trigger search across the pool and merge.
 
     The merge order is irrelevant: the caller sorts the level's candidates
@@ -463,7 +520,7 @@ def _parallel_candidates(
     ]
     stats.parallel_levels += 1
     stats.shards_dispatched += len(shards)
-    merged: list[tuple[int, TGD, dict[Term, Term]]] = []
+    merged: list[tuple[int, tuple[int, ...]]] = []
     budget_error: BudgetExceeded | None = None
     worker_error: ChaseWorkerError | None = None
     for future, shard in zip(futures, shards):
@@ -500,6 +557,114 @@ def _parallel_candidates(
     return merged
 
 
+def _process_candidates(
+    procpool,
+    atom_order: Sequence[Atom],
+    delta_order: Sequence[Atom],
+    instance: Instance,
+    delta: Instance,
+    strategy: str,
+    stats: EvalStats,
+    budget: Budget | None,
+) -> list[tuple[int, tuple[int, ...]]]:
+    """Run one level across the process pool and merge deterministically.
+
+    The same contract as :func:`_parallel_candidates`, with the budget
+    discipline inverted: process workers cannot check the shared
+    :class:`~repro.governance.Budget` live, so each returns its per-site
+    check counts and the coordinator *replays* them here via
+    :meth:`~repro.governance.Budget.check_batch` — in shard order, sites
+    sorted — before accepting the shard's candidates.  Deterministic
+    replay order means step budgets, cancellation, and chaos injections
+    trip on the same shard in every run, which is what keeps
+    ``resume(trip(run))`` bit-identical across process parallelism.
+
+    A shard whose replay raises a **non-budget** exception (the chaos
+    harness's injected worker crash) or whose process died outright is
+    retried once inline on the coordinator — against the real budget, like
+    the thread path — and a second failure aborts the level with
+    :class:`ChaseWorkerError`.  Budget trips from any shard take
+    precedence over worker errors, as in the thread merge.
+    """
+    outcomes = procpool.run_level(atom_order, delta_order, budget)
+    stats.parallel_levels += 1
+    stats.shards_dispatched += len(outcomes)
+    merged: list[tuple[int, tuple[int, ...]]] = []
+    budget_error: BudgetExceeded | None = None
+    worker_error: ChaseWorkerError | None = None
+
+    def replay(sites: Mapping[str, int]) -> None:
+        if budget is not None:
+            for site in sorted(sites):
+                budget.check_batch(site, sites[site])
+
+    def retry(shard: int, exc: BaseException) -> None:
+        nonlocal budget_error, worker_error
+        shard_pairs = procpool.shard_pairs(shard)
+        stats.worker_retries += 1
+        try:
+            candidates, local = _collect_shard(
+                shard_pairs, instance, delta, strategy, budget
+            )
+        except BudgetExceeded as retry_exc:
+            if budget_error is None:
+                budget_error = retry_exc
+        except Exception as retry_exc:
+            if worker_error is None:
+                worker_error = ChaseWorkerError(
+                    f"chase worker shard of {len(shard_pairs)} TGD(s) failed "
+                    f"twice: {exc!r}, then {retry_exc!r}"
+                )
+                worker_error.__cause__ = retry_exc
+        else:
+            stats.merge(local)
+            merged.extend(candidates)
+
+    for shard, outcome in enumerate(outcomes):
+        tag = outcome[0]
+        if tag == "ok":
+            payload = outcome[1]
+            try:
+                replay(payload["sites"])
+            except BudgetExceeded as exc:
+                if budget_error is None:
+                    budget_error = exc
+                continue
+            except Exception as exc:
+                # An injected worker-crash fault fired during replay: the
+                # shard's work is discarded and re-run inline, exactly as
+                # a thread worker death would be.
+                retry(shard, exc)
+                continue
+            stats.merge(procpool.decode_stats(payload["stats"]))
+            merged.extend(
+                (index, tuple(ids)) for index, ids in payload["candidates"]
+            )
+        elif tag == "trip":
+            payload = outcome[1]
+            try:
+                replay(payload["sites"])
+            except BudgetExceeded as exc:
+                if budget_error is None:
+                    budget_error = exc
+                continue
+            except Exception as exc:
+                retry(shard, exc)
+                continue
+            # The worker's local allowance expired but the shared budget
+            # has not tripped yet (clock skew within the check interval):
+            # re-run the shard against the real budget for an exact
+            # verdict rather than synthesising a trip.
+            retry(shard, RuntimeError("worker-local deadline expired"))
+        else:  # "died"
+            retry(shard, outcome[1])
+    if budget_error is not None:
+        raise budget_error
+    if worker_error is not None:
+        raise worker_error
+    return merged
+
+
 def _chase_core(
     *,
     tgds: list[TGD],
@@ -516,6 +681,7 @@ def _chase_core(
     strategy: str,
     stats: EvalStats,
     budget: Budget | None,
+    parallel_kind: str,
     workers: int,
     parallel_threshold: int,
     start_level: int = 0,
@@ -558,17 +724,50 @@ def _chase_core(
     body_orders = _body_orders(tgds)
     pairs = [(index, tgd) for index, tgd in enumerate(tgds) if tgd.body]
 
+    # Candidates are (tgd_index, ids) with the body image as term ids in
+    # canonical body order, and fired keys live as interned frontier images
+    # while the loop runs — checkpoints and the final result convert back
+    # to Terms, so the external fired-key format is unchanged.
+    pool = instance.pool
+    term_of = pool.term_of
+    fired_keys = {
+        (index, tuple(pool.intern(t) for t in image))
+        for index, image in fired_keys
+    }
+    # The frontier image of a candidate is a gather over its id tuple.
+    frontier_slots = [
+        tuple(body_orders[i].index(v) for v in frontiers[i])
+        for i in range(len(tgds))
+    ]
+    programs = compile_bodies(pairs)
+    # (pred id, slots) per body atom, resolved lazily at a TGD's first
+    # firing (its pred ids exist by then: the trigger matched stored rows);
+    # used to look the body image's rows — and hence its level — up
+    # without building Atom objects.
+    fire_specs: dict[int, tuple[tuple[int, tuple[int, ...]], ...]] = {}
+
     executor: ThreadPoolExecutor | None = None
-    if workers > 1 and len(pairs) >= 2:
+    procpool = None
+    sharded = workers > 1 and len(pairs) >= 2
+    if sharded and parallel_kind == "thread":
         executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="chase-shard"
+        )
+    elif sharded and parallel_kind == "process":
+        # The pool object is cheap; worker processes spawn lazily at the
+        # first level whose work crosses the parallel threshold.
+        from .procpool import ProcessShardPool
+
+        procpool = ProcessShardPool(
+            workers=workers, tgds=tgds, pairs=pairs, strategy=strategy,
+            pool=pool,
         )
 
     config = {
         "max_level": max_level,
         "max_atoms": max_atoms,
         "safety_cap": safety_cap,
-        "parallelism": workers,
+        "parallelism": {"kind": parallel_kind, "workers": workers},
         "parallel_threshold": parallel_threshold,
     }
 
@@ -601,7 +800,10 @@ def _chase_core(
             atoms=tuple(atom for atom, _ in items),
             levels=tuple(atom_level for _, atom_level in items),
             delta_atoms=tuple(delta_atoms),
-            fired_keys=frozenset(fired_keys.difference(undo_keys)),
+            fired_keys=frozenset(
+                (index, tuple(term_of(i) for i in image))
+                for index, image in fired_keys.difference(undo_keys)
+            ),
             empty_body_pending=empty_pending,
             original_dom=original_dom,
             next_level=next_level,
@@ -626,7 +828,7 @@ def _chase_core(
     # Per-level rollback marks, maintained only when a mid-level abort is
     # possible (budget trip or worker failure); ungoverned serial runs pay
     # nothing.
-    track_marks = budget is not None or executor is not None
+    track_marks = budget is not None or executor is not None or procpool is not None
     produced: list[Atom] = []
     level_keys: list = []
     null_mark = null_counter_value()
@@ -670,10 +872,16 @@ def _chase_core(
             # level instance anyway.  The frozen instance is also what makes
             # the sharded search safe: workers only read.
             frontier_size = len(delta) if strategy == "delta" else len(instance)
-            if (
-                executor is not None
+            dispatch = (
+                (executor is not None or procpool is not None)
                 and frontier_size * len(pairs) >= parallel_threshold
-            ):
+            )
+            if dispatch and procpool is not None:
+                candidates = _process_candidates(
+                    procpool, list(levels), delta_order, instance, delta,
+                    strategy, stats, budget,
+                )
+            elif dispatch:
                 candidates = _parallel_candidates(
                     executor, workers, pairs, instance, delta, strategy,
                     stats, budget,
@@ -684,10 +892,15 @@ def _chase_core(
                 )
             else:
                 candidates = list(_naive_triggers(pairs, instance, stats, budget))
-            _candidate_sort(candidates, body_orders)
+            _candidate_sort(candidates, pool)
 
-            for tgd_index, tgd, hom in candidates:
-                key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))
+            inst_tuples = instance._tuples
+            atom_rows = instance._atom_rows
+            for tgd_index, ids in candidates:
+                key = (
+                    tgd_index,
+                    tuple([ids[s] for s in frontier_slots[tgd_index]]),
+                )
                 if key in fired_keys:
                     stats.triggers_deduped += 1
                     continue
@@ -698,13 +911,29 @@ def _chase_core(
                     budget.check("trigger-fire", atoms=len(instance))
                 fired_keys.add(key)
                 level_keys.append(key)
-                body_level = max(levels[a.apply(hom)] for a in tgd.body)
+                tgd = tgds[tgd_index]
+                specs = fire_specs.get(tgd_index)
+                if specs is None:
+                    specs = fire_specs[tgd_index] = tuple(
+                        (pool.pred_id_of(pred), slots)
+                        for pred, slots in programs[tgd_index].specs
+                    )
+                body_level = 0
+                for pid, slots in specs:
+                    row = inst_tuples[pid][tuple([ids[s] for s in slots])][0]
+                    atom_level = levels[atom_rows[pid][row]]
+                    if atom_level > body_level:
+                        body_level = atom_level
+                hom = {
+                    v: term_of(i)
+                    for v, i in zip(frontiers[tgd_index], key[1])
+                }
                 emit(_fire(tgd, hom), body_level + 1, produced)
 
             stats.level_seconds[level] = time.perf_counter() - level_start
             if not produced:
                 break
-            delta = Instance(produced)
+            delta = Instance(produced, pool=instance.pool)
             delta_order = produced
             if max_atoms is not None and len(instance) >= max_atoms:
                 reason = "atom bound"
@@ -791,6 +1020,8 @@ def _chase_core(
     finally:
         if executor is not None:
             executor.shutdown(wait=True)
+        if procpool is not None:
+            procpool.stop()
 
     stats.wall_seconds += time.perf_counter() - run_start
     terminated = reason == "fixpoint"
@@ -805,8 +1036,12 @@ def _chase_core(
         original_dom=original_dom,
         strategy=strategy,
         stats=stats,
-        fired_keys=frozenset(fired_keys),
+        fired_keys=frozenset(
+            (index, tuple(term_of(i) for i in image))
+            for index, image in fired_keys
+        ),
         parallelism=workers,
+        parallelism_kind=parallel_kind,
         checkpoint=final_checkpoint,
     )
 
@@ -821,7 +1056,7 @@ def chase(
     strategy: str = "delta",
     stats: EvalStats | None = None,
     budget: Budget | None = None,
-    parallelism: int | None = 1,
+    parallelism: Parallelism = None,
     parallel_threshold: int = PARALLEL_MIN_WORK,
     checkpoint_every: int | None = None,
     on_checkpoint: Callable[[ChaseCheckpoint], None] | None = None,
@@ -840,11 +1075,14 @@ def chase(
     default) or ``"naive"`` (full re-scan per level, the differential
     oracle).  Both produce identical level maps and isomorphic instances.
 
-    *parallelism* shards each level's trigger search across that many
-    worker threads (``None`` → the CPU count, 1 → serial); levels whose
-    estimated work falls below *parallel_threshold* run serially.  Firing
-    stays on the coordinating thread in serial enumeration order, so the
-    result is identical to the serial run's (see the module docstring).
+    *parallelism* shards each level's trigger search:
+    ``ProcessPool(n)``/``ThreadPool(n)`` markers select process or thread
+    workers (``None`` → serial; a bare int > 1 still works as *n*
+    processes with a one-release :class:`DeprecationWarning` — see
+    :func:`repro.options.resolve_parallelism`).  Levels whose estimated
+    work falls below *parallel_threshold* run serially.  Firing stays on
+    the coordinating thread/process in canonical order, so the result is
+    identical to the serial run's (see the module docstring).
 
     *stats* may be a shared :class:`EvalStats` to accumulate counters
     across runs; a fresh one is created otherwise (see ``result.stats``).
@@ -878,6 +1116,7 @@ def chase(
     # order a function of the database's content, so fresh runs agree
     # across interpreters with different ``PYTHONHASHSEED`` values.
     ordered = sorted(database, key=_atom_sort_key)
+    kind, workers = resolve_parallelism(parallelism)
     return _chase_core(
         tgds=tgds,
         instance=Instance(ordered),
@@ -893,7 +1132,8 @@ def chase(
         strategy=strategy,
         stats=stats,
         budget=budget,
-        workers=_resolve_workers(parallelism),
+        parallel_kind=kind,
+        workers=workers,
         parallel_threshold=parallel_threshold,
         checkpoint_every=checkpoint_every,
         on_checkpoint=on_checkpoint,
@@ -911,7 +1151,7 @@ def extend_chase(
     strategy: str | None = None,
     stats: EvalStats | None = None,
     budget: Budget | None = None,
-    parallelism: int | None = 1,
+    parallelism: Parallelism = None,
     parallel_threshold: int = PARALLEL_MIN_WORK,
     on_incomplete: str = "raise",
 ) -> ChaseResult:
@@ -999,6 +1239,7 @@ def extend_chase(
             delta_order.append(atom)
     if not delta:
         return base
+    kind, workers = resolve_parallelism(parallelism)
     return _chase_core(
         tgds=tgds,
         instance=instance,
@@ -1014,7 +1255,8 @@ def extend_chase(
         strategy=effective,
         stats=stats,
         budget=budget,
-        workers=_resolve_workers(parallelism),
+        parallel_kind=kind,
+        workers=workers,
         parallel_threshold=parallel_threshold,
     )
 
@@ -1032,7 +1274,7 @@ def resume_chase(
     max_level: int | None = _UNSET,  # type: ignore[assignment]
     max_atoms: int | None = _UNSET,  # type: ignore[assignment]
     safety_cap: int = _UNSET,  # type: ignore[assignment]
-    parallelism: int | None = _UNSET,  # type: ignore[assignment]
+    parallelism: Parallelism = _UNSET,  # type: ignore[assignment]
     parallel_threshold: int = _UNSET,  # type: ignore[assignment]
     checkpoint_every: int | None = None,
     on_checkpoint: Callable[[ChaseCheckpoint], None] | None = None,
@@ -1089,7 +1331,9 @@ def resume_chase(
     if safety_cap is _UNSET:
         safety_cap = config.get("safety_cap", DEFAULT_SAFETY_CAP)
     if parallelism is _UNSET:
-        parallelism = config.get("parallelism", 1)
+        kind, workers = _parallelism_from_config(config.get("parallelism", 1))
+    else:
+        kind, workers = resolve_parallelism(parallelism)
     if parallel_threshold is _UNSET:
         parallel_threshold = config.get("parallel_threshold", PARALLEL_MIN_WORK)
     tgds = list(checkpoint.tgds)
@@ -1120,7 +1364,8 @@ def resume_chase(
         strategy=checkpoint.strategy,
         stats=stats,
         budget=budget,
-        workers=_resolve_workers(parallelism),
+        parallel_kind=kind,
+        workers=workers,
         parallel_threshold=parallel_threshold,
         start_level=checkpoint.next_level - 1,
         fired_start=checkpoint.fired,
@@ -1150,7 +1395,7 @@ def terminating_chase(
     *,
     strategy: str = "delta",
     stats: EvalStats | None = None,
-    parallelism: int | None = 1,
+    parallelism: Parallelism = None,
 ) -> ChaseResult:
     """Chase with a termination *proof* demanded up front.
 

@@ -323,9 +323,17 @@ def _restricted_core(
             # which triggers find their head satisfied — so a
             # content-determined order is what keeps results reproducible
             # across interpreters and checkpoint resumes.
-            _candidate_sort(candidates, body_orders)
+            _candidate_sort(candidates, instance.pool)
 
-            for tgd_index, tgd, hom in candidates:
+            term_of = instance.pool.term_of
+            for tgd_index, ids in candidates:
+                # The trigger search yields interned body images (see
+                # engine._delta_triggers); rebuild the Term-level hom — the
+                # restricted chase's handled keys and head checks work over
+                # Terms, and this path is not firing-rate critical.
+                tgd = tgds[tgd_index]
+                order = body_orders[tgd_index]
+                hom = {order[k]: term_of(ids[k]) for k in range(len(ids))}
                 key = (tgd_index, tuple(hom[v] for v in frontiers[tgd_index]))
                 if key in handled:
                     stats.triggers_deduped += 1

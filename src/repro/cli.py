@@ -14,7 +14,8 @@ Commands
 
 The three evaluation commands construct one :class:`repro.Engine` session
 and share its knobs: ``--parallelism N`` shards the chase's per-level
-trigger search across N threads, ``--no-cache`` disables the session chase
+trigger search across N worker *processes* (N=1 runs serial; results are
+bit-identical at any setting), ``--no-cache`` disables the session chase
 cache (one CLI invocation usually chases once, so the cache matters when a
 command chases repeatedly — e.g. a multi-disjunct certain-answer run).
 
@@ -49,6 +50,7 @@ from .engine import Engine
 from .governance import Budget
 from .governance.checkpoint import validate_tgds
 from .omq import OMQ, certain_answers
+from .options import ProcessPool
 from .queries import parse_database, parse_ucq
 from .tgds import classify, is_weakly_acyclic, parse_tgds
 
@@ -72,13 +74,19 @@ def _budget_from(args: argparse.Namespace) -> Budget | None:
     return Budget(deadline=args.timeout, max_atoms=args.max_atoms)
 
 
+def _parallelism_from(args: argparse.Namespace):
+    """``--parallelism N`` → a marker: 1 means serial, N>1 means processes."""
+    n = args.parallelism
+    return None if n == 1 else ProcessPool(n)
+
+
 def _engine_from(args: argparse.Namespace, tgds) -> Engine:
     """One Engine session per CLI invocation, from the shared flags."""
     return Engine(
         tgds,
         budget=_budget_from(args),
         cache=not args.no_cache,
-        parallelism=args.parallelism,
+        parallelism=_parallelism_from(args),
         plan=None if getattr(args, "plan", "auto") == "off" else "auto",
         backend=getattr(args, "backend", "chase"),
     )
@@ -109,8 +117,8 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         metavar="N",
-        help="worker threads for the chase's per-level trigger search "
-        "(default 1 = serial; results are identical at any setting)",
+        help="worker processes for the chase's per-level trigger search "
+        "(default 1 = serial; results are bit-identical at any setting)",
     )
     parser.add_argument(
         "--no-cache",
@@ -194,7 +202,7 @@ def cmd_chase(args: argparse.Namespace) -> int:
     if args.resume is not None:
         checkpoint = load_checkpoint(args.resume)
         validate_tgds(checkpoint, tgds)
-        kwargs = {"parallelism": args.parallelism}
+        kwargs = {"parallelism": _parallelism_from(args)}
         if args.max_level is not None:
             kwargs["max_level"] = args.max_level
         result = resume_chase(
@@ -213,7 +221,7 @@ def cmd_chase(args: argparse.Namespace) -> int:
             tgds,
             max_level=args.max_level,
             budget=budget,
-            parallelism=args.parallelism,
+            parallelism=_parallelism_from(args),
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
         )
@@ -355,7 +363,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         soft_queue=args.soft_queue,
         hard_queue=args.hard_queue,
         cache_spill_dir=args.spill_dir,
-        parallelism=args.parallelism,
+        parallelism=_parallelism_from(args),
     )
     tenants = []
     for spec in args.tenant:
@@ -495,7 +503,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="queue depth at which requests are rejected")
     p.add_argument("--spill-dir", default=None,
                    help="directory for the cache's evict-to-checkpoint spill tier")
-    p.add_argument("--parallelism", type=int, default=1)
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="worker processes per tenant chase (1 = serial)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

@@ -17,6 +17,7 @@ from typing import Sequence
 
 from ..chase import ChaseCache
 from ..datamodel import EvalStats
+from ..options import Parallelism
 from ..governance import Budget, trip_exception
 from ..queries import CQ, UCQ
 from ..tgds import TGD
@@ -39,7 +40,7 @@ def contained_under(
     stats: EvalStats | None = None,
     budget: Budget | None = None,
     cache: ChaseCache | None = None,
-    parallelism: int | None = 1,
+    parallelism: "Parallelism" = None,
     **eval_kwargs,
 ) -> bool:
     """``sub ⊆_Σ sup`` via Prop 4.5 (chase-of-canonical-database test).

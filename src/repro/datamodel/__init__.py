@@ -15,6 +15,7 @@ from .homomorphisms import (
     is_isomorphic,
 )
 from .instances import Database, Instance
+from .interning import InternPool, default_pool, reset_default_pool
 from .planner import (
     ADAPTIVE_THRESHOLD,
     InstanceStats,
@@ -47,6 +48,7 @@ __all__ = [
     "EvalStats",
     "Instance",
     "InstanceStats",
+    "InternPool",
     "JoinPlan",
     "Null",
     "Schema",
@@ -57,6 +59,7 @@ __all__ = [
     "compile_plan",
     "count_homomorphisms",
     "default_movable",
+    "default_pool",
     "estimate_candidates",
     "exists_homomorphism",
     "find_homomorphism",
@@ -73,6 +76,7 @@ __all__ = [
     "is_variable",
     "null_counter_value",
     "plan_for",
+    "reset_default_pool",
     "set_null_counter",
     "term_sort_key",
     "variables",

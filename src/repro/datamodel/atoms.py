@@ -30,18 +30,24 @@ class Atom:
             raise TypeError(f"predicate name must be a non-empty str, got {pred!r}")
         self.pred = pred
         self.args = tuple(args)
-        self._hash = hash((pred, self.args))
+        # Computed on first __hash__: many atoms (substitution images that
+        # get discarded, thin row views) are never hashed at all.
+        self._hash = None
 
     # ------------------------------------------------------------------
     # Basic protocol
     # ------------------------------------------------------------------
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((self.pred, self.args))
+        return h
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Atom)
-            and self._hash == other._hash
             and self.pred == other.pred
             and self.args == other.args
         )
@@ -49,6 +55,11 @@ class Atom:
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) if isinstance(a, Variable) else str(a) for a in self.args)
         return f"{self.pred}({inner})"
+
+    # Rebuild through __init__ so the lazily cached hash never crosses an
+    # interpreter boundary (tuple hashes are PYTHONHASHSEED-dependent).
+    def __reduce__(self):
+        return (Atom, (self.pred, self.args))
 
     def __len__(self) -> int:
         return len(self.args)

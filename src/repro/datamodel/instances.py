@@ -1,28 +1,74 @@
-"""Instances and databases: indexed sets of atoms over constants.
+"""Instances and databases: interned, array-backed sets of atoms.
 
 An *instance* over a schema ``S`` is a set of atoms over ``S`` containing
 only constants; a *database* is a finite instance (Section 2).  Everything in
 this library is finite, so a single class serves both roles.
 
-The class maintains secondary indexes (by predicate, and by
-(predicate, position, value)) that the homomorphism search and the chase
-trigger search rely on.
+Storage layout (see DESIGN.md for the diagram)
+----------------------------------------------
+
+Terms and predicates are interned to dense ints through an
+:class:`~repro.datamodel.interning.InternPool` (shared process-wide by
+default).  Per predicate, facts live in a flat row-major ``array('q')`` of
+term ids — the canonical columnar store, and the buffer the
+process-parallel chase encodes straight onto the wire.  Around it sit the
+derived indexes the homomorphism search and the chase trigger search rely
+on:
+
+* ``_tuples``  — live id-tuple → row, the dedupe map;
+* ``_postings`` — per (predicate, position): value-id → row list, the
+  selective index behind :meth:`candidates`;
+* ``_atom_rows`` / ``_live_rows`` — per-row :class:`Atom` views and the
+  live row list, so reads hand back ordinary atoms with zero rebuild cost;
+* ``_atoms`` / ``_order`` — a plain set (O(1) membership, set algebra) and
+  the insertion-ordered atom log (deterministic iteration; the
+  ``atoms_since`` watermark feed for parallel workers).
+
+Rows are append-only; :meth:`discard` tombstones (the column keeps the dead
+row, every live index forgets it), so row numbers and intern ids stay
+stable — which is what the cross-process wire format needs.
+
+``Atom`` and ``Term`` objects remain the API everywhere: they are thin
+views over the interned storage, not a parallel representation callers
+must convert to.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from array import array
 from typing import Iterable, Iterator
 
 from .atoms import Atom
+from .interning import InternPool, default_pool
 from .schema import Schema
 from .terms import Term
 
 __all__ = ["Instance", "Database"]
 
 
+class _RowView:
+    """A read-only view of posting rows as atoms (len/iter/bool only)."""
+
+    __slots__ = ("_atom_rows", "_rows")
+
+    def __init__(self, atom_rows: list, rows: list) -> None:
+        self._atom_rows = atom_rows
+        self._rows = rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Atom]:
+        atom_rows = self._atom_rows
+        for row in self._rows:
+            yield atom_rows[row]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_RowView<{len(self._rows)} rows>"
+
+
 class Instance:
-    """A finite set of ground atoms with secondary indexes.
+    """A finite set of ground atoms with interned columnar storage.
 
     >>> db = Instance([Atom("R", ("a", "b")), Atom("R", ("b", "c"))])
     >>> len(db)
@@ -31,13 +77,41 @@ class Instance:
     ['a', 'b', 'c']
     """
 
-    __slots__ = ("_atoms", "_by_pred", "_by_pred_pos_val", "_dom", "_version", "_stats_cache")
+    __slots__ = (
+        "_pool",
+        "_atoms",
+        "_order",
+        "_cols",
+        "_arity",
+        "_tuples",
+        "_keys",
+        "_atom_rows",
+        "_live_rows",
+        "_postings",
+        "_dom",
+        "_version",
+        "_stats_cache",
+    )
 
-    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+    def __init__(
+        self, atoms: Iterable[Atom] = (), *, pool: InternPool | None = None
+    ) -> None:
+        self._pool = pool if pool is not None else default_pool()
         self._atoms: set[Atom] = set()
-        self._by_pred: dict[str, set[Atom]] = defaultdict(set)
-        self._by_pred_pos_val: dict[tuple[str, int, Term], set[Atom]] = defaultdict(set)
-        self._dom: dict[Term, int] = defaultdict(int)  # value -> occurrence count
+        #: Insertion-ordered atom log; ``None`` marks a discarded slot so
+        #: ``atoms_since`` watermarks stay valid across discards.
+        self._order: list[Atom | None] = []
+        self._cols: dict[int, array] = {}
+        self._arity: dict[int, int] = {}
+        #: pred id -> {id-tuple -> (row, order position)}; live facts only.
+        self._tuples: dict[int, dict[tuple[int, ...], tuple[int, int]]] = {}
+        #: pred id -> id-tuple per row (parallel to ``_atom_rows``); the
+        #: interned join (:mod:`repro.datamodel.joins`) reads facts here.
+        self._keys: dict[int, list[tuple[int, ...]]] = {}
+        self._atom_rows: dict[int, list[Atom | None]] = {}
+        self._live_rows: dict[int, list[int]] = {}
+        self._postings: dict[int, list[dict[int, list[int]]]] = {}
+        self._dom: dict[Term, int] = {}  # value -> occurrence count
         #: Mutation counter; bumped by add/discard.  The join planner keys
         #: its cached statistics and compiled plans on it (see
         #: :mod:`repro.datamodel.planner`), so stale plans die lazily.
@@ -45,8 +119,70 @@ class Instance:
         #: Planner-owned statistics cache (an InstanceStats or None);
         #: validated against ``_version`` on every access.
         self._stats_cache = None
+        if atoms:
+            self._bulk_load(atoms)
+
+    def _bulk_load(self, atoms: Iterable[Atom]) -> None:
+        """The constructor's hot path: identical semantics to repeated
+        :meth:`add` (same insertion order, indexes, and dom counts) with
+        the per-call overhead hoisted out — checkpoint resume rebuilds
+        instances tens of thousands of atoms at a time through here.
+        """
+        pool = self._pool
+        intern = pool.intern
+        intern_pred = pool.intern_pred
+        atoms_set = self._atoms
+        order = self._order
+        dom = self._dom
+        tuples_by_pid = self._tuples
+        keys_by_pid = self._keys
+        atom_rows_by_pid = self._atom_rows
+        live_by_pid = self._live_rows
+        postings_by_pid = self._postings
+        cols_by_pid = self._cols
+        arity_by_pid = self._arity
+        added = 0
         for atom in atoms:
-            self.add(atom)
+            if atom in atoms_set:
+                continue
+            pid = intern_pred(atom.pred)
+            args = atom.args
+            key = tuple([intern(t) for t in args])
+            tuples = tuples_by_pid.get(pid)
+            if tuples is None:
+                arity = len(key)
+                arity_by_pid[pid] = arity
+                cols_by_pid[pid] = array("q")
+                tuples = tuples_by_pid[pid] = {}
+                keys_by_pid[pid] = []
+                atom_rows_by_pid[pid] = []
+                live_by_pid[pid] = []
+                postings_by_pid[pid] = [dict() for _ in range(arity)]
+            elif len(key) > arity_by_pid[pid]:
+                postings_by_pid[pid].extend(
+                    dict() for _ in range(len(key) - arity_by_pid[pid])
+                )
+                arity_by_pid[pid] = len(key)
+            atom_rows = atom_rows_by_pid[pid]
+            row = len(atom_rows)
+            cols_by_pid[pid].extend(key)
+            keys_by_pid[pid].append(key)
+            atom_rows.append(atom)
+            live_by_pid[pid].append(row)
+            tuples[key] = (row, len(order))
+            order.append(atom)
+            atoms_set.add(atom)
+            postings = postings_by_pid[pid]
+            for pos, value_id in enumerate(key):
+                rows = postings[pos].get(value_id)
+                if rows is None:
+                    postings[pos][value_id] = [row]
+                else:
+                    rows.append(row)
+                value = args[pos]
+                dom[value] = dom.get(value, 0) + 1
+            added += 1
+        self._version += added
 
     # ------------------------------------------------------------------
     # Mutation
@@ -61,29 +197,83 @@ class Instance:
         """
         if atom in self._atoms:
             return False
+        pool = self._pool
+        pid = pool.intern_pred(atom.pred)
+        intern = pool.intern
+        key = tuple([intern(t) for t in atom.args])
+        tuples = self._tuples.get(pid)
+        if tuples is None:
+            arity = len(key)
+            self._arity[pid] = arity
+            self._cols[pid] = array("q")
+            tuples = self._tuples[pid] = {}
+            self._keys[pid] = []
+            self._atom_rows[pid] = []
+            self._live_rows[pid] = []
+            self._postings[pid] = [dict() for _ in range(arity)]
+        if len(key) > self._arity[pid]:
+            # Mixed-arity predicates are unusual but were never rejected by
+            # the set-backed store; grow the per-position index to match.
+            self._postings[pid].extend(
+                dict() for _ in range(len(key) - self._arity[pid])
+            )
+            self._arity[pid] = len(key)
+        atom_rows = self._atom_rows[pid]
+        row = len(atom_rows)
+        self._cols[pid].extend(key)
+        self._keys[pid].append(key)
+        atom_rows.append(atom)
+        self._live_rows[pid].append(row)
+        tuples[key] = (row, len(self._order))
+        self._order.append(atom)
         self._atoms.add(atom)
-        self._by_pred[atom.pred].add(atom)
-        for pos, value in enumerate(atom.args):
-            self._by_pred_pos_val[(atom.pred, pos, value)].add(atom)
-            self._dom[value] += 1
+        postings = self._postings[pid]
+        dom = self._dom
+        for pos, value_id in enumerate(key):
+            rows = postings[pos].get(value_id)
+            if rows is None:
+                postings[pos][value_id] = [row]
+            else:
+                rows.append(row)
+            value = atom.args[pos]
+            dom[value] = dom.get(value, 0) + 1
         self._version += 1
         return True
 
     def add_all(self, atoms: Iterable[Atom]) -> int:
         """Add many atoms; returns the number that were new."""
-        return sum(1 for atom in atoms if self.add(atom))
+        add = self.add
+        return sum(1 for atom in atoms if add(atom))
 
     def discard(self, atom: Atom) -> bool:
-        """Remove an atom if present; returns True iff it was present."""
+        """Remove an atom if present; returns True iff it was present.
+
+        Tombstoning: the columnar row stays (rows are append-only so ids
+        and watermarks never shift) but every live index forgets it.
+        """
         if atom not in self._atoms:
             return False
+        pool = self._pool
+        pid = pool.pred_id_of(atom.pred)
+        key = tuple(pool.id_of(t) for t in atom.args)
+        row, order_pos = self._tuples[pid].pop(key)
         self._atoms.discard(atom)
-        self._by_pred[atom.pred].discard(atom)
-        for pos, value in enumerate(atom.args):
-            self._by_pred_pos_val[(atom.pred, pos, value)].discard(atom)
-            self._dom[value] -= 1
-            if self._dom[value] == 0:
-                del self._dom[value]
+        self._order[order_pos] = None
+        self._atom_rows[pid][row] = None
+        self._live_rows[pid].remove(row)
+        postings = self._postings[pid]
+        dom = self._dom
+        for pos, value_id in enumerate(key):
+            rows = postings[pos][value_id]
+            rows.remove(row)
+            if not rows:
+                del postings[pos][value_id]
+            value = atom.args[pos]
+            count = dom[value] - 1
+            if count:
+                dom[value] = count
+            else:
+                del dom[value]
         self._version += 1
         return True
 
@@ -100,36 +290,77 @@ class Instance:
         """
         return self._version
 
+    @property
+    def pool(self) -> InternPool:
+        """The intern pool backing this instance's columns."""
+        return self._pool
+
     def atoms(self) -> frozenset[Atom]:
         """All atoms as a frozen snapshot."""
         return frozenset(self._atoms)
 
     def atoms_with_pred(self, pred: str) -> set[Atom]:
-        """All atoms over predicate *pred* (live view — do not mutate)."""
-        return self._by_pred.get(pred, set())
+        """All atoms over predicate *pred* (a fresh set — safe to mutate)."""
+        pid = self._pool.pred_id_of(pred)
+        if pid is None:
+            return set()
+        tuples = self._tuples.get(pid)
+        if not tuples:
+            return set()
+        atom_rows = self._atom_rows[pid]
+        return {atom_rows[row] for row in self._live_rows[pid]}
 
     def atoms_by_pred(self) -> dict[str, set[Atom]]:
-        """All atoms grouped by predicate (live sets — do not mutate).
+        """All atoms grouped by predicate (fresh sets).
 
         The delta-driven chase keeps each level's freshly produced atoms in
         an :class:`Instance` and uses this view to look up, per TGD body
         atom, exactly the new facts that could seed a trigger — instead of
         rescanning the whole frontier per body atom.
         """
-        return {pred: atoms for pred, atoms in self._by_pred.items() if atoms}
+        pool = self._pool
+        grouped: dict[str, set[Atom]] = {}
+        for pid, tuples in self._tuples.items():
+            if not tuples:
+                continue
+            atom_rows = self._atom_rows[pid]
+            grouped[pool.pred_of(pid)] = {
+                atom_rows[row] for row in self._live_rows[pid]
+            }
+        return grouped
 
     def atoms_matching(self, pred: str, pos: int, value: Term) -> set[Atom]:
         """All atoms R(..) with R = pred and *value* at position *pos*."""
-        return self._by_pred_pos_val.get((pred, pos, value), set())
+        pool = self._pool
+        pid = pool.pred_id_of(pred)
+        if pid is None or pos >= self._arity.get(pid, 0):
+            return set()
+        value_id = pool.id_of(value)
+        if value_id is None:
+            return set()
+        rows = self._postings[pid][pos].get(value_id)
+        if not rows:
+            return set()
+        atom_rows = self._atom_rows[pid]
+        return {atom_rows[row] for row in rows}
 
     def candidates(self, atom: Atom, bound: dict[Term, Term]) -> Iterable[Atom]:
         """Facts that could match the (possibly non-ground) *atom*.
 
         *bound* maps already-assigned source terms to target values.  The
-        most selective available index is used; unbound positions are not
+        most selective available posting is used; unbound positions are not
         filtered (the caller performs the final unification check).
         """
-        best: set[Atom] | None = None
+        pool = self._pool
+        pid = pool.pred_id_of(atom.pred)
+        if pid is None:
+            return ()
+        # The pool is shared across instances, so a pred id may exist there
+        # without this instance holding any rows for it.
+        postings = self._postings.get(pid)
+        if postings is None:
+            return ()
+        best: list[int] | None = None
         for pos, term in enumerate(atom.args):
             # Only terms with a known image filter; the homomorphism search
             # seeds `bound` with the identity on all non-movable terms, so
@@ -138,14 +369,19 @@ class Instance:
             value = bound.get(term)
             if value is None:
                 continue
-            posting = self._by_pred_pos_val.get((atom.pred, pos, value))
-            if posting is None:
+            if pos >= len(postings):
                 return ()
-            if best is None or len(posting) < len(best):
-                best = posting
+            value_id = pool.id_of(value)
+            if value_id is None:
+                return ()
+            rows = postings[pos].get(value_id)
+            if rows is None:
+                return ()
+            if best is None or len(rows) < len(best):
+                best = rows
         if best is None:
-            return self._by_pred.get(atom.pred, ())
-        return best
+            best = self._live_rows[pid]
+        return _RowView(self._atom_rows[pid], best)
 
     def dom(self) -> set[Term]:
         """``dom(I)`` — the active domain (all constants occurring in atoms)."""
@@ -153,11 +389,36 @@ class Instance:
 
     def predicates(self) -> set[str]:
         """Predicates with at least one atom."""
-        return {p for p, atoms in self._by_pred.items() if atoms}
+        pool = self._pool
+        return {pool.pred_of(pid) for pid, tuples in self._tuples.items() if tuples}
 
     def schema(self) -> Schema:
         """The schema inferred from the atoms present."""
         return Schema.from_atoms(self._atoms)
+
+    # ------------------------------------------------------------------
+    # Columnar / wire access
+    # ------------------------------------------------------------------
+    def atoms_since(self, watermark: int) -> list[Atom]:
+        """Atoms appended after *watermark* (see :attr:`order_watermark`).
+
+        The process-parallel chase syncs workers incrementally: each level
+        ships exactly the atoms logged since the previous sync.  Discarded
+        slots are skipped; the watermark itself never shifts.
+        """
+        return [a for a in self._order[watermark:] if a is not None]
+
+    @property
+    def order_watermark(self) -> int:
+        """Cursor into the insertion log for :meth:`atoms_since`."""
+        return len(self._order)
+
+    def column(self, pred: str) -> array:
+        """The raw row-major id column for *pred* (includes tombstoned rows)."""
+        pid = self._pool.pred_id_of(pred)
+        if pid is None:
+            return array("q")
+        return self._cols[pid]
 
     # ------------------------------------------------------------------
     # Derived instances
@@ -165,15 +426,19 @@ class Instance:
     def restrict(self, values: Iterable[Term]) -> "Instance":
         """``I|T`` — the restriction to atoms mentioning only *values*."""
         keep = set(values)
-        return Instance(a for a in self._atoms if keep.issuperset(a.args))
+        return Instance(
+            (a for a in self._atoms if keep.issuperset(a.args)), pool=self._pool
+        )
 
     def restrict_preds(self, preds: Iterable[str]) -> "Instance":
         """The restriction to atoms over the given predicates."""
         keep = set(preds)
-        return Instance(a for a in self._atoms if a.pred in keep)
+        return Instance(
+            (a for a in self._atoms if a.pred in keep), pool=self._pool
+        )
 
     def copy(self) -> "Instance":
-        return Instance(self._atoms)
+        return Instance(self._atoms, pool=self._pool)
 
     def union(self, other: "Instance") -> "Instance":
         merged = self.copy()
@@ -246,7 +511,8 @@ class Instance:
         return len(self._atoms)
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(self._atoms)
+        """Iterate in insertion order (deterministic, unlike set order)."""
+        return (a for a in self._order if a is not None)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Instance) and self._atoms == other._atoms

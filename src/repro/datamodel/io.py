@@ -150,6 +150,37 @@ def encode_term(term: Term):
     )
 
 
+class OpaqueTerm:
+    """Wire placeholder for a pool entry the term codec cannot serialise.
+
+    Instances built against the shared default :class:`InternPool` may
+    intern domain objects the JSON codec refuses (e.g. the reductions'
+    ``GroheElement``); when an intern-pool *snapshot* crosses a process
+    boundary those entries travel as opaque placeholders keyed by their
+    pool id.  Equality and hashing are by id, so the receiving pool's
+    tables stay aligned entry-for-entry with the sender's — which is all
+    the trigger search needs, since workers only ever compare stored
+    terms for identity, never inspect their structure.  Checkpoints stay
+    strict: :func:`encode_term` still raises, because a checkpointed
+    *instance atom* must round-trip to the real term.
+    """
+
+    __slots__ = ("ident", "label")
+
+    def __init__(self, ident: int, label: str = "") -> None:
+        self.ident = ident
+        self.label = label
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, OpaqueTerm) and other.ident == self.ident
+
+    def __hash__(self) -> int:
+        return hash(("__opaque__", self.ident))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpaqueTerm({self.ident}, {self.label!r})"
+
+
 def decode_term(payload) -> Term:
     """Inverse of :func:`encode_term`."""
     if isinstance(payload, dict):
@@ -159,6 +190,8 @@ def decode_term(payload) -> Term:
             return Variable(payload["__var__"])
         if "__tuple__" in payload:
             return tuple(decode_term(t) for t in payload["__tuple__"])
+        if "__opaque__" in payload:
+            return OpaqueTerm(payload["__opaque__"], payload.get("label", ""))
         raise ValueError(f"unknown term tag in {payload!r}")
     return payload
 
@@ -169,9 +202,20 @@ def encode_atom(atom: Atom) -> list:
 
 
 def decode_atom(payload) -> Atom:
-    """Inverse of :func:`encode_atom`."""
+    """Inverse of :func:`encode_atom`.
+
+    Only tagged terms (nulls, variables, tuples, opaques) encode as dicts
+    — scalars pass through the codec unchanged, so the common case skips
+    the :func:`decode_term` dispatch entirely.  Checkpoint rebuilds decode
+    every stored atom through here; the branch is worth it.
+    """
     pred, args = payload
-    return Atom(pred, tuple(decode_term(t) for t in args))
+    return Atom(
+        pred,
+        tuple(
+            [decode_term(t) if type(t) is dict else t for t in args]
+        ),
+    )
 
 
 def _encode_tgd(tgd) -> dict:
@@ -201,7 +245,10 @@ def _encode_fired_key(key) -> list:
 
 def _decode_fired_key(payload) -> tuple:
     index, image = payload
-    return (index, tuple(decode_term(t) for t in image))
+    return (
+        index,
+        tuple([decode_term(t) if type(t) is dict else t for t in image]),
+    )
 
 
 def _encode_stats(stats: EvalStats) -> dict:
@@ -292,6 +339,19 @@ def checkpoint_from_json_dict(payload: dict) -> "ChaseCheckpoint":
             f"checkpoint format version {version} is newer than this "
             f"library understands ({CHECKPOINT_FORMAT_VERSION})"
         )
+    config = dict(payload.get("config", {}))
+    if version < 2:
+        # Format 1 stored ``config["parallelism"]`` as a bare int meaning
+        # worker *threads*; format 2 spells kind and width out.  Shimming
+        # here (the process boundary) keeps every in-memory consumer on
+        # one shape.
+        legacy = config.get("parallelism", 1)
+        if not isinstance(legacy, dict):
+            workers = 1 if legacy is None else int(legacy)
+            config["parallelism"] = {
+                "kind": "thread" if workers > 1 else "serial",
+                "workers": workers,
+            }
     levels = payload["levels"]
     return ChaseCheckpoint(
         kind=payload["kind"],
@@ -313,7 +373,7 @@ def checkpoint_from_json_dict(payload: dict) -> "ChaseCheckpoint":
         db_size=payload["db_size"],
         stats=_decode_stats(payload["stats"]),
         trip=payload["trip"],
-        config=dict(payload.get("config", {})),
+        config=config,
         version=version,
     )
 

@@ -49,7 +49,7 @@ class Variable:
     search inner loops.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     _interned: dict[str, "Variable"] = {}
     _lock = threading.Lock()
@@ -65,6 +65,7 @@ class Variable:
             if cached is None:
                 cached = super().__new__(cls)
                 cached.name = name
+                cached._hash = hash(("Variable", name))
                 cls._interned[name] = cached
         return cached
 
@@ -72,7 +73,7 @@ class Variable:
         return f"?{self.name}"
 
     def __hash__(self) -> int:
-        return hash(("Variable", self.name))
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         return self is other or (isinstance(other, Variable) and other.name == self.name)
@@ -95,11 +96,12 @@ class Null:
     readable.
     """
 
-    __slots__ = ("ident", "hint")
+    __slots__ = ("ident", "hint", "_hash")
 
     def __init__(self, ident: int, hint: str = "") -> None:
         self.ident = ident
         self.hint = hint
+        self._hash = hash(("Null", ident))
 
     def __repr__(self) -> str:
         if self.hint:
@@ -107,7 +109,7 @@ class Null:
         return f"_:{self.ident}"
 
     def __hash__(self) -> int:
-        return hash(("Null", self.ident))
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Null) and other.ident == self.ident
@@ -116,6 +118,11 @@ class Null:
         if not isinstance(other, Null):
             return NotImplemented
         return self.ident < other.ident
+
+    # Rebuild through __init__ so the cached hash is recomputed under the
+    # receiving interpreter's hash seed rather than shipped stale.
+    def __reduce__(self):
+        return (Null, (self.ident, self.hint))
 
 
 #: Next ident :func:`fresh_null` will hand out.  A plain int (not an

@@ -36,9 +36,9 @@ and into any caller-provided ``stats=`` object; the returned result's
 
 Example::
 
-    from repro import Engine, parse_database, parse_tgds, parse_ucq
+    from repro import Engine, ProcessPool, parse_database, parse_tgds, parse_ucq
 
-    engine = Engine(parse_tgds(["Emp(x) -> Person(x)"]), parallelism=4)
+    engine = Engine(parse_tgds(["Emp(x) -> Person(x)"]), parallelism=ProcessPool(4))
     db = parse_database("Emp(ada)")
     engine.certain_answers(parse_ucq("q(x) :- Person(x)"), db).answers
     # {('ada',)} — and the chase is now cached for the next query
@@ -54,6 +54,7 @@ from .datamodel import EvalStats, Instance, JoinPlan, plan_for
 from .governance import Budget
 from .governance.checkpoint import ChaseCheckpoint, validate_tgds
 from .omq import OMQ, OMQAnswer, certain_answers as _certain_answers
+from .options import EvalOptions, Parallelism
 from .queries import CQ, UCQ
 from .tgds import TGD
 
@@ -80,8 +81,9 @@ class Engine:
         ``True`` (default) for a private :class:`ChaseCache`, ``False``
         for none, or an existing cache instance to share across engines.
     parallelism:
-        Worker threads for each chase's per-level trigger search (1 =
-        serial, ``None`` = CPU count); see :func:`repro.chase.chase`.
+        How each chase's per-level trigger search is sharded:
+        ``ProcessPool(n)``/``ThreadPool(n)`` markers or ``None`` (serial);
+        see :func:`repro.chase.chase` and :mod:`repro.options`.
     trigger_strategy:
         ``"delta"`` (semi-naive, default) or ``"naive"`` — forwarded to
         every chase the session runs.
@@ -98,6 +100,11 @@ class Engine:
         ``"chase"`` (default), ``"datalog"``, ``"sql"``, or ``"auto"``
         (fragment-aware) — see :func:`repro.evaluate`.  Overridable per
         call via ``certain_answers(..., backend=)``.
+    options:
+        An :class:`~repro.options.EvalOptions` bundle supplying session
+        defaults for ``parallelism``/``trigger_strategy``/``plan``/
+        ``backend`` in one object (the same bundle :func:`repro.evaluate`
+        takes).  Explicit keyword arguments win over the bundle.
     """
 
     def __init__(
@@ -106,10 +113,11 @@ class Engine:
         *,
         budget: Budget | Mapping | None = None,
         cache: ChaseCache | bool = True,
-        parallelism: int | None = 1,
-        trigger_strategy: str = "delta",
-        plan: str | None = "auto",
-        backend: str = "chase",
+        parallelism: "Parallelism | object" = _SESSION_DEFAULT,
+        trigger_strategy: str | None = None,
+        plan: "str | None | object" = _SESSION_DEFAULT,
+        backend: str | None = None,
+        options: EvalOptions | None = None,
     ) -> None:
         self.tgds: tuple[TGD, ...] = tuple(tgds)
         self._budget_spec = budget
@@ -119,6 +127,18 @@ class Engine:
             self.cache = None
         else:
             self.cache = cache
+        # Explicit kwargs win; an options bundle fills the gaps; otherwise
+        # the historical defaults (serial, delta, "auto" plan, chase).
+        if parallelism is _SESSION_DEFAULT:
+            parallelism = options.parallelism if options is not None else None
+        if trigger_strategy is None:
+            trigger_strategy = (
+                options.trigger_strategy if options is not None else "delta"
+            )
+        if plan is _SESSION_DEFAULT:
+            plan = options.plan if options is not None else "auto"
+        if backend is None:
+            backend = options.backend if options is not None else "chase"
         self.parallelism = parallelism
         self.trigger_strategy = trigger_strategy
         self.plan = plan

@@ -57,6 +57,7 @@ from .cqs import CQS, PromiseViolation
 from .datamodel import EvalStats, Instance, JoinPlan, Term
 from .governance import Budget, BudgetExceeded
 from .omq import OMQ, OMQAnswer, certain_answers
+from .options import EvalOptions
 from .queries import CQ, UCQ, iter_answers
 from .queries.sql import evaluate_via_sqlite
 
@@ -214,7 +215,8 @@ def evaluate(
     query: CQ | UCQ | OMQ | CQS,
     data: Instance,
     *,
-    backend: str = "chase",
+    options: EvalOptions | None = None,
+    backend: str | None = None,
     plan: "JoinPlan | str | None" = None,
     stats: EvalStats | None = None,
     budget: Budget | None = None,
@@ -225,6 +227,11 @@ def evaluate(
 
     Parameters
     ----------
+    options:
+        An :class:`~repro.options.EvalOptions` bundle supplying session
+        defaults (backend, plan, and — for chase-backed OMQ evaluation —
+        strategy, trigger strategy, parallelism, level bound).  Explicit
+        keyword arguments at the call site always win over the bundle.
     backend:
         ``"chase"`` (default — the strategies of
         :func:`repro.omq.certain_answers`), ``"datalog"``, ``"sql"``, or
@@ -258,12 +265,25 @@ def evaluate(
 
     Returns an :class:`~repro.omq.OMQAnswer` in every case.
     """
+    if backend is None:
+        backend = options.backend if options is not None else "chase"
     if backend not in ("chase", "datalog", "sql", "auto"):
         raise ValueError(
             f"unknown backend {backend!r}; expected one of "
             "'chase', 'datalog', 'sql', 'auto'"
         )
+    if options is not None and plan is None:
+        plan = options.plan
     if isinstance(query, OMQ):
+        if options is not None and backend == "chase":
+            # Session defaults for the chase-backed OMQ knobs; the other
+            # backends take a different (narrower) kwarg set and use only
+            # the backend/plan fields of the bundle.
+            kwargs.setdefault("strategy", options.strategy)
+            kwargs.setdefault("trigger_strategy", options.trigger_strategy)
+            kwargs.setdefault("parallelism", options.parallelism)
+            if options.level_bound is not None:
+                kwargs.setdefault("level_bound", options.level_bound)
         if backend != "chase":
             return _backend_certain_answers(
                 query,

@@ -471,29 +471,7 @@ class Budget:
         with self._lock:
             self.checks += 1
             self.site_counts[site] += 1
-            if self._inject_at is not None:
-                count = (
-                    self.site_counts[site]
-                    if self._inject_site == site
-                    else self.checks if self._inject_site is None else None
-                )
-                if count is not None and count >= self._inject_at:
-                    exc = self._inject_exc
-                    self._inject_repeats -= 1
-                    if self._inject_repeats > 0:
-                        # Re-arm: the next matching check fires again.
-                        self._inject_at = count + 1
-                    else:
-                        self._inject_at = None  # injections exhausted
-                    if exc is None:
-                        raise Cancelled(f"fault injected at {site}", site=site)
-                    if isinstance(exc, type):
-                        if issubclass(exc, BudgetExceeded):
-                            raise exc(f"fault injected at {site}", site=site)
-                        raise exc(f"fault injected at {site}")
-                    if isinstance(exc, BudgetExceeded):
-                        exc.site = exc.site or site
-                    raise exc
+            self._maybe_inject(site)
             if self._cancel_reason is not None:
                 raise Cancelled(self._cancel_reason, site=site)
             if self._expires is not None and self._clock() > self._expires:
@@ -519,3 +497,90 @@ class Budget:
                         f"step budget of {self.max_steps} exhausted at {site}",
                         site=site,
                     )
+
+    def check_batch(
+        self, site: str, n: int, *, atoms: int | None = None, step: bool = True
+    ) -> None:
+        """Replay *n* checks of *site* in one locked update.
+
+        The process-parallel chase's workers cannot share this object
+        across the process boundary, so they run under a local *counting*
+        budget and ship their per-site check counts back with the level's
+        candidates; the coordinator replays each shard's counts here, **in
+        shard order**, before accepting the shard's work.  Replay order is
+        fixed, so injection windows, step budgets, and cancellation trip on
+        the same shard every run — the determinism the chaos sweep pins.
+
+        Semantically equivalent to *n* successive ``check(site)`` calls,
+        with two deliberate deviations: counters land at the full batch
+        value even when a trip fires partway through the window (the worker
+        already did the work the counters describe), and at most one
+        pending injection fires per batch (remaining ``repeats`` stay
+        armed for subsequent checks or batches — matching one-kill-per-
+        dispatch worker-crash semantics).
+        """
+        if n <= 0:
+            return
+        if site not in CHECK_SITES and site not in _warned_sites:
+            _warn_unregistered(site)
+        with self._lock:
+            self.checks += n
+            self.site_counts[site] += n
+            self._maybe_inject(site)
+            if self._cancel_reason is not None:
+                raise Cancelled(self._cancel_reason, site=site)
+            if self._expires is not None and self._clock() > self._expires:
+                raise DeadlineExceeded(
+                    f"deadline of {self.deadline}s exceeded at {site} "
+                    f"(elapsed {self.elapsed():.3f}s)",
+                    site=site,
+                )
+            if (
+                atoms is not None
+                and self.max_atoms is not None
+                and atoms >= self.max_atoms
+            ):
+                raise AtomBudgetExceeded(
+                    f"atom budget of {self.max_atoms} reached at {site} "
+                    f"({atoms} atoms)",
+                    site=site,
+                )
+            if step:
+                self.steps += n
+                if self.max_steps is not None and self.steps > self.max_steps:
+                    raise StepBudgetExceeded(
+                        f"step budget of {self.max_steps} exhausted at {site}",
+                        site=site,
+                    )
+
+    def _maybe_inject(self, site: str) -> None:
+        """Fire a pending injection whose ordinal the counters have reached.
+
+        Caller holds ``self._lock``.  Batched replay may jump the counter
+        *past* the armed ordinal; ``>=`` catches the window.
+        """
+        if self._inject_at is None:
+            return
+        count = (
+            self.site_counts[site]
+            if self._inject_site == site
+            else self.checks if self._inject_site is None else None
+        )
+        if count is None or count < self._inject_at:
+            return
+        exc = self._inject_exc
+        self._inject_repeats -= 1
+        if self._inject_repeats > 0:
+            # Re-arm: the next matching check fires again.
+            self._inject_at = count + 1
+        else:
+            self._inject_at = None  # injections exhausted
+        if exc is None:
+            raise Cancelled(f"fault injected at {site}", site=site)
+        if isinstance(exc, type):
+            if issubclass(exc, BudgetExceeded):
+                raise exc(f"fault injected at {site}", site=site)
+            raise exc(f"fault injected at {site}")
+        if isinstance(exc, BudgetExceeded):
+            exc.site = exc.site or site
+        raise exc

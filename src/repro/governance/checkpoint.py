@@ -55,7 +55,11 @@ __all__ = [
 
 #: Bumped whenever the serialized layout changes incompatibly;
 #: :func:`~repro.datamodel.io.load_checkpoint` refuses newer versions.
-CHECKPOINT_FORMAT_VERSION = 1
+#: History: 1 — original layout, ``config["parallelism"]`` a bare int
+#: meaning worker *threads*; 2 — ``config["parallelism"]`` is
+#: ``{"kind": "serial" | "thread" | "process", "workers": n}`` (the io
+#: decoder shims format-1 ints into the same shape on load).
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 class CheckpointError(ValueError):

@@ -27,11 +27,11 @@ answer set is *provably* all of ``Q(D)``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..datamodel import EvalStats, Instance, Term
+from ..options import Parallelism
 from ..governance import TRIP_CODES as _TRIP_CODES
 from ..governance import Budget, BudgetExceeded
 from ..governance.checkpoint import ChaseCheckpoint, validate_tgds
@@ -163,16 +163,14 @@ def certain_answers(
     stats: EvalStats | None = None,
     budget: Budget | None = None,
     cache: ChaseCache | None = None,
-    parallelism: int | None = 1,
+    parallelism: "Parallelism" = None,
     plan: str | None = "auto",
-    chase_strategy: str | None = None,
     resume_from: ChaseCheckpoint | None = None,
 ) -> OMQAnswer:
     """Compute ``Q(D)`` (Prop 3.1) with the given or auto-picked strategy.
 
     *trigger_strategy* is forwarded to :func:`~repro.chase.chase` when a
-    chase-based strategy runs ("delta" or "naive"); *chase_strategy* is the
-    deprecated spelling of the same knob (see below).  *stats* may be a
+    chase-based strategy runs ("delta" or "naive").  *stats* may be a
     shared :class:`EvalStats`; the returned answer carries it (or a fresh
     one) with the chase and UCQ-evaluation counters accumulated.
 
@@ -188,7 +186,8 @@ def certain_answers(
     so repeated calls over the same ``(D, Σ)`` skip straight to UCQ
     evaluation.  The "bounded" strategy never touches the cache (a
     level-bounded prefix is not the chase).  *parallelism* shards the
-    chase's per-level trigger search across that many worker threads.
+    chase's per-level trigger search (``ProcessPool(n)``/``ThreadPool(n)``
+    markers, or ``None`` for serial — see :mod:`repro.options`).
     *resume_from* continues a previously tripped chase-based evaluation
     from its :class:`~repro.governance.ChaseCheckpoint`
     (``answer.checkpoint``) instead of re-chasing from scratch; the
@@ -199,22 +198,7 @@ def certain_answers(
     :class:`~repro.datamodel.JoinPlan` per disjunct against the
     materialised instance; ``None`` keeps per-node dynamic ordering); it
     never changes the answer set.
-
-    .. deprecated::
-        ``chase_strategy=`` is the pre-Engine spelling of
-        ``trigger_strategy=`` and will be removed one release after the
-        :class:`repro.Engine` API landed; it keeps working (with a
-        :class:`DeprecationWarning`) in the meantime.
     """
-    if chase_strategy is not None:
-        warnings.warn(
-            "chase_strategy= is deprecated; use trigger_strategy= "
-            "(same values: 'delta' or 'naive')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if trigger_strategy is None:
-            trigger_strategy = chase_strategy
     if trigger_strategy is None:
         trigger_strategy = "delta"
     omq.validate_database(database)

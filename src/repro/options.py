@@ -1,0 +1,175 @@
+"""Session-level evaluation options — the frozen v1 configuration surface.
+
+Two things live here, both importable straight from :mod:`repro`:
+
+* the **parallelism markers** :class:`ProcessPool` and :class:`ThreadPool`,
+  which say *how* the chase's per-level trigger search is sharded (OS
+  processes vs. threads) as well as how wide; and
+* :class:`EvalOptions`, the one dataclass that bundles every session-level
+  evaluation knob (strategy, trigger strategy, join plan policy, backend,
+  parallelism, level bound) so it can be built once and handed to
+  :func:`repro.evaluate`, :class:`repro.Engine`, and
+  :meth:`repro.serve.QueryService.submit` alike.
+
+Parallelism semantics (v1)
+--------------------------
+
+``parallelism=`` accepts ``ProcessPool(n)``, ``ThreadPool(n)``, ``None``
+(serial), or a plain int.  Processes are the default meaning of a bare
+``n > 1`` because the trigger search is CPU-bound pure Python: thread
+shards contend on the GIL, process shards do not (benchmarked in
+``benchmarks/bench_e19_parallel_chase.py``).  Passing a bare int > 1 —
+which used to mean *threads* — still works for one release but emits a
+:class:`DeprecationWarning`; spell the intent with a marker instead.
+``ProcessPool()``/``ThreadPool()`` with no width default to the CPU count.
+
+:func:`resolve_parallelism` is the single normalisation point: every
+entry-path knob funnels through it to a ``(kind, workers)`` pair with
+``kind in {"serial", "thread", "process"}`` and ``workers >= 1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+__all__ = [
+    "EvalOptions",
+    "Parallelism",
+    "ProcessPool",
+    "ThreadPool",
+    "resolve_parallelism",
+]
+
+
+def _check_workers(workers: int | None) -> None:
+    if workers is not None and workers < 1:
+        raise ValueError(f"pool workers must be >= 1 or None, got {workers}")
+
+
+@dataclass(frozen=True)
+class ProcessPool:
+    """Shard each level's trigger search across *workers* OS processes.
+
+    ``ProcessPool()`` (workers=None) sizes the pool to the CPU count at
+    run time.  Workers are persistent for the duration of one chase: they
+    receive the TGD shard and intern-pool snapshot once, then per-level
+    deltas (see :mod:`repro.chase.procpool`).
+    """
+
+    workers: int | None = None
+    kind: ClassVar[str] = "process"
+
+    def __post_init__(self) -> None:
+        _check_workers(self.workers)
+
+
+@dataclass(frozen=True)
+class ThreadPool:
+    """Shard each level's trigger search across *workers* threads.
+
+    Threads share the coordinator's memory (no per-level sync cost) but
+    contend on the GIL; prefer :class:`ProcessPool` for CPU-bound chases.
+    ``ThreadPool()`` (workers=None) sizes the pool to the CPU count.
+    """
+
+    workers: int | None = None
+    kind: ClassVar[str] = "thread"
+
+    def __post_init__(self) -> None:
+        _check_workers(self.workers)
+
+
+#: Everything the ``parallelism=`` knob accepts.
+Parallelism = Union[ProcessPool, ThreadPool, int, None]
+
+
+def resolve_parallelism(parallelism: Parallelism) -> tuple[str, int]:
+    """Normalise a ``parallelism=`` value to ``(kind, workers)``.
+
+    ``None`` → ``("serial", 1)``; a marker resolves to its kind with
+    ``workers=None`` meaning the CPU count; a width of 1 collapses to
+    serial (there is nothing to shard).  A bare int > 1 resolves to
+    processes with a one-release :class:`DeprecationWarning` (ints used to
+    mean threads); a bare 1 is serial and warns nothing.
+    """
+    if parallelism is None:
+        return ("serial", 1)
+    if isinstance(parallelism, (ProcessPool, ThreadPool)):
+        workers = parallelism.workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return (parallelism.kind, workers) if workers > 1 else ("serial", 1)
+    if not isinstance(parallelism, int) or isinstance(parallelism, bool):
+        raise TypeError(
+            "parallelism must be ProcessPool(n), ThreadPool(n), an int, or "
+            f"None, got {parallelism!r}"
+        )
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1 or None, got {parallelism}")
+    if parallelism == 1:
+        return ("serial", 1)
+    warnings.warn(
+        f"parallelism={parallelism} as a bare int now means {parallelism} "
+        "worker *processes* (it used to mean threads) and will require a "
+        "marker in the next release; spell it ProcessPool"
+        f"({parallelism}) or ThreadPool({parallelism})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ("process", parallelism)
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """Session-level evaluation options, bundled once and reused everywhere.
+
+    Accepted by :func:`repro.evaluate` (``options=``), :class:`repro.Engine`
+    (``options=``), and :meth:`repro.serve.QueryService.submit`
+    (``options=``).  Explicit keyword arguments at a call site always win
+    over the bundled value — options are *defaults for the session*, not
+    overrides.
+
+    Attributes
+    ----------
+    strategy:
+        OMQ evaluation strategy (``"auto"``, ``"chase"``, ``"bounded"``) —
+        see :func:`repro.omq.certain_answers`.
+    trigger_strategy:
+        Chase trigger search: ``"delta"`` (semi-naive) or ``"naive"``.
+    plan:
+        Join-ordering policy for UCQ evaluation (``"auto"`` or ``None``).
+    backend:
+        Evaluation backend: ``"chase"``, ``"datalog"``, ``"sql"``, or
+        ``"auto"``.
+    parallelism:
+        How to shard the chase's per-level trigger search — a
+        :class:`ProcessPool`/:class:`ThreadPool` marker or ``None``
+        (serial).
+    level_bound:
+        Level bound for the bounded strategy (``None`` → the default).
+    """
+
+    strategy: str = "auto"
+    trigger_strategy: str = "delta"
+    plan: str | None = "auto"
+    backend: str = "chase"
+    parallelism: Parallelism = None
+    level_bound: int | None = None
+
+    def __post_init__(self) -> None:
+        # Fail at construction, not deep inside a chase: normalising here
+        # surfaces a bad width/kind immediately (the result is discarded).
+        resolve_parallelism(self.parallelism)
+        if self.backend not in ("chase", "datalog", "sql", "auto"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected 'chase', "
+                "'datalog', 'sql', or 'auto'"
+            )
+
+    def replace(self, **changes) -> "EvalOptions":
+        """A copy with the given fields changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)

@@ -67,6 +67,7 @@ from ..chase import ChaseCache
 from ..engine import Engine
 from ..evaluation import evaluate as _evaluate, query_kind
 from ..governance import Budget, BudgetExceeded
+from ..options import EvalOptions, Parallelism
 from ..tgds import TGD
 from ..treewidth.heuristics import treewidth_upper_bound
 from .breaker import BreakerBoard
@@ -113,6 +114,13 @@ class ServiceConfig:
     headroom for answer extraction after a trip — the request's *hard*
     budget clamps both, so end-to-end time never exceeds the deadline
     (plus watchdog slack).
+
+    ``parallelism`` shards every tenant chase's per-level trigger search
+    (:class:`~repro.options.ProcessPool` / ``ThreadPool`` markers or
+    ``None`` for serial).  Sizing note: each of the ``max_workers``
+    evaluation threads may drive its own pool, so a ``ProcessPool(n)``
+    setting can hold up to ``max_workers * n`` worker processes alive at
+    peak — size the product to the machine, not each knob alone.
     """
 
     deadline: float = 2.0
@@ -132,7 +140,7 @@ class ServiceConfig:
     retry_after: float = 0.25  # base backoff hint for rejections
     cache_entries: int = 128
     cache_spill_dir: str | None = None
-    parallelism: int | None = 1
+    parallelism: "Parallelism" = None
 
     def __post_init__(self) -> None:
         if self.deadline <= 0:
@@ -157,6 +165,7 @@ class QueryRequest:
     backend: str
     budget: Budget
     submitted: float
+    options: EvalOptions | None = None
     dispatched: float | None = None
     future: "asyncio.Future | None" = None
     #: Test hook in the spirit of ``Budget.inject``: replaces the worker's
@@ -364,6 +373,7 @@ class QueryService:
         database,
         *,
         backend: str | None = None,
+        options: EvalOptions | None = None,
         deadline: float | None = None,
         _evaluator: Callable | None = None,
     ) -> QueryResponse:
@@ -371,13 +381,19 @@ class QueryService:
 
         Never raises for evaluation-side problems and never blocks past
         the deadline + watchdog slack: every failure mode maps to a
-        :class:`QueryResponse` status.
+        :class:`QueryResponse` status.  *options* is the same
+        :class:`~repro.options.EvalOptions` bundle :func:`repro.evaluate`
+        takes — it supplies the backend default and, for chase-backed
+        evaluation, the strategy/trigger-strategy/parallelism/level-bound
+        knobs; an explicit ``backend=`` at the call site wins.
         """
         if not self._running:
             raise RuntimeError("service is not running (use `async with`)")
         entry = self._tenants.get(tenant)
         if entry is None:
             raise KeyError(f"unknown tenant {tenant!r}")
+        if backend is None and options is not None:
+            backend = options.backend
         backend = backend or "auto"
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
@@ -397,6 +413,7 @@ class QueryService:
                 else Budget(deadline=deadline, hard=True, clock=self._clock)
             ),
             submitted=now,
+            options=options,
             future=self._loop.create_future(),
             _evaluator=_evaluator,
         )
@@ -655,6 +672,22 @@ class QueryService:
         propagate to the dispatcher, which maps them to ``error``."""
         if req._evaluator is not None:
             return req._evaluator(req, entry.engine, budget)
+        if req.options is not None:
+            # An options bundle routes through the unified front door so
+            # its chase knobs (strategy/trigger/parallelism/level bound)
+            # apply; OMQs still share the tenant's scoped chase cache.
+            return _evaluate(
+                req.query,
+                req.database,
+                options=req.options,
+                backend=(
+                    ("sql" if backend == "sql" else "chase")
+                    if req.kind == "cqs"
+                    else backend
+                ),
+                budget=budget,
+                cache=entry.engine.cache if req.kind == "omq" else None,
+            )
         if req.kind == "omq":
             return entry.engine.certain_answers(
                 req.query, req.database, budget=budget, backend=backend

@@ -37,6 +37,7 @@ from repro.chase import (
 from repro.datamodel import EvalStats, set_null_counter
 from repro.datamodel.io import checkpoint_from_json_dict, checkpoint_to_json_dict
 from repro.governance import TRIP_CODES
+from repro.options import ProcessPool, ThreadPool
 
 #: Fixed seeds every run sweeps; CHAOS_SEED (CI's randomized seed) is added.
 FIXED_SEEDS = (0, 1, 2)
@@ -44,8 +45,9 @@ FIXED_SEEDS = (0, 1, 2)
 #: Null-counter base pinned before every fresh (non-resumed) run.
 NULL_BASE = 1_000
 
-#: Worker counts the chase sweep covers (None = executor with CPU count).
-PARALLELISMS = (None, 2, 4)
+#: Parallelism flavours the chase sweep covers: serial, thread shards,
+#: process shards (the wider process sweep lives in the multicore suite).
+PARALLELISMS = (None, ThreadPool(2), ProcessPool(2))
 
 #: Check sites the chase sweep injects at (the two governed chase loops).
 CHASE_SITES = ("trigger-fire", "hom-backtrack")

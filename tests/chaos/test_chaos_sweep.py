@@ -125,8 +125,8 @@ def test_chase_sweep(seed, parallelism):
 def test_chained_trips_still_reach_oracle(seed):
     """Trip, resume with a budget that trips again, resume again — converges."""
     db, tgds = driver.chase_scenario()
-    oracle_fp, _ = _chase_oracle(1)
-    counts = _chase_site_counts(1)
+    oracle_fp, _ = _chase_oracle(None)
+    counts = _chase_site_counts(None)
     rng = random.Random(seed)
     first = rng.randint(1, counts["trigger-fire"])
 
@@ -152,16 +152,23 @@ def test_chained_trips_still_reach_oracle(seed):
 # ======================================================================
 # Worker failure: a crashing shard is retried once, then checkpointed
 # ======================================================================
-def _kill_ordinal(seed):
-    counts = _chase_site_counts(2)
+#: Both shard flavours must honour the same crash-recovery contract: a
+#: thread shard dies by exception, a process shard by the coordinator's
+#: deterministic budget replay raising mid-merge.
+CRASH_POOLS = (driver.ThreadPool(2), driver.ProcessPool(2))
+
+
+def _kill_ordinal(seed, pool):
+    counts = _chase_site_counts(pool)
     return random.Random(seed).randint(1, counts["hom-backtrack"])
 
 
+@pytest.mark.parametrize("pool", CRASH_POOLS)
 @pytest.mark.parametrize("seed", driver.seeds())
-def test_worker_crash_retried_once(seed):
+def test_worker_crash_retried_once(seed, pool):
     db, tgds = driver.chase_scenario()
-    oracle_fp, _ = _chase_oracle(2)
-    ordinal = _kill_ordinal(seed)  # probe chase — must run before the pin
+    oracle_fp, _ = _chase_oracle(pool)
+    ordinal = _kill_ordinal(seed, pool)  # probe chase — runs before the pin
     driver.pin_nulls()
     budget = Budget()
     budget.inject(ordinal, site="hom-backtrack", exc=RuntimeError)
@@ -171,7 +178,7 @@ def test_worker_crash_retried_once(seed):
         tgds,
         budget=budget,
         stats=stats,
-        parallelism=2,
+        parallelism=pool,
         parallel_threshold=0,
     )
     # One worker died mid-level; the coordinator retried its shard inline
@@ -182,11 +189,12 @@ def test_worker_crash_retried_once(seed):
     assert driver.chase_fingerprint(result) == oracle_fp
 
 
+@pytest.mark.parametrize("pool", CRASH_POOLS)
 @pytest.mark.parametrize("seed", driver.seeds())
-def test_worker_crash_twice_checkpoints_consistent_state(seed):
+def test_worker_crash_twice_checkpoints_consistent_state(seed, pool):
     db, tgds = driver.chase_scenario()
-    oracle_fp, _ = _chase_oracle(2)
-    ordinal = _kill_ordinal(seed)  # probe chase — must run before the pin
+    oracle_fp, _ = _chase_oracle(pool)
+    ordinal = _kill_ordinal(seed, pool)  # probe chase — runs before the pin
     driver.pin_nulls()
     budget = Budget()
     budget.inject(ordinal, site="hom-backtrack", exc=RuntimeError, repeats=2)
@@ -195,7 +203,7 @@ def test_worker_crash_twice_checkpoints_consistent_state(seed):
             db,
             tgds,
             budget=budget,
-            parallelism=2,
+            parallelism=pool,
             parallel_threshold=0,
         )
     # The retry died too: the error escapes, but carries a checkpoint of

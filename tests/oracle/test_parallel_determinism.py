@@ -1,12 +1,14 @@
 """Determinism oracle: the parallel chase against the serial engine.
 
-``chase(..., parallelism=N)`` shards each level's trigger search across N
-worker threads and merges the shards back into serial enumeration order, so
-it must agree with ``parallelism=1`` *exactly* — not just up to
-isomorphism: identical atom sets modulo null renaming, identical level
-histograms, identical ground parts, identical certain answers, identical
-work counters for the merged search.  ``parallel_threshold=0`` forces the
-sharded path even on tiny frontiers so small workloads exercise it.
+``chase(..., parallelism=ThreadPool(n))`` shards each level's trigger
+search across n worker threads and merges the shards back into serial
+enumeration order, so it must agree with ``parallelism=None`` *exactly* —
+not just up to isomorphism: identical atom sets modulo null renaming,
+identical level histograms, identical ground parts, identical certain
+answers, identical work counters for the merged search.
+``parallel_threshold=0`` forces the sharded path even on tiny frontiers so
+small workloads exercise it.  (The process-pool flavour has its own
+bit-identity oracle in ``test_process_parallelism.py``.)
 """
 
 from collections import Counter
@@ -25,9 +27,10 @@ from repro.chase import chase
 from repro.datamodel import is_isomorphic
 from repro.governance import Budget
 from repro.omq import OMQ, certain_answers
+from repro.options import ThreadPool
 from repro.queries import parse_ucq
 
-WORKERS = (1, 2, 8)
+WORKERS = (None, ThreadPool(2), ThreadPool(8))
 
 
 def level_histogram(result):
@@ -84,7 +87,7 @@ class TestParallelEqualsSerial:
         serial = chase(db, tgds)
         parallel = chase(db, tgds, parallelism=workers, parallel_threshold=0)
         assert_same_chase(serial, parallel)
-        if workers > 1 and len([t for t in tgds if t.body]) >= 2:
+        if workers is not None and len([t for t in tgds if t.body]) >= 2:
             assert parallel.stats.parallel_levels > 0
         assert_same_instance(serial, parallel)
 
@@ -92,7 +95,8 @@ class TestParallelEqualsSerial:
     def test_naive(self, tgds, db):
         serial = chase(db, tgds, strategy="naive")
         parallel = chase(
-            db, tgds, strategy="naive", parallelism=4, parallel_threshold=0
+            db, tgds, strategy="naive", parallelism=ThreadPool(4),
+            parallel_threshold=0
         )
         assert_same_chase(serial, parallel)
         assert_same_instance(serial, parallel)
@@ -100,7 +104,9 @@ class TestParallelEqualsSerial:
     def test_threshold_keeps_small_levels_serial(self):
         tgds = employment_ontology()
         db = employment_database(10, 2, seed=1)
-        result = chase(db, tgds, parallelism=4, parallel_threshold=10**9)
+        result = chase(
+            db, tgds, parallelism=ThreadPool(4), parallel_threshold=10**9
+        )
         assert result.stats.parallel_levels == 0
         assert result.stats.shards_dispatched == 0
         assert_same_chase(chase(db, tgds), result)
@@ -135,7 +141,10 @@ class TestGovernedParallel:
         tgds = sharded_ontology(4, 3)
         db = sharded_database(4, 12, 30, seed=7)
         budget = Budget(max_steps=200)
-        result = chase(db, tgds, parallelism=4, parallel_threshold=0, budget=budget)
+        result = chase(
+            db, tgds, parallelism=ThreadPool(4), parallel_threshold=0,
+            budget=budget,
+        )
         assert not result.terminated
         assert result.trip == "step budget"
         # Every atom is database-level or derivable: the prefix re-chases to
@@ -148,7 +157,10 @@ class TestGovernedParallel:
         db = sharded_database(4, 14, 40, seed=2)
         budget = Budget()
         budget.cancel("stop now")
-        result = chase(db, tgds, parallelism=4, parallel_threshold=0, budget=budget)
+        result = chase(
+            db, tgds, parallelism=ThreadPool(4), parallel_threshold=0,
+            budget=budget,
+        )
         assert result.trip == "cancelled"
         assert not result.terminated
 
@@ -156,3 +168,7 @@ class TestGovernedParallel:
         db = employment_database(5, 1)
         with pytest.raises(ValueError):
             chase(db, employment_ontology(), parallelism=0)
+        with pytest.raises(ValueError):
+            chase(db, employment_ontology(), parallelism=ThreadPool(0))
+        with pytest.raises(TypeError):
+            chase(db, employment_ontology(), parallelism="four")

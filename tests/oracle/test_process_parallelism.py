@@ -1,0 +1,245 @@
+"""Bit-identity oracle for the process-sharded chase.
+
+``chase(..., parallelism=ProcessPool(n))`` runs each level's trigger
+search in n worker processes over interned wire buffers and merges the
+candidates back into serial enumeration order, replaying the workers'
+budget-check counts into the shared :class:`~repro.governance.Budget`.
+Everything observable must therefore be *bit-identical* to the serial
+run — same atoms with the same null idents, same levels, same counters,
+same trips — which this module asserts directly (null-counter pinned, so
+fingerprints compare raw atom strings, not isomorphism classes).
+
+The pool itself (spawn, per-level sync, hard worker death + respawn) is
+unit-tested at the wire level at the bottom.
+"""
+
+import pytest
+
+from repro.chase import chase, resume_chase
+from repro.chase.procpool import ProcessShardPool
+from repro.datamodel import EvalStats, Instance
+from repro.datamodel.interning import InternPool
+from repro.governance import Budget
+from repro.options import ProcessPool
+
+from tests.chaos import driver
+
+POOLS = (ProcessPool(2), ProcessPool(4))
+
+
+def _serial_run():
+    db, tgds = driver.chase_scenario()
+    driver.pin_nulls()
+    stats = EvalStats()
+    result = chase(db, tgds, stats=stats, parallel_threshold=0)
+    return result, stats
+
+
+class TestProcessEqualsSerial:
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_bit_identical_instances_and_counters(self, pool):
+        serial, serial_stats = _serial_run()
+        db, tgds = driver.chase_scenario()
+        driver.pin_nulls()
+        stats = EvalStats()
+        parallel = chase(
+            db, tgds, stats=stats, parallelism=pool, parallel_threshold=0
+        )
+        assert parallel.parallelism_kind == "process"
+        assert driver.chase_fingerprint(parallel) == driver.chase_fingerprint(
+            serial
+        )
+        # The merged search does exactly the serial search's work.
+        assert stats.triggers_enumerated == serial_stats.triggers_enumerated
+        assert stats.triggers_fired == serial_stats.triggers_fired
+        assert stats.parallel_levels > 0
+        assert stats.shards_dispatched > 0
+
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_naive_strategy_agrees_too(self, pool):
+        db, tgds = driver.chase_scenario()
+        driver.pin_nulls()
+        serial = chase(db, tgds, strategy="naive")
+        driver.pin_nulls()
+        parallel = chase(
+            db, tgds, strategy="naive", parallelism=pool, parallel_threshold=0
+        )
+        assert driver.chase_fingerprint(parallel) == driver.chase_fingerprint(
+            serial
+        )
+
+    def test_certain_answers_agree(self):
+        from repro.omq import OMQ, certain_answers
+        from repro.queries import parse_ucq
+
+        db, tgds = driver.chase_scenario()
+        omq = OMQ.with_full_data_schema(list(tgds), parse_ucq("q(x) :- S(x)"))
+        serial = certain_answers(omq, db)
+        parallel = certain_answers(omq, db, parallelism=ProcessPool(2))
+        assert parallel.answers == serial.answers
+        assert parallel.complete and serial.complete
+
+    def test_polluted_default_pool_is_survived(self):
+        """Unrelated instances may intern exotic objects (e.g. the
+        reductions' GroheElement) into the shared default pool; the wire
+        snapshot ships them as id-keyed opaque placeholders instead of
+        failing the sync, and the chase stays bit-identical."""
+        from repro.datamodel.interning import default_pool
+
+        class Exotic:
+            """Deliberately outside the term codec's vocabulary."""
+
+            def __repr__(self):
+                return "<exotic>"
+
+        default_pool().intern(Exotic())
+        serial, _ = _serial_run()
+        db, tgds = driver.chase_scenario()
+        driver.pin_nulls()
+        parallel = chase(
+            db,
+            tgds,
+            parallelism=ProcessPool(2),
+            parallel_threshold=0,
+        )
+        assert driver.chase_fingerprint(parallel) == driver.chase_fingerprint(
+            serial
+        )
+
+
+class TestGovernedProcessChase:
+    """Budget replay is deterministic: trips land identically every run."""
+
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_step_budget_trips_deterministically(self, pool):
+        db, tgds = driver.chase_scenario()
+        runs = []
+        for _ in range(2):
+            driver.pin_nulls()
+            result = chase(
+                db,
+                tgds,
+                budget=Budget(max_steps=40),
+                parallelism=pool,
+                parallel_threshold=0,
+            )
+            assert result.trip == "step budget"
+            runs.append(driver.chase_fingerprint(result))
+        assert runs[0] == runs[1]
+
+    @pytest.mark.parametrize("pool", (None, ProcessPool(2), ProcessPool(4)))
+    def test_resume_equals_oracle(self, pool):
+        """resume(trip(run)) ≡ uninterrupted run, across process shards."""
+        db, tgds = driver.chase_scenario()
+        driver.pin_nulls()
+        oracle = driver.chase_fingerprint(
+            chase(db, tgds, parallelism=pool, parallel_threshold=0)
+        )
+        driver.pin_nulls()
+        budget = Budget(max_steps=40)
+        tripped = chase(
+            db, tgds, budget=budget, parallelism=pool, parallel_threshold=0
+        )
+        assert tripped.checkpoint is not None
+        # Resume under the *same* parallelism and after a JSON round-trip.
+        for ckpt in (tripped.checkpoint, driver.roundtrip(tripped.checkpoint)):
+            resumed = resume_chase(ckpt, budget=Budget(), parallelism=pool)
+            assert driver.chase_fingerprint(resumed) == oracle
+
+    def test_resume_across_kinds_is_identical(self):
+        """A checkpoint from a process run resumes serially to the same
+        instance (and vice versa) — the checkpoint is kind-agnostic."""
+        db, tgds = driver.chase_scenario()
+        driver.pin_nulls()
+        oracle = driver.chase_fingerprint(chase(db, tgds))
+        driver.pin_nulls()
+        tripped = chase(
+            db,
+            tgds,
+            budget=Budget(max_steps=40),
+            parallelism=ProcessPool(2),
+            parallel_threshold=0,
+        )
+        config = tripped.checkpoint.config
+        assert config["parallelism"] == {"kind": "process", "workers": 2}
+        resumed = resume_chase(
+            driver.roundtrip(tripped.checkpoint), budget=Budget(),
+            parallelism=None,
+        )
+        assert driver.chase_fingerprint(resumed) == oracle
+
+
+class TestProcessShardPoolWire:
+    """The pool's own lifecycle: init, per-level sync, death, respawn."""
+
+    def _make(self, workers=2, strategy="naive"):
+        db, tgds = driver.chase_scenario()
+        ipool = InternPool()
+        instance = Instance(list(db), pool=ipool)
+        atoms = list(instance)
+        pairs = [(i, t) for i, t in enumerate(tgds) if t.body]
+        shard_pool = ProcessShardPool(
+            workers=workers,
+            tgds=tgds,
+            pairs=pairs,
+            strategy=strategy,
+            pool=ipool,
+        )
+        return shard_pool, atoms, pairs
+
+    @staticmethod
+    def _ok_candidates(outcomes):
+        assert all(outcome[0] == "ok" for outcome in outcomes), outcomes
+        return sorted(
+            (index, tuple(ids))
+            for outcome in outcomes
+            for index, ids in outcome[1]["candidates"]
+        )
+
+    def test_levels_are_repeatable(self):
+        shard_pool, atoms, pairs = self._make()
+        try:
+            assert len(shard_pool) == 2
+            first = self._ok_candidates(shard_pool.run_level(atoms, [], None))
+            assert first  # the scenario has triggers at level 1
+            again = self._ok_candidates(shard_pool.run_level(atoms, [], None))
+            assert again == first
+        finally:
+            shard_pool.stop()
+
+    def test_hard_worker_death_is_survived(self):
+        """A worker killed with os._exit mid-pool costs one 'died' outcome;
+        the next level runs on a transparently respawned process."""
+        shard_pool, atoms, pairs = self._make()
+        try:
+            baseline = self._ok_candidates(
+                shard_pool.run_level(atoms, [], None)
+            )
+            shard_pool.crash_worker(0)
+            outcomes = shard_pool.run_level(atoms, [], None)
+            assert outcomes[0][0] == "died"
+            assert outcomes[1][0] == "ok"
+            # The respawn happened inside run_level: next level is whole.
+            healed = self._ok_candidates(shard_pool.run_level(atoms, [], None))
+            assert healed == baseline
+        finally:
+            shard_pool.stop()
+
+    def test_site_counts_ride_along(self):
+        shard_pool, atoms, pairs = self._make()
+        try:
+            outcomes = shard_pool.run_level(atoms, [], None)
+            sites = {}
+            for outcome in outcomes:
+                for site, n in outcome[1]["sites"].items():
+                    sites[site] = sites.get(site, 0) + n
+            # The serial search over the same state checks the same sites
+            # the same number of times — the replay invariant.
+            budget = Budget()
+            from repro.chase.engine import _naive_triggers
+
+            instance = Instance(atoms, pool=InternPool())
+            list(_naive_triggers(pairs, instance, EvalStats(), budget))
+            assert sites == dict(budget.site_counts)
+        finally:
+            shard_pool.stop()

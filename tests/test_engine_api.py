@@ -1,10 +1,11 @@
 """The unified Engine surface and the uniform kwargs/result protocol.
 
 ``repro.Engine`` must agree with the module-level functions it wraps, the
-deprecated ``chase_strategy=`` spelling must keep working (with a
-``DeprecationWarning``), and every evaluation entry point / result type
-must speak the uniform protocol: ``budget=``/``stats=`` kwargs in,
-``.complete`` / ``.trip`` / ``.stats`` out.
+v1 deprecation policy must hold (``chase_strategy=`` is gone — a
+``TypeError`` — and bare-int ``parallelism`` warns for one release), and
+every evaluation entry point / result type must speak the uniform
+protocol: ``budget=``/``stats=`` kwargs in, ``.complete`` / ``.trip`` /
+``.stats`` out.
 """
 
 import pytest
@@ -13,7 +14,10 @@ from repro import (
     Budget,
     ChaseCache,
     Engine,
+    EvalOptions,
     OMQ,
+    ProcessPool,
+    ThreadPool,
     certain_answers,
     chase,
     extend_chase,
@@ -114,15 +118,14 @@ class TestEngineGovernance:
 
 
 class TestDeprecations:
-    def test_chase_strategy_warns_and_agrees(self, workload):
+    def test_chase_strategy_is_gone(self, workload):
+        """The one-release shim was removed: the old kwarg is a TypeError."""
         tgds, db = workload
         omq = OMQ.with_full_data_schema(tgds, QUERY)
-        with pytest.warns(DeprecationWarning, match="trigger_strategy"):
-            old = certain_answers(omq, db, chase_strategy="naive")
-        new = certain_answers(omq, db, trigger_strategy="naive")
-        assert old.answers == new.answers
+        with pytest.raises(TypeError):
+            certain_answers(omq, db, chase_strategy="naive")
 
-    def test_new_spelling_does_not_warn(self, workload):
+    def test_trigger_strategy_does_not_warn(self, workload):
         import warnings
 
         tgds, db = workload
@@ -130,6 +133,72 @@ class TestDeprecations:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             certain_answers(omq, db, trigger_strategy="delta")
+
+    def test_bare_int_parallelism_warns_and_means_processes(self, workload):
+        tgds, db = workload
+        with pytest.warns(DeprecationWarning, match="ProcessPool"):
+            result = chase(db, tgds, parallelism=2)
+        assert result.parallelism_kind == "process"
+        oracle = chase(db, tgds)
+        assert len(result.instance) == len(oracle.instance)
+
+    def test_markers_do_not_warn(self, workload):
+        import warnings
+
+        tgds, db = workload
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert chase(db, tgds, parallelism=None).parallelism_kind == "serial"
+            assert (
+                chase(db, tgds, parallelism=ThreadPool(2)).parallelism_kind
+                == "thread"
+            )
+            assert (
+                chase(db, tgds, parallelism=ProcessPool(2)).parallelism_kind
+                == "process"
+            )
+
+
+class TestEvalOptions:
+    def test_bundle_supplies_engine_defaults(self, workload):
+        tgds, db = workload
+        opts = EvalOptions(
+            trigger_strategy="naive", plan=None, parallelism=ThreadPool(2)
+        )
+        engine = Engine(tgds, options=opts)
+        assert engine.trigger_strategy == "naive"
+        assert engine.plan is None
+        assert engine.parallelism == ThreadPool(2)
+        assert engine.backend == "chase"
+        # Explicit kwargs win over the bundle.
+        override = Engine(tgds, options=opts, trigger_strategy="delta")
+        assert override.trigger_strategy == "delta"
+        assert override.plan is None  # still from the bundle
+
+    def test_bundle_agrees_with_explicit_kwargs(self, workload):
+        from repro import evaluate as evaluate_unified
+
+        tgds, db = workload
+        omq = OMQ.with_full_data_schema(tgds, QUERY)
+        bundled = evaluate_unified(
+            omq, db, options=EvalOptions(trigger_strategy="naive")
+        )
+        explicit = evaluate_unified(omq, db, trigger_strategy="naive")
+        assert bundled.answers == explicit.answers
+
+    def test_bundle_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            EvalOptions(backend="mystery")
+        with pytest.raises(ValueError):
+            EvalOptions(parallelism=0)
+        with pytest.raises(TypeError):
+            EvalOptions(parallelism="four")
+
+    def test_replace_revalidates(self):
+        opts = EvalOptions()
+        assert opts.replace(backend="sql").backend == "sql"
+        with pytest.raises(ValueError):
+            opts.replace(backend="mystery")
 
 
 class TestUniformKwargs:
@@ -153,7 +222,9 @@ class TestUniformKwargs:
         q = parse_cq("q() :- E(x, y)")
         stats = EvalStats()
         cache = ChaseCache()
-        assert contained_under(p, q, tgds, stats=stats, cache=cache, parallelism=2)
+        assert contained_under(
+            p, q, tgds, stats=stats, cache=cache, parallelism=ThreadPool(2)
+        )
         assert equivalent_under(p, q, tgds, cache=cache)
         assert cache.hits >= 1  # the canonical database of q repeats
 
@@ -162,7 +233,9 @@ class TestUniformKwargs:
         q = parse_cq("q() :- E(x, y), E(y, x)")
         minimal = minimize_under_constraints(q, tgds, cache=ChaseCache())
         assert len(minimal.atoms) == 1
-        assert is_minimal_under_constraints(minimal, tgds, parallelism=2)
+        assert is_minimal_under_constraints(
+            minimal, tgds, parallelism=ThreadPool(2)
+        )
 
 
 class TestResultProtocol:
