@@ -1,0 +1,221 @@
+"""E24 — Durability overhead: crash-safety must be affordable.
+
+Claim: the durable-store protocol (checksummed envelope, write-temp →
+fsync(file) → atomic rename → fsync(dir)) costs little enough over the
+pre-durability save path (bare JSON, temp + rename, no fsync, no
+checksum) that every persistence path can afford it unconditionally.
+Measured: on E21's checkpoint workload (a tripped join-chain chase — the
+exact document the CLI's ``--checkpoint-dir``, the cache spill tier, and
+the service's park path write), best-of-N wall time of
+
+* the **legacy save** (encode + temp-write + rename);
+* the **durable save** (:func:`repro.storage.write_durable`: envelope +
+  sha256 + two fsyncs) — gate: ≤ 1.5× legacy;
+* the **verified load** (:func:`repro.storage.read_durable`: checksum
+  re-verified) vs a bare ``json.loads`` of the legacy file;
+* a **recovery scan** over a 100-artifact spill directory, two of them
+  corrupted — gate: < 1 s, with exactly the corrupt pair quarantined.
+
+Results are dumped to ``BENCH_durability.json`` in the repo root for the
+CI trajectory.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_e21_resume import _tripped_wire, _workload
+from harness import print_table, timed
+
+from repro.chase import chase
+from repro.datamodel import set_null_counter
+from repro.governance import Budget
+from repro.storage import RecoveryManager, read_durable, write_durable
+
+NULL_BASE = 10_000
+REPEATS = 5
+#: Gate: the fsynced, checksummed save within this factor of the old path.
+MAX_SAVE_RATIO = 1.5
+#: Gate: scanning a spill directory of this many artifacts within 1 s.
+SCAN_ARTIFACTS = 100
+MAX_SCAN_SECONDS = 1.0
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+
+def _checkpoint_payload(depth=18, cycle=50, n_facts=110) -> dict:
+    """E21's wire document: a tripped chase checkpoint, decoded to a dict."""
+    db, tgds = _workload(depth, cycle, n_facts)
+    set_null_counter(NULL_BASE)
+    full = chase(db, tgds, budget=Budget())
+    return json.loads(_tripped_wire(db, tgds, full.fired))
+
+
+def _legacy_save(payload: dict, path: Path) -> None:
+    """The pre-durability path: encode, temp-write, rename.  No fsync,
+    no envelope, no checksum — the baseline the 1.5× gate is against."""
+    data = json.dumps(payload).encode()
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+
+
+def _best_of(repeats: int, fn, *args):
+    best = float("inf")
+    for _ in range(repeats):
+        _, seconds = timed(fn, *args)
+        best = min(best, seconds)
+    return best
+
+
+def _seed_spill_dir(directory: Path, payload: dict, count: int) -> list[Path]:
+    """*count* spill artifacts, the last two corrupted (torn + bit flip)."""
+    files = []
+    for i in range(count):
+        path = directory / f"{i:03d}.spill.json"
+        write_durable(path, payload, kind="chase-checkpoint")
+        files.append(path)
+    torn, flipped = files[-2], files[-1]
+    torn.write_bytes(torn.read_bytes()[:-40])
+    data = bytearray(flipped.read_bytes())
+    data[len(data) // 2] ^= 0x20
+    flipped.write_bytes(bytes(data))
+    return files
+
+
+def run() -> list[dict]:
+    payload = _checkpoint_payload()
+    rows = []
+
+    with TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        legacy_path = tmp / "legacy.json"
+        durable_path = tmp / "durable.json"
+
+        legacy_s = _best_of(REPEATS, _legacy_save, payload, legacy_path)
+        durable_s = _best_of(
+            REPEATS, write_durable, durable_path, payload
+        )
+        save_ratio = durable_s / max(legacy_s, 1e-9)
+
+        bare_load_s = _best_of(
+            REPEATS, lambda: json.loads(legacy_path.read_bytes())
+        )
+        verified_load_s = _best_of(
+            REPEATS, lambda: read_durable(durable_path)
+        )
+        assert read_durable(durable_path) == payload
+
+        doc_kib = legacy_path.stat().st_size / 1024
+        rows.append(
+            {
+                "path": "checkpoint save",
+                "doc KiB": f"{doc_kib:.0f}",
+                "legacy": legacy_s,
+                "durable": durable_s,
+                "durable/legacy": f"{save_ratio:.2f}",
+                "gate": f"<= {MAX_SAVE_RATIO}",
+            }
+        )
+        rows.append(
+            {
+                "path": "checkpoint load",
+                "doc KiB": f"{doc_kib:.0f}",
+                "legacy": bare_load_s,
+                "durable": verified_load_s,
+                "durable/legacy": f"{verified_load_s / max(bare_load_s, 1e-9):.2f}",
+                "gate": "(informational)",
+            }
+        )
+
+        # Recovery scan: 100 artifacts, 2 damaged.
+        spill_dir = tmp / "spill"
+        spill_dir.mkdir()
+        _seed_spill_dir(spill_dir, payload, SCAN_ARTIFACTS)
+        manager = RecoveryManager(
+            spill_dir, pattern="*.spill.json", kind="chase-checkpoint"
+        )
+        report, scan_s = timed(manager.scan)
+        assert report.scanned == SCAN_ARTIFACTS
+        assert len(report.artifacts) == SCAN_ARTIFACTS - 2
+        assert len(report.quarantined) == 2, "both damaged artifacts caught"
+        rows.append(
+            {
+                "path": f"recovery scan ({SCAN_ARTIFACTS} artifacts)",
+                "doc KiB": f"{doc_kib:.0f}",
+                "legacy": "-",
+                "durable": scan_s,
+                "durable/legacy": "-",
+                "gate": f"< {MAX_SCAN_SECONDS}s",
+            }
+        )
+
+    # The acceptance gates.
+    assert save_ratio <= MAX_SAVE_RATIO, (
+        f"durable save cost {save_ratio:.2f}x legacy, wanted <= {MAX_SAVE_RATIO}x"
+    )
+    assert scan_s < MAX_SCAN_SECONDS, (
+        f"recovery scan took {scan_s:.2f}s, wanted < {MAX_SCAN_SECONDS}s"
+    )
+
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "E24 durability overhead",
+                "workload": (
+                    "E21's tripped join-chain checkpoint document; "
+                    "legacy = encode + temp-write + rename, durable = "
+                    "envelope + sha256 + fsync(file) + rename + fsync(dir)"
+                ),
+                "gates": {
+                    "save_ratio_max": MAX_SAVE_RATIO,
+                    "scan_seconds_max": MAX_SCAN_SECONDS,
+                },
+                "results": {
+                    "document_bytes": int(doc_kib * 1024),
+                    "legacy_save_seconds": legacy_s,
+                    "durable_save_seconds": durable_s,
+                    "save_ratio": save_ratio,
+                    "bare_load_seconds": bare_load_s,
+                    "verified_load_seconds": verified_load_s,
+                    "scan_artifacts": SCAN_ARTIFACTS,
+                    "scan_corrupted": 2,
+                    "scan_seconds": scan_s,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return rows
+
+
+def test_e24_durable_save(benchmark):
+    payload = _checkpoint_payload()
+    with TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ckpt.json"
+        benchmark(lambda: write_durable(path, payload))
+
+
+def test_e24_recovery_scan(benchmark):
+    payload = _checkpoint_payload(depth=8, cycle=30, n_facts=40)
+    with TemporaryDirectory() as tmp:
+        spill_dir = Path(tmp) / "spill"
+        spill_dir.mkdir()
+        _seed_spill_dir(spill_dir, payload, 20)
+
+        def scan():
+            manager = RecoveryManager(
+                spill_dir, pattern="*.spill.json", kind="chase-checkpoint"
+            )
+            return manager.scan()
+
+        benchmark(scan)
+
+
+if __name__ == "__main__":
+    print_table("E24 — durability overhead", run())
+    print(f"\nJSON written to {JSON_PATH}")

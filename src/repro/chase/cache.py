@@ -69,7 +69,8 @@ from ..datamodel import EvalStats, Instance
 from ..datamodel.terms import null_counter_value
 from ..options import Parallelism
 from ..governance import Budget
-from ..governance.checkpoint import ChaseCheckpoint
+from ..governance.checkpoint import ChaseCheckpoint, CheckpointError
+from ..storage import CorruptArtifactError, RecoveryManager, RecoveryReport, quarantine
 from ..tgds import TGD
 from .engine import ChaseResult, chase, extend_chase, resume_chase
 
@@ -111,8 +112,10 @@ class ChaseCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.spill_dir = None if spill_dir is None else Path(spill_dir)
-        if self.spill_dir is not None:
-            self.spill_dir.mkdir(parents=True, exist_ok=True)
+        #: Startup recovery scan of an existing spill directory (None
+        #: without one): surviving spill files re-enter the manifest,
+        #: damaged ones are quarantined — see :meth:`_recover_spills`.
+        self.recovery: RecoveryReport | None = None
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, ChaseResult] = OrderedDict()
         #: Checkpoints of tripped runs, awaiting a resume (same key space).
@@ -134,6 +137,48 @@ class ChaseCache:
         self.materialisation_stores = 0
         self.spills = 0
         self.spill_hits = 0
+        self.spill_failures = 0
+        self.quarantined = 0
+        if self.spill_dir is not None:
+            self.recovery = self._recover_spills()
+
+    # ------------------------------------------------------------------
+    # Spill-tier recovery (construction time)
+    # ------------------------------------------------------------------
+    def _recover_spills(self) -> RecoveryReport:
+        """Rebuild the spill manifest from whatever survived on disk.
+
+        Every ``*.spill.json`` under ``spill_dir`` is checksum-verified
+        and decoded; survivors re-enter ``_spilled`` keyed exactly as the
+        live spill path keys them (Σ, strategy, database atoms), so a
+        process restart — or a crash mid-spill — costs at most the
+        artifacts that were mid-write, never the whole tier.  Damaged
+        files are quarantined (moved under ``spill_dir/quarantine/``,
+        kept as evidence, never re-read); orphaned temp files are
+        removed.  Runs before the cache is shared, so no locking.
+        """
+        manager = RecoveryManager(
+            self.spill_dir, pattern="*.spill.json", kind="chase-checkpoint"
+        )
+
+        def validate(path, payload):
+            checkpoint = ChaseCheckpoint.from_json_dict(payload)
+            if checkpoint.trip is not None or checkpoint.delta_atoms:
+                raise CheckpointError(
+                    "not a spill artifact: checkpoint has a live frontier"
+                )
+            return checkpoint
+
+        report = manager.scan(validate=validate)
+        for path, checkpoint in report.artifacts.items():
+            key = (
+                tuple(checkpoint.tgds),
+                checkpoint.strategy,
+                frozenset(checkpoint.database_atoms()),
+            )
+            self._spilled[key] = path
+        self.quarantined += len(report.quarantined)
+        return report
 
     # ------------------------------------------------------------------
     # The lookup-or-compute entry point
@@ -186,12 +231,28 @@ class ChaseCache:
             # The fixpoint was evicted to disk: reload and resume.  The
             # resume re-enters the level loop with an empty delta frontier,
             # so it costs one empty trigger-search pass (plus the reload),
-            # not a re-materialisation.
+            # not a re-materialisation.  Every reload re-verifies the
+            # envelope checksum: a damaged spill is *quarantined* (kept as
+            # evidence under ``spill_dir/quarantine/``, never re-read) and
+            # the request degrades to a clean miss — ``spill_hits`` counts
+            # only successful reloads.
             try:
                 pending = ChaseCheckpoint.load(spilled)
+            except (CorruptArtifactError, CheckpointError) as exc:
+                pending = None
+                with self._lock:
+                    self.quarantined += 1
+                try:
+                    quarantine(spilled, reason=str(exc))
+                except OSError:
+                    pass  # quarantine is best-effort; the miss still works
             except Exception:
-                pending = None  # corrupt/vanished spill file: plain miss
-            finally:
+                pending = None  # vanished/unreadable spill file: plain miss
+                try:
+                    spilled.unlink(missing_ok=True)
+                except OSError:
+                    pass
+            else:
                 try:
                     spilled.unlink(missing_ok=True)
                 except OSError:
@@ -320,15 +381,20 @@ class ChaseCache:
     def _spill(self, key: tuple, result: ChaseResult) -> None:
         """Demote an evicted fixpoint to a checkpoint file (lock held).
 
-        Serialization failures are swallowed: the spill tier is an
-        optimisation — losing it degrades the next request for this key to
-        a plain miss, never to an error.
+        The write itself is the durable protocol (checksummed envelope,
+        fsync + atomic rename, capped-backoff retries for transient
+        ``OSError``\\ s — see :func:`repro.storage.write_durable`).
+        Persistent failures are swallowed but *counted*
+        (``spill_failures``): the spill tier is an optimisation — losing
+        it degrades the next request for this key to a plain miss, never
+        to an error — but silent loss is how recovery gaps hide.
         """
         try:
             checkpoint = self._fixpoint_checkpoint(key, result)
             path = self.spill_dir / f"{self._digest(key)}.spill.json"
             checkpoint.save(path)
         except Exception:
+            self.spill_failures += 1
             return
         self._spilled[key] = path
         self.spills += 1
@@ -467,6 +533,9 @@ class ChaseCache:
                 "spilled": len(self._spilled),
                 "spills": self.spills,
                 "spill_hits": self.spill_hits,
+                "spill_failures": self.spill_failures,
+                "quarantined": self.quarantined,
+                "recovery": None if self.recovery is None else self.recovery.as_dict(),
                 "tenants": {
                     tenant: dict(counts)
                     for tenant, counts in sorted(self._tenants.items())

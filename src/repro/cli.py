@@ -48,7 +48,8 @@ from .cqs import CQS, is_uniformly_ucq_k_equivalent
 from .datamodel.io import load_checkpoint, save_checkpoint
 from .engine import Engine
 from .governance import Budget
-from .governance.checkpoint import validate_tgds
+from .governance.checkpoint import CheckpointError, validate_tgds
+from .storage import StorageError
 from .omq import OMQ, certain_answers
 from .options import ProcessPool
 from .queries import parse_database, parse_ucq
@@ -181,6 +182,27 @@ def _add_io_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+class _ResumeFailed(Exception):
+    """Internal: --resume could not load; carries the one-line diagnostic."""
+
+
+def _load_resume(args: argparse.Namespace):
+    """Load ``--resume``'s checkpoint, or raise :class:`_ResumeFailed`.
+
+    A corrupt or wrong-kind file becomes a one-line diagnostic (exit
+    status 2), never a traceback: the durable loader's
+    :class:`~repro.storage.CorruptArtifactError` already names the path
+    and the damage, and a missing file or a checkpoint-format refusal
+    reads the same way.
+    """
+    try:
+        return load_checkpoint(args.resume)
+    except FileNotFoundError:
+        raise _ResumeFailed(f"--resume: no such checkpoint: {args.resume}")
+    except (StorageError, CheckpointError) as exc:
+        raise _ResumeFailed(f"--resume: {exc}")
+
+
 def _checkpoint_sink(args: argparse.Namespace, name: str):
     """(path, on_checkpoint callback) for --checkpoint-dir, or (None, None)."""
     if getattr(args, "checkpoint_dir", None) is None:
@@ -200,8 +222,12 @@ def cmd_chase(args: argparse.Namespace) -> int:
     ckpt_path, on_checkpoint = _checkpoint_sink(args, "chase")
     checkpoint_every = args.checkpoint_every if on_checkpoint else None
     if args.resume is not None:
-        checkpoint = load_checkpoint(args.resume)
-        validate_tgds(checkpoint, tgds)
+        try:
+            checkpoint = _load_resume(args)
+            validate_tgds(checkpoint, tgds)
+        except (_ResumeFailed, CheckpointError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         kwargs = {"parallelism": _parallelism_from(args)}
         if args.max_level is not None:
             kwargs["max_level"] = args.max_level
@@ -259,7 +285,11 @@ def cmd_certain(args: argparse.Namespace) -> int:
     engine = _engine_from(args, tgds)
     ckpt_path, _ = _checkpoint_sink(args, "certain")
     if args.resume is not None:
-        checkpoint = load_checkpoint(args.resume)
+        try:
+            checkpoint = _load_resume(args)
+        except _ResumeFailed as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         answer = engine.resume(checkpoint, query=query, database=db)
     else:
         from .datalog import BackendUnsupported

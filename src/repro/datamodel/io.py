@@ -27,12 +27,10 @@ rebuild instances in checkpoint order to reproduce index iteration order.
 from __future__ import annotations
 
 import csv
-import json
-import os
-import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..storage import CorruptArtifactError, read_durable, write_durable
 from .atoms import Atom
 from .instances import Instance
 from .stats import EvalStats
@@ -378,35 +376,47 @@ def checkpoint_from_json_dict(payload: dict) -> "ChaseCheckpoint":
     )
 
 
-def save_checkpoint(checkpoint: "ChaseCheckpoint", path: str | Path) -> Path:
-    """Write a checkpoint as JSON, atomically (write-temp-then-rename).
+#: Envelope ``kind`` tag for checkpoint artifacts — the durable layer
+#: refuses to serve some other artifact species where a checkpoint is
+#: expected, before the checkpoint codec ever runs.
+CHECKPOINT_ARTIFACT_KIND = "chase-checkpoint"
 
-    The atomic replace means a crash mid-write never leaves a truncated
-    checkpoint where a previous good one stood — the robustness property
-    the CLI's ``--checkpoint-dir`` periodic snapshots rely on.  Returns
-    the final path.
+
+def save_checkpoint(checkpoint: "ChaseCheckpoint", path: str | Path) -> Path:
+    """Write a checkpoint crash-safely; return the final path.
+
+    Routes through :func:`repro.storage.write_durable`: checksummed
+    envelope, write-temp → fsync → rename → directory fsync, retries for
+    transient ``OSError``\\ s.  A crash at any point leaves either the
+    previous checkpoint untouched or the new one complete and on stable
+    storage — the property the CLI's ``--checkpoint-dir`` snapshots, the
+    cache's spill tier, and the service's park-and-resume path rely on.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = checkpoint_to_json_dict(checkpoint)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
+    return write_durable(
+        path, checkpoint_to_json_dict(checkpoint), kind=CHECKPOINT_ARTIFACT_KIND
     )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path
 
 
 def load_checkpoint(path: str | Path) -> "ChaseCheckpoint":
-    """Load a checkpoint written by :func:`save_checkpoint`."""
-    with Path(path).open() as handle:
-        payload = json.load(handle)
-    return checkpoint_from_json_dict(payload)
+    """Load and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Every load re-verifies the envelope checksum; damage of any flavour —
+    truncation, torn write, bit flip, a non-checkpoint artifact — raises
+    :class:`~repro.storage.CorruptArtifactError` carrying the path and
+    reason, never a raw ``json.JSONDecodeError``.  Pre-durability files
+    (bare JSON) still load, unverified.  A structurally valid document
+    that is not a checkpoint keeps raising
+    :class:`~repro.governance.CheckpointError`, and a newer format
+    version is refused as before — those are usage errors, not damage.
+    """
+    payload = read_durable(path, expected_kind=CHECKPOINT_ARTIFACT_KIND)
+    from ..governance.checkpoint import CheckpointError
+
+    try:
+        return checkpoint_from_json_dict(payload)
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptArtifactError(
+            path, f"invalid checkpoint structure: {type(exc).__name__}: {exc}"
+        ) from exc

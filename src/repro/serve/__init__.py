@@ -34,7 +34,7 @@ integrity-constraint promise.
 
 from .breaker import BreakerBoard, CircuitBreaker
 from .loadgen import LoadReport, run_load
-from .net import serve_tcp, request_tcp
+from .net import TcpTransport, serve_tcp, request_tcp
 from .service import (
     QueryRequest,
     QueryResponse,
@@ -53,6 +53,7 @@ __all__ = [
     "QueryService",
     "RequestRecord",
     "ServiceConfig",
+    "TcpTransport",
     "Telemetry",
     "estimate_cost",
     "percentile",

@@ -328,6 +328,15 @@ class QueryService:
         if self._running:
             return self
         self._loop = asyncio.get_running_loop()
+        # Spill-tier recovery already ran when the cache was constructed
+        # (scan, checksum-verify, quarantine the broken, rebuild the
+        # manifest); surface its outcome where operators look.  A dirty
+        # recovery is a served-through incident, not a startup failure:
+        # quarantined spills only cost cache misses.
+        report = self.cache.recovery
+        if report is not None:
+            self.telemetry.gauge("spills_recovered", len(report.artifacts))
+            self.telemetry.gauge("spills_quarantined", len(report.quarantined))
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_workers,
             thread_name_prefix="repro-serve",

@@ -1,0 +1,56 @@
+"""The durable-store layer every persistence path routes through.
+
+Three pieces, one contract:
+
+* :mod:`repro.storage.durable` — the crash-safe file protocol (write temp
+  → fsync file → rename → fsync directory) around a versioned, sha256-
+  checksummed envelope; the typed :class:`StorageError` /
+  :class:`CorruptArtifactError` hierarchy; quarantine.
+* :mod:`repro.storage.recovery` — :class:`RecoveryManager`, the startup
+  scan that validates a directory, quarantines the broken, and reports a
+  :class:`RecoveryReport` the spill tier rebuilds its manifest from.
+* :mod:`repro.storage.fs` — the injectable :class:`FileSystem` seam the
+  chaos harness swaps to inject crashes, torn writes, and transient
+  errors.
+
+The contract, asserted by ``tests/chaos/test_durability.py``: after a
+kill -9 at *any* protocol boundary, the latest durable artifact loads
+bit-identically or the damaged candidate is quarantined with the previous
+good one intact — never a truncated-file traceback, never a silently
+wrong load.
+"""
+
+from .durable import (
+    ENVELOPE_FORMAT,
+    ENVELOPE_VERSION,
+    QUARANTINE_DIRNAME,
+    CorruptArtifactError,
+    StorageError,
+    decode_envelope,
+    encode_envelope,
+    quarantine,
+    read_durable,
+    write_durable,
+)
+from .fs import CRASH_POINTS, FileSystem, clear_crash_point, default_fs, set_crash_point
+from .recovery import RecoveryManager, RecoveryReport
+
+__all__ = [
+    "CRASH_POINTS",
+    "ENVELOPE_FORMAT",
+    "ENVELOPE_VERSION",
+    "QUARANTINE_DIRNAME",
+    "CorruptArtifactError",
+    "FileSystem",
+    "RecoveryManager",
+    "RecoveryReport",
+    "StorageError",
+    "clear_crash_point",
+    "decode_envelope",
+    "default_fs",
+    "encode_envelope",
+    "quarantine",
+    "read_durable",
+    "set_crash_point",
+    "write_durable",
+]

@@ -1,0 +1,305 @@
+"""Crash-safe artifact files: the envelope, the write protocol, quarantine.
+
+Every JSON artifact the system persists — chase checkpoints, cache spills
+— used to be a bare ``json.dump`` behind a temp-file rename.  That
+protects against a crash *mid-write* but not against power loss after the
+rename (data still in the page cache), torn writes surfacing later, or
+plain bit rot; and a reader hitting any of those got a raw
+``json.JSONDecodeError`` with no way to tell "truncated" from "not mine".
+
+This module fixes both ends:
+
+**Envelope.**  A durable file is one header line plus the payload bytes::
+
+    {"format":"repro-durable","version":1,"kind":"chase-checkpoint",
+     "length":N,"sha256":"<hex>"}\\n
+    <N bytes of compact payload JSON>
+
+The checksum is over the payload bytes exactly as written, so
+verification needs no canonical re-serialization; ``length`` catches
+truncation before the hash does.  Files written by older releases (bare
+JSON, no header) still load — the fallback parses the whole file and
+serves it un-checksummed, so durability upgrades in place.
+
+**Write protocol** (:func:`write_durable`)::
+
+    write temp → fsync(temp) → rename(temp → final) → fsync(directory)
+
+The rename is the commit point: a crash anywhere before it leaves the
+previous file untouched, a crash after it leaves the new file complete
+*and* on stable storage (the file fsync made the bytes durable, the
+directory fsync made the name durable).  Transient ``OSError``\\ s retry
+with capped exponential backoff; persistent ones surface as
+:class:`StorageError` after the temp file is cleaned up.
+
+**Failure policy.**  A file that fails verification raises
+:class:`CorruptArtifactError` (path + reason, never a JSON traceback) and
+is *quarantined* by the recovery layer — moved to ``<dir>/quarantine/``,
+never deleted, never re-read — so post-mortems keep the evidence and
+retry loops cannot thrash on a poisoned file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+
+from .fs import FileSystem, default_fs
+
+__all__ = [
+    "ENVELOPE_FORMAT",
+    "ENVELOPE_VERSION",
+    "QUARANTINE_DIRNAME",
+    "StorageError",
+    "CorruptArtifactError",
+    "encode_envelope",
+    "decode_envelope",
+    "write_durable",
+    "read_durable",
+    "quarantine",
+]
+
+ENVELOPE_FORMAT = "repro-durable"
+ENVELOPE_VERSION = 1
+QUARANTINE_DIRNAME = "quarantine"
+
+#: First bytes of every enveloped file — the legacy/new discriminator.
+_HEADER_PREFIX = b'{"format":"repro-durable"'
+
+#: Retry policy for transient OSErrors on the write path.
+DEFAULT_RETRIES = 3
+DEFAULT_BACKOFF = 0.01
+DEFAULT_BACKOFF_CAP = 0.1
+
+_tmp_counter = itertools.count()
+
+
+class StorageError(Exception):
+    """A durable-store operation failed (I/O exhaustion, bad envelope use)."""
+
+
+class CorruptArtifactError(StorageError):
+    """A persisted artifact failed verification.
+
+    Carries the offending ``path`` and a human ``reason``; the recovery
+    layer quarantines the file on sight of this error.  Deliberately never
+    a ``json.JSONDecodeError`` — callers get one typed signal for every
+    flavour of damage (truncation, torn write, bit flip, wrong kind).
+    """
+
+    def __init__(self, path: "str | Path", reason: str) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"corrupt artifact {self.path}: {reason}")
+
+
+def encode_envelope(payload: dict, *, kind: str = "") -> bytes:
+    """*payload* as envelope bytes (header line + checksummed body)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    header = {
+        "format": ENVELOPE_FORMAT,
+        "version": ENVELOPE_VERSION,
+        "kind": kind,
+        "length": len(body),
+        "sha256": hashlib.sha256(body).hexdigest(),
+    }
+    return json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n" + body
+
+
+def decode_envelope(
+    data: bytes, path: "str | Path", *, expected_kind: str | None = None
+) -> dict:
+    """Verify and decode envelope *data*; raise :class:`CorruptArtifactError`.
+
+    *path* is only for the error message.  ``expected_kind`` guards against
+    loading a valid artifact of the wrong type (a spill where a checkpoint
+    was expected); the empty recorded kind matches anything, for artifacts
+    written by generic tooling.
+    """
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise CorruptArtifactError(path, "truncated before end of header line")
+    try:
+        header = json.loads(data[:newline])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorruptArtifactError(path, f"unparseable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != ENVELOPE_FORMAT:
+        raise CorruptArtifactError(
+            path, f"not a durable envelope (format={header.get('format')!r})"
+            if isinstance(header, dict)
+            else "not a durable envelope (header is not an object)"
+        )
+    version = header.get("version", 0)
+    if version > ENVELOPE_VERSION:
+        raise StorageError(
+            f"{path}: envelope version {version} is newer than this "
+            f"library understands ({ENVELOPE_VERSION})"
+        )
+    recorded_kind = header.get("kind", "")
+    if expected_kind is not None and recorded_kind not in ("", expected_kind):
+        raise CorruptArtifactError(
+            path,
+            f"artifact kind {recorded_kind!r} where {expected_kind!r} expected",
+        )
+    body = data[newline + 1 :]
+    length = header.get("length")
+    if length != len(body):
+        raise CorruptArtifactError(
+            path, f"torn write: payload holds {len(body)} bytes, header says {length}"
+        )
+    digest = hashlib.sha256(body).hexdigest()
+    if digest != header.get("sha256"):
+        raise CorruptArtifactError(
+            path,
+            f"checksum mismatch (payload {digest[:12]}…, "
+            f"header {str(header.get('sha256'))[:12]}…)",
+        )
+    try:
+        return json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        # Checksum ok but JSON bad: the *writer* stored garbage.
+        raise CorruptArtifactError(path, f"unparseable payload: {exc}") from exc
+
+
+def write_durable(
+    path: "str | Path",
+    payload: dict,
+    *,
+    kind: str = "",
+    fs: FileSystem | None = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    backoff_cap: float = DEFAULT_BACKOFF_CAP,
+    sleep=time.sleep,
+) -> Path:
+    """Write *payload* to *path* crash-safely; return the final path.
+
+    The full protocol — temp write, file fsync, atomic rename, directory
+    fsync — with each boundary crossing a named crash point of the
+    injectable ``fs``.  Transient ``OSError``\\ s retry up to *retries*
+    times with exponential backoff capped at *backoff_cap* seconds (the
+    temp file is re-created each attempt); exhaustion raises
+    :class:`StorageError` chained to the last cause.
+    """
+    fs = fs or default_fs
+    path = Path(path)
+    data = encode_envelope(payload, kind=kind)
+    fs.mkdir(path.parent)
+    last_error: OSError | None = None
+    for attempt in range(retries + 1):
+        try:
+            _write_once(path, data, fs)
+            return path
+        except OSError as exc:
+            last_error = exc
+            if attempt < retries:
+                sleep(min(backoff * (2**attempt), backoff_cap))
+    raise StorageError(
+        f"durable write of {path} failed after {retries + 1} attempts: "
+        f"{last_error}"
+    ) from last_error
+
+
+def _write_once(path: Path, data: bytes, fs: FileSystem) -> None:
+    """One pass of the atomic-write protocol (may raise OSError)."""
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+    )
+    try:
+        fd = fs.open_for_write(tmp)
+        try:
+            fs.write(fd, data)
+            fs.reached("durable:after-write")
+            fs.fsync(fd)
+        finally:
+            fs.close(fd)
+        fs.reached("durable:after-fsync-file")
+        fs.replace(tmp, path)
+    except BaseException:
+        fs.unlink(tmp)
+        raise
+    fs.reached("durable:after-rename")
+    fs.fsync_dir(path.parent)
+    fs.reached("durable:after-fsync-dir")
+
+
+def read_durable(
+    path: "str | Path",
+    *,
+    fs: FileSystem | None = None,
+    expected_kind: str | None = None,
+    allow_legacy: bool = True,
+) -> dict:
+    """Load and verify a durable artifact; return its payload.
+
+    Raises :class:`CorruptArtifactError` for any verification failure,
+    :class:`StorageError` for unreadable files or a newer envelope
+    version, and ``FileNotFoundError`` untouched (absence is a normal
+    condition, not corruption).  With *allow_legacy* (the default), a file
+    with no envelope header is parsed as bare JSON — the pre-durability
+    formats stay loadable, just without integrity verification.
+    """
+    fs = fs or default_fs
+    path = Path(path)
+    try:
+        data = fs.read_bytes(path)
+    except FileNotFoundError:
+        raise
+    except OSError as exc:
+        raise StorageError(f"cannot read {path}: {exc}") from exc
+    if data.startswith(_HEADER_PREFIX):
+        return decode_envelope(data, path, expected_kind=expected_kind)
+    if allow_legacy:
+        try:
+            payload = json.loads(data)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CorruptArtifactError(
+                path, f"unparseable legacy JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CorruptArtifactError(
+                path, "legacy JSON is not an object"
+            )
+        return payload
+    raise CorruptArtifactError(path, "missing durable envelope header")
+
+
+def quarantine(
+    path: "str | Path", reason: str = "", *, fs: FileSystem | None = None
+) -> Path:
+    """Move *path* into its directory's ``quarantine/``; return the new path.
+
+    Quarantined files are never deleted and never re-read by recovery
+    (the scan does not descend into the quarantine directory) — they are
+    evidence.  Name collisions get a numeric suffix rather than
+    overwriting earlier evidence.  *reason* is recorded alongside the
+    file as ``<name>.reason.txt`` (best-effort: losing the note must not
+    fail the quarantine).
+    """
+    fs = fs or default_fs
+    path = Path(path)
+    qdir = path.parent / QUARANTINE_DIRNAME
+    fs.mkdir(qdir)
+    target = qdir / path.name
+    suffix = 0
+    while fs.exists(target):
+        suffix += 1
+        target = qdir / f"{path.name}.{suffix}"
+    fs.replace(path, target)
+    fs.fsync_dir(qdir)
+    fs.fsync_dir(path.parent)
+    if reason:
+        try:
+            note = target.with_name(target.name + ".reason.txt")
+            fd = fs.open_for_write(note)
+            try:
+                fs.write(fd, reason.encode("utf-8", "replace"))
+            finally:
+                fs.close(fd)
+        except OSError:
+            pass
+    return target

@@ -1,0 +1,137 @@
+"""The filesystem seam of the durability layer.
+
+Every byte the durable-store protocol moves goes through a
+:class:`FileSystem` object instead of raw ``os`` calls.  In production the
+default instance is a thin veneer over ``os`` — zero policy, zero state.
+In the chaos harness a subclass (or a monkeypatched instance) injects the
+failure modes the protocol must survive:
+
+* **crash points** — :meth:`FileSystem.reached` is called at every named
+  boundary of the atomic-write protocol (after the payload write, after
+  the file fsync, after the rename, after the directory fsync).  Arming a
+  crash point (:func:`set_crash_point`) makes the *process die* there via
+  ``os._exit`` — not an exception that unwinds through cleanup handlers,
+  the real kill -9 shape a power loss has.  The durability sweep in
+  ``tests/chaos/test_durability.py`` runs one subprocess per point and
+  asserts recovery from whatever the filesystem was left holding;
+* **torn writes** — a shim overriding :meth:`write` to stop after *k*
+  bytes models a partial page flush;
+* **transient errors** — a shim raising ``OSError`` from :meth:`write` or
+  :meth:`replace` for the first N calls exercises the capped-backoff
+  retry loop in :func:`repro.storage.durable.write_durable`.
+
+The seam is deliberately narrow: reads, writes, fsyncs, renames, unlinks,
+and mkdir.  Directory *scans* (the recovery manager's globbing) stay on
+``pathlib`` — corrupting a listing is not a failure mode the protocol
+defends against, and keeping the shim small keeps fault injections honest.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "CRASH_POINTS",
+    "FileSystem",
+    "clear_crash_point",
+    "default_fs",
+    "set_crash_point",
+]
+
+#: The named boundaries of the atomic-write protocol, in protocol order.
+#: A crash at each leaves a distinct on-disk state; the durability sweep
+#: covers all of them.
+CRASH_POINTS = (
+    "durable:after-write",
+    "durable:after-fsync-file",
+    "durable:after-rename",
+    "durable:after-fsync-dir",
+)
+
+#: Exit status of a simulated crash — distinguishable from a clean exit
+#: and from Python tracebacks in the sweep's subprocess assertions.
+CRASH_EXIT_STATUS = 137
+
+#: The armed crash point, or None.  Module-global (not per-instance) so a
+#: subprocess can arm it once before exercising any persistence path.
+_crash_point: str | None = None
+
+
+def set_crash_point(point: str) -> None:
+    """Arm *point*: the process ``os._exit``\\ s when the protocol reaches it."""
+    if point not in CRASH_POINTS:
+        raise ValueError(f"unknown crash point {point!r}; know {CRASH_POINTS}")
+    global _crash_point
+    _crash_point = point
+
+
+def clear_crash_point() -> None:
+    global _crash_point
+    _crash_point = None
+
+
+class FileSystem:
+    """Real-``os`` filesystem operations, one overridable method each."""
+
+    def reached(self, point: str) -> None:
+        """Crash-point hook: dies hard iff *point* is armed."""
+        if _crash_point is not None and point == _crash_point:
+            os._exit(CRASH_EXIT_STATUS)
+
+    # -- byte-level ops the durable writer drives ----------------------
+    def open_for_write(self, path: "str | Path") -> int:
+        return os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+
+    def write(self, fd: int, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            written = os.write(fd, view)
+            view = view[written:]
+
+    def fsync(self, fd: int) -> None:
+        os.fsync(fd)
+
+    def close(self, fd: int) -> None:
+        os.close(fd)
+
+    def replace(self, src: "str | Path", dst: "str | Path") -> None:
+        os.replace(str(src), str(dst))
+
+    def unlink(self, path: "str | Path") -> None:
+        try:
+            os.unlink(str(path))
+        except FileNotFoundError:
+            pass
+
+    def fsync_dir(self, path: "str | Path") -> None:
+        """fsync a directory so a completed rename survives power loss.
+
+        Best-effort: some filesystems (and all of Windows) refuse to open
+        directories — a refusal degrades to rename-without-dir-fsync,
+        which is no worse than the pre-durability behaviour.
+        """
+        try:
+            fd = os.open(str(path), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def read_bytes(self, path: "str | Path") -> bytes:
+        with open(str(path), "rb") as handle:
+            return handle.read()
+
+    def mkdir(self, path: "str | Path") -> None:
+        os.makedirs(str(path), exist_ok=True)
+
+    def exists(self, path: "str | Path") -> bool:
+        return os.path.exists(str(path))
+
+
+#: The production instance every storage call defaults to.
+default_fs = FileSystem()

@@ -1,0 +1,166 @@
+"""Startup recovery: scan a persistence directory, keep the good, quarantine the bad.
+
+After a crash, a checkpoint/spill directory can hold any mix of: complete
+durable artifacts (the common case — the write protocol makes torn
+*finals* impossible on a well-behaved filesystem), orphaned ``*.tmp``
+files from interrupted writes, legacy bare-JSON artifacts, and — given
+torn writes or bit rot — corrupt files.  :class:`RecoveryManager` turns
+that directory back into a trustworthy store:
+
+* every matching file is read through the verifying loader
+  (:func:`~repro.storage.durable.read_durable`), optionally followed by a
+  caller-supplied ``validate`` hook that decodes the payload into a live
+  object (e.g. a :class:`~repro.governance.ChaseCheckpoint`);
+* files that fail — checksum, structure, or validation — are
+  **quarantined** (moved to ``quarantine/``, never deleted, never
+  re-scanned) and reported with their reason;
+* orphaned ``*.tmp`` files are removed: by protocol they were never
+  renamed into place, so they are dead bytes by construction;
+* the survivors come back in a :class:`RecoveryReport`, which the
+  :class:`~repro.chase.ChaseCache` uses to rebuild its spill manifest and
+  the service surfaces through ``healthz``.
+
+The scan never raises for per-file damage — one poisoned artifact must
+not take down startup — but does propagate genuinely environmental
+failures (the directory itself unreadable).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from .durable import (
+    QUARANTINE_DIRNAME,
+    CorruptArtifactError,
+    StorageError,
+    quarantine,
+    read_durable,
+)
+from .fs import FileSystem, default_fs
+
+__all__ = ["RecoveryManager", "RecoveryReport"]
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery scan found and did."""
+
+    directory: Path
+    scanned: int = 0
+    #: path -> validated payload (or the ``validate`` hook's return value).
+    artifacts: dict = field(default_factory=dict)
+    #: (original path, quarantine path, reason) per damaged file.
+    quarantined: list = field(default_factory=list)
+    #: (path, reason) for files neither usable nor quarantinable
+    #: (e.g. a newer envelope version — future data is not damage).
+    skipped: list = field(default_factory=list)
+    #: Orphaned temp files removed.
+    removed_temp: list = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True iff nothing needed quarantining or skipping."""
+        return not self.quarantined and not self.skipped
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (for ``healthz`` and logs)."""
+        return {
+            "directory": str(self.directory),
+            "scanned": self.scanned,
+            "valid": len(self.artifacts),
+            "quarantined": [
+                {"path": str(p), "quarantine": str(q), "reason": reason}
+                for p, q, reason in self.quarantined
+            ],
+            "skipped": [
+                {"path": str(p), "reason": reason} for p, reason in self.skipped
+            ],
+            "removed_temp": [str(p) for p in self.removed_temp],
+            "seconds": self.seconds,
+        }
+
+
+class RecoveryManager:
+    """Validate every artifact in a directory; quarantine what fails.
+
+    Parameters
+    ----------
+    directory:
+        The persistence directory to scan (created if absent).
+    pattern:
+        Glob selecting the artifacts (default ``*.json``).  The scan never
+        descends into ``quarantine/``.
+    kind:
+        Expected envelope kind, enforced by the verifying loader.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        *,
+        pattern: str = "*.json",
+        kind: str | None = None,
+        fs: FileSystem | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.pattern = pattern
+        self.kind = kind
+        self.fs = fs or default_fs
+
+    def scan(
+        self, validate: Callable[[Path, dict], object] | None = None
+    ) -> RecoveryReport:
+        """One full pass; see the module docstring for the policy.
+
+        *validate* maps ``(path, payload)`` to the value recorded in
+        ``report.artifacts`` — any exception it raises condemns the file
+        to quarantine with that exception as the reason.
+        """
+        started = time.perf_counter()
+        report = RecoveryReport(directory=self.directory)
+        self.fs.mkdir(self.directory)
+        for tmp in sorted(self.directory.glob("*.tmp")):
+            self.fs.unlink(tmp)
+            report.removed_temp.append(tmp)
+        for path in sorted(self.directory.glob(self.pattern)):
+            if not path.is_file():
+                continue
+            report.scanned += 1
+            try:
+                payload = read_durable(path, fs=self.fs, expected_kind=self.kind)
+                value = payload if validate is None else validate(path, payload)
+            except CorruptArtifactError as exc:
+                report.quarantined.append(
+                    (path, self._quarantine(path, exc.reason), exc.reason)
+                )
+            except StorageError as exc:
+                # Unreadable or from-the-future: not damage we may destroy
+                # evidence over, and not data we can serve.  Leave it.
+                report.skipped.append((path, str(exc)))
+            except FileNotFoundError:
+                continue  # raced away (concurrent spill promotion)
+            except Exception as exc:  # validate() condemned it
+                reason = f"{type(exc).__name__}: {exc}"
+                report.quarantined.append(
+                    (path, self._quarantine(path, reason), reason)
+                )
+            else:
+                report.artifacts[path] = value
+        report.seconds = time.perf_counter() - started
+        return report
+
+    def _quarantine(self, path: Path, reason: str) -> Path | None:
+        try:
+            return quarantine(path, reason, fs=self.fs)
+        except OSError:
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecoveryManager<{self.directory}, pattern={self.pattern!r}, "
+            f"kind={self.kind!r}>"
+        )

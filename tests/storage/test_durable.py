@@ -1,0 +1,239 @@
+"""Unit tests for the durable-store layer: envelope, protocol, quarantine."""
+
+import json
+import os
+
+import pytest
+
+from repro.storage import (
+    CorruptArtifactError,
+    FileSystem,
+    StorageError,
+    decode_envelope,
+    encode_envelope,
+    quarantine,
+    read_durable,
+    write_durable,
+)
+from repro.storage.durable import QUARANTINE_DIRNAME
+
+
+class TestEnvelope:
+    def test_roundtrip(self, tmp_path):
+        payload = {"alpha": [1, 2, {"x": None}], "beta": "päyload"}
+        path = tmp_path / "artifact.json"
+        write_durable(path, payload, kind="unit-test")
+        assert read_durable(path, expected_kind="unit-test") == payload
+
+    def test_header_is_first_line_and_checksummed(self, tmp_path):
+        data = encode_envelope({"k": "v"}, kind="t")
+        header_line, body = data.split(b"\n", 1)
+        header = json.loads(header_line)
+        assert header["format"] == "repro-durable"
+        assert header["length"] == len(body)
+        assert json.loads(body) == {"k": "v"}
+
+    def test_decode_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_durable(path, {"k": 1}, kind="spill")
+        with pytest.raises(CorruptArtifactError, match="kind"):
+            read_durable(path, expected_kind="checkpoint")
+
+    def test_empty_recorded_kind_matches_any(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_durable(path, {"k": 1})
+        assert read_durable(path, expected_kind="anything") == {"k": 1}
+
+    def test_newer_version_refused_not_corrupt(self, tmp_path):
+        path = tmp_path / "a.json"
+        body = b"{}"
+        import hashlib
+
+        header = {
+            "format": "repro-durable",
+            "version": 99,
+            "kind": "",
+            "length": len(body),
+            "sha256": hashlib.sha256(body).hexdigest(),
+        }
+        path.write_bytes(
+            json.dumps(header, separators=(",", ":")).encode() + b"\n" + body
+        )
+        with pytest.raises(StorageError) as info:
+            read_durable(path)
+        assert not isinstance(info.value, CorruptArtifactError)
+
+
+class TestDamageDetection:
+    """Every flavour of damage maps to CorruptArtifactError with the path."""
+
+    def _write(self, tmp_path, payload=None):
+        path = tmp_path / "artifact.json"
+        write_durable(path, payload or {"rows": list(range(50))}, kind="t")
+        return path
+
+    @pytest.mark.parametrize("keep", [0, 1, 10, 37])
+    def test_truncation_at_any_point(self, tmp_path, keep):
+        path = self._write(tmp_path)
+        data = path.read_bytes()
+        assert keep < len(data)
+        path.write_bytes(data[:keep])
+        if keep == 0:
+            # Empty file: legacy fallback path, still a typed error.
+            with pytest.raises(CorruptArtifactError):
+                read_durable(path)
+        else:
+            with pytest.raises(CorruptArtifactError) as info:
+                read_durable(path)
+            assert info.value.path == path
+
+    def test_truncation_never_leaks_jsondecodeerror(self, tmp_path):
+        path = self._write(tmp_path)
+        data = path.read_bytes()
+        for keep in range(0, len(data), max(1, len(data) // 23)):
+            path.write_bytes(data[:keep])
+            try:
+                read_durable(path)
+            except CorruptArtifactError:
+                pass  # the only acceptable failure
+            # anything else (JSONDecodeError included) propagates = red
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = self._write(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Flip a byte inside the payload (past the header newline).
+        pos = data.index(b"\n") + 5
+        data[pos] ^= 0x40
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptArtifactError, match="checksum|unparseable"):
+            read_durable(path)
+
+    def test_appended_garbage_detected(self, tmp_path):
+        path = self._write(tmp_path)
+        with path.open("ab") as handle:
+            handle.write(b"garbage")
+        with pytest.raises(CorruptArtifactError, match="torn write"):
+            read_durable(path)
+
+    def test_legacy_bare_json_still_loads(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"format": "old", "data": 1}))
+        assert read_durable(path)["data"] == 1
+
+    def test_legacy_garbage_is_typed(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_bytes(b"\x00\xffnot json")
+        with pytest.raises(CorruptArtifactError):
+            read_durable(path)
+
+    def test_missing_file_is_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_durable(tmp_path / "nope.json")
+
+
+class _FlakyFS(FileSystem):
+    """Raises OSError from the first *failures* write attempts."""
+
+    def __init__(self, failures: int, fail_in: str = "write"):
+        self.failures = failures
+        self.fail_in = fail_in
+        self.attempts = 0
+
+    def write(self, fd, data):
+        if self.fail_in == "write":
+            self.attempts += 1
+            if self.attempts <= self.failures:
+                raise OSError(28, "No space left on device")
+        super().write(fd, data)
+
+    def replace(self, src, dst):
+        if self.fail_in == "replace":
+            self.attempts += 1
+            if self.attempts <= self.failures:
+                raise OSError(5, "Input/output error")
+        super().replace(src, dst)
+
+
+class TestRetry:
+    def test_transient_write_errors_retried(self, tmp_path):
+        fs = _FlakyFS(failures=2)
+        naps = []
+        path = write_durable(
+            tmp_path / "a.json", {"ok": True}, fs=fs, sleep=naps.append
+        )
+        assert read_durable(path) == {"ok": True}
+        assert fs.attempts == 3
+        assert len(naps) == 2
+
+    def test_backoff_is_capped(self, tmp_path):
+        fs = _FlakyFS(failures=3)
+        naps = []
+        write_durable(
+            tmp_path / "a.json",
+            {"ok": True},
+            fs=fs,
+            retries=3,
+            backoff=0.04,
+            backoff_cap=0.05,
+            sleep=naps.append,
+        )
+        assert naps == [0.04, 0.05, 0.05]
+
+    def test_exhaustion_raises_storageerror_and_cleans_temp(self, tmp_path):
+        fs = _FlakyFS(failures=99)
+        with pytest.raises(StorageError, match="after 3 attempts"):
+            write_durable(
+                tmp_path / "a.json",
+                {"ok": True},
+                fs=fs,
+                retries=2,
+                sleep=lambda _: None,
+            )
+        assert not (tmp_path / "a.json").exists()
+        assert not list(tmp_path.glob("*.tmp")), "temp file leaked"
+
+    def test_transient_replace_errors_retried(self, tmp_path):
+        fs = _FlakyFS(failures=1, fail_in="replace")
+        write_durable(tmp_path / "a.json", {"ok": 1}, fs=fs, sleep=lambda _: None)
+        assert read_durable(tmp_path / "a.json") == {"ok": 1}
+
+
+class TestAtomicity:
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_durable(path, {"gen": 1})
+        before = path.read_bytes()
+        fs = _FlakyFS(failures=99)
+        with pytest.raises(StorageError):
+            write_durable(path, {"gen": 2}, fs=fs, retries=0, sleep=lambda _: None)
+        assert path.read_bytes() == before, "failed overwrite damaged the old file"
+
+    def test_no_temp_residue_on_success(self, tmp_path):
+        write_durable(tmp_path / "a.json", {"gen": 1})
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestQuarantine:
+    def test_moves_never_deletes(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_bytes(b"evidence")
+        moved = quarantine(path, "checksum mismatch")
+        assert not path.exists()
+        assert moved.parent.name == QUARANTINE_DIRNAME
+        assert moved.read_bytes() == b"evidence"
+        note = moved.with_name(moved.name + ".reason.txt")
+        assert note.read_text() == "checksum mismatch"
+
+    def test_collisions_get_suffixes(self, tmp_path):
+        targets = set()
+        for generation in range(3):
+            path = tmp_path / "bad.json"
+            path.write_bytes(b"gen%d" % generation)
+            targets.add(quarantine(path).name)
+        assert len(targets) == 3
+        contents = {
+            p.read_bytes()
+            for p in (tmp_path / QUARANTINE_DIRNAME).iterdir()
+            if not p.name.endswith(".reason.txt")
+        }
+        assert contents == {b"gen0", b"gen1", b"gen2"}

@@ -1,0 +1,98 @@
+"""RecoveryManager: scan, validate, quarantine, report."""
+
+import json
+
+import pytest
+
+from repro.storage import (
+    CorruptArtifactError,
+    RecoveryManager,
+    quarantine,
+    write_durable,
+)
+
+
+def _seed_directory(tmp_path, *, good=3, corrupt=2, temps=1):
+    for i in range(good):
+        write_durable(tmp_path / f"good{i}.json", {"n": i}, kind="t")
+    for i in range(corrupt):
+        path = tmp_path / f"bad{i}.json"
+        write_durable(path, {"n": i}, kind="t")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+    for i in range(temps):
+        (tmp_path / f"orphan{i}.json.1234.{i}.tmp").write_bytes(b"partial")
+    return tmp_path
+
+
+class TestScan:
+    def test_good_survive_bad_quarantined_temps_removed(self, tmp_path):
+        _seed_directory(tmp_path)
+        report = RecoveryManager(tmp_path, kind="t").scan()
+        assert report.scanned == 5
+        assert sorted(p.name for p in report.artifacts) == [
+            "good0.json",
+            "good1.json",
+            "good2.json",
+        ]
+        assert len(report.quarantined) == 2
+        assert not report.clean
+        assert len(report.removed_temp) == 1
+        assert not list(tmp_path.glob("*.tmp"))
+        # Quarantined files moved, not deleted, and carry their reason.
+        for original, moved, reason in report.quarantined:
+            assert not original.exists()
+            assert moved is not None and moved.exists()
+            assert reason
+
+    def test_clean_directory_reports_clean(self, tmp_path):
+        _seed_directory(tmp_path, good=2, corrupt=0, temps=0)
+        report = RecoveryManager(tmp_path, kind="t").scan()
+        assert report.clean
+        assert len(report.artifacts) == 2
+
+    def test_missing_directory_is_created_empty(self, tmp_path):
+        report = RecoveryManager(tmp_path / "fresh").scan()
+        assert report.clean and report.scanned == 0
+        assert (tmp_path / "fresh").is_dir()
+
+    def test_quarantined_files_never_rescanned(self, tmp_path):
+        _seed_directory(tmp_path, good=1, corrupt=1, temps=0)
+        manager = RecoveryManager(tmp_path, kind="t")
+        first = manager.scan()
+        assert len(first.quarantined) == 1
+        second = manager.scan()
+        assert second.scanned == 1  # only the good file remains visible
+        assert second.clean
+
+    def test_validate_hook_condemns(self, tmp_path):
+        write_durable(tmp_path / "a.json", {"species": "checkpoint"})
+        write_durable(tmp_path / "b.json", {"species": "impostor"})
+
+        def validate(path, payload):
+            if payload["species"] != "checkpoint":
+                raise ValueError("wrong species")
+            return payload["species"]
+
+        report = RecoveryManager(tmp_path).scan(validate=validate)
+        assert list(report.artifacts.values()) == ["checkpoint"]
+        assert len(report.quarantined) == 1
+        assert "wrong species" in report.quarantined[0][2]
+
+    def test_scan_never_raises_for_per_file_damage(self, tmp_path):
+        (tmp_path / "hostile.json").write_bytes(bytes(range(256)))
+        report = RecoveryManager(tmp_path).scan()
+        assert len(report.quarantined) == 1
+
+    def test_report_as_dict_is_json_safe(self, tmp_path):
+        _seed_directory(tmp_path)
+        report = RecoveryManager(tmp_path, kind="t").scan()
+        payload = json.dumps(report.as_dict())
+        assert "quarantined" in payload
+
+    def test_pattern_scopes_the_scan(self, tmp_path):
+        write_durable(tmp_path / "a.spill.json", {"n": 1})
+        write_durable(tmp_path / "b.other.json", {"n": 2})
+        report = RecoveryManager(tmp_path, pattern="*.spill.json").scan()
+        assert [p.name for p in report.artifacts] == ["a.spill.json"]

@@ -139,3 +139,114 @@ class TestEngineFlags:
              "--timeout", "0"]
         )
         assert code == EXIT_BUDGET_TRIP
+
+
+class TestCorruptResume:
+    """--resume on a damaged checkpoint: one diagnostic line, exit 2."""
+
+    INFINITE = ["chase", "E(c0, c1)", "E(x, y) -> E(y, z)", "-e"]
+
+    def _tripped_checkpoint(self, tmp_path, capsys):
+        from repro.cli import EXIT_BUDGET_TRIP
+
+        code = main(
+            self.INFINITE
+            + ["--max-atoms", "5", "--checkpoint-dir", str(tmp_path)]
+        )
+        assert code == EXIT_BUDGET_TRIP
+        capsys.readouterr()
+        path = tmp_path / "chase.checkpoint.json"
+        assert path.exists()
+        return path
+
+    def test_happy_resume_still_works(self, tmp_path, capsys):
+        from repro.cli import EXIT_BUDGET_TRIP
+
+        path = self._tripped_checkpoint(tmp_path, capsys)
+        code = main(
+            self.INFINITE + ["--resume", str(path), "--max-atoms", "7"]
+        )
+        assert code == EXIT_BUDGET_TRIP  # further along, tripped again
+        assert "BUDGET TRIPPED" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_is_one_line_exit_2(self, tmp_path, capsys):
+        path = self._tripped_checkpoint(tmp_path, capsys)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x08
+        path.write_bytes(bytes(data))
+
+        code = main(self.INFINITE + ["--resume", str(path)])
+
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --resume:")
+        assert str(path) in err
+        assert len(err.strip().splitlines()) == 1, "expected one diagnostic line"
+        assert "Traceback" not in err
+
+    def test_truncated_checkpoint_is_one_line_exit_2(self, tmp_path, capsys):
+        path = self._tripped_checkpoint(tmp_path, capsys)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 3])
+        code = main(self.INFINITE + ["--resume", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --resume:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_checkpoint_is_one_line_exit_2(self, tmp_path, capsys):
+        code = main(
+            self.INFINITE + ["--resume", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no such checkpoint" in err
+
+    def test_garbage_file_is_one_line_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_bytes(b"\x00\x01 not a checkpoint")
+        code = main(self.INFINITE + ["--resume", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --resume:")
+        assert "Traceback" not in err
+
+    def test_certain_resume_corrupt_exit_2(self, tmp_path, capsys):
+        from repro.cli import EXIT_BUDGET_TRIP
+
+        code = main(
+            [
+                "certain",
+                "E(c0, c1)",
+                "E(x, y) -> E(y, z)",
+                "q(x) :- E(x, x)",
+                "-e",
+                "--strategy",
+                "chase",
+                "--max-atoms",
+                "5",
+                "--checkpoint-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == EXIT_BUDGET_TRIP
+        capsys.readouterr()
+        path = tmp_path / "certain.checkpoint.json"
+        assert path.exists()
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0x04
+        path.write_bytes(bytes(data))
+
+        code = main(
+            [
+                "certain",
+                "E(c0, c1)",
+                "E(x, y) -> E(y, z)",
+                "q(x) :- E(x, x)",
+                "-e",
+                "--resume",
+                str(path),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --resume:")

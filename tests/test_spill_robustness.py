@@ -1,0 +1,155 @@
+"""Spill-tier robustness: corruption degrades to a miss, never an error.
+
+The cache contract under damage (``docs/durability.md``): a corrupt spill
+file is *quarantined* — moved under ``spill_dir/quarantine/`` as evidence,
+never deleted, never re-read — and the request that found it proceeds as a
+clean miss; ``spill_hits`` counts only successful reloads.  Concurrent
+lookups of one spilled key serve the file at most once (the manifest pop
+is under the cache lock), and nobody observes a partial state.
+"""
+
+import threading
+
+from repro import parse_database, parse_tgds
+from repro.chase import chase
+from repro.chase.cache import ChaseCache
+from repro.datamodel import Null
+from repro.storage.durable import QUARANTINE_DIRNAME
+
+TGDS = ["R(x, y) -> P(x, w)", "R(x, y), R(y, z) -> R(x, z)"]
+
+
+def _ground(result):
+    return sorted(
+        str(a)
+        for a in result.instance
+        if not any(isinstance(t, Null) for t in a.args)
+    )
+
+
+def _spill_one(spill_dir, *, victim="a"):
+    """A cache whose entry for R(victim, b)... was evicted to disk."""
+    tgds = parse_tgds(TGDS)
+    cache = ChaseCache(max_entries=1, spill_dir=spill_dir)
+    db = parse_database(f"R({victim}, b), R(b, c)")
+    cache.chase(db, tgds)
+    cache.chase(parse_database("R(z, z)"), tgds)  # evicts + spills victim
+    assert cache.spills == 1
+    files = list(spill_dir.glob("*.spill.json"))
+    assert len(files) == 1
+    return cache, tgds, db, files[0]
+
+
+class TestCorruptSpill:
+    def test_corruption_is_a_clean_miss_with_quarantine(self, tmp_path):
+        cache, tgds, db, spill_file = _spill_one(tmp_path)
+        data = bytearray(spill_file.read_bytes())
+        data[len(data) // 2] ^= 0x10
+        spill_file.write_bytes(bytes(data))
+        misses_before = cache.misses
+
+        result = cache.chase(db, tgds)
+
+        assert result.terminated
+        assert _ground(result) == _ground(chase(db, tuple(tgds)))
+        assert cache.spill_hits == 0, "a corrupt spill must not count as a hit"
+        assert cache.quarantined == 1
+        assert cache.misses == misses_before + 1  # degraded to a clean miss
+        assert not spill_file.exists()
+        moved = list((tmp_path / QUARANTINE_DIRNAME).glob("*.spill.json"))
+        assert [p.name for p in moved] == [spill_file.name]
+        assert cache.info()["quarantined"] == 1
+
+    def test_truncation_at_every_stride_never_raises(self, tmp_path):
+        cache, tgds, db, spill_file = _spill_one(tmp_path)
+        pristine = spill_file.read_bytes()
+        for keep in range(0, len(pristine), max(1, len(pristine) // 17)):
+            spill_dir = tmp_path / f"t{keep}"
+            spill_dir.mkdir()
+            damaged = spill_dir / spill_file.name
+            damaged.write_bytes(pristine[:keep])
+            fresh = ChaseCache(max_entries=4, spill_dir=spill_dir)
+            # Recovery already quarantined it; the chase is a plain miss.
+            assert len(fresh.recovery.quarantined) == 1
+            result = fresh.chase(db, tgds)
+            assert result.terminated
+            assert fresh.spill_hits == 0
+
+    def test_vanished_spill_file_is_a_plain_miss(self, tmp_path):
+        cache, tgds, db, spill_file = _spill_one(tmp_path)
+        spill_file.unlink()
+        result = cache.chase(db, tgds)
+        assert result.terminated
+        assert cache.spill_hits == 0
+        assert cache.quarantined == 0  # nothing to quarantine
+
+
+class TestConcurrentSpillResume:
+    def test_one_spilled_key_two_threads(self, tmp_path):
+        """The spill file serves at most one resume; nobody errors."""
+        for round_ in range(5):
+            spill_dir = tmp_path / f"r{round_}"
+            cache, tgds, db, _ = _spill_one(spill_dir)
+            before_hits, before_misses = cache.spill_hits, cache.misses
+            results, errors = [], []
+            barrier = threading.Barrier(2)
+
+            def worker():
+                try:
+                    barrier.wait()
+                    results.append(cache.chase(db, tgds))
+                except Exception as exc:  # pragma: no cover - the red path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert not errors
+            assert len(results) == 2
+            oracle = _ground(chase(db, tuple(tgds)))
+            for result in results:
+                assert result.terminated
+                assert _ground(result) == oracle
+            new_hits = cache.spill_hits - before_hits
+            new_misses = cache.misses - before_misses
+            assert new_hits <= 1, "the spill file was double-served"
+            # Every call is accounted exactly once: spill hit, memory hit,
+            # or miss — never lost.
+            accounted = new_hits + new_misses + cache.hits
+            assert accounted == 2
+
+    def test_spill_churn_under_threads(self, tmp_path):
+        """Evict/spill/resume churn from 4 threads: counters stay coherent."""
+        tgds = parse_tgds(TGDS)
+        cache = ChaseCache(max_entries=1, spill_dir=tmp_path)
+        names = ["a", "b", "c"]
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(6):
+                    db = parse_database(f"R({name}, b), R(b, c)")
+                    result = cache.chase(db, tgds)
+                    assert result.terminated
+            except Exception as exc:  # pragma: no cover - the red path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(names[i % 3],))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert cache.spill_failures == 0
+        assert cache.quarantined == 0
+        # The manifest and the disk agree.
+        on_disk = {p.name for p in tmp_path.glob("*.spill.json")}
+        in_manifest = {p.name for p in cache._spilled.values()}
+        assert in_manifest <= on_disk
